@@ -1,0 +1,71 @@
+// Command axcompile runs the compiler-side analysis of ISCA'19 §5 on a
+// benchmark: it traces the unmemoized program on a sample input, builds
+// the dynamic data dependence graph, searches it for AxMemo-transformable
+// candidate subgraphs, and prints the Table 1 metrics plus the suggested
+// kernel functions.
+//
+// Usage:
+//
+//	axcompile -bench blackscholes [-max-entries 120000]
+//	axcompile -table1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"axmemo/internal/core"
+	"axmemo/internal/harness"
+	"axmemo/internal/workloads"
+)
+
+func main() {
+	var (
+		benchName  = flag.String("bench", "", "analyze one benchmark")
+		table1     = flag.Bool("table1", false, "print the full Table 1 analysis for all benchmarks")
+		maxEntries = flag.Int("max-entries", 120_000, "dynamic trace cap")
+	)
+	flag.Parse()
+
+	switch {
+	case *table1:
+		fig, err := harness.Table1(*maxEntries)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(fig.String())
+	case *benchName != "":
+		w, err := workloads.ByName(*benchName)
+		if err != nil {
+			fatal(err)
+		}
+		a, err := harness.AnalyzeWorkload(w, *maxEntries)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchmark:          %s\n", w.Name)
+		fmt.Printf("dynamic subgraphs:  %d\n", a.DynamicSubgraphs)
+		fmt.Printf("unique subgraphs:   %d\n", len(a.UniqueGroups))
+		fmt.Printf("mean CI ratio:      %.2f\n", a.MeanCIRatio)
+		fmt.Printf("memoization coverage: %.2f%%\n", 100*a.Coverage)
+		for i, g := range a.UniqueGroups {
+			if i >= 8 {
+				fmt.Printf("  ... and %d more groups\n", len(a.UniqueGroups)-8)
+				break
+			}
+			fmt.Printf("  group %d: %d instances, %d static insns, CI %.2f, mean inputs %.1f\n",
+				i, g.Count, len(g.SIDs), g.MeanRatio, g.MeanInputs)
+		}
+		names := core.DiscoverRegions(w.Build(), a)
+		fmt.Printf("suggested kernels:  %v\n", names)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "axcompile:", err)
+	os.Exit(1)
+}

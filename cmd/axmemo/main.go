@@ -1,0 +1,113 @@
+// Command axmemo runs one benchmark under one AxMemo configuration and
+// prints the measured speedup, energy saving, hit rate and output
+// quality against the unmemoized baseline.
+//
+// Usage:
+//
+//	axmemo -bench sobel -l1 8 -l2 512 [-scale 2] [-trunc off] [-mode hw|soft|atm]
+//	axmemo -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"axmemo/internal/compiler"
+	"axmemo/internal/harness"
+	"axmemo/internal/workloads"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "blackscholes", "benchmark name (see -list)")
+		l1        = flag.Int("l1", 8, "L1 LUT size in KB (hardware mode)")
+		l2        = flag.Int("l2", 512, "L2 LUT size in KB, 0 disables (hardware mode)")
+		scale     = flag.Int("scale", 1, "input scale (1 = test size; larger approaches the paper's datasets)")
+		mode      = flag.String("mode", "hw", "memoization mode: hw, soft (software LUT), atm")
+		truncOff  = flag.Bool("trunc-off", false, "disable input truncation (Fig. 11's no-approximation case)")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		dump      = flag.Bool("dump", false, "print the benchmark's memoized program in textual IR and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-14s %-20s %-18s %s\n", "name", "domain", "memo input (bytes)", "truncated bits")
+		for _, w := range workloads.All() {
+			fmt.Printf("%-14s %-20s %-18s %v\n", w.Name, w.Domain, w.InputBytes, w.TruncBits)
+		}
+		return
+	}
+
+	w, err := workloads.ByName(*benchName)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dump {
+		prog := w.Build()
+		if err := compiler.Transform(prog, w.Regions(nil)); err != nil {
+			fatal(err)
+		}
+		fmt.Print(prog.Dump())
+		return
+	}
+
+	cfg := harness.Config{Scale: *scale}
+	switch *mode {
+	case "hw":
+		cfg.Mode = harness.ModeHW
+		cfg.L1KB = *l1
+		cfg.L2KB = *l2
+		cfg.Name = fmt.Sprintf("L1 (%dKB)", *l1)
+		if *l2 > 0 {
+			cfg.Name += fmt.Sprintf("+L2 (%dKB)", *l2)
+		}
+	case "soft":
+		cfg.Mode = harness.ModeSoftLUT
+		cfg.Name = "Software LUT"
+	case "atm":
+		cfg.Mode = harness.ModeATM
+		cfg.Name = "ATM"
+	default:
+		fatal(fmt.Errorf("unknown mode %q (want hw, soft or atm)", *mode))
+	}
+	if *truncOff {
+		cfg.Trunc = make([]uint8, len(w.TruncBits))
+		cfg.Name += " no-approx"
+	}
+
+	baseCfg := harness.Baseline()
+	baseCfg.Scale = *scale
+	base, err := harness.Run(w, baseCfg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := harness.Run(w, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("benchmark:     %s (%s)\n", w.Name, w.Domain)
+	fmt.Printf("configuration: %s, scale %d\n", cfg.Name, *scale)
+	fmt.Printf("baseline:      %d cycles, %d insns, %.3g pJ\n", base.Cycles, base.Insns, base.EnergyPJ)
+	fmt.Printf("memoized:      %d cycles, %d insns (%d memo), %.3g pJ\n",
+		res.Cycles, res.Insns, res.MemoInsns, res.EnergyPJ)
+	fmt.Printf("speedup:       %.2fx\n", float64(base.Cycles)/float64(res.Cycles))
+	fmt.Printf("energy saving: %.2fx\n", base.EnergyPJ/res.EnergyPJ)
+	fmt.Printf("LUT hit rate:  %.1f%%\n", 100*res.HitRate)
+	qname := "output error (E_r)"
+	if w.Misclass {
+		qname = "misclassification"
+	}
+	fmt.Printf("%s: %.4f%%\n", qname, 100*res.Quality)
+	if res.Monitor.Samples > 0 {
+		fmt.Printf("quality monitor: %d samples, mean rel err %.4f, disabled=%v\n",
+			res.Monitor.Samples, res.Monitor.MeanError, res.Monitor.Disabled)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "axmemo:", err)
+	os.Exit(1)
+}

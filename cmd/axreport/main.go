@@ -1,0 +1,110 @@
+// Command axreport regenerates every table and figure of the paper's
+// evaluation section (ISCA'19 §6) and prints them, optionally writing the
+// whole report to a file (the basis of EXPERIMENTS.md).
+//
+// Usage:
+//
+//	axreport [-scale 1] [-only Fig7a,Fig9] [-o report.txt]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"axmemo/internal/harness"
+)
+
+func main() {
+	var (
+		scale    = flag.Int("scale", 1, "input scale for all experiments")
+		only     = flag.String("only", "", "comma-separated subset of artifact IDs (e.g. Fig7a,Fig9,Table1)")
+		out      = flag.String("o", "", "also write the report to this file")
+		asJSON   = flag.Bool("json", false, "emit the figures as JSON instead of text tables")
+		withBars = flag.Bool("bars", false, "append an ASCII bar chart of each figure's last data column")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToLower(id)] = true
+		}
+	}
+	selected := func(id string) bool {
+		return len(want) == 0 || want[strings.ToLower(id)]
+	}
+
+	s := harness.NewSuite(*scale)
+	var b strings.Builder
+	var figures []*harness.Figure
+	if !*asJSON {
+		fmt.Fprintf(&b, "AxMemo reproduction report (input scale %d)\n\n", *scale)
+	}
+
+	type gen struct {
+		id string
+		fn func() (*harness.Figure, error)
+	}
+	gens := []gen{
+		{"Table1", func() (*harness.Figure, error) { return harness.Table1(0) }},
+		{"Table2", func() (*harness.Figure, error) { return harness.Table2(), nil }},
+		{"Table4", func() (*harness.Figure, error) { return harness.Table4(), nil }},
+		{"Table5", func() (*harness.Figure, error) { return harness.Table5(), nil }},
+		{"Fig7a", s.Fig7a},
+		{"Fig7b", s.Fig7b},
+		{"Fig8", s.Fig8},
+		{"Fig9", s.Fig9},
+		{"Fig10a", s.Fig10a},
+		{"Fig10b", s.Fig10b},
+		{"Fig11", s.Fig11},
+		{"ATM", s.ATMComparison},
+		{"SENS", s.L2Sensitivity},
+		{"ABL-CRC", s.AblationCRCWidth},
+		{"ABL-ADAPT", s.AblationAdaptive},
+		{"ABL-RATE", s.AblationCRCRate},
+		{"ENERGY", s.EnergyBreakdown},
+	}
+	for _, g := range gens {
+		if !selected(g.id) {
+			continue
+		}
+		fig, err := g.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "axreport: %s: %v\n", g.id, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			figures = append(figures, fig)
+			continue
+		}
+		b.WriteString(fig.String())
+		if *withBars {
+			if bars := fig.Bars(len(fig.Header)-1, 40); bars != "" {
+				b.WriteByte('\n')
+				b.WriteString(bars)
+			}
+		}
+		b.WriteByte('\n')
+	}
+
+	if *asJSON {
+		enc, err := json.MarshalIndent(figures, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "axreport:", err)
+			os.Exit(1)
+		}
+		b.Write(enc)
+		b.WriteByte('\n')
+	}
+
+	fmt.Print(b.String())
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "axreport:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Blackscholes example: the paper's highest-gain benchmark, run through
+// the full compiler workflow of Fig. 5 — analyze the dynamic dependence
+// graph, profile truncation levels against the 0.1% error bound, then
+// execute with the chosen level on the default hardware.
+//
+//	go run ./examples/blackscholes [-scale 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"axmemo"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "input scale")
+	flag.Parse()
+
+	w, err := axmemo.Benchmark("blackscholes")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1-3 (Fig. 5): trace + DDDG candidate analysis on a sample
+	// input.
+	prog := w.Build()
+	img := axmemo.NewMemory(w.MemBytes(1))
+	inst := w.Setup(img, 1)
+	sys := axmemo.NewSystem(prog, w.Regions(nil)...)
+	analysis, err := sys.Analyze(img, inst.Args, 60_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compiler analysis (sample input):")
+	fmt.Printf("  dynamic candidate subgraphs: %d\n", analysis.DynamicSubgraphs)
+	fmt.Printf("  unique subgraphs:            %d\n", len(analysis.UniqueGroups))
+	fmt.Printf("  mean CI ratio:               %.2f\n", analysis.MeanCIRatio)
+	fmt.Printf("  memoization coverage:        %.1f%%\n", 100*analysis.Coverage)
+	fmt.Printf("  suggested kernels:           %v\n", axmemo.DiscoverRegions(prog, analysis))
+
+	// Step 4 (Fig. 5): profile truncation levels against the 0.1%
+	// error bound.  Each probe rebuilds and runs the full application
+	// at the candidate level on the profiling input.
+	eval := func(bits uint) (float64, error) {
+		tr := make([]uint8, len(w.TruncBits))
+		for i := range tr {
+			tr[i] = uint8(bits)
+		}
+		r, err := axmemo.RunExperiment(w, axmemo.ExperimentConfig{
+			Name: "profile", Mode: axmemo.ModeHW, L1KB: 8, L2KB: 512,
+			Trunc: tr, Scale: 1,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return r.Quality, nil
+	}
+	bits, err := sys.SelectTruncation(eval, false, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nselected truncation: %d bits (error bound 0.1%%)\n", bits)
+
+	// Evaluate baseline vs memoized at the chosen level.
+	tr := make([]uint8, len(w.TruncBits))
+	for i := range tr {
+		tr[i] = uint8(bits)
+	}
+	base, err := axmemo.RunExperiment(w, axmemo.ExperimentConfig{Name: "Baseline", Scale: *scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	memoized, err := axmemo.RunExperiment(w, axmemo.ExperimentConfig{
+		Name: "L1 (8KB)+L2 (512KB)", Mode: axmemo.ModeHW, L1KB: 8, L2KB: 512,
+		Trunc: tr, Scale: *scale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nevaluation (scale %d):\n", *scale)
+	fmt.Printf("  baseline: %d cycles, %d insns\n", base.Cycles, base.Insns)
+	fmt.Printf("  memoized: %d cycles, %d insns\n", memoized.Cycles, memoized.Insns)
+	fmt.Printf("  speedup:       %.2fx\n", float64(base.Cycles)/float64(memoized.Cycles))
+	fmt.Printf("  energy saving: %.2fx\n", base.EnergyPJ/memoized.EnergyPJ)
+	fmt.Printf("  hit rate:      %.1f%%\n", 100*memoized.HitRate)
+	fmt.Printf("  output error:  %.5f%%\n", 100*memoized.Quality)
+}

@@ -1,0 +1,160 @@
+// Compiler example: automatic region discovery.  We build a program the
+// compiler has never seen — a two-kernel particle scoring pipeline — let
+// the DDDG analysis find the memoizable kernels by itself, transform the
+// highest-ranked one, and measure the outcome.
+//
+//	go run ./examples/compiler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"axmemo"
+)
+
+// buildPipeline: score(x, y) = gauss(x) * gauss(y) where
+// gauss(v) = exp(-v*v), mapped over a particle list, plus a cheap
+// normalization kernel norm(v) = v * 0.5 the analysis should rank lower.
+func buildPipeline() *axmemo.Program {
+	p := axmemo.NewProgram("main")
+	axmemo.BuildLibm(p)
+
+	g := p.NewFunc("gauss", []axmemo.Type{axmemo.F32}, []axmemo.Type{axmemo.F32})
+	gb := g.NewBlock("entry")
+	gu := axmemo.At(g, gb)
+	sq := gu.Bin(axmemo.OpFMul, axmemo.F32, g.Params[0], g.Params[0])
+	e := gu.Call(axmemo.FnExp, 1, gu.Un(axmemo.OpFNeg, axmemo.F32, sq))[0]
+	gu.Ret(e)
+
+	nf := p.NewFunc("norm", []axmemo.Type{axmemo.F32}, []axmemo.Type{axmemo.F32})
+	nb := nf.NewBlock("entry")
+	nu := axmemo.At(nf, nb)
+	half := nu.ConstF32(0.5)
+	nu.Ret(nu.Bin(axmemo.OpFMul, axmemo.F32, nf.Params[0], half))
+
+	f := p.NewFunc("main", []axmemo.Type{axmemo.I64, axmemo.I64, axmemo.I32}, nil)
+	fb := f.NewBlock("entry")
+	cond := f.NewBlock("cond")
+	body := f.NewBlock("body")
+	done := f.NewBlock("done")
+	mb := axmemo.At(f, fb)
+	i := mb.Mov(axmemo.I32, mb.ConstI32(0))
+	src := mb.Mov(axmemo.I64, f.Params[0])
+	dst := mb.Mov(axmemo.I64, f.Params[1])
+	one := mb.ConstI32(1)
+	eight := mb.ConstI64(8)
+	four := mb.ConstI64(4)
+	mb.Jmp(cond)
+	mb.SetBlock(cond)
+	lt := mb.Bin(axmemo.OpCmpLT, axmemo.I32, i, f.Params[2])
+	mb.Br(lt, body, done)
+	mb.SetBlock(body)
+	x := mb.Load(axmemo.F32, src, 0)
+	y := mb.Load(axmemo.F32, src, 4)
+	gx := mb.Call("gauss", 1, x)
+	gy := mb.Call("gauss", 1, y)
+	score := mb.Bin(axmemo.OpFMul, axmemo.F32, gx[0], gy[0])
+	n := mb.Call("norm", 1, score)
+	mb.Store(axmemo.F32, dst, 0, n[0])
+	mb.MovTo(axmemo.I32, i, mb.Bin(axmemo.OpAdd, axmemo.I32, i, one))
+	mb.MovTo(axmemo.I64, src, mb.Bin(axmemo.OpAdd, axmemo.I64, src, eight))
+	mb.MovTo(axmemo.I64, dst, mb.Bin(axmemo.OpAdd, axmemo.I64, dst, four))
+	mb.Jmp(cond)
+	mb.SetBlock(done)
+	mb.Ret()
+
+	if err := p.Finalize(); err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+const n = 2048
+
+func stage(img *axmemo.Memory) (uint64, uint64) {
+	src := img.Alloc(n * 8)
+	dst := img.Alloc(n * 4)
+	for i := 0; i < n; i++ {
+		// Grid-quantized particle coordinates: heavy reuse.
+		img.SetF32(src+uint64(i*8), float32((i*7)%32)*0.125-2)
+		img.SetF32(src+uint64(i*8)+4, float32((i*13)%32)*0.125-2)
+	}
+	return src, dst
+}
+
+func main() {
+	// Phase 1: analyze the unmodified program on a sample input.
+	p := buildPipeline()
+	img := axmemo.NewMemory(1 << 16)
+	src, dst := stage(img)
+	probe := axmemo.NewSystem(p)
+	analysis, err := probe.Analyze(img, []uint64{src, dst, n}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranked := axmemo.DiscoverRegions(p, analysis)
+	fmt.Printf("discovered candidate kernels (ranked): %v\n", ranked)
+	if len(ranked) == 0 {
+		log.Fatal("no candidates found")
+	}
+
+	// Phase 2: memoize the top-ranked kernel.  The DDDG analysis works
+	// at instruction granularity within one activation, so for this
+	// pipeline it surfaces the transcendental routine itself — the
+	// heaviest single-output, single-input region.  Memoizing a libm
+	// function is a perfectly good outcome (it is what classic
+	// function memoization did), and the Region mechanism handles it
+	// like any other kernel.
+	target := ranked[0]
+	fmt.Printf("memoizing kernel: %s\n", target)
+
+	// Baseline measurement.
+	baseProg := buildPipeline()
+	baseImg := axmemo.NewMemory(1 << 16)
+	bsrc, bdst := stage(baseImg)
+	bm, err := axmemo.NewBaselineMachine(baseProg, baseImg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseRes, err := bm.Run(bsrc, bdst, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Memoized measurement.
+	memoProg := buildPipeline()
+	sys := axmemo.NewSystem(memoProg, axmemo.Region{
+		Func:        target,
+		LUT:         0,
+		InputParams: []int{0},
+		ParamTrunc:  []uint8{0},
+	})
+	if err := sys.Transform(); err != nil {
+		log.Fatal(err)
+	}
+	memoImg := axmemo.NewMemory(1 << 16)
+	msrc, mdst := stage(memoImg)
+	mm, err := sys.NewMachine(memoImg, axmemo.RunOptions{L1KB: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	memoRes, err := mm.Run(msrc, mdst, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("baseline: %d cycles\n", baseRes.Stats.Cycles)
+	fmt.Printf("memoized: %d cycles (hit rate %.1f%%)\n",
+		memoRes.Stats.Cycles, 100*memoRes.Stats.Memo.HitRate())
+	fmt.Printf("speedup:  %.2fx\n", float64(baseRes.Stats.Cycles)/float64(memoRes.Stats.Cycles))
+	// Exact memoization: outputs must match bit-for-bit.
+	for i := 0; i < n; i++ {
+		a := baseImg.F32(bdst + uint64(i*4))
+		b := memoImg.F32(mdst + uint64(i*4))
+		if a != b {
+			log.Fatalf("output %d differs: %v vs %v", i, a, b)
+		}
+	}
+	fmt.Println("outputs bit-identical to baseline (truncation 0)")
+}

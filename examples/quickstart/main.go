@@ -1,0 +1,123 @@
+// Quickstart: define a custom compute kernel in the IR, memoize it with
+// AxMemo, and compare the memoized run against the baseline.
+//
+// The kernel is a damped-oscillator response, response(t) = e^(−t/4)·cos(t),
+// evaluated over a stream of sensor timestamps that — like most
+// cyber-physical inputs — repeat heavily.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"axmemo"
+)
+
+// buildProgram constructs the kernel and a driver that maps it over an
+// input array.
+func buildProgram() *axmemo.Program {
+	p := axmemo.NewProgram("main")
+	axmemo.BuildLibm(p)
+
+	// Kernel: response(t) = exp(-t/4) * cos(t).
+	k := p.NewFunc("response", []axmemo.Type{axmemo.F32}, []axmemo.Type{axmemo.F32})
+	kb := k.NewBlock("entry")
+	bu := axmemo.At(k, kb)
+	t := k.Params[0]
+	quarter := bu.ConstF32(-0.25)
+	e := bu.Call(axmemo.FnExp, 1, bu.Bin(axmemo.OpFMul, axmemo.F32, t, quarter))[0]
+	c := bu.Call(axmemo.FnCos, 1, t)[0]
+	bu.Ret(bu.Bin(axmemo.OpFMul, axmemo.F32, e, c))
+
+	// Driver: main(src, dst, n) applies the kernel to every element.
+	f := p.NewFunc("main", []axmemo.Type{axmemo.I64, axmemo.I64, axmemo.I32}, nil)
+	fb := f.NewBlock("entry")
+	cond := f.NewBlock("cond")
+	body := f.NewBlock("body")
+	done := f.NewBlock("done")
+	mb := axmemo.At(f, fb)
+	i := mb.Mov(axmemo.I32, mb.ConstI32(0))
+	src := mb.Mov(axmemo.I64, f.Params[0])
+	dst := mb.Mov(axmemo.I64, f.Params[1])
+	one := mb.ConstI32(1)
+	four := mb.ConstI64(4)
+	mb.Jmp(cond)
+	mb.SetBlock(cond)
+	lt := mb.Bin(axmemo.OpCmpLT, axmemo.I32, i, f.Params[2])
+	mb.Br(lt, body, done)
+	mb.SetBlock(body)
+	v := mb.Load(axmemo.F32, src, 0)
+	r := mb.Call("response", 1, v)
+	mb.Store(axmemo.F32, dst, 0, r[0])
+	mb.MovTo(axmemo.I32, i, mb.Bin(axmemo.OpAdd, axmemo.I32, i, one))
+	mb.MovTo(axmemo.I64, src, mb.Bin(axmemo.OpAdd, axmemo.I64, src, four))
+	mb.MovTo(axmemo.I64, dst, mb.Bin(axmemo.OpAdd, axmemo.I64, dst, four))
+	mb.Jmp(cond)
+	mb.SetBlock(done)
+	mb.Ret()
+
+	if err := p.Finalize(); err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+const n = 4096
+
+// stage fills the input with quantized sensor timestamps (0.01s ticks
+// over a 2-second window — only 200 distinct values).
+func stage(img *axmemo.Memory) (src, dst uint64) {
+	src = img.Alloc(n * 4)
+	dst = img.Alloc(n * 4)
+	for i := 0; i < n; i++ {
+		tick := float32((i*37)%200) * 0.01
+		img.SetF32(src+uint64(i*4), tick)
+	}
+	return src, dst
+}
+
+func run(memoize bool) (cycles uint64, hit float64, sample float32) {
+	p := buildProgram()
+	img := axmemo.NewMemory(1 << 16)
+	src, dst := stage(img)
+
+	var m *axmemo.Machine
+	var err error
+	if memoize {
+		sys := axmemo.NewSystem(p, axmemo.Region{
+			Func:        "response",
+			LUT:         0,
+			InputParams: []int{0},
+			ParamTrunc:  []uint8{8}, // merge timestamps within ~0.4%
+		})
+		if err := sys.Transform(); err != nil {
+			log.Fatal(err)
+		}
+		m, err = sys.NewMachine(img, axmemo.RunOptions{L1KB: 8})
+	} else {
+		m, err = axmemo.NewBaselineMachine(p, img)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.Run(src, dst, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Stats.Cycles, res.Stats.Memo.HitRate(), img.F32(dst + 4)
+}
+
+func main() {
+	baseCycles, _, baseOut := run(false)
+	memoCycles, hit, memoOut := run(true)
+
+	fmt.Println("AxMemo quickstart — memoizing response(t) = exp(-t/4)*cos(t)")
+	fmt.Printf("baseline:  %8d cycles\n", baseCycles)
+	fmt.Printf("memoized:  %8d cycles (LUT hit rate %.1f%%)\n", memoCycles, 100*hit)
+	fmt.Printf("speedup:   %.2fx\n", float64(baseCycles)/float64(memoCycles))
+	fmt.Printf("output[1]: baseline %.6f vs memoized %.6f (|diff| %.2g)\n",
+		baseOut, memoOut, math.Abs(float64(baseOut-memoOut)))
+}

@@ -1,0 +1,101 @@
+// Sobel example: run the paper's image-processing benchmark through every
+// standard LUT configuration and visualize the memoized edge map next to
+// the exact one as ASCII art.
+//
+//	go run ./examples/sobel [-scale 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"axmemo"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "input scale")
+	flag.Parse()
+
+	w, err := axmemo.Benchmark("sobel")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline.
+	baseCfg := axmemo.ExperimentConfig{Name: "Baseline", Scale: *scale}
+	base, err := axmemo.RunExperiment(w, baseCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sobel, scale %d: baseline %d cycles, %d insns\n\n", *scale, base.Cycles, base.Insns)
+
+	// Sweep the standard configurations.
+	fmt.Printf("%-22s %9s %9s %9s %12s\n", "configuration", "speedup", "energy", "hit rate", "E_r")
+	for _, cfg := range standardConfigs(*scale) {
+		r, err := axmemo.RunExperiment(w, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %8.2fx %8.2fx %8.1f%% %11.5f%%\n",
+			cfg.Name,
+			float64(base.Cycles)/float64(r.Cycles),
+			base.EnergyPJ/r.EnergyPJ,
+			100*r.HitRate,
+			100*r.Quality)
+	}
+
+	// Render a small edge map from the memoized run to show the output
+	// is visually intact.
+	fmt.Println("\nmemoized edge map (top-left 60x28 crop):")
+	renderEdges(w, *scale)
+}
+
+func standardConfigs(scale int) []axmemo.ExperimentConfig {
+	cfgs := []axmemo.ExperimentConfig{
+		{Name: "L1 (4KB)", Mode: axmemo.ModeHW, L1KB: 4, Scale: scale},
+		{Name: "L1 (8KB)", Mode: axmemo.ModeHW, L1KB: 8, Scale: scale},
+		{Name: "L1 (8KB)+L2 (256KB)", Mode: axmemo.ModeHW, L1KB: 8, L2KB: 256, Scale: scale},
+		{Name: "L1 (8KB)+L2 (512KB)", Mode: axmemo.ModeHW, L1KB: 8, L2KB: 512, Scale: scale},
+		{Name: "Software LUT", Mode: axmemo.ModeSoftLUT, Scale: scale},
+	}
+	return cfgs
+}
+
+func renderEdges(w *axmemo.Workload, scale int) {
+	// Re-run the best configuration and read the output image directly.
+	prog := w.Build()
+	regions := w.Regions(nil)
+	sys := axmemo.NewSystem(prog, regions...)
+	if err := sys.Transform(); err != nil {
+		log.Fatal(err)
+	}
+	img := axmemo.NewMemory(w.MemBytes(scale))
+	inst := w.Setup(img, scale)
+	m, err := sys.NewMachine(img, axmemo.RunOptions{L1KB: 8, L2KB: 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.Run(inst.Args...); err != nil {
+		log.Fatal(err)
+	}
+	out := inst.Outputs(img)
+	side := 48
+	for side*side < len(out) {
+		side *= 2
+	}
+	ramp := []byte(" .:-=+*#%@")
+	hCrop, wCrop := 28, 60
+	for y := 0; y < hCrop && y < side; y++ {
+		line := make([]byte, 0, wCrop)
+		for x := 0; x < wCrop && x < side; x++ {
+			v := out[y*side+x]
+			idx := int(v / 256 * float64(len(ramp)))
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			line = append(line, ramp[idx])
+		}
+		fmt.Println(string(line))
+	}
+}

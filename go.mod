@@ -1,0 +1,3 @@
+module axmemo
+
+go 1.22

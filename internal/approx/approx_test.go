@@ -1,0 +1,198 @@
+package approx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMask32(t *testing.T) {
+	cases := []struct {
+		x    uint32
+		n    uint
+		want uint32
+	}{
+		{0xFFFFFFFF, 0, 0xFFFFFFFF},
+		{0xFFFFFFFF, 4, 0xFFFFFFF0},
+		{0xFFFFFFFF, 16, 0xFFFF0000},
+		{0xFFFFFFFF, 32, 0},
+		{0xFFFFFFFF, 40, 0},
+		{0x12345678, 8, 0x12345600},
+	}
+	for _, c := range cases {
+		if got := Mask32(c.x, c.n); got != c.want {
+			t.Errorf("Mask32(%#x, %d) = %#x, want %#x", c.x, c.n, got, c.want)
+		}
+	}
+}
+
+func TestMask64(t *testing.T) {
+	allOnes := ^uint64(0)
+	if got := Mask64(allOnes, 20); got != allOnes<<20 {
+		t.Errorf("Mask64 = %#x", got)
+	}
+	if got := Mask64(^uint64(0), 64); got != 0 {
+		t.Errorf("Mask64(.., 64) = %#x, want 0", got)
+	}
+	if got := Mask64(123, 0); got != 123 {
+		t.Errorf("Mask64(123, 0) = %d, want 123", got)
+	}
+}
+
+// Property: truncation is idempotent — applying it twice gives the same
+// result as applying it once.
+func TestTruncationIdempotent(t *testing.T) {
+	f := func(x uint32, nRaw uint8) bool {
+		n := uint(nRaw % 33)
+		once := Mask32(x, n)
+		return Mask32(once, n) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: truncation is monotone in n — more truncated bits can only
+// clear more of the value, so the masked results are ordered by bit
+// inclusion.
+func TestTruncationMonotone(t *testing.T) {
+	f := func(x uint32, aRaw, bRaw uint8) bool {
+		a, b := uint(aRaw%33), uint(bRaw%33)
+		if a > b {
+			a, b = b, a
+		}
+		// Everything surviving the coarser mask also survives the
+		// finer one.
+		return Mask32(x, b)&Mask32(x, a) == Mask32(x, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: similar floats collapse to the same truncated value — the
+// mechanism by which truncation raises LUT hit rate.
+func TestSimilarFloatsCollide(t *testing.T) {
+	base := float32(1.234567)
+	perturbed := math.Float32frombits(math.Float32bits(base) ^ 0x3) // flip 2 low mantissa bits
+	if Float32(base, 8) != Float32(perturbed, 8) {
+		t.Errorf("truncated similar floats differ: %v vs %v",
+			Float32(base, 8), Float32(perturbed, 8))
+	}
+	if Float32(base, 0) == Float32(perturbed, 0) {
+		t.Error("un-truncated distinct floats compare equal")
+	}
+}
+
+// Property: float truncation only rounds toward zero magnitude for
+// positive normal floats, and the relative error is bounded by 2^(n-23).
+func TestFloat32RelativeErrorBound(t *testing.T) {
+	f := func(raw uint32, nRaw uint8) bool {
+		n := uint(nRaw % 16)
+		v := math.Float32frombits(raw)
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) || v == 0 {
+			return true
+		}
+		if math.Abs(float64(v)) < 1e-30 { // skip subnormals: relative bound does not apply
+			return true
+		}
+		tv := Float32(v, n)
+		rel := math.Abs(float64(tv-v)) / math.Abs(float64(v))
+		return rel <= RelativeStep(n)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInt32AbsolutePrecision(t *testing.T) {
+	// Truncating 4 bits rounds down to a multiple of 16 (two's
+	// complement floor).
+	cases := []struct {
+		v    int32
+		want int32
+	}{
+		{100, 96},
+		{96, 96},
+		{-1, -16},
+		{-16, -16},
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := Int32(c.v, 4); got != c.want {
+			t.Errorf("Int32(%d, 4) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestInt64(t *testing.T) {
+	if got := Int64(1023, 10); got != 0 {
+		t.Errorf("Int64(1023, 10) = %d, want 0", got)
+	}
+	if got := Int64(1024, 10); got != 1024 {
+		t.Errorf("Int64(1024, 10) = %d, want 1024", got)
+	}
+}
+
+func TestLane(t *testing.T) {
+	if got := Lane(0xFFFF_FFFF, 4, 8); got != 0xFFFF_FF00 {
+		t.Errorf("Lane 4B = %#x", got)
+	}
+	allOnes := ^uint64(0)
+	if got := Lane(allOnes, 8, 8); got != allOnes<<8 {
+		t.Errorf("Lane 8B = %#x", got)
+	}
+	// A 4-byte lane must not leak bits above bit 31.
+	if got := Lane(^uint64(0), 4, 0); got != 0xFFFF_FFFF {
+		t.Errorf("Lane 4B n=0 = %#x, want 0xFFFFFFFF", got)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	data := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+	Bytes(data, 4, 8)
+	want := []byte{0x00, 0xFF, 0xFF, 0xFF, 0x00, 0xFF, 0xFF, 0xFF}
+	for i := range data {
+		if data[i] != want[i] {
+			t.Fatalf("Bytes lane trunc: got % x, want % x", data, want)
+		}
+	}
+}
+
+func TestBytesPartialTail(t *testing.T) {
+	data := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF} // 4B lane + 2B tail
+	Bytes(data, 4, 4)
+	if data[0] != 0xF0 || data[4] != 0xF0 {
+		t.Errorf("partial tail not truncated: % x", data)
+	}
+}
+
+func TestBytesPanicsOnBadLane(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bytes with lane size 3 did not panic")
+		}
+	}()
+	Bytes(make([]byte, 6), 3, 1)
+}
+
+func TestZeroTruncationIsIdentity(t *testing.T) {
+	f := func(v float32) bool {
+		if math.IsNaN(float64(v)) {
+			return true
+		}
+		return Float32(v, 0) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelativeStep(t *testing.T) {
+	if got := RelativeStep(23); got != 1.0 {
+		t.Errorf("RelativeStep(23) = %v, want 1.0", got)
+	}
+	if got := RelativeStep(0); got != math.Ldexp(1, -23) {
+		t.Errorf("RelativeStep(0) = %v", got)
+	}
+}

@@ -1,0 +1,206 @@
+// Package atm re-implements Approximate Task Memoization (Brumar et al.,
+// IPDPS'17), the closest prior work the paper compares against (§6.2,
+// "Comparison with prior work").  Like the paper's authors, we implement
+// ATM from its published description:
+//
+//   - inputs are concatenated into a byte vector;
+//   - a vector of byte indices is shuffled once (seeded), and the input
+//     bytes selected by the first SampleBytes indices form the hash key —
+//     a *sampling* hash, so input bytes outside the sample never affect
+//     the key (contrast with CRC, where every bit matters: §3.1);
+//   - the key indexes a software hash table; matches return the memoized
+//     task result.
+//
+// ATM is a pure software runtime: every operation costs ordinary
+// instructions, including per-task runtime bookkeeping, which is why the
+// paper measures a geometric-mean *slowdown* of 0.8× for it across these
+// benchmarks.
+package atm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"axmemo/internal/softmemo"
+)
+
+// Per-operation software costs (instructions).
+const (
+	// AppendInsnsPerByte: copying input bytes into the task's buffer.
+	AppendInsnsPerByte = 1
+	// HashInsnsPerSample: gather (indexed load) + mix per sampled byte.
+	HashInsnsPerSample = 3
+	// TaskOverheadInsns: task-runtime bookkeeping per memoized task
+	// (descriptor setup, dependence checks).
+	TaskOverheadInsns = 24
+	// UpdateInsns: storing the result and key.
+	UpdateInsns = 6
+)
+
+// Config parametrizes the ATM runtime.
+type Config struct {
+	// SampleBytes is how many shuffled input bytes form the key.
+	SampleBytes int
+	// Seed fixes the index shuffle.
+	Seed int64
+	// IndexBits sizes the hash table.
+	IndexBits int
+	// ArrayBase is the simulated address of the table (cache modeling).
+	ArrayBase uint64
+	// MaxInputBytes bounds the per-task input buffer.
+	MaxInputBytes int
+}
+
+// DefaultConfig returns the configuration used in the comparison.
+func DefaultConfig() Config {
+	return Config{
+		SampleBytes:   8,
+		Seed:          1,
+		IndexBits:     24,
+		ArrayBase:     3 << 30,
+		MaxInputBytes: 64,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SampleBytes <= 0 {
+		return fmt.Errorf("atm: sample bytes %d", c.SampleBytes)
+	}
+	if c.IndexBits < 4 || c.IndexBits > 32 {
+		return fmt.Errorf("atm: index bits %d", c.IndexBits)
+	}
+	if c.MaxInputBytes < c.SampleBytes {
+		return fmt.Errorf("atm: max input %d below sample size %d", c.MaxInputBytes, c.SampleBytes)
+	}
+	return nil
+}
+
+type entry struct {
+	data  uint64
+	key   string
+	full  string
+	epoch uint32
+}
+
+// Unit is the ATM software runtime state.
+type Unit struct {
+	cfg  Config
+	perm []int
+	buf  [8][]byte
+	pend [8]struct {
+		valid bool
+		idx   uint64
+		key   string
+		full  string
+	}
+	epoch [8]uint32
+	table map[uint64]entry
+	stats softmemo.Stats
+}
+
+// New builds an ATM runtime.
+func New(cfg Config) (*Unit, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	perm := rng.Perm(cfg.MaxInputBytes)
+	return &Unit{cfg: cfg, perm: perm, table: make(map[uint64]entry)}, nil
+}
+
+// Config returns the runtime's configuration.
+func (u *Unit) Config() Config { return u.cfg }
+
+// Stats reports accumulated activity (shared shape with the software
+// LUT so the CPU and harness treat both uniformly).
+func (u *Unit) Stats() softmemo.Stats { return u.stats }
+
+// Feed appends one input lane to the task's byte buffer.  ATM has no
+// hardware truncation; truncBits is ignored (the runtime samples raw
+// bytes), which the comparison inherits.
+func (u *Unit) Feed(lut uint8, data uint64, sizeBytes int, truncBits uint) (insns, tableLoads int) {
+	b := u.buf[lut]
+	for i := 0; i < sizeBytes; i++ {
+		if len(b) < u.cfg.MaxInputBytes {
+			b = append(b, byte(data>>(8*uint(i))))
+		}
+	}
+	u.buf[lut] = b
+	u.stats.FedBytes += uint64(sizeBytes)
+	return AppendInsnsPerByte * sizeBytes, 0
+}
+
+// key samples the shuffled byte positions of the buffer.
+func (u *Unit) key(buf []byte) (sampled string, hash uint64) {
+	n := u.cfg.SampleBytes
+	out := make([]byte, 0, n)
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for _, idx := range u.perm {
+		if len(out) == n {
+			break
+		}
+		if idx < len(buf) {
+			out = append(out, buf[idx])
+			h = (h ^ uint64(buf[idx])) * 1099511628211
+		}
+	}
+	return string(out), h
+}
+
+// Lookup hashes the sampled key and probes the table.
+func (u *Unit) Lookup(lut uint8) softmemo.LookupResult {
+	buf := u.buf[lut]
+	sampled, h := u.key(buf)
+	full := string(buf)
+	u.buf[lut] = buf[:0]
+	idx := h & ((1 << uint(u.cfg.IndexBits)) - 1)
+	tkey := uint64(lut)<<u.cfg.IndexBits | idx
+	res := softmemo.LookupResult{
+		Addr:  u.cfg.ArrayBase + tkey*16,
+		Insns: TaskOverheadInsns + HashInsnsPerSample*len(sampled),
+	}
+	u.stats.Lookups++
+	e, ok := u.table[tkey]
+	if ok && e.epoch == u.epoch[lut] && e.key == sampled {
+		u.stats.Hits++
+		if e.full != full {
+			// The sampled bytes matched but the rest of the
+			// input differed: a silent approximate (or wrong)
+			// reuse — the hazard of sampling hashes.
+			u.stats.Collisions++
+		}
+		res.Hit = true
+		res.Data = e.data
+		return res
+	}
+	u.stats.Misses++
+	u.pend[lut].valid = true
+	u.pend[lut].idx = tkey
+	u.pend[lut].key = sampled
+	u.pend[lut].full = full
+	return res
+}
+
+// Update stores the computed task result.
+func (u *Unit) Update(lut uint8, data uint64) softmemo.UpdateResult {
+	res := softmemo.UpdateResult{Insns: UpdateInsns}
+	p := &u.pend[lut]
+	if !p.valid {
+		return res
+	}
+	p.valid = false
+	u.table[p.idx] = entry{data: data, key: p.key, full: p.full, epoch: u.epoch[lut]}
+	res.Addr = u.cfg.ArrayBase + p.idx*16
+	u.stats.Updates++
+	return res
+}
+
+// Invalidate advances the logical LUT's epoch.
+func (u *Unit) Invalidate(lut uint8) int {
+	u.epoch[lut]++
+	u.stats.Invalidates++
+	u.pend[lut].valid = false
+	u.buf[lut] = u.buf[lut][:0]
+	return 2
+}

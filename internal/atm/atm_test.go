@@ -1,0 +1,145 @@
+package atm
+
+import (
+	"testing"
+)
+
+func unit(t *testing.T, cfg Config) *Unit {
+	t.Helper()
+	u, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func feed32(u *Unit, lut uint8, vals ...uint32) {
+	for _, v := range vals {
+		u.Feed(lut, uint64(v), 4, 0)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.SampleBytes = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero sample accepted")
+	}
+	bad = DefaultConfig()
+	bad.MaxInputBytes = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("buffer smaller than sample accepted")
+	}
+}
+
+func TestMissUpdateHit(t *testing.T) {
+	u := unit(t, DefaultConfig())
+	feed32(u, 0, 10, 20, 30)
+	if r := u.Lookup(0); r.Hit {
+		t.Fatal("cold lookup hit")
+	}
+	u.Update(0, 77)
+	feed32(u, 0, 10, 20, 30)
+	r := u.Lookup(0)
+	if !r.Hit || r.Data != 77 {
+		t.Fatalf("replay = %+v", r)
+	}
+	if u.Stats().Collisions != 0 {
+		t.Error("exact replay counted as collision")
+	}
+}
+
+// The defining weakness of the sampling hash: bytes outside the sample do
+// not affect the key, so inputs differing only there are silently reused.
+func TestSamplingBlindSpot(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SampleBytes = 4
+	cfg.MaxInputBytes = 16
+	u := unit(t, cfg)
+	// 16-byte input; only 4 shuffled positions are sampled.  Find a
+	// byte position outside the sample by trying flips.
+	base := []uint32{0x01020304, 0x05060708, 0x090A0B0C, 0x0D0E0F10}
+	feed32(u, 0, base...)
+	u.Lookup(0)
+	u.Update(0, 1)
+	blind := 0
+	for flip := 0; flip < 16; flip++ {
+		mod := append([]uint32{}, base...)
+		mod[flip/4] ^= 0xFF << (8 * uint(flip%4))
+		feed32(u, 0, mod...)
+		if r := u.Lookup(0); r.Hit {
+			blind++
+		} else {
+			// re-seed the entry so later flips compare against
+			// the base again
+			u.Update(0, 1)
+			feed32(u, 0, base...)
+			u.Lookup(0)
+		}
+	}
+	if blind != 16-4 {
+		t.Errorf("blind positions = %d, want 12 (16 bytes − 4 sampled)", blind)
+	}
+	if u.Stats().Collisions == 0 {
+		t.Error("blind-spot reuses not counted as collisions")
+	}
+}
+
+func TestTaskOverheadCharged(t *testing.T) {
+	u := unit(t, DefaultConfig())
+	feed32(u, 0, 1)
+	r := u.Lookup(0)
+	if r.Insns < TaskOverheadInsns {
+		t.Errorf("lookup cost %d below task overhead %d", r.Insns, TaskOverheadInsns)
+	}
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	a := unit(t, DefaultConfig())
+	b := unit(t, DefaultConfig())
+	for i := range a.perm {
+		if a.perm[i] != b.perm[i] {
+			t.Fatal("same seed produced different shuffles")
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 99
+	c := unit(t, cfg)
+	same := true
+	for i := range a.perm {
+		if a.perm[i] != c.perm[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical shuffles")
+	}
+}
+
+func TestInvalidateClearsEpoch(t *testing.T) {
+	u := unit(t, DefaultConfig())
+	feed32(u, 0, 5)
+	u.Lookup(0)
+	u.Update(0, 3)
+	u.Invalidate(0)
+	feed32(u, 0, 5)
+	if r := u.Lookup(0); r.Hit {
+		t.Error("hit after invalidate")
+	}
+}
+
+func TestBufferOverflowBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxInputBytes = 8
+	u := unit(t, cfg)
+	for i := 0; i < 100; i++ {
+		u.Feed(0, uint64(i), 8, 0)
+	}
+	if len(u.buf[0]) > 8 {
+		t.Errorf("buffer grew to %d bytes, cap 8", len(u.buf[0]))
+	}
+	u.Lookup(0) // must not panic
+}

@@ -1,0 +1,285 @@
+// Package compiler implements AxMemo's compiler support (ISCA'19 §5):
+// the code-generation step that rewrites a memoizable kernel function
+// into the paper's Fig. 1 branch structure (feed inputs → lookup → on hit
+// return LUT data, on miss compute and update), and the profiling step
+// that selects how many bits to truncate from each input while keeping
+// output error inside a bound.
+//
+// Candidate identification (Fig. 5 ①–③) lives in internal/trace and
+// internal/dddg; this package consumes their results and produces
+// memoization-enabled programs.
+package compiler
+
+import (
+	"fmt"
+
+	"axmemo/internal/ir"
+	"axmemo/internal/memo"
+)
+
+// Region describes one memoizable code region — in this reproduction, a
+// kernel function with register and/or memory inputs.  It corresponds to
+// one logical LUT.
+type Region struct {
+	// Func is the kernel function to memoize.
+	Func string
+	// LUT is the logical LUT id (3 bits; distinct per region).
+	LUT uint8
+	// InputParams are the parameter indices fed to the CRC unit via
+	// reg_crc.  Pointer parameters must be excluded: addresses are not
+	// values (the paper feeds loaded data via ld_crc instead).
+	InputParams []int
+	// ParamTrunc gives the truncated LSB count per entry of
+	// InputParams (the reg_crc "n" field).
+	ParamTrunc []uint8
+	// ConvertLoads rewrites every load in the kernel into ld_crc, for
+	// kernels that read their memoization inputs from memory.
+	ConvertLoads bool
+	// LoadTrunc is the ld_crc truncation applied to converted loads.
+	LoadTrunc uint8
+	// KindOverride, if non-nil, overrides the quality-monitor output
+	// layout derived from the kernel signature (e.g. a kernel packing
+	// four int16 coefficients into one i64 return value).
+	KindOverride *memo.OutputKind
+	// EpochFunc optionally names a (normally empty) function the
+	// program calls whenever the memoized mapping becomes stale — e.g.
+	// K-means calls it after each centroid update.  The transformation
+	// injects an `invalidate LUT_ID` at its entry (§4: invalidate is
+	// used "when the program needs to reuse the LUT ... for other
+	// logical LUT").
+	EpochFunc string
+}
+
+// OutputKind derives the quality-monitor layout from a kernel signature.
+func OutputKind(f *ir.Function) (memo.OutputKind, error) {
+	switch len(f.RetTypes) {
+	case 1:
+		switch f.RetTypes[0] {
+		case ir.F32:
+			return memo.OutF32, nil
+		case ir.I32:
+			return memo.OutI32, nil
+		case ir.F64, ir.I64:
+			return memo.OutF64, nil
+		}
+	case 2:
+		if f.RetTypes[0].Size() == 4 && f.RetTypes[1].Size() == 4 {
+			return memo.OutTwoF32, nil
+		}
+	}
+	return 0, fmt.Errorf("compiler: %s returns %d values; LUT data holds at most 8 bytes (one 64-bit or two 32-bit values)", f.Name, len(f.RetTypes))
+}
+
+// DataBytes returns the LUT data width a kernel's outputs need (4 or 8).
+func DataBytes(f *ir.Function) (int, error) {
+	kind, err := OutputKind(f)
+	if err != nil {
+		return 0, err
+	}
+	if kind == memo.OutF32 || kind == memo.OutI32 {
+		return 4, nil
+	}
+	return 8, nil
+}
+
+// Transform rewrites every region of prog into the Fig. 1 structure and
+// re-finalizes the program.  The transformation is idempotent-unsafe:
+// apply it to a fresh (unmemoized) program.
+func Transform(prog *ir.Program, regions []Region) error {
+	seen := make(map[uint8]bool)
+	for _, r := range regions {
+		if seen[r.LUT] {
+			return fmt.Errorf("compiler: LUT %d used by two regions", r.LUT)
+		}
+		seen[r.LUT] = true
+		if err := transformOne(prog, r); err != nil {
+			return err
+		}
+	}
+	for _, r := range regions {
+		if r.EpochFunc == "" {
+			continue
+		}
+		ef, ok := prog.Funcs[r.EpochFunc]
+		if !ok {
+			return fmt.Errorf("compiler: epoch function %q not defined", r.EpochFunc)
+		}
+		inv := ir.Instr{Op: ir.Invalidate, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, LUT: r.LUT, Aux: true}
+		eb := ef.Blocks[0]
+		eb.Instrs = append([]ir.Instr{inv}, eb.Instrs...)
+	}
+	return prog.Finalize()
+}
+
+func transformOne(prog *ir.Program, r Region) error {
+	f, ok := prog.Funcs[r.Func]
+	if !ok {
+		return fmt.Errorf("compiler: region function %q not defined", r.Func)
+	}
+	if len(r.ParamTrunc) != len(r.InputParams) {
+		return fmt.Errorf("compiler: %s: %d truncation entries for %d input params",
+			r.Func, len(r.ParamTrunc), len(r.InputParams))
+	}
+	for _, idx := range r.InputParams {
+		if idx < 0 || idx >= len(f.Params) {
+			return fmt.Errorf("compiler: %s: input param %d out of range", r.Func, idx)
+		}
+	}
+	kind, err := OutputKind(f)
+	if err != nil {
+		return err
+	}
+
+	// Optionally rewrite the kernel's input loads into ld_crc feeds.
+	// All memoization inputs must reach the CRC unit before the lookup
+	// issues (§4's ordering rule), so only the leading prefix of loads
+	// in the entry block — the kernel's input loads, which depend only
+	// on parameters — is converted; it is hoisted into the memoization
+	// entry block below.
+	var hoisted []ir.Instr
+	if r.ConvertLoads {
+		eb := f.Blocks[0]
+		n := 0
+		for n < len(eb.Instrs) && eb.Instrs[n].Op == ir.Load {
+			in := eb.Instrs[n]
+			in.Op = ir.LdCRC
+			in.LUT = r.LUT
+			in.Trunc = r.LoadTrunc
+			hoisted = append(hoisted, in)
+			n++
+		}
+		if n == 0 {
+			return fmt.Errorf("compiler: %s: ConvertLoads set but entry block starts with %s, not loads",
+				r.Func, eb.Instrs[0].Op)
+		}
+		eb.Instrs = append([]ir.Instr{}, eb.Instrs[n:]...)
+	}
+
+	// Shift the existing blocks up by one and renumber branch targets;
+	// the new memoization entry becomes block 0.
+	old := f.Blocks
+	for _, b := range old {
+		b.Index++
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.Jmp || in.Op == ir.Br {
+				in.Blk0++
+				if in.Op == ir.Br {
+					in.Blk1++
+				}
+			}
+		}
+	}
+	entry := &ir.Block{Name: "memo.entry", Index: 0}
+	hit := &ir.Block{Name: "memo.hit", Index: len(old) + 1}
+	f.Blocks = append(append([]*ir.Block{entry}, old...), hit)
+
+	markAux := func(b *ir.Block, from int) {
+		for i := from; i < len(b.Instrs); i++ {
+			b.Instrs[i].Aux = true
+		}
+	}
+
+	// memo.entry: input loads (as ld_crc), register feeds, lookup,
+	// branch on the condition code.
+	entry.Instrs = append(entry.Instrs, hoisted...)
+	bu := ir.At(f, entry)
+	for i, idx := range r.InputParams {
+		bu.RegCRC(f.ParamTypes[idx], f.Params[idx], r.LUT, r.ParamTrunc[i])
+	}
+	lutType := ir.F32
+	if kind != memo.OutF32 && kind != memo.OutI32 {
+		lutType = ir.I64
+	}
+	data, hitFlag := bu.Lookup(lutType, r.LUT)
+	bu.Br(hitFlag, hit, old[0])
+	// ld_crc substitutes a normal load and is not a "memoization
+	// instruction" in the Fig. 8 accounting; mark only the rest.
+	markAux(entry, len(hoisted))
+
+	// memo.hit: unpack the LUT data into the declared results.
+	bu.SetBlock(hit)
+	switch kind {
+	case memo.OutTwoF32:
+		mask := bu.ConstI64(0xFFFFFFFF)
+		lo := bu.Bin(ir.And, ir.I64, data, mask)
+		c32 := bu.ConstI64(32)
+		hi := bu.Bin(ir.Shr, ir.I64, data, c32)
+		bu.Ret(lo, hi)
+	default:
+		bu.Ret(data)
+	}
+	markAux(hit, 0)
+	// The hit block's ret substitutes the original return; only the
+	// unpacking instructions are memoization overhead.
+	hit.Instrs[len(hit.Instrs)-1].Aux = false
+
+	// Every original return updates the LUT with the computed result
+	// before returning.
+	for _, b := range old {
+		term := b.Terminator()
+		if term == nil || term.Op != ir.Ret {
+			continue
+		}
+		retIdx := len(b.Instrs) - 1
+		ret := b.Instrs[retIdx]
+		// Rebuild the tail: [pack]; update; ret.
+		b.Instrs = b.Instrs[:retIdx]
+		bu.SetBlock(b)
+		auxFrom := len(b.Instrs)
+		switch kind {
+		case memo.OutTwoF32:
+			mask := bu.ConstI64(0xFFFFFFFF)
+			lo := bu.Bin(ir.And, ir.I64, ret.Args[0], mask)
+			c32 := bu.ConstI64(32)
+			sh := bu.Bin(ir.Shl, ir.I64, ret.Args[1], c32)
+			packed := bu.Bin(ir.Or, ir.I64, sh, lo)
+			bu.Update(ir.I64, packed, r.LUT)
+		default:
+			bu.Update(lutType, ret.Args[0], r.LUT)
+		}
+		b.Instrs = append(b.Instrs, ret)
+		markAux(b, auxFrom)
+		// The restored ret keeps Aux=false: it existed before.
+		b.Instrs[len(b.Instrs)-1].Aux = false
+	}
+	return nil
+}
+
+// MemoConfigFor builds the memoization-unit configuration a transformed
+// program needs: the LUT data width demanded by the widest region output
+// and the per-LUT output kinds for quality monitoring.
+func MemoConfigFor(prog *ir.Program, regions []Region, base memo.Config) (memo.Config, map[uint8]memo.OutputKind, error) {
+	kinds := make(map[uint8]memo.OutputKind, len(regions))
+	width := 4
+	for _, r := range regions {
+		f, ok := prog.Funcs[r.Func]
+		if !ok {
+			return base, nil, fmt.Errorf("compiler: region function %q not defined", r.Func)
+		}
+		kind, err := OutputKind(f)
+		if err != nil {
+			return base, nil, err
+		}
+		if r.KindOverride != nil {
+			kind = *r.KindOverride
+		}
+		kinds[r.LUT] = kind
+		db, err := DataBytes(f)
+		if err != nil {
+			return base, nil, err
+		}
+		if db > width {
+			width = db
+		}
+	}
+	if width > base.L1.DataBytes {
+		base.L1.DataBytes = width
+	}
+	if base.L2 != nil {
+		l2 := *base.L2
+		l2.DataBytes = base.L1.DataBytes
+		base.L2 = &l2
+	}
+	return base, kinds, nil
+}

@@ -1,0 +1,399 @@
+package compiler
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"axmemo/internal/cpu"
+	"axmemo/internal/ir"
+	"axmemo/internal/memo"
+)
+
+// buildHypot builds an unmemoized two-input kernel and a driver:
+// kernel(a, b) = sqrt(a*a + b*b); main sweeps an array of pairs.
+func buildHypot() *ir.Program {
+	p := ir.NewProgram("main")
+
+	k := p.NewFunc("kernel", []ir.Type{ir.F32, ir.F32}, []ir.Type{ir.F32})
+	kb := k.NewBlock("entry")
+	kbu := ir.At(k, kb)
+	a2 := kbu.Bin(ir.FMul, ir.F32, k.Params[0], k.Params[0])
+	b2 := kbu.Bin(ir.FMul, ir.F32, k.Params[1], k.Params[1])
+	s := kbu.Bin(ir.FAdd, ir.F32, a2, b2)
+	h := kbu.Un(ir.Sqrt, ir.F32, s)
+	// Pad with a heavy tail so the kernel resembles a real memoizable
+	// block (tens of instructions, libm calls).
+	e := kbu.Un(ir.Exp, ir.F32, kbu.Un(ir.FNeg, ir.F32, h))
+	l := kbu.Un(ir.Log, ir.F32, kbu.Bin(ir.FAdd, ir.F32, s, kbu.ConstF32(1)))
+	num := kbu.Bin(ir.FMul, ir.F32, e, l)
+	r := kbu.Bin(ir.FAdd, ir.F32, h, num)
+	kbu.Ret(r)
+
+	f := p.NewFunc("main", []ir.Type{ir.I64, ir.I64, ir.I32}, nil)
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	body := f.NewBlock("body")
+	done := f.NewBlock("done")
+	bu := ir.At(f, entry)
+	i := bu.ConstI32(0)
+	inc := bu.ConstI32(1)
+	eight := bu.ConstI64(8)
+	four := bu.ConstI64(4)
+	src := bu.Mov(ir.I64, f.Params[0])
+	dst := bu.Mov(ir.I64, f.Params[1])
+	bu.Jmp(loop)
+	bu.SetBlock(loop)
+	c := bu.Bin(ir.CmpLT, ir.I32, i, f.Params[2])
+	bu.Br(c, body, done)
+	bu.SetBlock(body)
+	a := bu.Load(ir.F32, src, 0)
+	b := bu.Load(ir.F32, src, 4)
+	res := bu.Call("kernel", 1, a, b)
+	bu.Store(ir.F32, dst, 0, res[0])
+	bu.MovTo(ir.I32, i, bu.Bin(ir.Add, ir.I32, i, inc))
+	bu.MovTo(ir.I64, src, bu.Bin(ir.Add, ir.I64, src, eight))
+	bu.MovTo(ir.I64, dst, bu.Bin(ir.Add, ir.I64, dst, four))
+	bu.Jmp(loop)
+	bu.SetBlock(done)
+	bu.Ret()
+
+	if err := p.Finalize(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func hypotRegion(trunc uint8) Region {
+	return Region{
+		Func:        "kernel",
+		LUT:         0,
+		InputParams: []int{0, 1},
+		ParamTrunc:  []uint8{trunc, trunc},
+	}
+}
+
+// runHypot executes prog over n pairs (values repeat with period
+// `period`) and returns outputs plus machine stats.
+func runHypot(t *testing.T, prog *ir.Program, withMemo bool, n, period int) ([]float32, cpu.Stats) {
+	t.Helper()
+	cfg := cpu.DefaultConfig()
+	if withMemo {
+		mc := memo.DefaultConfig()
+		mc.Monitor.Enabled = false
+		cfg.Memo = &mc
+	}
+	img := cpu.NewMemory(1 << 20)
+	src := img.Alloc(n * 8)
+	dst := img.Alloc(n * 4)
+	for i := 0; i < n; i++ {
+		img.SetF32(src+uint64(i*8), float32(i%period)+0.5)
+		img.SetF32(src+uint64(i*8)+4, float32((i*3)%period)+1.5)
+	}
+	m, err := cpu.New(prog, img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run(src, dst, uint64(uint32(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = img.F32(dst + uint64(i*4))
+	}
+	return out, r.Stats
+}
+
+func TestTransformPreservesSemantics(t *testing.T) {
+	base := buildHypot()
+	want, _ := runHypot(t, base, false, 64, 64) // all-distinct inputs
+
+	memoized := buildHypot()
+	if err := Transform(memoized, []Region{hypotRegion(0)}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := runHypot(t, memoized, true, 64, 64)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output %d: memoized %v != baseline %v (exact memoization must be bit-exact)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTransformedKernelHitsOnRepeats(t *testing.T) {
+	memoized := buildHypot()
+	if err := Transform(memoized, []Region{hypotRegion(0)}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := cpu.DefaultConfig()
+	mc := memo.DefaultConfig()
+	mc.Monitor.Enabled = false
+	cfg.Memo = &mc
+	img := cpu.NewMemory(1 << 20)
+	const n, period = 512, 8
+	src := img.Alloc(n * 8)
+	dst := img.Alloc(n * 4)
+	for i := 0; i < n; i++ {
+		img.SetF32(src+uint64(i*8), float32(i%period))
+		img.SetF32(src+uint64(i*8)+4, float32(i%period)+1)
+	}
+	m, _ := cpu.New(memoized, img, cfg)
+	r, err := m.Run(src, dst, uint64(uint32(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := r.Stats.Memo
+	if ms.Lookups != n {
+		t.Errorf("lookups = %d, want %d", ms.Lookups, n)
+	}
+	// Only `period` distinct inputs: hit rate ≈ (n-period)/n.
+	if hr := ms.HitRate(); hr < 0.97 {
+		t.Errorf("hit rate = %.3f, want ≥ 0.97", hr)
+	}
+	if r.Stats.MemoInsns == 0 {
+		t.Error("no memoization instructions counted")
+	}
+}
+
+func TestTransformSpeedsUpRepetitiveWorkload(t *testing.T) {
+	base := buildHypot()
+	_, sb := runHypot(t, base, false, 512, 4)
+
+	memoized := buildHypot()
+	if err := Transform(memoized, []Region{hypotRegion(0)}); err != nil {
+		t.Fatal(err)
+	}
+	_, sm := runHypot(t, memoized, true, 512, 4)
+	if sm.Cycles >= sb.Cycles {
+		t.Errorf("memoized %d cycles ≥ baseline %d cycles on 99%%-redundant input", sm.Cycles, sb.Cycles)
+	}
+	if sm.Insns >= sb.Insns {
+		t.Errorf("memoized %d insns ≥ baseline %d insns", sm.Insns, sb.Insns)
+	}
+}
+
+func TestTwoF32Packing(t *testing.T) {
+	// kernel returning two f32 values round-trips through an 8-byte
+	// LUT entry.
+	p := ir.NewProgram("main")
+	k := p.NewFunc("kernel", []ir.Type{ir.F32}, []ir.Type{ir.F32, ir.F32})
+	kb := k.NewBlock("entry")
+	kbu := ir.At(k, kb)
+	s := kbu.Un(ir.Sin, ir.F32, k.Params[0])
+	c := kbu.Un(ir.Cos, ir.F32, k.Params[0])
+	kbu.Ret(s, c)
+
+	f := p.NewFunc("main", []ir.Type{ir.F32}, []ir.Type{ir.F32, ir.F32})
+	fb := f.NewBlock("entry")
+	fbu := ir.At(f, fb)
+	r := fbu.Call("kernel", 2, f.Params[0])
+	fbu.Ret(r[0], r[1])
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Transform(p, []Region{{Func: "kernel", LUT: 0, InputParams: []int{0}, ParamTrunc: []uint8{0}}}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := cpu.DefaultConfig()
+	mc := memo.DefaultConfig()
+	mc.Monitor.Enabled = false
+	mc.L1.DataBytes = 8
+	cfg.Memo = &mc
+	m, _ := cpu.New(p, cpu.NewMemory(64), cfg)
+	in := uint64(math.Float32bits(0.7))
+	r1, err := m.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.Run(in) // hit path
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MemoUnit().Stats().L1Hits != 1 {
+		t.Fatalf("second call did not hit: %+v", m.MemoUnit().Stats())
+	}
+	for i := 0; i < 2; i++ {
+		a := math.Float32frombits(uint32(r1.Rets[i]))
+		b := math.Float32frombits(uint32(r2.Rets[i]))
+		if a != b {
+			t.Errorf("ret %d: miss path %v != hit path %v", i, a, b)
+		}
+	}
+}
+
+func TestConvertLoads(t *testing.T) {
+	// kernel(base) loads two values and sums them; ConvertLoads must
+	// rewrite the loads to ld_crc and hits must occur for identical
+	// memory contents at different addresses.
+	p := ir.NewProgram("main")
+	k := p.NewFunc("kernel", []ir.Type{ir.I64}, []ir.Type{ir.F32})
+	kb := k.NewBlock("entry")
+	kbu := ir.At(k, kb)
+	a := kbu.Load(ir.F32, k.Params[0], 0)
+	b := kbu.Load(ir.F32, k.Params[0], 4)
+	s := kbu.Bin(ir.FAdd, ir.F32, a, b)
+	r := kbu.Un(ir.Sqrt, ir.F32, s)
+	kbu.Ret(r)
+
+	f := p.NewFunc("main", []ir.Type{ir.I64, ir.I64}, []ir.Type{ir.F32, ir.F32})
+	fb := f.NewBlock("entry")
+	fbu := ir.At(f, fb)
+	r1 := fbu.Call("kernel", 1, f.Params[0])
+	r2 := fbu.Call("kernel", 1, f.Params[1])
+	fbu.Ret(r1[0], r2[0])
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Transform(p, []Region{{Func: "kernel", LUT: 0, ConvertLoads: true}}); err != nil {
+		t.Fatal(err)
+	}
+	// The kernel's loads must now be ld_crc.
+	ldcrc := 0
+	for _, blk := range p.Funcs["kernel"].Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.LdCRC {
+				ldcrc++
+			}
+			if in.Op == ir.Load {
+				t.Error("plain load survived ConvertLoads")
+			}
+		}
+	}
+	if ldcrc != 2 {
+		t.Errorf("ld_crc count = %d, want 2", ldcrc)
+	}
+
+	cfg := cpu.DefaultConfig()
+	mc := memo.DefaultConfig()
+	mc.Monitor.Enabled = false
+	cfg.Memo = &mc
+	img := cpu.NewMemory(1024)
+	b1 := img.Alloc(8)
+	b2 := img.Alloc(8)
+	img.SetF32(b1, 2)
+	img.SetF32(b1+4, 7)
+	img.SetF32(b2, 2)
+	img.SetF32(b2+4, 7) // same contents, different address
+	m, _ := cpu.New(p, img, cfg)
+	res, err := m.Run(b1, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MemoUnit().Stats().L1Hits != 1 {
+		t.Errorf("identical contents at different addresses did not hit: %+v", m.MemoUnit().Stats())
+	}
+	if res.Rets[0] != res.Rets[1] {
+		t.Error("hit returned different value")
+	}
+}
+
+func TestTransformErrors(t *testing.T) {
+	p := buildHypot()
+	if err := Transform(p, []Region{{Func: "nope", LUT: 0}}); err == nil {
+		t.Error("unknown region function accepted")
+	}
+	p = buildHypot()
+	if err := Transform(p, []Region{{Func: "kernel", LUT: 0, InputParams: []int{0}, ParamTrunc: nil}}); err == nil {
+		t.Error("mismatched truncation list accepted")
+	}
+	p = buildHypot()
+	if err := Transform(p, []Region{{Func: "kernel", LUT: 0, InputParams: []int{5}, ParamTrunc: []uint8{0}}}); err == nil {
+		t.Error("out-of-range input param accepted")
+	}
+	p = buildHypot()
+	regions := []Region{hypotRegion(0), {Func: "main", LUT: 0}}
+	if err := Transform(p, regions); err == nil {
+		t.Error("duplicate LUT id accepted")
+	}
+}
+
+func TestOutputKindErrors(t *testing.T) {
+	p := ir.NewProgram("f")
+	f := p.NewFunc("f", nil, []ir.Type{ir.F32, ir.F32, ir.F32})
+	if _, err := OutputKind(f); err == nil {
+		t.Error("3-output kernel accepted")
+	}
+	g := p.NewFunc("g", nil, []ir.Type{ir.F64, ir.F64})
+	if _, err := OutputKind(g); err == nil {
+		t.Error("two 8-byte outputs accepted")
+	}
+}
+
+func TestMemoConfigFor(t *testing.T) {
+	p := ir.NewProgram("main")
+	k := p.NewFunc("kernel", []ir.Type{ir.F32}, []ir.Type{ir.F32, ir.F32})
+	kb := k.NewBlock("entry")
+	ir.At(k, kb).Ret(k.Params[0], k.Params[0])
+	cfg, kinds, err := MemoConfigFor(p, []Region{{Func: "kernel", LUT: 3}}, memo.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.L1.DataBytes != 8 {
+		t.Errorf("data width = %d, want 8 for a two-output kernel", cfg.L1.DataBytes)
+	}
+	if kinds[3] != memo.OutTwoF32 {
+		t.Errorf("kind = %v, want OutTwoF32", kinds[3])
+	}
+}
+
+func TestSelectTruncation(t *testing.T) {
+	// Error model: grows quadratically past 8 bits.
+	eval := func(bits uint) (float64, error) {
+		if bits <= 8 {
+			return 0.0001, nil
+		}
+		d := float64(bits - 8)
+		return 0.001 * d * d, nil
+	}
+	got, err := SelectTruncation(eval, ErrorBound(false), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 { // 9 bits: 0.001*1 = 0.001 ≤ bound; 10 bits: 0.004 > bound
+		t.Errorf("selected %d bits, want 9", got)
+	}
+}
+
+func TestSelectTruncationNoFeasible(t *testing.T) {
+	eval := func(bits uint) (float64, error) { return 1, nil }
+	if _, err := SelectTruncation(eval, 0.001, 8); err == nil {
+		t.Error("infeasible profile accepted")
+	}
+}
+
+func TestSelectTruncationPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	eval := func(bits uint) (float64, error) { return 0, boom }
+	if _, err := SelectTruncation(eval, 0.001, 8); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestErrorBound(t *testing.T) {
+	if ErrorBound(false) != 0.001 || ErrorBound(true) != 0.01 {
+		t.Error("error bounds do not match §5")
+	}
+}
+
+func TestAuxMarking(t *testing.T) {
+	p := buildHypot()
+	if err := Transform(p, []Region{hypotRegion(0)}); err != nil {
+		t.Fatal(err)
+	}
+	k := p.Funcs["kernel"]
+	aux := 0
+	for _, b := range k.Blocks {
+		for _, in := range b.Instrs {
+			if in.Aux {
+				aux++
+			}
+			if in.Op == ir.Ret && in.Aux {
+				t.Error("pre-existing ret marked Aux")
+			}
+		}
+	}
+	if aux == 0 {
+		t.Error("no instructions marked Aux")
+	}
+}

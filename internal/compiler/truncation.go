@@ -1,0 +1,51 @@
+package compiler
+
+import "fmt"
+
+// Evaluator runs the full application with a uniform input truncation of
+// the given bit count and returns the resulting output error (Eq. 2, or
+// the misclassification rate for boolean outputs).
+type Evaluator func(bits uint) (float64, error)
+
+// ErrorBound returns the paper's §5 error budget for truncation
+// selection: 0.1%, or 1% when the application's output is an image.
+func ErrorBound(imageOutput bool) float64 {
+	if imageOutput {
+		return 0.01
+	}
+	return 0.001
+}
+
+// SelectTruncation profiles increasing truncation levels on a sample
+// input set and returns the largest bit count whose output error stays
+// within bound (§5, "Code Generation").  It scans upward from zero and
+// stops after the error has exceeded the bound at three consecutive
+// levels, since error grows essentially monotonically with truncation.
+func SelectTruncation(eval Evaluator, bound float64, maxBits uint) (uint, error) {
+	if eval == nil {
+		return 0, fmt.Errorf("compiler: nil evaluator")
+	}
+	best := uint(0)
+	found := false
+	misses := 0
+	for bits := uint(0); bits <= maxBits; bits++ {
+		e, err := eval(bits)
+		if err != nil {
+			return 0, fmt.Errorf("compiler: profiling %d truncated bits: %w", bits, err)
+		}
+		if e <= bound {
+			best = bits
+			found = true
+			misses = 0
+		} else {
+			misses++
+			if misses >= 3 {
+				break
+			}
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("compiler: no truncation level meets error bound %g (even 0 bits fails)", bound)
+	}
+	return best, nil
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"axmemo/internal/compiler"
+	"axmemo/internal/cpu"
+	"axmemo/internal/ir"
+	"axmemo/internal/libm"
+)
+
+// buildToy builds a driver + heavy kernel program: out[i] = kernel(x[i]),
+// kernel = exp-based with one input.
+func buildToy() (*ir.Program, compiler.Region) {
+	p := ir.NewProgram("main")
+	libm.BuildInto(p)
+	k := p.NewFunc("kern", []ir.Type{ir.F32}, []ir.Type{ir.F32})
+	kb := k.NewBlock("entry")
+	kbu := ir.At(k, kb)
+	e := kbu.Call(libm.FnExp, 1, kbu.Un(ir.FNeg, ir.F32, k.Params[0]))[0]
+	r := kbu.Bin(ir.FAdd, ir.F32, e, kbu.Un(ir.Sqrt, ir.F32, k.Params[0]))
+	kbu.Ret(r)
+
+	f := p.NewFunc("main", []ir.Type{ir.I64, ir.I64, ir.I32}, nil)
+	fb := f.NewBlock("entry")
+	bu := ir.At(f, fb)
+	loopCond := f.NewBlock("cond")
+	loopBody := f.NewBlock("body")
+	done := f.NewBlock("done")
+	zero := bu.ConstI32(0)
+	one := bu.ConstI32(1)
+	four := bu.ConstI64(4)
+	i := bu.Mov(ir.I32, zero)
+	src := bu.Mov(ir.I64, f.Params[0])
+	dst := bu.Mov(ir.I64, f.Params[1])
+	bu.Jmp(loopCond)
+	bu.SetBlock(loopCond)
+	c := bu.Bin(ir.CmpLT, ir.I32, i, f.Params[2])
+	bu.Br(c, loopBody, done)
+	bu.SetBlock(loopBody)
+	v := bu.Load(ir.F32, src, 0)
+	r2 := bu.Call("kern", 1, v)
+	bu.Store(ir.F32, dst, 0, r2[0])
+	bu.MovTo(ir.I32, i, bu.Bin(ir.Add, ir.I32, i, one))
+	bu.MovTo(ir.I64, src, bu.Bin(ir.Add, ir.I64, src, four))
+	bu.MovTo(ir.I64, dst, bu.Bin(ir.Add, ir.I64, dst, four))
+	bu.Jmp(loopCond)
+	bu.SetBlock(done)
+	bu.Ret()
+	if err := p.Finalize(); err != nil {
+		panic(err)
+	}
+	return p, compiler.Region{Func: "kern", LUT: 0, InputParams: []int{0}, ParamTrunc: []uint8{0}}
+}
+
+func stage(img *cpu.Memory, n, period int) (uint64, uint64) {
+	src := img.Alloc(n * 4)
+	dst := img.Alloc(n * 4)
+	for i := 0; i < n; i++ {
+		img.SetF32(src+uint64(i*4), float32(i%period)*0.25)
+	}
+	return src, dst
+}
+
+func TestAnalyzeFindsKernel(t *testing.T) {
+	p, region := buildToy()
+	s := NewSystem(p, region)
+	img := cpu.NewMemory(1 << 16)
+	src, dst := stage(img, 32, 8)
+	a, err := s.Analyze(img, []uint64{src, dst, 32}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DynamicSubgraphs == 0 || a.Coverage <= 0 {
+		t.Fatalf("analysis found nothing: %+v", a)
+	}
+	names := DiscoverRegions(p, a)
+	found := false
+	for _, n := range names {
+		if n == "kern" || n == libm.FnExp {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("DiscoverRegions = %v, want the kernel or its libm body ranked", names)
+	}
+}
+
+func TestTransformOnce(t *testing.T) {
+	p, region := buildToy()
+	s := NewSystem(p, region)
+	if s.Transformed() {
+		t.Fatal("fresh system claims transformed")
+	}
+	if err := s.Transform(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Transformed() {
+		t.Fatal("Transform did not mark the system")
+	}
+	if err := s.Transform(); err == nil {
+		t.Error("double Transform accepted")
+	}
+}
+
+func TestAnalyzeAfterTransformRejected(t *testing.T) {
+	p, region := buildToy()
+	s := NewSystem(p, region)
+	if err := s.Transform(); err != nil {
+		t.Fatal(err)
+	}
+	img := cpu.NewMemory(1 << 16)
+	if _, err := s.Analyze(img, nil, 0); err == nil {
+		t.Error("Analyze after Transform accepted")
+	}
+}
+
+func TestNewMachineRequiresTransform(t *testing.T) {
+	p, region := buildToy()
+	s := NewSystem(p, region)
+	if _, err := s.NewMachine(cpu.NewMemory(64), RunOptions{}); err == nil {
+		t.Error("NewMachine before Transform accepted")
+	}
+}
+
+func TestEndToEndHardware(t *testing.T) {
+	p, region := buildToy()
+	s := NewSystem(p, region)
+	if err := s.Transform(); err != nil {
+		t.Fatal(err)
+	}
+	img := cpu.NewMemory(1 << 16)
+	src, dst := stage(img, 256, 4)
+	m, err := s.NewMachine(img, RunOptions{L1KB: 8, L2KB: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(src, dst, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr := res.Stats.Memo.HitRate(); hr < 0.9 {
+		t.Errorf("hit rate %.3f on 4-value input, want ≥ 0.9", hr)
+	}
+	// Values must be correct: kernel(x) for x = 0.25.
+	want := float32(math.Exp(-0.25)) + float32(math.Sqrt(0.25))
+	got := img.F32(dst + 4)
+	if diff := math.Abs(float64(got - want)); diff > 1e-4 {
+		t.Errorf("output = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestEndToEndSoftware(t *testing.T) {
+	for _, mode := range []RunOptions{{SoftwareLUT: true}, {ATM: true}} {
+		p, region := buildToy()
+		s := NewSystem(p, region)
+		if err := s.Transform(); err != nil {
+			t.Fatal(err)
+		}
+		img := cpu.NewMemory(1 << 16)
+		src, dst := stage(img, 64, 4)
+		m, err := s.NewMachine(img, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(src, dst, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Soft.Lookups != 64 {
+			t.Errorf("software lookups = %d, want 64", res.Stats.Soft.Lookups)
+		}
+	}
+}
+
+func TestMutuallyExclusiveModes(t *testing.T) {
+	p, region := buildToy()
+	s := NewSystem(p, region)
+	if err := s.Transform(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NewMachine(cpu.NewMemory(64), RunOptions{SoftwareLUT: true, ATM: true}); err == nil {
+		t.Error("SoftwareLUT+ATM accepted")
+	}
+}
+
+func TestSelectTruncationRewritesRegions(t *testing.T) {
+	p, region := buildToy()
+	s := NewSystem(p, region)
+	eval := func(bits uint) (float64, error) {
+		if bits <= 6 {
+			return 0.0005, nil
+		}
+		return 0.5, nil
+	}
+	bits, err := s.SelectTruncation(eval, false, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits != 6 {
+		t.Errorf("selected %d bits, want 6", bits)
+	}
+	for _, tb := range s.Regions[0].ParamTrunc {
+		if tb != 6 {
+			t.Errorf("region truncation = %d, want 6", tb)
+		}
+	}
+	_ = p
+}

@@ -1,0 +1,136 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"axmemo/internal/memo"
+)
+
+func clusterOf(t *testing.T, nCores int, memSize int) (*Cluster, *Memory) {
+	t.Helper()
+	cfg := DefaultConfig()
+	mc := memo.DefaultConfig()
+	mc.Monitor.Enabled = false
+	cfg.Memo = &mc
+	img := NewMemory(memSize)
+	cl, err := NewCluster(buildMemoSweep(), img, cfg, nCores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, img
+}
+
+func TestClusterTwoCoresCorrect(t *testing.T) {
+	const n = 64
+	cl, img := clusterOf(t, 2, 1<<16)
+	src0 := img.Alloc(n * 4)
+	dst0 := img.Alloc(n * 4)
+	src1 := img.Alloc(n * 4)
+	dst1 := img.Alloc(n * 4)
+	for i := 0; i < n; i++ {
+		img.SetF32(src0+uint64(i*4), float32(i%8))
+		img.SetF32(src1+uint64(i*4), float32(i%8)+0.5)
+	}
+	res, err := cl.Run([]uint64{src0, dst0, n}, []uint64{src1, dst1, n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want0 := float32(math.Sqrt(float64(i % 8)))
+		want1 := float32(math.Sqrt(float64(i%8) + 0.5))
+		if got := img.F32(dst0 + uint64(i*4)); got != want0 {
+			t.Fatalf("core 0 out[%d] = %v, want %v", i, got, want0)
+		}
+		if got := img.F32(dst1 + uint64(i*4)); got != want1 {
+			t.Fatalf("core 1 out[%d] = %v, want %v", i, got, want1)
+		}
+	}
+	if len(res.PerCore) != 2 {
+		t.Fatalf("per-core stats = %d", len(res.PerCore))
+	}
+	// Private units: each core learned only its own 8 values, and
+	// there is no cross-core LUT sharing (no coherence, none needed).
+	for c, st := range res.PerCore {
+		if st.Memo.Misses != 8 {
+			t.Errorf("core %d misses = %d, want 8 (private LUT)", c, st.Memo.Misses)
+		}
+		if st.Memo.Lookups != n {
+			t.Errorf("core %d lookups = %d", c, st.Memo.Lookups)
+		}
+	}
+	if res.Cycles < res.PerCore[0].Cycles || res.Cycles < res.PerCore[1].Cycles {
+		t.Error("cluster cycles below a core's completion time")
+	}
+	if res.Insns != res.PerCore[0].Insns+res.PerCore[1].Insns {
+		t.Error("instruction counts do not sum")
+	}
+}
+
+// TestClusterPrivateLUTsNoCoherence: the same value computed on both
+// cores yields identical results from two *independent* LUT entries —
+// §3.4's point that coherence is unnecessary because equal tags imply
+// equal data.
+func TestClusterPrivateLUTsNoCoherence(t *testing.T) {
+	const n = 16
+	cl, img := clusterOf(t, 2, 1<<16)
+	src := img.Alloc(n * 4)
+	dst0 := img.Alloc(n * 4)
+	dst1 := img.Alloc(n * 4)
+	for i := 0; i < n; i++ {
+		img.SetF32(src+uint64(i*4), 7)
+	}
+	if _, err := cl.Run([]uint64{src, dst0, n}, []uint64{src, dst1, n}); err != nil {
+		t.Fatal(err)
+	}
+	want := float32(math.Sqrt(7))
+	for i := 0; i < n; i++ {
+		if a, b := img.F32(dst0+uint64(i*4)), img.F32(dst1+uint64(i*4)); a != want || b != want {
+			t.Fatalf("cores disagree or are wrong: %v / %v, want %v", a, b, want)
+		}
+	}
+	// Each core took its own compulsory miss for the same value.
+	for c := range cl.Cores {
+		if m := cl.Cores[c].MemoUnit().Stats().Misses; m != 1 {
+			t.Errorf("core %d misses = %d, want 1", c, m)
+		}
+	}
+}
+
+// TestClusterSharedL2Capacity: both cores' data flows through one shared
+// L2, whose statistics accumulate across cores.
+func TestClusterSharedL2Capacity(t *testing.T) {
+	const n = 512
+	cl, img := clusterOf(t, 2, 1<<20)
+	src0 := img.Alloc(n * 4)
+	dst0 := img.Alloc(n * 4)
+	src1 := img.Alloc(n * 4)
+	dst1 := img.Alloc(n * 4)
+	for i := 0; i < n; i++ {
+		img.SetF32(src0+uint64(i*4), float32(i))
+		img.SetF32(src1+uint64(i*4), float32(i)+10000)
+	}
+	if _, err := cl.Run([]uint64{src0, dst0, n}, []uint64{src1, dst1, n}); err != nil {
+		t.Fatal(err)
+	}
+	shared := cl.SharedL2Stats()
+	if shared.Accesses() == 0 {
+		t.Fatal("shared L2 saw no traffic")
+	}
+	// The shared stats must cover both cores' L1 misses.
+	perCore := cl.Cores[0].hier.L1D().Stats().Misses + cl.Cores[1].hier.L1D().Stats().Misses
+	if shared.Accesses() < perCore {
+		t.Errorf("shared L2 accesses %d below combined L1 misses %d", shared.Accesses(), perCore)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := NewCluster(buildMemoSweep(), NewMemory(64), cfg, 0); err == nil {
+		t.Error("zero-core cluster accepted")
+	}
+	cl, _ := clusterOf(t, 2, 1<<12)
+	if _, err := cl.Run([]uint64{1, 2, 3}); err == nil {
+		t.Error("argument-set count mismatch accepted")
+	}
+}

@@ -1,0 +1,265 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"axmemo/internal/ir"
+)
+
+// Functional evaluation of IR operations on raw 64-bit register values.
+// Float32 arithmetic computes in float64 and rounds to float32, matching
+// single-precision hardware.
+
+func f32(raw uint64) float32  { return math.Float32frombits(uint32(raw)) }
+func f64v(raw uint64) float64 { return math.Float64frombits(raw) }
+func fromF32(v float32) uint64 {
+	return uint64(math.Float32bits(v))
+}
+func fromF64(v float64) uint64 { return math.Float64bits(v) }
+func i32v(raw uint64) int32    { return int32(uint32(raw)) }
+func i64v(raw uint64) int64    { return int64(raw) }
+func fromI32(v int32) uint64   { return uint64(uint32(v)) }
+func fromI64(v int64) uint64   { return uint64(v) }
+
+func boolToRaw(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// toFloat reads a register value of type t as float64.
+func toFloat(t ir.Type, raw uint64) float64 {
+	if t == ir.F32 {
+		return float64(f32(raw))
+	}
+	return f64v(raw)
+}
+
+// fromFloat writes a float64 back at type t.
+func fromFloat(t ir.Type, v float64) uint64 {
+	if t == ir.F32 {
+		return fromF32(float32(v))
+	}
+	return fromF64(v)
+}
+
+func evalBin(op ir.Op, t ir.Type, a, b uint64) (uint64, error) {
+	if t.IsFloat() {
+		x, y := toFloat(t, a), toFloat(t, b)
+		switch op {
+		case ir.FAdd:
+			return fromFloat(t, x+y), nil
+		case ir.FSub:
+			return fromFloat(t, x-y), nil
+		case ir.FMul:
+			return fromFloat(t, x*y), nil
+		case ir.FDiv:
+			return fromFloat(t, x/y), nil
+		case ir.FMin:
+			return fromFloat(t, math.Min(x, y)), nil
+		case ir.FMax:
+			return fromFloat(t, math.Max(x, y)), nil
+		case ir.Atan2:
+			return fromFloat(t, math.Atan2(x, y)), nil
+		case ir.Pow:
+			return fromFloat(t, math.Pow(x, y)), nil
+		case ir.CmpEQ:
+			return boolToRaw(x == y), nil
+		case ir.CmpNE:
+			return boolToRaw(x != y), nil
+		case ir.CmpLT:
+			return boolToRaw(x < y), nil
+		case ir.CmpLE:
+			return boolToRaw(x <= y), nil
+		case ir.CmpGT:
+			return boolToRaw(x > y), nil
+		case ir.CmpGE:
+			return boolToRaw(x >= y), nil
+		}
+		return 0, fmt.Errorf("cpu: op %s invalid at float type %s", op, t)
+	}
+
+	if t == ir.I32 {
+		x, y := i32v(a), i32v(b)
+		switch op {
+		case ir.Add:
+			return fromI32(x + y), nil
+		case ir.Sub:
+			return fromI32(x - y), nil
+		case ir.Mul:
+			return fromI32(x * y), nil
+		case ir.SDiv:
+			if y == 0 {
+				return 0, fmt.Errorf("cpu: i32 division by zero")
+			}
+			return fromI32(x / y), nil
+		case ir.SRem:
+			if y == 0 {
+				return 0, fmt.Errorf("cpu: i32 remainder by zero")
+			}
+			return fromI32(x % y), nil
+		case ir.And:
+			return fromI32(x & y), nil
+		case ir.Or:
+			return fromI32(x | y), nil
+		case ir.Xor:
+			return fromI32(x ^ y), nil
+		case ir.Shl:
+			return fromI32(x << (uint32(y) & 31)), nil
+		case ir.Shr:
+			return fromI32(x >> (uint32(y) & 31)), nil
+		case ir.CmpEQ:
+			return boolToRaw(x == y), nil
+		case ir.CmpNE:
+			return boolToRaw(x != y), nil
+		case ir.CmpLT:
+			return boolToRaw(x < y), nil
+		case ir.CmpLE:
+			return boolToRaw(x <= y), nil
+		case ir.CmpGT:
+			return boolToRaw(x > y), nil
+		case ir.CmpGE:
+			return boolToRaw(x >= y), nil
+		}
+		return 0, fmt.Errorf("cpu: op %s invalid at type i32", op)
+	}
+
+	x, y := i64v(a), i64v(b)
+	switch op {
+	case ir.Add:
+		return fromI64(x + y), nil
+	case ir.Sub:
+		return fromI64(x - y), nil
+	case ir.Mul:
+		return fromI64(x * y), nil
+	case ir.SDiv:
+		if y == 0 {
+			return 0, fmt.Errorf("cpu: i64 division by zero")
+		}
+		return fromI64(x / y), nil
+	case ir.SRem:
+		if y == 0 {
+			return 0, fmt.Errorf("cpu: i64 remainder by zero")
+		}
+		return fromI64(x % y), nil
+	case ir.And:
+		return fromI64(x & y), nil
+	case ir.Or:
+		return fromI64(x | y), nil
+	case ir.Xor:
+		return fromI64(x ^ y), nil
+	case ir.Shl:
+		return fromI64(x << (uint64(y) & 63)), nil
+	case ir.Shr:
+		return fromI64(x >> (uint64(y) & 63)), nil
+	case ir.CmpEQ:
+		return boolToRaw(x == y), nil
+	case ir.CmpNE:
+		return boolToRaw(x != y), nil
+	case ir.CmpLT:
+		return boolToRaw(x < y), nil
+	case ir.CmpLE:
+		return boolToRaw(x <= y), nil
+	case ir.CmpGT:
+		return boolToRaw(x > y), nil
+	case ir.CmpGE:
+		return boolToRaw(x >= y), nil
+	}
+	return 0, fmt.Errorf("cpu: op %s invalid at type i64", op)
+}
+
+func evalUn(op ir.Op, t ir.Type, a uint64) (uint64, error) {
+	if op == ir.Mov {
+		return a, nil
+	}
+	if !t.IsFloat() {
+		return 0, fmt.Errorf("cpu: unary op %s invalid at integer type %s", op, t)
+	}
+	x := toFloat(t, a)
+	switch op {
+	case ir.FNeg:
+		return fromFloat(t, -x), nil
+	case ir.FAbs:
+		return fromFloat(t, math.Abs(x)), nil
+	case ir.Sqrt:
+		return fromFloat(t, math.Sqrt(x)), nil
+	case ir.Exp:
+		return fromFloat(t, math.Exp(x)), nil
+	case ir.Log:
+		return fromFloat(t, math.Log(x)), nil
+	case ir.Sin:
+		return fromFloat(t, math.Sin(x)), nil
+	case ir.Cos:
+		return fromFloat(t, math.Cos(x)), nil
+	case ir.Tan:
+		return fromFloat(t, math.Tan(x)), nil
+	case ir.Asin:
+		return fromFloat(t, math.Asin(x)), nil
+	case ir.Acos:
+		return fromFloat(t, math.Acos(x)), nil
+	case ir.Atan:
+		return fromFloat(t, math.Atan(x)), nil
+	case ir.Floor:
+		return fromFloat(t, math.Floor(x)), nil
+	}
+	return 0, fmt.Errorf("cpu: unknown unary op %s", op)
+}
+
+// evalCvt converts raw from type `from` to type `to`.
+func evalCvt(from, to ir.Type, raw uint64) uint64 {
+	// Read the source as a float64 or int64 view, then write at the
+	// destination type.
+	switch from {
+	case ir.I32:
+		v := i32v(raw)
+		switch to {
+		case ir.I32:
+			return fromI32(v)
+		case ir.I64:
+			return fromI64(int64(v))
+		case ir.F32:
+			return fromF32(float32(v))
+		case ir.F64:
+			return fromF64(float64(v))
+		}
+	case ir.I64:
+		v := i64v(raw)
+		switch to {
+		case ir.I32:
+			return fromI32(int32(v))
+		case ir.I64:
+			return fromI64(v)
+		case ir.F32:
+			return fromF32(float32(v))
+		case ir.F64:
+			return fromF64(float64(v))
+		}
+	case ir.F32:
+		v := f32(raw)
+		switch to {
+		case ir.I32:
+			return fromI32(int32(v))
+		case ir.I64:
+			return fromI64(int64(v))
+		case ir.F32:
+			return fromF32(v)
+		case ir.F64:
+			return fromF64(float64(v))
+		}
+	case ir.F64:
+		v := f64v(raw)
+		switch to {
+		case ir.I32:
+			return fromI32(int32(v))
+		case ir.I64:
+			return fromI64(int64(v))
+		case ir.F32:
+			return fromF32(float32(v))
+		case ir.F64:
+			return fromF64(v)
+		}
+	}
+	panic(fmt.Sprintf("cpu: invalid conversion %s -> %s", from, to))
+}

@@ -1,0 +1,212 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"axmemo/internal/ir"
+)
+
+// Property tests: the functional evaluator must implement exactly Go's
+// float32/float64/int32/int64 semantics, since the workloads' golden
+// implementations are written in Go.
+
+func f32raw(v float32) uint64 { return uint64(math.Float32bits(v)) }
+
+func TestEvalBinF32MatchesGo(t *testing.T) {
+	type tc struct {
+		op ir.Op
+		f  func(a, b float32) float32
+	}
+	cases := []tc{
+		{ir.FAdd, func(a, b float32) float32 { return a + b }},
+		{ir.FSub, func(a, b float32) float32 { return a - b }},
+		{ir.FMul, func(a, b float32) float32 { return a * b }},
+		{ir.FDiv, func(a, b float32) float32 { return a / b }},
+	}
+	for _, c := range cases {
+		c := c
+		f := func(a, b float32) bool {
+			if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+				return true
+			}
+			got, err := evalBin(c.op, ir.F32, f32raw(a), f32raw(b))
+			if err != nil {
+				return false
+			}
+			want := c.f(a, b)
+			if math.IsNaN(float64(want)) {
+				return math.IsNaN(float64(math.Float32frombits(uint32(got))))
+			}
+			return uint32(got) == math.Float32bits(want)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: %v", c.op, err)
+		}
+	}
+}
+
+func TestEvalBinI32MatchesGo(t *testing.T) {
+	type tc struct {
+		op ir.Op
+		f  func(a, b int32) int32
+	}
+	cases := []tc{
+		{ir.Add, func(a, b int32) int32 { return a + b }},
+		{ir.Sub, func(a, b int32) int32 { return a - b }},
+		{ir.Mul, func(a, b int32) int32 { return a * b }},
+		{ir.And, func(a, b int32) int32 { return a & b }},
+		{ir.Or, func(a, b int32) int32 { return a | b }},
+		{ir.Xor, func(a, b int32) int32 { return a ^ b }},
+	}
+	for _, c := range cases {
+		c := c
+		f := func(a, b int32) bool {
+			got, err := evalBin(c.op, ir.I32, fromI32(a), fromI32(b))
+			return err == nil && int32(uint32(got)) == c.f(a, b)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: %v", c.op, err)
+		}
+	}
+}
+
+func TestEvalShiftsMaskAmount(t *testing.T) {
+	// Shift amounts wrap at the lane width, like hardware.
+	got, err := evalBin(ir.Shl, ir.I32, fromI32(1), fromI32(33))
+	if err != nil || int32(uint32(got)) != 2 {
+		t.Errorf("1 << 33 (i32) = %d, want 2", int32(uint32(got)))
+	}
+	got, err = evalBin(ir.Shr, ir.I64, fromI64(-8), fromI64(1))
+	if err != nil || int64(got) != -4 {
+		t.Errorf("-8 >> 1 (i64) = %d, want -4 (arithmetic)", int64(got))
+	}
+}
+
+func TestEvalCmpFullMatrix(t *testing.T) {
+	type pair struct{ a, b float32 }
+	pairs := []pair{{1, 2}, {2, 1}, {1, 1}, {-1, 1}, {0, 0}}
+	for _, p := range pairs {
+		wants := map[ir.Op]bool{
+			ir.CmpEQ: p.a == p.b,
+			ir.CmpNE: p.a != p.b,
+			ir.CmpLT: p.a < p.b,
+			ir.CmpLE: p.a <= p.b,
+			ir.CmpGT: p.a > p.b,
+			ir.CmpGE: p.a >= p.b,
+		}
+		for op, want := range wants {
+			got, err := evalBin(op, ir.F32, f32raw(p.a), f32raw(p.b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (got != 0) != want {
+				t.Errorf("%s(%v, %v) = %d, want %v", op, p.a, p.b, got, want)
+			}
+		}
+	}
+}
+
+func TestEvalUnMatchesGo(t *testing.T) {
+	f := func(v float32) bool {
+		if math.IsNaN(float64(v)) {
+			return true
+		}
+		neg, err1 := evalUn(ir.FNeg, ir.F32, f32raw(v))
+		abs, err2 := evalUn(ir.FAbs, ir.F32, f32raw(v))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Float32frombits(uint32(neg)) == -v &&
+			math.Float32frombits(uint32(abs)) == float32(math.Abs(float64(v)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	s, err := evalUn(ir.Sqrt, ir.F32, f32raw(9))
+	if err != nil || math.Float32frombits(uint32(s)) != 3 {
+		t.Errorf("sqrt(9) = %v", math.Float32frombits(uint32(s)))
+	}
+}
+
+func TestEvalCvtMatrix(t *testing.T) {
+	// Every conversion pair against Go's conversion semantics.
+	if got := evalCvt(ir.I32, ir.F64, fromI32(-7)); math.Float64frombits(got) != -7.0 {
+		t.Errorf("i32->f64: %v", math.Float64frombits(got))
+	}
+	if got := evalCvt(ir.F64, ir.I32, math.Float64bits(-7.9)); int32(uint32(got)) != -7 {
+		t.Errorf("f64->i32: %d, want -7 (truncation)", int32(uint32(got)))
+	}
+	if got := evalCvt(ir.F32, ir.I64, f32raw(3.99)); int64(got) != 3 {
+		t.Errorf("f32->i64: %d", int64(got))
+	}
+	if got := evalCvt(ir.I64, ir.F32, fromI64(1<<40)); math.Float32frombits(uint32(got)) != float32(int64(1)<<40) {
+		t.Errorf("i64->f32: %v", math.Float32frombits(uint32(got)))
+	}
+	if got := evalCvt(ir.F32, ir.F64, f32raw(1.5)); math.Float64frombits(got) != 1.5 {
+		t.Errorf("f32->f64: %v", math.Float64frombits(got))
+	}
+	if got := evalCvt(ir.F64, ir.F32, math.Float64bits(0.1)); math.Float32frombits(uint32(got)) != float32(0.1) {
+		t.Errorf("f64->f32: %v", math.Float32frombits(uint32(got)))
+	}
+	if got := evalCvt(ir.I32, ir.I64, fromI32(-5)); int64(got) != -5 {
+		t.Errorf("i32->i64 sign extension: %d", int64(got))
+	}
+	if got := evalCvt(ir.I64, ir.I32, fromI64(1<<33|7)); int32(uint32(got)) != 7 {
+		t.Errorf("i64->i32 truncation: %d", int32(uint32(got)))
+	}
+}
+
+func TestEvalCvtIdentityProperty(t *testing.T) {
+	f := func(v int32) bool {
+		// i32 -> i64 -> i32 round trip is the identity.
+		wide := evalCvt(ir.I32, ir.I64, fromI32(v))
+		back := evalCvt(ir.I64, ir.I32, wide)
+		return int32(uint32(back)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalErrorsOnMismatchedOps(t *testing.T) {
+	if _, err := evalBin(ir.FAdd, ir.I32, 1, 2); err == nil {
+		t.Error("fadd at i32 accepted")
+	}
+	if _, err := evalBin(ir.Add, ir.F32, 1, 2); err == nil {
+		t.Error("add at f32 accepted")
+	}
+	if _, err := evalUn(ir.Sqrt, ir.I64, 4); err == nil {
+		t.Error("sqrt at i64 accepted")
+	}
+}
+
+func TestEvalF64Arithmetic(t *testing.T) {
+	a, b := 1.5, 2.25
+	got, err := evalBin(ir.FMul, ir.F64, math.Float64bits(a), math.Float64bits(b))
+	if err != nil || math.Float64frombits(got) != a*b {
+		t.Errorf("f64 mul = %v", math.Float64frombits(got))
+	}
+	got, err = evalBin(ir.Atan2, ir.F64, math.Float64bits(1), math.Float64bits(1))
+	if err != nil || math.Float64frombits(got) != math.Atan2(1, 1) {
+		t.Errorf("f64 atan2 = %v", math.Float64frombits(got))
+	}
+}
+
+func TestEvalI64Division(t *testing.T) {
+	got, err := evalBin(ir.SDiv, ir.I64, fromI64(-7), fromI64(2))
+	if err != nil || int64(got) != -3 {
+		t.Errorf("-7/2 = %d, want -3 (Go truncation)", int64(got))
+	}
+	got, err = evalBin(ir.SRem, ir.I64, fromI64(-7), fromI64(2))
+	if err != nil || int64(got) != -1 {
+		t.Errorf("-7%%2 = %d, want -1", int64(got))
+	}
+	if _, err := evalBin(ir.SDiv, ir.I64, 1, 0); err == nil {
+		t.Error("i64 div by zero accepted")
+	}
+	if _, err := evalBin(ir.SRem, ir.I32, 1, 0); err == nil {
+		t.Error("i32 rem by zero accepted")
+	}
+}

@@ -1,0 +1,103 @@
+package cpu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"axmemo/internal/ir"
+)
+
+// Memory is the flat little-endian memory image of a simulated program.
+// The harness places input arrays in it, passes their base addresses as
+// program arguments, and reads output arrays back after the run.
+type Memory struct {
+	data []byte
+	brk  uint64 // simple bump allocator watermark
+}
+
+// NewMemory allocates a zeroed memory image of size bytes.
+func NewMemory(size int) *Memory {
+	return &Memory{data: make([]byte, size), brk: 64} // keep address 0 unused
+}
+
+// Size returns the image size in bytes.
+func (m *Memory) Size() int { return len(m.data) }
+
+// Alloc reserves n bytes aligned to 8 and returns the base address.
+func (m *Memory) Alloc(n int) uint64 {
+	base := (m.brk + 7) &^ 7
+	if base+uint64(n) > uint64(len(m.data)) {
+		panic(fmt.Sprintf("cpu: memory image exhausted (%d requested at %d of %d)", n, base, len(m.data)))
+	}
+	m.brk = base + uint64(n)
+	return base
+}
+
+func (m *Memory) check(addr uint64, size int) {
+	if addr+uint64(size) > uint64(len(m.data)) {
+		panic(fmt.Sprintf("cpu: access at %#x+%d beyond image of %d bytes", addr, size, len(m.data)))
+	}
+}
+
+// LoadRaw reads a value of type t at addr as raw bits.
+func (m *Memory) LoadRaw(t ir.Type, addr uint64) uint64 {
+	m.check(addr, t.Size())
+	if t.Size() == 4 {
+		return uint64(binary.LittleEndian.Uint32(m.data[addr:]))
+	}
+	return binary.LittleEndian.Uint64(m.data[addr:])
+}
+
+// StoreRaw writes raw bits of type t at addr.
+func (m *Memory) StoreRaw(t ir.Type, addr uint64, raw uint64) {
+	m.check(addr, t.Size())
+	if t.Size() == 4 {
+		binary.LittleEndian.PutUint32(m.data[addr:], uint32(raw))
+		return
+	}
+	binary.LittleEndian.PutUint64(m.data[addr:], raw)
+}
+
+// Typed helpers used by the harness when staging inputs and reading
+// outputs.
+
+// SetF32 writes a float32 at addr.
+func (m *Memory) SetF32(addr uint64, v float32) {
+	m.StoreRaw(ir.F32, addr, uint64(math.Float32bits(v)))
+}
+
+// F32 reads a float32 at addr.
+func (m *Memory) F32(addr uint64) float32 {
+	return math.Float32frombits(uint32(m.LoadRaw(ir.F32, addr)))
+}
+
+// SetF64 writes a float64 at addr.
+func (m *Memory) SetF64(addr uint64, v float64) {
+	m.StoreRaw(ir.F64, addr, math.Float64bits(v))
+}
+
+// F64 reads a float64 at addr.
+func (m *Memory) F64(addr uint64) float64 {
+	return math.Float64frombits(m.LoadRaw(ir.F64, addr))
+}
+
+// SetI32 writes an int32 at addr.
+func (m *Memory) SetI32(addr uint64, v int32) {
+	m.StoreRaw(ir.I32, addr, uint64(uint32(v)))
+}
+
+// I32 reads an int32 at addr.
+func (m *Memory) I32(addr uint64) int32 {
+	return int32(uint32(m.LoadRaw(ir.I32, addr)))
+}
+
+// SetI64 writes an int64 at addr.
+func (m *Memory) SetI64(addr uint64, v int64) {
+	m.StoreRaw(ir.I64, addr, uint64(v))
+}
+
+// I64 reads an int64 at addr.
+func (m *Memory) I64(addr uint64) int64 {
+	return int64(m.LoadRaw(ir.I64, addr))
+}

@@ -1,0 +1,389 @@
+package cpu
+
+import (
+	"fmt"
+
+	"axmemo/internal/ir"
+)
+
+// frame is one function activation: a virtual register file, the
+// per-register operand-ready times of the scoreboard, a program counter,
+// and the return linkage to the caller.
+type frame struct {
+	fn    *ir.Function
+	regs  []uint64
+	ready []uint64
+	id    uint64
+
+	block int
+	pc    int
+
+	caller *frame
+	retTo  []ir.Reg // caller registers receiving the results
+}
+
+// threadState is one hardware thread: a call stack (linked frames), its
+// in-order issue cursor, and its completion state.  Under SMT the
+// pipeline resources (issue slots, functional units, caches, memoization
+// unit) are shared between threads; the program-order constraint is
+// per thread.
+type threadState struct {
+	id        int
+	cur       *frame
+	nextIssue uint64
+	rets      []uint64
+	done      bool
+}
+
+func (m *Machine) newFrame(fn *ir.Function) *frame {
+	m.frameSeq++
+	return &frame{
+		fn:    fn,
+		regs:  make([]uint64, fn.NumRegs()),
+		ready: make([]uint64, fn.NumRegs()),
+		id:    m.frameSeq,
+	}
+}
+
+// issueAt computes the issue cycle of an instruction of thread t whose
+// operands are ready at opsReady and which needs functional unit fu, then
+// updates the scoreboard.  In-order issue per thread, at most IssueWidth
+// issues per cycle across all threads, stalling on operands and
+// structural hazards.
+func (m *Machine) issueAt(t *threadState, opsReady uint64, fu FU, pipelined bool, lat int) (issue uint64) {
+	tt := t.nextIssue
+	if opsReady > tt {
+		tt = opsReady
+	}
+	// Structural hazard: pick the earliest-free instance of the unit.
+	best := 0
+	for i, free := range m.fuFree[fu] {
+		if free < m.fuFree[fu][best] {
+			best = i
+		}
+	}
+	if m.fuFree[fu][best] > tt {
+		tt = m.fuFree[fu][best]
+	}
+	// Issue-slot accounting (shared across threads).
+	if tt == m.lastIssue {
+		if m.slots >= m.cfg.IssueWidth {
+			tt++
+			m.lastIssue = tt
+			m.slots = 1
+		} else {
+			m.slots++
+		}
+	} else if tt > m.lastIssue {
+		m.lastIssue = tt
+		m.slots = 1
+	} else {
+		// The other thread's issue cursor is already past this
+		// cycle; co-issue in the current slot accounting.
+		tt = m.lastIssue
+		if m.slots >= m.cfg.IssueWidth {
+			tt++
+			m.lastIssue = tt
+			m.slots = 1
+		} else {
+			m.slots++
+		}
+	}
+	if pipelined {
+		m.fuFree[fu][best] = tt + 1
+	} else {
+		m.fuFree[fu][best] = tt + uint64(lat)
+	}
+	t.nextIssue = tt
+	return tt
+}
+
+// retire records an instruction's completion time and energy class.
+func (m *Machine) retire(done uint64, in *ir.Instr) {
+	if done > m.cycle {
+		m.cycle = done
+	}
+	m.insns++
+	m.ecounts.Insns[opTable[in.Op].class]++
+	if in.Op.IsMemo() && in.Op != ir.LdCRC || in.Aux {
+		m.memoInsns++
+	}
+}
+
+func (m *Machine) hook(t *threadState, f *frame, in *ir.Instr, addr uint64, hasAddr, taken bool) {
+	if m.cfg.Hook != nil {
+		m.cfg.Hook(ExecInfo{Func: f.fn, Instr: in, Frame: f.id, TID: t.id, Addr: addr, HasAddr: hasAddr, Taken: taken})
+	}
+}
+
+// opsReady returns the cycle at which all of in's register operands are
+// available in frame f.
+func opsReady(f *frame, in *ir.Instr, scratch []ir.Reg) uint64 {
+	var t uint64
+	for _, r := range in.Uses(scratch[:0]) {
+		if f.ready[r] > t {
+			t = f.ready[r]
+		}
+	}
+	return t
+}
+
+// errLimitf formats the dynamic-limit error.
+func (m *Machine) errLimitf() error {
+	return fmt.Errorf("%w (%d)", errLimit, m.cfg.MaxInsns)
+}
+
+// step executes one instruction of thread t.  It returns an error on
+// functional faults; thread completion is flagged in t.done.
+func (m *Machine) step(t *threadState) error {
+	if m.insns >= m.cfg.MaxInsns {
+		return m.errLimitf()
+	}
+	f := t.cur
+	blk := f.fn.Blocks[f.block]
+	if f.pc >= len(blk.Instrs) {
+		return fmt.Errorf("cpu: block b%d of %s fell through", f.block, f.fn.Name)
+	}
+	in := &blk.Instrs[f.pc]
+	info := opTable[in.Op]
+	var scratch [8]ir.Reg
+	ready := opsReady(f, in, scratch[:])
+
+	// Default control flow: advance within the block.
+	f.pc++
+
+	switch in.Op {
+	case ir.Nop:
+		tt := m.issueAt(t, ready, info.fu, true, 1)
+		m.retire(tt+1, in)
+		m.hook(t, f, in, 0, false, false)
+
+	case ir.Const:
+		tt := m.issueAt(t, ready, info.fu, true, 1)
+		f.regs[in.Dst] = in.Imm
+		f.ready[in.Dst] = tt + 1
+		m.retire(tt+1, in)
+		m.hook(t, f, in, 0, false, false)
+
+	case ir.Mov:
+		tt := m.issueAt(t, ready, info.fu, true, 1)
+		f.regs[in.Dst] = f.regs[in.A]
+		f.ready[in.Dst] = tt + 1
+		m.retire(tt+1, in)
+		m.hook(t, f, in, 0, false, false)
+
+	case ir.Cvt:
+		tt := m.issueAt(t, ready, info.fu, info.pipelined, info.lat)
+		f.regs[in.Dst] = evalCvt(in.SrcType, in.Type, f.regs[in.A])
+		f.ready[in.Dst] = tt + uint64(info.lat)
+		m.retire(f.ready[in.Dst], in)
+		m.hook(t, f, in, 0, false, false)
+
+	case ir.Load:
+		tt := m.issueAt(t, ready, info.fu, true, 1)
+		addr := uint64(int64(f.regs[in.A]) + int64(in.Imm))
+		acc := m.hier.Access(addr, false)
+		f.regs[in.Dst] = m.mem.LoadRaw(in.Type, addr)
+		f.ready[in.Dst] = tt + uint64(acc.Latency)
+		m.retire(f.ready[in.Dst], in)
+		m.hook(t, f, in, addr, true, false)
+
+	case ir.Store:
+		tt := m.issueAt(t, ready, info.fu, true, 1)
+		addr := uint64(int64(f.regs[in.A]) + int64(in.Imm))
+		m.hier.Access(addr, true)
+		m.mem.StoreRaw(in.Type, addr, f.regs[in.B])
+		// Stores retire through the write buffer; the issue slot is
+		// the visible cost.
+		m.retire(tt+1, in)
+		m.hook(t, f, in, addr, true, false)
+
+	case ir.Jmp:
+		tt := m.issueAt(t, ready, info.fu, true, 1)
+		m.retire(tt+1, in)
+		m.hook(t, f, in, 0, false, true)
+		t.nextIssue = tt + 1
+		f.block, f.pc = in.Blk0, 0
+
+	case ir.Br:
+		tt := m.issueAt(t, ready, info.fu, true, 1)
+		taken := f.regs[in.A] != 0
+		m.retire(tt+1, in)
+		m.hook(t, f, in, 0, false, taken)
+		// Static prediction: not-taken by default; with BTFN,
+		// backward targets (loop back-edges) are predicted taken.
+		predictTaken := false
+		if m.cfg.PredictBTFN && in.Blk0 <= f.block {
+			predictTaken = true
+		}
+		if taken != predictTaken {
+			t.nextIssue = tt + 1 + uint64(m.cfg.BranchPenalty)
+		}
+		if taken {
+			f.block, f.pc = in.Blk0, 0
+		} else {
+			f.block, f.pc = in.Blk1, 0
+		}
+
+	case ir.Ret:
+		tt := m.issueAt(t, ready, info.fu, true, 1)
+		m.retire(tt+1, in)
+		m.hook(t, f, in, 0, false, true)
+		t.nextIssue = tt + uint64(m.cfg.CallOverhead)
+		if f.caller == nil {
+			t.rets = make([]uint64, len(in.Args))
+			for i, r := range in.Args {
+				t.rets[i] = f.regs[r]
+			}
+			t.done = true
+			return nil
+		}
+		caller := f.caller
+		for i, r := range f.retTo {
+			caller.regs[r] = f.regs[in.Args[i]]
+			caller.ready[r] = t.nextIssue
+		}
+		t.cur = caller
+
+	case ir.Call:
+		tt := m.issueAt(t, ready, info.fu, true, 1)
+		m.retire(tt+uint64(info.lat), in)
+		m.hook(t, f, in, 0, false, true)
+		t.nextIssue = tt + uint64(m.cfg.CallOverhead)
+		callee := m.prog.Funcs[in.Callee]
+		nf := m.newFrame(callee)
+		for i, p := range callee.Params {
+			nf.regs[p] = f.regs[in.Args[i]]
+			nf.ready[p] = t.nextIssue
+		}
+		nf.caller = f
+		nf.retTo = in.Rets
+		t.cur = nf
+
+	case ir.LdCRC:
+		tt := m.issueAt(t, ready, info.fu, true, 1)
+		addr := uint64(int64(f.regs[in.A]) + int64(in.Imm))
+		acc := m.hier.Access(addr, false)
+		raw := m.mem.LoadRaw(in.Type, addr)
+		f.regs[in.Dst] = raw
+		dataReady := tt + uint64(acc.Latency)
+		f.ready[in.Dst] = dataReady
+		switch {
+		case m.memo != nil:
+			// The loaded value streams into the CRC unit as soon
+			// as it is available; draining happens in the
+			// background (Table 4).
+			m.memo.Feed(in.LUT, t.id, raw, in.Type.Size(), uint(in.Trunc), dataReady)
+		case m.soft != nil:
+			m.softFeed(t, in, raw)
+		default:
+			return fmt.Errorf("cpu: %s executed without a memoization unit", in)
+		}
+		m.retire(dataReady, in)
+		m.hook(t, f, in, addr, true, false)
+
+	case ir.RegCRC:
+		tt := m.issueAt(t, ready, info.fu, true, 1)
+		switch {
+		case m.memo != nil:
+			m.memo.Feed(in.LUT, t.id, f.regs[in.A], in.Type.Size(), uint(in.Trunc), tt+1)
+		case m.soft != nil:
+			m.softFeed(t, in, f.regs[in.A])
+		default:
+			return fmt.Errorf("cpu: %s executed without a memoization unit", in)
+		}
+		m.retire(tt+1, in)
+		m.hook(t, f, in, 0, false, false)
+
+	case ir.Lookup:
+		tt := m.issueAt(t, ready, info.fu, true, 1)
+		switch {
+		case m.memo != nil:
+			res := m.memo.Lookup(in.LUT, t.id, tt)
+			f.regs[in.Dst] = res.Data
+			f.regs[in.B] = boolToRaw(res.Hit)
+			f.ready[in.Dst] = res.DoneAt
+			f.ready[in.B] = res.DoneAt
+			m.retire(res.DoneAt, in)
+			m.hook(t, f, in, 0, false, res.Hit)
+		case m.soft != nil:
+			m.softLookup(t, f, in, tt)
+			m.retire(f.ready[in.Dst], in)
+			m.hook(t, f, in, 0, false, f.regs[in.B] != 0)
+		default:
+			return fmt.Errorf("cpu: %s executed without a memoization unit", in)
+		}
+
+	case ir.Update:
+		tt := m.issueAt(t, ready, info.fu, true, 1)
+		switch {
+		case m.memo != nil:
+			done := m.memo.Update(in.LUT, t.id, f.regs[in.A], tt)
+			m.retire(done, in)
+		case m.soft != nil:
+			m.softUpdate(t, f, in)
+			m.retire(tt+1, in)
+		default:
+			return fmt.Errorf("cpu: %s executed without a memoization unit", in)
+		}
+		m.hook(t, f, in, 0, false, false)
+
+	case ir.Invalidate:
+		tt := m.issueAt(t, ready, info.fu, true, 1)
+		switch {
+		case m.memo != nil:
+			cost := m.memo.Invalidate(in.LUT)
+			t.nextIssue = tt + uint64(cost)
+			m.retire(tt+uint64(cost), in)
+		case m.soft != nil:
+			m.softInvalidate(t, in)
+			m.retire(tt+1, in)
+		default:
+			return fmt.Errorf("cpu: %s executed without a memoization unit", in)
+		}
+		m.hook(t, f, in, 0, false, false)
+
+	default:
+		tt := m.issueAt(t, ready, info.fu, info.pipelined, info.lat)
+		var raw uint64
+		var err error
+		if in.Op.IsBinary() {
+			raw, err = evalBin(in.Op, in.Type, f.regs[in.A], f.regs[in.B])
+		} else {
+			raw, err = evalUn(in.Op, in.Type, f.regs[in.A])
+		}
+		if err != nil {
+			return fmt.Errorf("%s (sid %d): %w", in, in.SID, err)
+		}
+		f.regs[in.Dst] = raw
+		f.ready[in.Dst] = tt + uint64(info.lat)
+		m.retire(f.ready[in.Dst], in)
+		m.hook(t, f, in, 0, false, false)
+	}
+	return nil
+}
+
+// runThreads interleaves the given threads round-robin, one instruction
+// each, until all complete.
+func (m *Machine) runThreads(threads []*threadState) error {
+	remaining := len(threads)
+	for remaining > 0 {
+		progressed := false
+		for _, t := range threads {
+			if t.done {
+				continue
+			}
+			if err := m.step(t); err != nil {
+				return err
+			}
+			progressed = true
+			if t.done {
+				remaining--
+			}
+		}
+		if !progressed {
+			return fmt.Errorf("cpu: scheduler stalled with %d live threads", remaining)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"axmemo/internal/ir"
+	"axmemo/internal/memo"
+	"axmemo/internal/softmemo"
+)
+
+// buildMemoSweep builds main(src, dst, n): per element, feed the value to
+// LUT 0 and memoize sqrt via the Fig. 1 structure (hand-built).
+func buildMemoSweep() *ir.Program {
+	p := ir.NewProgram("main")
+	k := p.NewFunc("msqrt", []ir.Type{ir.F32}, []ir.Type{ir.F32})
+	entry := k.NewBlock("entry")
+	hitB := k.NewBlock("hit")
+	missB := k.NewBlock("miss")
+	bu := ir.At(k, entry)
+	bu.RegCRC(ir.F32, k.Params[0], 0, 0)
+	data, hit := bu.Lookup(ir.F32, 0)
+	bu.Br(hit, hitB, missB)
+	bu.SetBlock(hitB).Ret(data)
+	bu.SetBlock(missB)
+	r := bu.Un(ir.Sqrt, ir.F32, k.Params[0])
+	bu.Update(ir.F32, r, 0)
+	bu.Ret(r)
+
+	f := p.NewFunc("main", []ir.Type{ir.I64, ir.I64, ir.I32}, []ir.Type{ir.I32})
+	fb := f.NewBlock("entry")
+	cond := f.NewBlock("cond")
+	body := f.NewBlock("body")
+	done := f.NewBlock("done")
+	mb := ir.At(f, fb)
+	i := mb.Mov(ir.I32, mb.ConstI32(0))
+	src := mb.Mov(ir.I64, f.Params[0])
+	dst := mb.Mov(ir.I64, f.Params[1])
+	one := mb.ConstI32(1)
+	four := mb.ConstI64(4)
+	mb.Jmp(cond)
+	mb.SetBlock(cond)
+	lt := mb.Bin(ir.CmpLT, ir.I32, i, f.Params[2])
+	mb.Br(lt, body, done)
+	mb.SetBlock(body)
+	v := mb.Load(ir.F32, src, 0)
+	res := mb.Call("msqrt", 1, v)
+	mb.Store(ir.F32, dst, 0, res[0])
+	mb.MovTo(ir.I32, i, mb.Bin(ir.Add, ir.I32, i, one))
+	mb.MovTo(ir.I64, src, mb.Bin(ir.Add, ir.I64, src, four))
+	mb.MovTo(ir.I64, dst, mb.Bin(ir.Add, ir.I64, dst, four))
+	mb.Jmp(cond)
+	mb.SetBlock(done)
+	mb.Ret(i)
+	if err := p.Finalize(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func smtMachine(t *testing.T, threads int) (*Machine, *Memory) {
+	t.Helper()
+	cfg := DefaultConfig()
+	mc := memo.DefaultConfig()
+	mc.Monitor.Enabled = false
+	mc.Threads = threads
+	cfg.Memo = &mc
+	img := NewMemory(1 << 16)
+	m, err := New(buildMemoSweep(), img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, img
+}
+
+func TestSMTTwoThreadsCorrectResults(t *testing.T) {
+	const n = 64
+	m, img := smtMachine(t, 2)
+	// Two disjoint halves of an array, one per thread.
+	src0 := img.Alloc(n * 4)
+	dst0 := img.Alloc(n * 4)
+	src1 := img.Alloc(n * 4)
+	dst1 := img.Alloc(n * 4)
+	for i := 0; i < n; i++ {
+		img.SetF32(src0+uint64(i*4), float32(i%8))
+		img.SetF32(src1+uint64(i*4), float32(i%8)+0.5)
+	}
+	res, err := m.RunSMT(
+		[]uint64{src0, dst0, n},
+		[]uint64{src1, dst1, n},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rets) != 2 {
+		t.Fatalf("rets = %d threads", len(res.Rets))
+	}
+	for i := 0; i < n; i++ {
+		want0 := float32(math.Sqrt(float64(i % 8)))
+		want1 := float32(math.Sqrt(float64(i%8) + 0.5))
+		if got := img.F32(dst0 + uint64(i*4)); got != want0 {
+			t.Fatalf("thread 0 out[%d] = %v, want %v", i, got, want0)
+		}
+		if got := img.F32(dst1 + uint64(i*4)); got != want1 {
+			t.Fatalf("thread 1 out[%d] = %v, want %v", i, got, want1)
+		}
+	}
+	// The two threads share the unit: both streams' entries coexist.
+	ms := res.Stats.Memo
+	if ms.Lookups != 2*n {
+		t.Errorf("lookups = %d, want %d", ms.Lookups, 2*n)
+	}
+	// 8 distinct values per thread, 16 total compulsory misses.
+	if ms.Misses != 16 {
+		t.Errorf("misses = %d, want 16 (8 per thread)", ms.Misses)
+	}
+}
+
+// TestSMTHVRContextsIsolated: interleaved feeds from two threads must not
+// corrupt each other's CRC contexts — the §3.2 design point of the
+// {LUT_ID, TID}-indexed hash value registers.  The round-robin scheduler
+// interleaves the threads' reg_crc/lookup sequences instruction by
+// instruction, so any cross-thread contamination would produce wrong
+// lookups and wrong outputs.
+func TestSMTHVRContextsIsolated(t *testing.T) {
+	const n = 32
+	m, img := smtMachine(t, 2)
+	src0 := img.Alloc(n * 4)
+	dst0 := img.Alloc(n * 4)
+	src1 := img.Alloc(n * 4)
+	dst1 := img.Alloc(n * 4)
+	for i := 0; i < n; i++ {
+		img.SetF32(src0+uint64(i*4), 4) // thread 0 always asks sqrt(4)
+		img.SetF32(src1+uint64(i*4), 9) // thread 1 always asks sqrt(9)
+	}
+	if _, err := m.RunSMT([]uint64{src0, dst0, n}, []uint64{src1, dst1, n}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got := img.F32(dst0 + uint64(i*4)); got != 2 {
+			t.Fatalf("thread 0 got %v, want 2 (HVR contamination?)", got)
+		}
+		if got := img.F32(dst1 + uint64(i*4)); got != 3 {
+			t.Fatalf("thread 1 got %v, want 3 (HVR contamination?)", got)
+		}
+	}
+	// Only 2 distinct inputs across both threads: 2 compulsory misses,
+	// everything else hits.
+	if ms := m.MemoUnit().Stats(); ms.Misses != 2 {
+		t.Errorf("misses = %d, want 2", ms.Misses)
+	}
+}
+
+// TestSMTCrossThreadReuse: the LUT is shared between hardware threads
+// (only the HVR contexts are per-TID), so one thread's updates serve the
+// other's lookups — no coherence needed (§3.4).
+func TestSMTCrossThreadReuse(t *testing.T) {
+	const n = 32
+	m, img := smtMachine(t, 2)
+	src0 := img.Alloc(n * 4)
+	dst0 := img.Alloc(n * 4)
+	src1 := img.Alloc(n * 4)
+	dst1 := img.Alloc(n * 4)
+	for i := 0; i < n; i++ {
+		// Both threads sweep the same 8 values, phase-shifted so the
+		// second thread reaches each value after the first has
+		// already inserted it.
+		img.SetF32(src0+uint64(i*4), float32(i%8))
+		img.SetF32(src1+uint64(i*4), float32((i+4)%8))
+	}
+	if _, err := m.RunSMT([]uint64{src0, dst0, n}, []uint64{src1, dst1, n}); err != nil {
+		t.Fatal(err)
+	}
+	// A private-per-thread LUT would take 16 compulsory misses (8 per
+	// thread).  The shared LUT takes 8 plus at most the 4 phase-window
+	// races, so observing < 16 proves one thread's updates served the
+	// other's lookups.
+	ms := m.MemoUnit().Stats()
+	if ms.Misses >= 16 {
+		t.Errorf("misses = %d: no cross-thread reuse observed", ms.Misses)
+	}
+	if ms.Misses < 8 {
+		t.Errorf("misses = %d: fewer than the compulsory 8", ms.Misses)
+	}
+}
+
+func TestSMTThreadCountValidated(t *testing.T) {
+	m, img := smtMachine(t, 1)
+	src := img.Alloc(16)
+	dst := img.Alloc(16)
+	if _, err := m.RunSMT([]uint64{src, dst, 2}, []uint64{src, dst, 2}); err == nil {
+		t.Error("2 threads on a 1-context unit accepted")
+	}
+	if _, err := m.RunSMT(); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := m.RunSMT([]uint64{src, dst}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestSMTSharedPipelineSlowerThanSolo(t *testing.T) {
+	const n = 128
+	run := func(threads int) uint64 {
+		m, img := smtMachine(t, 2)
+		args := make([][]uint64, threads)
+		for ti := 0; ti < threads; ti++ {
+			src := img.Alloc(n * 4)
+			dst := img.Alloc(n * 4)
+			for i := 0; i < n; i++ {
+				img.SetF32(src+uint64(i*4), float32((i+ti*7)%11))
+			}
+			args[ti] = []uint64{src, dst, n}
+		}
+		res, err := m.RunSMT(args...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Cycles
+	}
+	solo := run(1)
+	dual := run(2)
+	if dual <= solo {
+		t.Errorf("two threads (%d cycles) not slower than one (%d): pipeline sharing unmodeled?", dual, solo)
+	}
+	if dual >= 2*solo {
+		t.Errorf("two threads (%d cycles) slower than serial execution (2x%d): SMT gives no overlap?", dual, solo)
+	}
+}
+
+func TestSMTDeterminism(t *testing.T) {
+	run := func() uint64 {
+		m, img := smtMachine(t, 2)
+		src := img.Alloc(64 * 4)
+		dst := img.Alloc(64 * 4)
+		res, err := m.RunSMT([]uint64{src, dst, 64}, []uint64{src, dst, 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Cycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("SMT run not deterministic: %d vs %d", a, b)
+	}
+}
+
+// TestSMTRejectsSoftwareRuntimes: the software memoization runtimes keep
+// per-LUT (not per-TID) hash contexts, so multi-threaded use must be
+// refused rather than silently corrupting in-flight hashes.
+func TestSMTRejectsSoftwareRuntimes(t *testing.T) {
+	cfg := DefaultConfig()
+	u, err := softmemo.New(softmemo.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Soft = u
+	img := NewMemory(1 << 12)
+	m, err := New(buildMemoSweep(), img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := img.Alloc(16)
+	dst := img.Alloc(16)
+	if _, err := m.RunSMT([]uint64{src, dst, 2}, []uint64{src, dst, 2}); err == nil {
+		t.Error("SMT over a software runtime accepted")
+	}
+	// Single-threaded use still works.
+	if _, err := m.Run(src, dst, 2); err != nil {
+		t.Errorf("single-threaded software run failed: %v", err)
+	}
+}

@@ -1,0 +1,102 @@
+// Package crc models the cyclic-redundancy-check hashing hardware that
+// AxMemo uses to compress an arbitrary-size stream of memoization inputs
+// into a small fixed-size lookup-table tag (ISCA'19 §3.1, Fig. 3).
+//
+// Two implementations of the same algorithm are provided, mirroring the two
+// hardware designs in the paper's Fig. 3:
+//
+//   - Serial: a bit-at-a-time linear-feedback-shift-register-style unit
+//     that consumes one input bit per clock cycle.
+//   - Table: an n-bit-parallel unit that consumes one byte per cycle using
+//     a 256-entry constant RAM (the "2^n x m-bit RAM" of the paper).
+//
+// Both produce identical digests for identical input streams; the property
+// tests assert this equivalence.  The package also exposes the software
+// cost model used by the paper's software-LUT baseline (§6.2): computing
+// the CRC of a 4-byte input in software costs at least 12 instructions
+// (one AND, one LOAD and one XOR per byte).
+package crc
+
+import "fmt"
+
+// Params describes a reflected CRC algorithm.  All AxMemo CRCs are
+// reflected (least-significant-bit first), matching the common hardware
+// realizations of CRC-16/ARC, CRC-32 (IEEE 802.3) and CRC-64/XZ.
+type Params struct {
+	// Width is the register width in bits (16, 32 or 64).
+	Width uint
+	// Poly is the reflected generator polynomial.
+	Poly uint64
+	// Init is the initial register value.
+	Init uint64
+	// XorOut is XORed into the register to produce the final digest.
+	XorOut uint64
+	// Name identifies the algorithm in diagnostics.
+	Name string
+}
+
+// Standard parameter sets.  Check values ("123456789") are asserted in the
+// package tests against the published catalogue values.
+var (
+	// CRC16 is CRC-16/ARC: poly 0x8005 (reflected 0xA001).
+	CRC16 = Params{Width: 16, Poly: 0xA001, Init: 0, XorOut: 0, Name: "CRC-16/ARC"}
+	// CRC32 is the IEEE 802.3 CRC-32 used throughout the paper's
+	// evaluation ("32-bit CRC is generally large enough to avoid
+	// collision", §6).
+	CRC32 = Params{Width: 32, Poly: 0xEDB88320, Init: 0xFFFFFFFF, XorOut: 0xFFFFFFFF, Name: "CRC-32/IEEE"}
+	// CRC64 is CRC-64/XZ (reflected ECMA-182).
+	CRC64 = Params{Width: 64, Poly: 0xC96C5795D7870F42, Init: ^uint64(0), XorOut: ^uint64(0), Name: "CRC-64/XZ"}
+)
+
+// ByWidth returns the standard parameter set for a register width.
+func ByWidth(width uint) (Params, error) {
+	switch width {
+	case 16:
+		return CRC16, nil
+	case 32:
+		return CRC32, nil
+	case 64:
+		return CRC64, nil
+	default:
+		return Params{}, fmt.Errorf("crc: unsupported width %d (want 16, 32 or 64)", width)
+	}
+}
+
+// mask returns the width-bit all-ones mask for p.
+func (p Params) mask() uint64 {
+	if p.Width >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << p.Width) - 1
+}
+
+// Hasher is a streaming CRC unit.  It mirrors the accumulate-as-you-go
+// property the paper highlights: the unit "does not need to have all the
+// input data to start hashing", which lets the hardware hide hash latency
+// behind the feeding ld_crc/reg_crc instructions.
+type Hasher interface {
+	// Reset returns the unit to its initial state.
+	Reset()
+	// Feed accumulates the bytes of p into the running hash, in order.
+	Feed(p []byte)
+	// Sum returns the current digest without disturbing the state.
+	Sum() uint64
+	// Params reports the algorithm parameters of the unit.
+	Params() Params
+}
+
+// Checksum is a convenience helper that hashes data in one shot with a
+// table-driven unit.
+func Checksum(p Params, data []byte) uint64 {
+	h := NewTable(p)
+	h.Feed(data)
+	return h.Sum()
+}
+
+// SoftwareCost models the per-input instruction cost of computing the CRC
+// in software with the 8-bit-parallel algorithm, as accounted by the
+// paper's software-LUT baseline: one AND, one LOAD and one XOR per byte.
+func SoftwareCost(inputBytes int) int {
+	const insnsPerByte = 3 // AND + LOAD + XOR
+	return insnsPerByte * inputBytes
+}

@@ -1,0 +1,74 @@
+package crc
+
+// Table is the n-bit-parallel CRC unit of Fig. 3 (right) with n = 8: it
+// consumes one byte of input per clock cycle using a 256-entry constant
+// RAM (the paper's "2^n x m-bit RAM").  The evaluation's hardware unit is
+// this design, unrolled four times and pipelined so that the common 4-byte
+// input is absorbed at one byte per cycle with full throughput (§6.1).
+type Table struct {
+	p       Params
+	tab     [256]uint64
+	state   uint64
+	fedByte uint64
+}
+
+// NewTable returns a reset byte-parallel CRC unit, building its constant
+// RAM from the generator polynomial.
+func NewTable(p Params) *Table {
+	t := &Table{p: p}
+	for i := 0; i < 256; i++ {
+		c := uint64(i)
+		for k := 0; k < 8; k++ {
+			if c&1 != 0 {
+				c = (c >> 1) ^ p.Poly
+			} else {
+				c >>= 1
+			}
+		}
+		t.tab[i] = c & p.mask()
+	}
+	t.Reset()
+	return t
+}
+
+// Reset returns the register to the algorithm's initial value.
+func (t *Table) Reset() {
+	t.state = t.p.Init & t.p.mask()
+	t.fedByte = 0
+}
+
+// FeedByte absorbs one byte — the unit's per-cycle operation.
+func (t *Table) FeedByte(b byte) {
+	t.state = t.tab[byte(t.state)^b] ^ (t.state >> 8)
+	t.state &= t.p.mask()
+	t.fedByte++
+}
+
+// Feed absorbs every byte of p in order.
+func (t *Table) Feed(p []byte) {
+	for _, b := range p {
+		t.FeedByte(b)
+	}
+}
+
+// Sum returns the current digest.
+func (t *Table) Sum() uint64 {
+	return (t.state ^ t.p.XorOut) & t.p.mask()
+}
+
+// Params reports the unit's algorithm parameters.
+func (t *Table) Params() Params { return t.p }
+
+// BytesFed reports how many bytes have been absorbed since the last Reset.
+// The 8-bit-parallel unit takes exactly this many cycles.
+func (t *Table) BytesFed() uint64 { return t.fedByte }
+
+// State exposes the raw (pre-XorOut) register value.  The Hash Value
+// Registers of the memoization unit snapshot and restore this state when
+// CRC computations for different LUTs interleave (§3.2).
+func (t *Table) State() uint64 { return t.state }
+
+// SetState restores a raw register value previously read with State.
+func (t *Table) SetState(s uint64) { t.state = s & t.p.mask() }
+
+var _ Hasher = (*Table)(nil)

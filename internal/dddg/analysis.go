@@ -1,0 +1,220 @@
+package dddg
+
+import "sort"
+
+// UniqueGroup is a set of structurally equivalent candidates: subgraphs
+// with identical static-instruction fingerprints, e.g. every iteration of
+// a memoizable loop body (§5's filtering step).
+type UniqueGroup struct {
+	// SIDs is the shared structural fingerprint.
+	SIDs []int32
+	// Count is the number of dynamic candidates in the group.
+	Count int
+	// MeanRatio is the average CI_Ratio across the group.
+	MeanRatio float64
+	// MeanInputs is the average input count.
+	MeanInputs float64
+	// Weight is the total dynamic weight covered by the group.
+	Weight int64
+}
+
+// Analysis is the Table 1 summary for one benchmark.
+type Analysis struct {
+	// DynamicSubgraphs is the total number of candidate subgraphs
+	// found in the trace (Table 1 col. 1).
+	DynamicSubgraphs int
+	// UniqueGroups are the structurally distinct candidates after
+	// filtering subsets and duplicates (col. 2 counts these).
+	UniqueGroups []UniqueGroup
+	// MeanCIRatio is the average CI_Ratio across filtered candidates
+	// (col. 3).
+	MeanCIRatio float64
+	// Coverage is the fraction of total DDDG weight inside candidate
+	// subgraphs (col. 4, "Memoization Coverage").
+	Coverage float64
+}
+
+func sidKey(sids []int32) string {
+	b := make([]byte, 0, len(sids)*4)
+	for _, s := range sids {
+		b = append(b, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+	}
+	return string(b)
+}
+
+// isSubset reports whether a ⊆ b for sorted id sets.
+func isSubset(a, b []int32) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] > b[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(a)
+}
+
+// overlap returns |a∩b| / min(|a|,|b|) for sorted id sets.
+func overlap(a, b []int32) float64 {
+	i, j, common := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			common++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	minLen := len(a)
+	if len(b) < minLen {
+		minLen = len(b)
+	}
+	if minLen == 0 {
+		return 0
+	}
+	return float64(common) / float64(minLen)
+}
+
+// mergeSIDs unions two sorted id sets.
+func mergeSIDs(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j == len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i == len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Analyze runs the full Fig. 5 step-③ pipeline over a graph: search,
+// structural dedup, subset filtering, overlap merging, and the Table 1
+// metrics.  mergeThreshold is the overlap fraction above which two unique
+// groups are merged into a larger region (the paper merges "subgraphs
+// with high overlap"); 0 disables merging.
+func (g *Graph) Analyze(cfg SearchConfig, mergeThreshold float64) Analysis {
+	cands := g.Search(cfg)
+	a := Analysis{DynamicSubgraphs: len(cands)}
+	if len(cands) == 0 {
+		return a
+	}
+
+	// Group by structural fingerprint.
+	groups := make(map[string]*UniqueGroup)
+	var ratioSum float64
+	for _, c := range cands {
+		ratioSum += c.CIRatio
+		k := sidKey(c.SIDs)
+		grp, ok := groups[k]
+		if !ok {
+			grp = &UniqueGroup{SIDs: c.SIDs}
+			groups[k] = grp
+		}
+		grp.Count++
+		grp.MeanRatio += c.CIRatio
+		grp.MeanInputs += float64(c.Inputs)
+		grp.Weight += c.Weight
+	}
+	a.MeanCIRatio = ratioSum / float64(len(cands))
+
+	uniq := make([]*UniqueGroup, 0, len(groups))
+	for _, grp := range groups {
+		grp.MeanRatio /= float64(grp.Count)
+		grp.MeanInputs /= float64(grp.Count)
+		uniq = append(uniq, grp)
+	}
+	// Deterministic order: largest weight first.
+	sort.Slice(uniq, func(i, j int) bool {
+		if uniq[i].Weight != uniq[j].Weight {
+			return uniq[i].Weight > uniq[j].Weight
+		}
+		return sidKey(uniq[i].SIDs) < sidKey(uniq[j].SIDs)
+	})
+
+	// Drop groups that are structural subsets of a larger group.
+	kept := uniq[:0]
+	for i, grp := range uniq {
+		sub := false
+		for j, other := range uniq {
+			if i == j || len(grp.SIDs) > len(other.SIDs) {
+				continue
+			}
+			if len(grp.SIDs) == len(other.SIDs) && i < j {
+				continue // identical sets cannot happen (map key); order guard
+			}
+			if isSubset(grp.SIDs, other.SIDs) {
+				sub = true
+				break
+			}
+		}
+		if !sub {
+			kept = append(kept, grp)
+		}
+	}
+
+	// Merge highly overlapping groups into larger regions.
+	if mergeThreshold > 0 {
+		merged := true
+		for merged {
+			merged = false
+			for i := 0; i < len(kept) && !merged; i++ {
+				for j := i + 1; j < len(kept); j++ {
+					if overlap(kept[i].SIDs, kept[j].SIDs) >= mergeThreshold {
+						kept[i].SIDs = mergeSIDs(kept[i].SIDs, kept[j].SIDs)
+						kept[i].Count += kept[j].Count
+						kept[i].Weight += kept[j].Weight
+						kept[i].MeanRatio = (kept[i].MeanRatio + kept[j].MeanRatio) / 2
+						kept[i].MeanInputs = (kept[i].MeanInputs + kept[j].MeanInputs) / 2
+						kept = append(kept[:j], kept[j+1:]...)
+						merged = true
+						break
+					}
+				}
+			}
+		}
+	}
+	a.UniqueGroups = append([]UniqueGroup{}, deref(kept)...)
+
+	// Coverage: weight of vertices inside any candidate over total
+	// weight.  Count each dynamic vertex once.
+	covered := make(map[int32]struct{})
+	var coveredWeight int64
+	for _, c := range cands {
+		for _, v := range c.Vertices {
+			if _, seen := covered[v]; !seen {
+				covered[v] = struct{}{}
+				coveredWeight += int64(g.Weight[v])
+			}
+		}
+	}
+	if g.TotalWeight > 0 {
+		a.Coverage = float64(coveredWeight) / float64(g.TotalWeight)
+	}
+	return a
+}
+
+func deref(ps []*UniqueGroup) []UniqueGroup {
+	out := make([]UniqueGroup, len(ps))
+	for i, p := range ps {
+		out[i] = *p
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+// Package dddg builds the dynamic data dependence graph of a recorded
+// trace and searches it for AxMemo-transformable candidate subgraphs,
+// standing in for the paper's ALADDIN-based analysis (ISCA'19 §5,
+// Fig. 5 ②③).
+//
+// A DDDG G = (V, E) is a DAG whose vertices are dynamic instructions
+// weighted by estimated latency and whose edges are true data
+// dependencies.  A candidate subgraph S with a single output vertex v
+// satisfies the paper's two closure conditions: every edge entering S
+// lands on an input vertex, and every edge leaving S departs from an
+// output vertex.  Its desirability is the Compute-to-Input ratio
+//
+//	CI_Ratio = Σ_{u∈S} weight(u) / #inputs(S)     (Eq. 1)
+//
+// The search runs a breadth-first closure from each vertex of the
+// transpose graph, admitting a predecessor only when all of its consumers
+// already lie inside S (which preserves the single-output property), and
+// keeps the prefix with the highest CI_Ratio.
+package dddg
+
+import (
+	"sort"
+
+	"axmemo/internal/ir"
+	"axmemo/internal/trace"
+)
+
+// Graph is the dependence graph of one trace.
+type Graph struct {
+	// Weight per vertex (estimated cycles).
+	Weight []int32
+	// SID per vertex (static instruction id).
+	SID []int32
+	// Op per vertex.
+	Op []ir.Op
+	// Succ and Pred are the adjacency lists.
+	Succ [][]int32
+	Pred [][]int32
+	// LiveIns per vertex: external value sources.
+	LiveIns [][]uint64
+	// TotalWeight is the weight sum over all (non-control) vertices.
+	TotalWeight int64
+}
+
+// Build constructs the DDDG, dropping control vertices (branches, calls)
+// which carry no data values.
+func Build(entries []trace.Entry) *Graph {
+	n := len(entries)
+	g := &Graph{
+		Weight:  make([]int32, n),
+		SID:     make([]int32, n),
+		Op:      make([]ir.Op, n),
+		Succ:    make([][]int32, n),
+		Pred:    make([][]int32, n),
+		LiveIns: make([][]uint64, n),
+	}
+	control := make([]bool, n)
+	for i, e := range entries {
+		control[i] = e.Control
+		if e.Control {
+			continue
+		}
+		g.Weight[i] = e.Weight
+		g.SID[i] = e.SID
+		g.Op[i] = e.Op
+		g.LiveIns[i] = e.LiveIns
+		g.TotalWeight += int64(e.Weight)
+		for _, d := range e.Deps {
+			if control[d] {
+				continue
+			}
+			g.Pred[i] = append(g.Pred[i], d)
+			g.Succ[d] = append(g.Succ[d], int32(i))
+		}
+	}
+	// Mark control vertices as zero-weight orphans so the search skips
+	// them.
+	for i := range entries {
+		if control[i] {
+			g.Op[i] = ir.Nop
+			g.SID[i] = -1
+		}
+	}
+	return g
+}
+
+// Candidate is one transformable subgraph.
+type Candidate struct {
+	// Output is the sole output vertex.
+	Output int32
+	// Vertices lists the member vertex ids.
+	Vertices []int32
+	// Inputs is the number of distinct external value sources.
+	Inputs int
+	// Weight is the summed vertex weight.
+	Weight int64
+	// CIRatio is Eq. 1.
+	CIRatio float64
+	// SIDs is the sorted set of static instruction ids, the structural
+	// fingerprint used for dedup (§5, "comparing their static
+	// instruction IDs").
+	SIDs []int32
+}
+
+// SearchConfig bounds the candidate search.
+type SearchConfig struct {
+	// MinRatio drops candidates below this CI_Ratio threshold.
+	MinRatio float64
+	// MaxInputs drops candidates with more external inputs than the
+	// hardware can profitably hash.
+	MaxInputs int
+	// MaxVertices caps subgraph growth per root.
+	MaxVertices int
+	// MinVertices drops degenerate one-instruction candidates.
+	MinVertices int
+}
+
+// DefaultSearch returns the thresholds used by the Table 1 analysis.
+func DefaultSearch() SearchConfig {
+	return SearchConfig{MinRatio: 5, MaxInputs: 12, MaxVertices: 256, MinVertices: 3}
+}
+
+// Search finds, for every vertex v, the best transformable subgraph with
+// v as its sole output, and returns all candidates passing the
+// thresholds.  This is the "directed breadth first search rooted at each
+// vertex of the transpose of G" of §5.
+func (g *Graph) Search(cfg SearchConfig) []Candidate {
+	n := len(g.Weight)
+	inS := make([]int32, n) // epoch marker
+	var epoch int32
+	var cands []Candidate
+
+	members := make([]int32, 0, cfg.MaxVertices)
+	ext := make(map[uint64]int) // external source key -> consumer count
+
+	for v := 0; v < n; v++ {
+		if g.SID[v] < 0 || g.Weight[v] == 0 {
+			continue // control vertex
+		}
+		epoch++
+		members = members[:0]
+		for k := range ext {
+			delete(ext, k)
+		}
+
+		// Seed with the root.
+		inS[v] = epoch
+		members = append(members, int32(v))
+		weight := int64(g.Weight[v])
+		addSources(g, int32(v), inS, epoch, ext)
+
+		best := Candidate{Output: int32(v)}
+		record := func() {
+			inputs := len(ext)
+			if inputs == 0 {
+				inputs = 1
+			}
+			ratio := float64(weight) / float64(inputs)
+			if ratio > best.CIRatio {
+				best.CIRatio = ratio
+				best.Inputs = inputs
+				best.Weight = weight
+				best.Vertices = append(best.Vertices[:0], members...)
+			}
+		}
+		record()
+
+		// Breadth-first closure over the transpose: repeatedly admit
+		// predecessors all of whose consumers are inside S.
+		for cursor := 0; cursor < len(members) && len(members) < cfg.MaxVertices; cursor++ {
+			for _, p := range g.Pred[members[cursor]] {
+				if inS[p] == epoch || g.SID[p] < 0 {
+					continue
+				}
+				if !allConsumersIn(g, p, inS, epoch) {
+					continue
+				}
+				inS[p] = epoch
+				members = append(members, p)
+				weight += int64(g.Weight[p])
+				// p is no longer an external source.
+				delete(ext, vertexKey(p))
+				addSources(g, p, inS, epoch, ext)
+				record()
+				if len(members) >= cfg.MaxVertices {
+					break
+				}
+			}
+		}
+
+		if len(best.Vertices) >= cfg.MinVertices &&
+			best.Inputs <= cfg.MaxInputs &&
+			best.CIRatio >= cfg.MinRatio {
+			best.SIDs = sidSet(g, best.Vertices)
+			cands = append(cands, best)
+		}
+	}
+	return cands
+}
+
+// vertexKey is the external-source key of an in-graph producer vertex.
+func vertexKey(v int32) uint64 { return uint64(uint32(v)) }
+
+// addSources registers the external inputs that vertex v pulls into S:
+// producer vertices outside S and v's live-in values.
+func addSources(g *Graph, v int32, inS []int32, epoch int32, ext map[uint64]int) {
+	for _, p := range g.Pred[v] {
+		if inS[p] != epoch {
+			ext[vertexKey(p)]++
+		}
+	}
+	for _, k := range g.LiveIns[v] {
+		ext[k]++
+	}
+}
+
+// allConsumersIn reports whether every successor of p is already in S —
+// the admission rule that keeps the subgraph single-output.
+func allConsumersIn(g *Graph, p int32, inS []int32, epoch int32) bool {
+	for _, s := range g.Succ[p] {
+		if inS[s] != epoch {
+			return false
+		}
+	}
+	return len(g.Succ[p]) > 0
+}
+
+// sidSet returns the sorted, deduplicated static ids of the members.
+func sidSet(g *Graph, members []int32) []int32 {
+	set := make(map[int32]struct{}, len(members))
+	for _, m := range members {
+		set[g.SID[m]] = struct{}{}
+	}
+	out := make([]int32, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,307 @@
+package dddg
+
+import (
+	"math"
+	"testing"
+
+	"axmemo/internal/cpu"
+	"axmemo/internal/ir"
+	"axmemo/internal/trace"
+)
+
+// traceOf runs prog with a recorder attached and returns its entries.
+func traceOf(t *testing.T, p *ir.Program, setup func(*cpu.Memory) []uint64) []trace.Entry {
+	t.Helper()
+	rec := trace.NewRecorder(0)
+	cfg := cpu.DefaultConfig()
+	cfg.Hook = rec.Hook()
+	img := cpu.NewMemory(1 << 16)
+	args := setup(img)
+	m, err := cpu.New(p, img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(args...); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Entries()
+}
+
+// buildKernelLoop builds a driver that calls an expensive kernel per
+// element: out[i] = sqrt(exp(x[i]) + log(1+x[i]*x[i])).  The kernel body
+// is a natural memoization candidate: one input, heavy compute.
+func buildKernelLoop(n int) *ir.Program {
+	p := ir.NewProgram("main")
+
+	k := p.NewFunc("kernel", []ir.Type{ir.F32}, []ir.Type{ir.F32})
+	kb := k.NewBlock("entry")
+	kbu := ir.At(k, kb)
+	x := k.Params[0]
+	e := kbu.Un(ir.Exp, ir.F32, x)
+	x2 := kbu.Bin(ir.FMul, ir.F32, x, x)
+	one := kbu.ConstF32(1)
+	l := kbu.Bin(ir.FAdd, ir.F32, x2, one)
+	lg := kbu.Un(ir.Log, ir.F32, l)
+	s := kbu.Bin(ir.FAdd, ir.F32, e, lg)
+	r := kbu.Un(ir.Sqrt, ir.F32, s)
+	kbu.Ret(r)
+
+	f := p.NewFunc("main", []ir.Type{ir.I64, ir.I64}, nil)
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	body := f.NewBlock("body")
+	done := f.NewBlock("done")
+	bu := ir.At(f, entry)
+	i := bu.ConstI32(0)
+	nC := bu.ConstI32(int32(n))
+	inc := bu.ConstI32(1)
+	four := bu.ConstI64(4)
+	src := bu.Mov(ir.I64, f.Params[0])
+	dst := bu.Mov(ir.I64, f.Params[1])
+	bu.Jmp(loop)
+	bu.SetBlock(loop)
+	c := bu.Bin(ir.CmpLT, ir.I32, i, nC)
+	bu.Br(c, body, done)
+	bu.SetBlock(body)
+	v := bu.Load(ir.F32, src, 0)
+	res := bu.Call("kernel", 1, v)
+	bu.Store(ir.F32, dst, 0, res[0])
+	bu.MovTo(ir.I32, i, bu.Bin(ir.Add, ir.I32, i, inc))
+	bu.MovTo(ir.I64, src, bu.Bin(ir.Add, ir.I64, src, four))
+	bu.MovTo(ir.I64, dst, bu.Bin(ir.Add, ir.I64, dst, four))
+	bu.Jmp(loop)
+	bu.SetBlock(done)
+	bu.Ret()
+
+	if err := p.Finalize(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func kernelTrace(t *testing.T, n int) []trace.Entry {
+	return traceOf(t, buildKernelLoop(n), func(img *cpu.Memory) []uint64 {
+		src := img.Alloc(n * 4)
+		dst := img.Alloc(n * 4)
+		for i := 0; i < n; i++ {
+			img.SetF32(src+uint64(i*4), float32(i)*0.25)
+		}
+		return []uint64{src, dst}
+	})
+}
+
+func TestBuildGraphShape(t *testing.T) {
+	es := kernelTrace(t, 4)
+	g := Build(es)
+	if len(g.Weight) != len(es) {
+		t.Fatalf("graph size %d != trace size %d", len(g.Weight), len(es))
+	}
+	if g.TotalWeight == 0 {
+		t.Fatal("zero total weight")
+	}
+	// Control vertices are excluded: their SID is -1.
+	for i, e := range es {
+		if e.Control && g.SID[i] != -1 {
+			t.Errorf("control entry %d kept in graph", i)
+		}
+	}
+}
+
+func TestGraphIsAcyclic(t *testing.T) {
+	// Dependencies always point backward in a dynamic trace.
+	g := Build(kernelTrace(t, 8))
+	for v, preds := range g.Pred {
+		for _, p := range preds {
+			if int(p) >= v {
+				t.Fatalf("forward/self dependency %d -> %d", p, v)
+			}
+		}
+	}
+}
+
+func TestSearchFindsKernelBody(t *testing.T) {
+	g := Build(kernelTrace(t, 8))
+	cands := g.Search(SearchConfig{MinRatio: 10, MaxInputs: 4, MaxVertices: 64, MinVertices: 3})
+	if len(cands) == 0 {
+		t.Fatal("no candidates found in an obviously memoizable kernel")
+	}
+	// The best candidate should have a single input (the kernel
+	// parameter) and include the heavy intrinsics.
+	best := cands[0]
+	for _, c := range cands {
+		if c.CIRatio > best.CIRatio {
+			best = c
+		}
+	}
+	if best.Inputs != 1 {
+		t.Errorf("best candidate inputs = %d, want 1", best.Inputs)
+	}
+	hasMath := false
+	for _, v := range best.Vertices {
+		if g.Op[v] == ir.Exp || g.Op[v] == ir.Log || g.Op[v] == ir.Sqrt {
+			hasMath = true
+		}
+	}
+	if !hasMath {
+		t.Error("best candidate excludes the math intrinsics")
+	}
+	if best.CIRatio < 50 {
+		t.Errorf("CI ratio = %.1f, expected a high ratio for this kernel", best.CIRatio)
+	}
+}
+
+func TestCandidateClosureProperties(t *testing.T) {
+	// Every candidate must satisfy the paper's closure condition:
+	// edges leaving the subgraph only depart from the output vertex.
+	g := Build(kernelTrace(t, 6))
+	cands := g.Search(DefaultSearch())
+	if len(cands) == 0 {
+		t.Skip("no candidates at default thresholds")
+	}
+	for _, c := range cands {
+		inS := make(map[int32]bool, len(c.Vertices))
+		for _, v := range c.Vertices {
+			inS[v] = true
+		}
+		for _, v := range c.Vertices {
+			if v == c.Output {
+				continue
+			}
+			for _, s := range g.Succ[v] {
+				if !inS[s] {
+					t.Fatalf("non-output vertex %d has consumer %d outside subgraph", v, s)
+				}
+			}
+		}
+	}
+}
+
+func TestAnalyzeDedupsLoopIterations(t *testing.T) {
+	g := Build(kernelTrace(t, 16))
+	a := g.Analyze(SearchConfig{MinRatio: 10, MaxInputs: 4, MaxVertices: 64, MinVertices: 3}, 0.5)
+	if a.DynamicSubgraphs < 16 {
+		t.Errorf("dynamic subgraphs = %d, want ≥ 16 (one per iteration)", a.DynamicSubgraphs)
+	}
+	// All loop iterations share static IDs: few unique groups.
+	if len(a.UniqueGroups) == 0 || len(a.UniqueGroups) > 3 {
+		t.Errorf("unique groups = %d, want 1-3", len(a.UniqueGroups))
+	}
+	if a.Coverage <= 0.2 || a.Coverage > 1.0 {
+		t.Errorf("coverage = %.3f, want substantial (kernel dominates runtime)", a.Coverage)
+	}
+	if a.MeanCIRatio < 10 {
+		t.Errorf("mean CI ratio = %.2f", a.MeanCIRatio)
+	}
+}
+
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	g := Build(nil)
+	a := g.Analyze(DefaultSearch(), 0.5)
+	if a.DynamicSubgraphs != 0 || len(a.UniqueGroups) != 0 || a.Coverage != 0 {
+		t.Errorf("empty analysis = %+v", a)
+	}
+}
+
+func TestMaxInputsFilters(t *testing.T) {
+	// A kernel with many independent inputs must be rejected when
+	// MaxInputs is below its input count.
+	p := ir.NewProgram("wide")
+	f := p.NewFunc("wide", []ir.Type{ir.I64}, []ir.Type{ir.F32})
+	bb := f.NewBlock("entry")
+	bu := ir.At(f, bb)
+	var acc ir.Reg
+	for i := 0; i < 8; i++ {
+		v := bu.Load(ir.F32, f.Params[0], int64(i*4))
+		sq := bu.Bin(ir.FMul, ir.F32, v, v)
+		if i == 0 {
+			acc = sq
+		} else {
+			acc = bu.Bin(ir.FAdd, ir.F32, acc, sq)
+		}
+	}
+	r := bu.Un(ir.Sqrt, ir.F32, acc)
+	bu.Ret(r)
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	es := traceOf(t, p, func(img *cpu.Memory) []uint64 {
+		base := img.Alloc(32)
+		for i := 0; i < 8; i++ {
+			img.SetF32(base+uint64(i*4), float32(i+1))
+		}
+		return []uint64{base}
+	})
+	g := Build(es)
+	narrow := g.Search(SearchConfig{MinRatio: 1, MaxInputs: 2, MaxVertices: 64, MinVertices: 5})
+	wide := g.Search(SearchConfig{MinRatio: 1, MaxInputs: 12, MaxVertices: 64, MinVertices: 5})
+	if len(wide) == 0 {
+		t.Fatal("8-input kernel not found with MaxInputs=12")
+	}
+	for _, c := range narrow {
+		if c.Inputs > 2 {
+			t.Errorf("candidate with %d inputs passed MaxInputs=2", c.Inputs)
+		}
+	}
+	// The large 8-load subgraph must be absent from the narrow search.
+	for _, c := range narrow {
+		if len(c.Vertices) >= 20 {
+			t.Errorf("narrow search kept a %d-vertex subgraph", len(c.Vertices))
+		}
+	}
+}
+
+func TestSubsetHelper(t *testing.T) {
+	if !isSubset([]int32{1, 3}, []int32{1, 2, 3}) {
+		t.Error("subset not detected")
+	}
+	if isSubset([]int32{1, 4}, []int32{1, 2, 3}) {
+		t.Error("non-subset accepted")
+	}
+	if !isSubset(nil, []int32{1}) {
+		t.Error("empty set is a subset of anything")
+	}
+}
+
+func TestOverlapHelper(t *testing.T) {
+	if got := overlap([]int32{1, 2, 3}, []int32{2, 3, 4}); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Errorf("overlap = %v, want 2/3", got)
+	}
+	if got := overlap([]int32{1}, []int32{2}); got != 0 {
+		t.Errorf("disjoint overlap = %v", got)
+	}
+}
+
+func TestMergeSIDs(t *testing.T) {
+	got := mergeSIDs([]int32{1, 3, 5}, []int32{2, 3, 6})
+	want := []int32{1, 2, 3, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("merge = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge = %v, want %v", got, want)
+		}
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	p := buildKernelLoop(64)
+	rec := trace.NewRecorder(0)
+	cfg := cpu.DefaultConfig()
+	cfg.Hook = rec.Hook()
+	img := cpu.NewMemory(1 << 16)
+	src := img.Alloc(64 * 4)
+	dst := img.Alloc(64 * 4)
+	for i := 0; i < 64; i++ {
+		img.SetF32(src+uint64(i*4), float32(i))
+	}
+	m, _ := cpu.New(p, img, cfg)
+	if _, err := m.Run(src, dst); err != nil {
+		b.Fatal(err)
+	}
+	g := Build(rec.Entries())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Search(DefaultSearch())
+	}
+}

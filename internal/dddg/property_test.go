@@ -1,0 +1,137 @@
+package dddg
+
+import (
+	"math/rand"
+	"testing"
+
+	"axmemo/internal/ir"
+	"axmemo/internal/trace"
+)
+
+// randomTrace synthesizes a random dependence structure directly (no
+// simulator): each entry depends on a few earlier non-control entries,
+// with occasional live-ins and control vertices sprinkled in.
+func randomTrace(rng *rand.Rand, n int) []trace.Entry {
+	ops := []ir.Op{ir.FAdd, ir.FMul, ir.Sqrt, ir.Add, ir.Load, ir.Exp}
+	entries := make([]trace.Entry, n)
+	for i := range entries {
+		if rng.Intn(8) == 0 {
+			entries[i] = trace.Entry{SID: int32(i % 50), Op: ir.Br, Control: true}
+			continue
+		}
+		op := ops[rng.Intn(len(ops))]
+		e := trace.Entry{SID: int32(i % 50), Op: op, Weight: int32(1 + rng.Intn(40))}
+		nDeps := rng.Intn(3)
+		for d := 0; d < nDeps && i > 0; d++ {
+			cand := int32(rng.Intn(i))
+			if !entries[cand].Control {
+				e.Deps = append(e.Deps, cand)
+			}
+		}
+		if rng.Intn(3) == 0 {
+			e.LiveIns = append(e.LiveIns, trace.ParamKey(uint64(rng.Intn(4)), ir.Reg(rng.Intn(8))))
+		}
+		entries[i] = e
+	}
+	return entries
+}
+
+// Property: on arbitrary dependence structures, every candidate the
+// search returns satisfies the paper's closure conditions, respects the
+// configured bounds, and reports a CI_Ratio consistent with its members.
+func TestSearchPropertiesOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	cfg := SearchConfig{MinRatio: 2, MaxInputs: 6, MaxVertices: 64, MinVertices: 2}
+	for trial := 0; trial < 25; trial++ {
+		g := Build(randomTrace(rng, 400))
+		for _, c := range g.Search(cfg) {
+			inS := make(map[int32]bool, len(c.Vertices))
+			var weight int64
+			for _, v := range c.Vertices {
+				inS[v] = true
+				weight += int64(g.Weight[v])
+			}
+			// Closure: only the output vertex may feed consumers
+			// outside S.
+			for _, v := range c.Vertices {
+				if v == c.Output {
+					continue
+				}
+				for _, s := range g.Succ[v] {
+					if !inS[s] {
+						t.Fatalf("trial %d: vertex %d leaks to %d outside the subgraph", trial, v, s)
+					}
+				}
+			}
+			// The output must be a member.
+			if !inS[c.Output] {
+				t.Fatalf("trial %d: output %d not a member", trial, c.Output)
+			}
+			// Bounds.
+			if len(c.Vertices) < cfg.MinVertices || len(c.Vertices) > cfg.MaxVertices {
+				t.Fatalf("trial %d: size %d out of bounds", trial, len(c.Vertices))
+			}
+			if c.Inputs > cfg.MaxInputs || c.Inputs < 1 {
+				t.Fatalf("trial %d: inputs %d out of bounds", trial, c.Inputs)
+			}
+			// Reported weight and ratio are self-consistent.
+			if c.Weight != weight {
+				t.Fatalf("trial %d: weight %d, members sum to %d", trial, c.Weight, weight)
+			}
+			if got := float64(weight) / float64(c.Inputs); got < cfg.MinRatio || absDiff(got, c.CIRatio) > 1e-9 {
+				t.Fatalf("trial %d: CI ratio %v inconsistent (recomputed %v)", trial, c.CIRatio, got)
+			}
+			// Exact external-input recount: distinct outside
+			// producers plus distinct live-in keys of members.
+			ext := map[uint64]bool{}
+			for _, v := range c.Vertices {
+				for _, p := range g.Pred[v] {
+					if !inS[p] {
+						ext[uint64(uint32(p))] = true
+					}
+				}
+				for _, k := range g.LiveIns[v] {
+					ext[k] = true
+				}
+			}
+			wantInputs := len(ext)
+			if wantInputs == 0 {
+				wantInputs = 1
+			}
+			if c.Inputs != wantInputs {
+				t.Fatalf("trial %d: inputs %d, recount %d", trial, c.Inputs, wantInputs)
+			}
+		}
+	}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Property: Analyze's coverage is a valid fraction and its group counts
+// are consistent with the dynamic candidate count.
+func TestAnalyzePropertiesOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	cfg := SearchConfig{MinRatio: 2, MaxInputs: 6, MaxVertices: 64, MinVertices: 2}
+	for trial := 0; trial < 15; trial++ {
+		g := Build(randomTrace(rng, 300))
+		a := g.Analyze(cfg, 0.5)
+		if a.Coverage < 0 || a.Coverage > 1 {
+			t.Fatalf("coverage %v out of [0,1]", a.Coverage)
+		}
+		var groupCount int
+		for _, grp := range a.UniqueGroups {
+			groupCount += grp.Count
+		}
+		if groupCount > a.DynamicSubgraphs {
+			t.Fatalf("groups cover %d candidates but only %d exist", groupCount, a.DynamicSubgraphs)
+		}
+		if a.DynamicSubgraphs > 0 && len(a.UniqueGroups) == 0 {
+			t.Fatal("candidates exist but no unique groups survived filtering")
+		}
+	}
+}

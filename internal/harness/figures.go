@@ -1,0 +1,520 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"axmemo/internal/memo"
+	"axmemo/internal/quality"
+	"axmemo/internal/workloads"
+)
+
+// Figure is one reproduced table or figure, as rows of text cells.
+type Figure struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders an aligned text table.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	widths := make([]int, len(f.Header))
+	for i, h := range f.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range f.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(f.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range f.Rows {
+		line(row)
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Bars renders one column of the figure as a horizontal ASCII bar chart,
+// scaled to the column's maximum.  Cells are parsed as leading floats
+// ("2.42x", "67.17%"); unparsable rows are skipped.
+func (f *Figure) Bars(col int, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	type bar struct {
+		label string
+		v     float64
+	}
+	var bars []bar
+	maxV := 0.0
+	for _, row := range f.Rows {
+		if col >= len(row) {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(row[col], "%f", &v); err != nil {
+			continue
+		}
+		bars = append(bars, bar{row[0], v})
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if len(bars) == 0 || maxV == 0 {
+		return ""
+	}
+	labelW := 0
+	for _, b := range bars {
+		if len(b.label) > labelW {
+			labelW = len(b.label)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s [%s]\n", f.ID, f.Title, f.Header[col])
+	for _, b := range bars {
+		n := int(b.v / maxV * float64(width))
+		fmt.Fprintf(&sb, "%-*s | %-*s %.3g\n", labelW, b.label, width, strings.Repeat("#", n), b.v)
+	}
+	return sb.String()
+}
+
+// Suite caches runs so that multiple figures share the same sweep.
+type Suite struct {
+	Scale     int
+	baselines map[string]*Result
+	sweep     map[string]map[string]*Result // workload -> config -> result
+}
+
+// NewSuite prepares a suite at the given input scale.
+func NewSuite(scale int) *Suite {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Suite{
+		Scale:     scale,
+		baselines: make(map[string]*Result),
+		sweep:     make(map[string]map[string]*Result),
+	}
+}
+
+// Baseline runs (and caches) the unmemoized configuration.
+func (s *Suite) Baseline(w *workloads.Workload) (*Result, error) {
+	if r, ok := s.baselines[w.Name]; ok {
+		return r, nil
+	}
+	cfg := Baseline()
+	cfg.Scale = s.Scale
+	r, err := Run(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.baselines[w.Name] = r
+	return r, nil
+}
+
+// Under runs (and caches) one standard configuration.
+func (s *Suite) Under(w *workloads.Workload, cfg Config) (*Result, error) {
+	cfg.Scale = s.Scale
+	if m, ok := s.sweep[w.Name]; ok {
+		if r, ok := m[cfg.Name]; ok {
+			return r, nil
+		}
+	} else {
+		s.sweep[w.Name] = make(map[string]*Result)
+	}
+	r, err := Run(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.sweep[w.Name][cfg.Name] = r
+	return r, nil
+}
+
+func f2x(v float64) string { return fmt.Sprintf("%.2fx", v) }
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}
+
+// perConfigFigure sweeps workloads × configs and formats cell(result,
+// baseline) per cell, with an average row.
+func (s *Suite) perConfigFigure(id, title string, configs []Config,
+	cell func(r, base *Result) (string, float64)) (*Figure, error) {
+	fig := &Figure{ID: id, Title: title, Header: []string{"benchmark"}}
+	for _, c := range configs {
+		fig.Header = append(fig.Header, c.Name)
+	}
+	sums := make([][]float64, len(configs))
+	for _, w := range workloads.All() {
+		base, err := s.Baseline(w)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{w.Name}
+		for ci, c := range configs {
+			r, err := s.Under(w, c)
+			if err != nil {
+				return nil, err
+			}
+			text, val := cell(r, base)
+			row = append(row, text)
+			sums[ci] = append(sums[ci], val)
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	avg := []string{"average"}
+	for ci := range configs {
+		avg = append(avg, fmt.Sprintf("%.4g", mean(sums[ci])))
+	}
+	fig.Rows = append(fig.Rows, avg)
+	return fig, nil
+}
+
+// Fig7a reproduces Fig. 7a: whole-application speedup per LUT
+// configuration, normalized to the unmemoized baseline.
+func (s *Suite) Fig7a() (*Figure, error) {
+	fig, err := s.perConfigFigure("Fig7a", "speedup over baseline (higher is better)",
+		StandardConfigs(), func(r, base *Result) (string, float64) {
+			v := float64(base.Cycles) / float64(r.Cycles)
+			return f2x(v), v
+		})
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes, "paper: 1.40x avg for L1(4KB), 2.82x avg for L1(8KB)+L2(512KB), 0.94x for software LUT")
+	return fig, nil
+}
+
+// Fig7b reproduces Fig. 7b: energy saving E_baseline/E_config.
+func (s *Suite) Fig7b() (*Figure, error) {
+	fig, err := s.perConfigFigure("Fig7b", "energy saving over baseline (higher is better)",
+		StandardConfigs(), func(r, base *Result) (string, float64) {
+			v := base.EnergyPJ / r.EnergyPJ
+			return f2x(v), v
+		})
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes, "paper: 1.37x avg for L1(4KB), 2.72x avg for L1(8KB)+L2(512KB), ~1x for software LUT")
+	return fig, nil
+}
+
+// Fig8 reproduces Fig. 8: normalized dynamic instruction count, with the
+// memoization-instruction share in parentheses.
+func (s *Suite) Fig8() (*Figure, error) {
+	fig, err := s.perConfigFigure("Fig8", "dynamic instructions normalized to baseline (memo share in parens)",
+		StandardConfigs(), func(r, base *Result) (string, float64) {
+			norm := float64(r.Insns) / float64(base.Insns)
+			share := float64(r.MemoInsns) / float64(base.Insns)
+			return fmt.Sprintf("%.3f (%.3f)", norm, share), norm
+		})
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes,
+		"paper: 20.0% reduction for L1(4KB), 50.1% for L1(8KB)+L2(512KB); software implementation ~2x increase")
+	return fig, nil
+}
+
+// Fig9 reproduces Fig. 9: total LUT hit rate per configuration.
+func (s *Suite) Fig9() (*Figure, error) {
+	fig, err := s.perConfigFigure("Fig9", "LUT hit rate",
+		StandardConfigs(), func(r, base *Result) (string, float64) {
+			return pct(r.HitRate), r.HitRate
+		})
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes, "paper: 37.1% avg for L1(4KB), 76.1% for L1(8KB)+L2(512KB), 81.1% software LUT")
+	return fig, nil
+}
+
+// Fig10a reproduces Fig. 10a: whole-application quality loss per
+// configuration (E_r, or misclassification rate for jmeint).
+func (s *Suite) Fig10a() (*Figure, error) {
+	fig, err := s.perConfigFigure("Fig10a", "output quality loss (E_r; misclassification for jmeint)",
+		StandardConfigs(), func(r, base *Result) (string, float64) {
+			return fmt.Sprintf("%.4f%%", 100*r.Quality), r.Quality
+		})
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes,
+		"paper: average output error below 1% in all configurations; software LUT higher due to collisions")
+	return fig, nil
+}
+
+// Fig10b reproduces Fig. 10b: the CDF of element-wise relative error at
+// the largest configuration, sampled at fixed error points.
+func (s *Suite) Fig10b() (*Figure, error) {
+	points := []float64{0, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
+	fig := &Figure{
+		ID:     "Fig10b",
+		Title:  "CDF of element-wise relative error, L1(8KB)+L2(512KB)",
+		Header: []string{"benchmark"},
+	}
+	for _, p := range points {
+		fig.Header = append(fig.Header, fmt.Sprintf("≤%.0e", p))
+	}
+	for _, w := range workloads.All() {
+		if w.Misclass {
+			continue // boolean outputs have no element-wise error CDF
+		}
+		cfg := BestConfig()
+		cfg.CollectElemErrors = true
+		cfg.Name = cfg.Name + " +cdf"
+		r, err := s.Under(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cdf := quality.NewCDF(r.ElemErrors)
+		row := []string{w.Name}
+		for _, v := range cdf.Points(points) {
+			row = append(row, pct(v))
+		}
+		fig.Rows = append(fig.Rows, row)
+	}
+	return fig, nil
+}
+
+// Fig11 reproduces Fig. 11: speedup and energy saving with the Table 2
+// truncation versus with approximation disabled, both on the largest
+// configuration.
+func (s *Suite) Fig11() (*Figure, error) {
+	fig := &Figure{
+		ID:    "Fig11",
+		Title: "effect of approximation (input truncation), L1(8KB)+L2(512KB)",
+		Header: []string{"benchmark", "speedup w/ approx", "speedup w/o approx",
+			"energy w/ approx", "energy w/o approx", "hit w/", "hit w/o"},
+	}
+	var hitW, hitWo []float64
+	for _, w := range workloads.All() {
+		base, err := s.Baseline(w)
+		if err != nil {
+			return nil, err
+		}
+		with, err := s.Under(w, BestConfig())
+		if err != nil {
+			return nil, err
+		}
+		noTr := BestConfig()
+		noTr.Name = "L1 (8KB)+L2 (512KB) no-approx"
+		noTr.Trunc = make([]uint8, len(w.TruncBits))
+		without, err := s.Under(w, noTr)
+		if err != nil {
+			return nil, err
+		}
+		fig.Rows = append(fig.Rows, []string{
+			w.Name,
+			f2x(float64(base.Cycles) / float64(with.Cycles)),
+			f2x(float64(base.Cycles) / float64(without.Cycles)),
+			f2x(base.EnergyPJ / with.EnergyPJ),
+			f2x(base.EnergyPJ / without.EnergyPJ),
+			pct(with.HitRate),
+			pct(without.HitRate),
+		})
+		hitW = append(hitW, with.HitRate)
+		hitWo = append(hitWo, without.HitRate)
+	}
+	fig.Rows = append(fig.Rows, []string{"average", "", "", "", "", pct(mean(hitW)), pct(mean(hitWo))})
+	fig.Notes = append(fig.Notes,
+		"paper: disabling approximation drops average hit rate from 76.1% to 47.2%; JPEG, Sobel and SRAD lose their gains")
+	return fig, nil
+}
+
+// ATMComparison reproduces the §6.2 prior-work comparison.
+func (s *Suite) ATMComparison() (*Figure, error) {
+	fig := &Figure{
+		ID:     "ATM",
+		Title:  "comparison with Approximate Task Memoization (software prior work)",
+		Header: []string{"benchmark", "ATM speedup", "ATM hit rate", "AxMemo speedup"},
+	}
+	var atmSp []float64
+	for _, w := range workloads.All() {
+		base, err := s.Baseline(w)
+		if err != nil {
+			return nil, err
+		}
+		atmRes, err := s.Under(w, Config{Name: "ATM", Mode: ModeATM})
+		if err != nil {
+			return nil, err
+		}
+		hw, err := s.Under(w, BestConfig())
+		if err != nil {
+			return nil, err
+		}
+		sp := float64(base.Cycles) / float64(atmRes.Cycles)
+		atmSp = append(atmSp, sp)
+		fig.Rows = append(fig.Rows, []string{
+			w.Name, f2x(sp), pct(atmRes.HitRate),
+			f2x(float64(base.Cycles) / float64(hw.Cycles)),
+		})
+	}
+	fig.Rows = append(fig.Rows, []string{"geomean", f2x(geomean(atmSp)), "", ""})
+	fig.Notes = append(fig.Notes,
+		"paper: ATM speeds up only blackscholes (5.8x), fft (2.6x), inversek2j (1.3x) and k-means (1.3x); geomean 0.8x")
+	return fig, nil
+}
+
+// L2Sensitivity reproduces the §6.2 study: shrink the shared L2 cache
+// from 1MB to 512KB while keeping a 256KB L2 LUT, and report the
+// performance degradation of the memoized configuration.
+func (s *Suite) L2Sensitivity() (*Figure, error) {
+	fig := &Figure{
+		ID:     "SENS",
+		Title:  "sensitivity to total L2 size (256KB L2 LUT; 1MB vs 512KB shared L2)",
+		Header: []string{"benchmark", "cycles @1MB", "cycles @512KB", "degradation"},
+	}
+	var degs []float64
+	for _, w := range workloads.All() {
+		big, err := s.Under(w, HW("L1 (8KB)+L2 (256KB)", 8, 256))
+		if err != nil {
+			return nil, err
+		}
+		smallCfg := HW("L1 (8KB)+L2 (256KB) @512KB-L2", 8, 256)
+		smallCfg.TotalL2CacheKB = 512
+		small, err := s.Under(w, smallCfg)
+		if err != nil {
+			return nil, err
+		}
+		deg := float64(small.Cycles)/float64(big.Cycles) - 1
+		degs = append(degs, deg)
+		fig.Rows = append(fig.Rows, []string{
+			w.Name,
+			fmt.Sprintf("%d", big.Cycles),
+			fmt.Sprintf("%d", small.Cycles),
+			pct(deg),
+		})
+	}
+	fig.Rows = append(fig.Rows, []string{"average", "", "", pct(mean(degs))})
+	fig.Notes = append(fig.Notes, "paper: 0.44% average degradation, 1.55% worst (hotspot)")
+	return fig, nil
+}
+
+// Table2 reproduces Table 2's configuration columns.
+func Table2() *Figure {
+	fig := &Figure{
+		ID:     "Table2",
+		Title:  "evaluated benchmarks",
+		Header: []string{"benchmark", "domain", "description", "memo input (bytes)", "truncated bits"},
+	}
+	for _, w := range workloads.All() {
+		tr := make([]string, len(w.TruncBits))
+		for i, t := range w.TruncBits {
+			tr[i] = fmt.Sprintf("%d", t)
+		}
+		fig.Rows = append(fig.Rows, []string{
+			w.Name, w.Domain, w.Description, w.InputBytes, strings.Join(tr, ", "),
+		})
+	}
+	return fig
+}
+
+// Table4 reproduces the ISA-extension timing parameters as modeled.
+func Table4() *Figure {
+	mc := memo.DefaultConfig()
+	fig := &Figure{
+		ID:     "Table4",
+		Title:  "timing parameters of the AxMemo ISA extensions (as modeled)",
+		Header: []string{"instruction", "latency"},
+	}
+	fig.Rows = [][]string{
+		{"ld_crc dst,[addr],LUT_ID,n", fmt.Sprintf("load latency; CRC unit absorbs %d B/cycle in the background", mc.CRCBytesPerCycle)},
+		{"reg_crc src,LUT_ID,n", fmt.Sprintf("1 cycle issue; CRC unit absorbs %d B/cycle in the background", mc.CRCBytesPerCycle)},
+		{"lookup dst,LUT_ID", fmt.Sprintf("%d cycles L1 LUT, +13 cycles L2 LUT; waits for the CRC queue to drain", mc.L1.HitLatency)},
+		{"update src,LUT_ID", fmt.Sprintf("%d cycles", mc.UpdateLatency)},
+		{"invalidate LUT_ID", "1 cycle per way in a set (dedicated hardware)"},
+	}
+	fig.Notes = append(fig.Notes,
+		"paper Table 4 charges one cycle per byte for the feeds; the evaluated unit is unrolled 4x (§6.1), which the model defaults to — set CRCBytesPerCycle=1 for the byte-serial unit (BenchmarkAblationCRCRate)")
+	return fig
+}
+
+// Table5 reproduces the synthesized unit costs adopted as model
+// constants.
+func Table5() *Figure {
+	fig := &Figure{
+		ID:     "Table5",
+		Title:  "area, energy and timing of the memoization units (32nm model constants)",
+		Header: []string{"unit", "area (mm^2)", "energy (pJ)", "latency (ns)"},
+	}
+	rows := []struct {
+		name string
+		c    memo.UnitCosts
+	}{
+		{"CRC32 unit", memo.CostCRC32Unit},
+		{"Hash register", memo.CostHashReg},
+		{"LUT (4KB)", memo.CostLUT4KB},
+		{"LUT (8KB)", memo.CostLUT8KB},
+		{"LUT (16KB)", memo.CostLUT16KB},
+	}
+	for _, r := range rows {
+		fig.Rows = append(fig.Rows, []string{
+			r.name,
+			fmt.Sprintf("%.4f", r.c.AreaMM2),
+			fmt.Sprintf("%.4f", r.c.EnergyPJ),
+			fmt.Sprintf("%.4f", r.c.LatencyNS),
+		})
+	}
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("area overhead with 16KB L1 LUT on two cores: %.2f%% of the %.2f mm^2 HPI processor",
+			100*memo.AreaOverhead(16<<10, 2), memo.HPIProcessorAreaMM2))
+	return fig
+}
+
+// SortedConfigNames lists the cached configurations of a workload, for
+// diagnostics.
+func (s *Suite) SortedConfigNames(workload string) []string {
+	var names []string
+	for n := range s.sweep[workload] {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

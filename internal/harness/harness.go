@@ -1,0 +1,260 @@
+// Package harness runs the paper's experiments: it builds a workload,
+// applies the AxMemo compiler transformation for the requested hardware
+// or software configuration, executes it on the timing simulator, scores
+// output quality, and emits the rows of every table and figure in the
+// evaluation section (ISCA'19 §6).
+package harness
+
+import (
+	"fmt"
+
+	"axmemo/internal/atm"
+	"axmemo/internal/compiler"
+	"axmemo/internal/cpu"
+	"axmemo/internal/crc"
+	"axmemo/internal/energy"
+	"axmemo/internal/memo"
+	"axmemo/internal/quality"
+	"axmemo/internal/softmemo"
+	"axmemo/internal/workloads"
+)
+
+// Mode selects what services the memo instructions.
+type Mode int
+
+// Execution modes.
+const (
+	// ModeBaseline runs the unmemoized program.
+	ModeBaseline Mode = iota
+	// ModeHW attaches the AxMemo hardware unit.
+	ModeHW
+	// ModeSoftLUT uses the §6.2 software-LUT implementation.
+	ModeSoftLUT
+	// ModeATM uses the ATM prior-work runtime.
+	ModeATM
+)
+
+// Config names one experimental configuration.
+type Config struct {
+	// Name is the label used in figure rows (e.g. "L1 (8KB)+L2 (512KB)").
+	Name string
+	Mode Mode
+	// L1KB and L2KB size the hardware LUT levels (ModeHW); L2KB = 0
+	// disables the second level.
+	L1KB int
+	L2KB int
+	// Trunc overrides the Table 2 truncation defaults (nil keeps them;
+	// a zero slice disables approximation as in Fig. 11).
+	Trunc []uint8
+	// Scale is the input-size multiplier (1 = test scale).
+	Scale int
+	// MonitorOff disables the quality-monitoring unit.
+	MonitorOff bool
+	// TrackCollisions enables hash-collision accounting (hardware).
+	TrackCollisions bool
+	// TotalL2CacheKB shrinks the processor's shared L2 (default 1024;
+	// the §6.2 sensitivity study uses 512).
+	TotalL2CacheKB int
+	// CRCWidth overrides the 32-bit CRC (16/32/64; ablation).
+	CRCWidth uint
+	// DataBytes8 forces the 4-way × 8-byte LUT geometry (ablation);
+	// kernels with 8-byte outputs force it regardless.
+	DataBytes8 bool
+	// CollectElemErrors retains per-element relative errors (Fig. 10b).
+	CollectElemErrors bool
+	// Adaptive enables the §3.1 runtime truncation controller.
+	Adaptive bool
+	// CRCBytesPerCycle overrides the hash unit's absorption rate
+	// (0 keeps the default unrolled 4 B/cycle; 1 models Table 4's
+	// byte-serial unit).
+	CRCBytesPerCycle int
+}
+
+// Baseline returns the no-memoization configuration.
+func Baseline() Config { return Config{Name: "Baseline", Mode: ModeBaseline, Scale: 1} }
+
+// HW builds a hardware configuration with the given LUT sizes in KB.
+func HW(name string, l1KB, l2KB int) Config {
+	return Config{Name: name, Mode: ModeHW, L1KB: l1KB, L2KB: l2KB, Scale: 1}
+}
+
+// StandardConfigs returns the LUT sweep of Figs. 7-10: L1 (4KB), L1
+// (8KB), L1 (8KB)+L2 (256KB), L1 (8KB)+L2 (512KB), and the software LUT.
+func StandardConfigs() []Config {
+	return []Config{
+		HW("L1 (4KB)", 4, 0),
+		HW("L1 (8KB)", 8, 0),
+		HW("L1 (8KB)+L2 (256KB)", 8, 256),
+		HW("L1 (8KB)+L2 (512KB)", 8, 512),
+		{Name: "Software LUT", Mode: ModeSoftLUT, Scale: 1},
+	}
+}
+
+// BestConfig is the largest hardware configuration, used by Figs. 10b
+// and 11.
+func BestConfig() Config { return HW("L1 (8KB)+L2 (512KB)", 8, 512) }
+
+// Result is the measured outcome of one run.
+type Result struct {
+	Workload string
+	Config   string
+	Mode     Mode
+
+	Cycles    uint64
+	Insns     uint64
+	MemoInsns uint64
+	EnergyPJ  float64
+	// Energy is the per-component price breakdown.
+	Energy energy.Breakdown
+
+	HitRate    float64
+	L1HitRate  float64
+	Collisions uint64
+	Monitor    memo.MonitorStats
+
+	// Quality is E_r (Eq. 2) against the golden outputs, or the
+	// misclassification rate for Jmeint.
+	Quality float64
+	// ElemErrors holds per-element relative errors when requested.
+	ElemErrors []float64
+}
+
+// Run executes one workload under one configuration.
+func Run(w *workloads.Workload, cfg Config) (*Result, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	prog := w.Build()
+	ccfg := cpu.DefaultConfig()
+	if cfg.TotalL2CacheKB > 0 {
+		ccfg.Hierarchy.L2.SizeBytes = cfg.TotalL2CacheKB << 10
+	}
+
+	var kinds map[uint8]memo.OutputKind
+	l1Bytes := 8 << 10
+	if cfg.Mode != ModeBaseline {
+		regions := w.Regions(cfg.Trunc)
+		if err := compiler.Transform(prog, regions); err != nil {
+			return nil, fmt.Errorf("harness: %s/%s: %w", w.Name, cfg.Name, err)
+		}
+		switch cfg.Mode {
+		case ModeHW:
+			base := memo.DefaultConfig()
+			if cfg.L1KB > 0 {
+				base.L1.SizeBytes = cfg.L1KB << 10
+				l1Bytes = cfg.L1KB << 10
+			}
+			if cfg.L2KB > 0 {
+				base.L2 = &memo.LUTConfig{SizeBytes: cfg.L2KB << 10, DataBytes: base.L1.DataBytes, HitLatency: 13}
+				// The L2 LUT is carved out of the shared cache:
+				// reserve ways (64 KB per way of the 1 MB/16-way
+				// L2; proportional for other sizes).
+				wayBytes := ccfg.Hierarchy.L2.SizeBytes / ccfg.Hierarchy.L2.Ways
+				ccfg.Hierarchy.L2ReservedWays = (cfg.L2KB << 10) / wayBytes
+			}
+			if cfg.DataBytes8 {
+				base.L1.DataBytes = 8
+			}
+			if cfg.MonitorOff {
+				base.Monitor.Enabled = false
+			}
+			if cfg.CRCWidth != 0 {
+				params, err := memoCRC(cfg.CRCWidth)
+				if err != nil {
+					return nil, err
+				}
+				base.CRC = params
+			}
+			base.TrackCollisions = cfg.TrackCollisions
+			if cfg.Adaptive {
+				base.Adaptive = memo.DefaultAdaptive()
+			}
+			if cfg.CRCBytesPerCycle > 0 {
+				base.CRCBytesPerCycle = cfg.CRCBytesPerCycle
+			}
+			full, k, err := compiler.MemoConfigFor(prog, regions, base)
+			if err != nil {
+				return nil, err
+			}
+			kinds = k
+			ccfg.Memo = &full
+		case ModeSoftLUT:
+			u, err := softmemo.New(softmemo.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			ccfg.Soft = u
+		case ModeATM:
+			u, err := atm.New(atm.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			ccfg.Soft = u
+		}
+	}
+
+	img := cpu.NewMemory(w.MemBytes(cfg.Scale))
+	inst := w.Setup(img, cfg.Scale)
+	m, err := cpu.New(prog, img, ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s/%s: %w", w.Name, cfg.Name, err)
+	}
+	for lut, kind := range kinds {
+		m.MemoUnit().SetOutputKind(lut, kind)
+	}
+	run, err := m.Run(inst.Args...)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s/%s: %w", w.Name, cfg.Name, err)
+	}
+	st := run.Stats
+
+	model := energy.Default().ForL1LUT(l1Bytes)
+	breakdown := model.Price(st.Energy)
+	res := &Result{
+		Workload:  w.Name,
+		Config:    cfg.Name,
+		Mode:      cfg.Mode,
+		Cycles:    st.Cycles,
+		Insns:     st.Insns,
+		MemoInsns: st.MemoInsns,
+		EnergyPJ:  breakdown.TotalPJ(),
+		Energy:    breakdown,
+		Monitor:   st.Monitor,
+	}
+	switch cfg.Mode {
+	case ModeHW:
+		res.HitRate = st.Memo.HitRate()
+		res.L1HitRate = st.Memo.L1HitRate()
+		res.Collisions = st.Memo.Collisions
+	case ModeSoftLUT, ModeATM:
+		res.HitRate = st.Soft.HitRate()
+		res.Collisions = st.Soft.Collisions
+	}
+
+	if w.Misclass {
+		q, err := quality.Misclassification(inst.OutputsBool(img), inst.GoldenBool)
+		if err != nil {
+			return nil, err
+		}
+		res.Quality = q
+	} else {
+		outs := inst.Outputs(img)
+		q, err := quality.OutputError(outs, inst.Golden)
+		if err != nil {
+			return nil, err
+		}
+		res.Quality = q
+		if cfg.CollectElemErrors {
+			errs, err := quality.ElementErrors(outs, inst.Golden)
+			if err != nil {
+				return nil, err
+			}
+			res.ElemErrors = errs
+		}
+	}
+	return res, nil
+}
+
+func memoCRC(width uint) (crc.Params, error) {
+	return crc.ByWidth(width)
+}

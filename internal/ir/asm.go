@@ -1,0 +1,661 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a program in the textual IR format produced by
+// Program.Dump / Function.Disassemble:
+//
+//	program main
+//
+//	func square(r0 f32) (f32) {
+//	b0: ; entry
+//		r1 = fmul.f32 r0, r0
+//		ret r1
+//	}
+//
+// Parse(Dump(p)) reconstructs p exactly (up to NaN payloads in float
+// constants); the package tests assert this round trip over every
+// benchmark program.  The returned program is finalized.
+func Parse(src string) (*Program, error) {
+	ps := &parser{lines: strings.Split(src, "\n")}
+	prog, err := ps.program()
+	if err != nil {
+		return nil, fmt.Errorf("ir: line %d: %w", ps.ln, err)
+	}
+	if err := prog.Finalize(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	lines []string
+	ln    int // 1-based line number of the line just consumed
+}
+
+// next returns the next non-empty line with comments-only lines skipped.
+func (ps *parser) next() (string, bool) {
+	for ps.ln < len(ps.lines) {
+		line := strings.TrimSpace(ps.lines[ps.ln])
+		ps.ln++
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		return line, true
+	}
+	return "", false
+}
+
+func (ps *parser) program() (*Program, error) {
+	line, ok := ps.next()
+	if !ok || !strings.HasPrefix(line, "program ") {
+		return nil, fmt.Errorf("expected 'program <entry>' directive, got %q", line)
+	}
+	prog := NewProgram(strings.TrimSpace(strings.TrimPrefix(line, "program ")))
+	for {
+		line, ok := ps.next()
+		if !ok {
+			break
+		}
+		if !strings.HasPrefix(line, "func ") {
+			return nil, fmt.Errorf("expected 'func', got %q", line)
+		}
+		if err := ps.function(prog, line); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// function parses one `func name(params) (rets) {` ... `}` body.
+func (ps *parser) function(prog *Program, header string) error {
+	rest := strings.TrimPrefix(header, "func ")
+	open := strings.IndexByte(rest, '(')
+	if open < 0 {
+		return fmt.Errorf("malformed function header %q", header)
+	}
+	name := strings.TrimSpace(rest[:open])
+	rest = rest[open+1:]
+	close1 := strings.IndexByte(rest, ')')
+	if close1 < 0 {
+		return fmt.Errorf("unterminated parameter list in %q", header)
+	}
+	paramSrc := rest[:close1]
+	rest = strings.TrimSpace(rest[close1+1:])
+
+	var paramTypes []Type
+	var paramRegs []Reg
+	if strings.TrimSpace(paramSrc) != "" {
+		for _, part := range strings.Split(paramSrc, ",") {
+			fields := strings.Fields(part)
+			if len(fields) != 2 {
+				return fmt.Errorf("malformed parameter %q", part)
+			}
+			r, err := parseReg(fields[0])
+			if err != nil {
+				return err
+			}
+			ty, err := parseType(fields[1])
+			if err != nil {
+				return err
+			}
+			paramRegs = append(paramRegs, r)
+			paramTypes = append(paramTypes, ty)
+		}
+	}
+
+	var retTypes []Type
+	if strings.HasPrefix(rest, "(") {
+		close2 := strings.IndexByte(rest, ')')
+		if close2 < 0 {
+			return fmt.Errorf("unterminated return list in %q", header)
+		}
+		for _, part := range strings.Split(rest[1:close2], ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			ty, err := parseType(part)
+			if err != nil {
+				return err
+			}
+			retTypes = append(retTypes, ty)
+		}
+		rest = strings.TrimSpace(rest[close2+1:])
+	}
+	if rest != "{" {
+		return fmt.Errorf("expected '{' at end of function header, got %q", rest)
+	}
+
+	f := prog.NewFunc(name, paramTypes, retTypes)
+	// The builder allocated params as r0..rN-1; the textual form must
+	// agree (Dump always emits them that way).
+	for i, r := range paramRegs {
+		if f.Params[i] != r {
+			return fmt.Errorf("function %s: parameter %d named %s, expected %s", name, i, r, f.Params[i])
+		}
+	}
+
+	var cur *Block
+	maxReg := Reg(len(paramRegs)) - 1
+	bump := func(r Reg) {
+		if r > maxReg {
+			maxReg = r
+		}
+	}
+	for {
+		line, ok := ps.next()
+		if !ok {
+			return fmt.Errorf("unterminated function %s", name)
+		}
+		if line == "}" {
+			break
+		}
+		if idx := blockLabel(line); idx >= 0 {
+			blockName := ""
+			if c := strings.Index(line, ";"); c >= 0 {
+				blockName = strings.TrimSpace(line[c+1:])
+			}
+			cur = f.NewBlock(blockName)
+			if cur.Index != idx {
+				return fmt.Errorf("block label b%d out of order (expected b%d)", idx, cur.Index)
+			}
+			continue
+		}
+		if cur == nil {
+			return fmt.Errorf("instruction %q before any block label", line)
+		}
+		in, err := parseInstr(line)
+		if err != nil {
+			return fmt.Errorf("func %s: %w", name, err)
+		}
+		for _, r := range in.Uses(nil) {
+			bump(r)
+		}
+		for _, r := range in.Defs(nil) {
+			bump(r)
+		}
+		cur.Instrs = append(cur.Instrs, in)
+	}
+	// Size the register file to cover every mentioned register.
+	f.reserveRegs(int(maxReg) + 1)
+	return nil
+}
+
+// blockLabel returns the block index of a `bN:` line, or -1.
+func blockLabel(line string) int {
+	if !strings.HasPrefix(line, "b") {
+		return -1
+	}
+	colon := strings.IndexByte(line, ':')
+	if colon < 1 {
+		return -1
+	}
+	n, err := strconv.Atoi(line[1:colon])
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+func parseReg(s string) (Reg, error) {
+	s = strings.TrimSpace(s)
+	if s == "_" {
+		return NoReg, nil
+	}
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("malformed register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("malformed register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parseType(s string) (Type, error) {
+	switch strings.TrimSpace(s) {
+	case "i32":
+		return I32, nil
+	case "i64":
+		return I64, nil
+	case "f32":
+		return F32, nil
+	case "f64":
+		return F64, nil
+	}
+	return 0, fmt.Errorf("unknown type %q", s)
+}
+
+func parseRegList(s string) ([]Reg, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []Reg
+	for _, part := range strings.Split(s, ",") {
+		r, err := parseReg(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// parseAddr parses `[rA+OFF]` (OFF is a signed byte offset).
+func parseAddr(s string) (Reg, int64, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("malformed address %q", s)
+	}
+	body := s[1 : len(s)-1]
+	plus := strings.IndexByte(body, '+')
+	if plus < 0 {
+		return 0, 0, fmt.Errorf("malformed address %q", s)
+	}
+	base, err := parseReg(body[:plus])
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := strconv.ParseInt(body[plus+1:], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("malformed offset in %q", s)
+	}
+	return base, off, nil
+}
+
+// parseLUT parses `lutN`.
+func parseLUT(s string) (uint8, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "lut") {
+		return 0, fmt.Errorf("malformed LUT id %q", s)
+	}
+	n, err := strconv.Atoi(s[3:])
+	if err != nil || n < 0 || n >= maxLUTs {
+		return 0, fmt.Errorf("malformed LUT id %q", s)
+	}
+	return uint8(n), nil
+}
+
+// parseTrunc parses `nK`.
+func parseTrunc(s string) (uint8, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "n") {
+		return 0, fmt.Errorf("malformed truncation %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 64 {
+		return 0, fmt.Errorf("malformed truncation %q", s)
+	}
+	return uint8(n), nil
+}
+
+// parseBlockRef parses `bN`.
+func parseBlockRef(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "b") {
+		return 0, fmt.Errorf("malformed block reference %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("malformed block reference %q", s)
+	}
+	return n, nil
+}
+
+// mnemonic table (reverse of opNames), built once.
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		if name != "" {
+			m[name] = Op(op)
+		}
+	}
+	return m
+}()
+
+// parseInstr parses one instruction line.
+func parseInstr(line string) (Instr, error) {
+	in := Instr{Dst: NoReg, A: NoReg, B: NoReg}
+
+	// Split `lhs = rhs` if present (calls may have multiple lhs regs).
+	lhs, rhs := "", line
+	if eq := strings.Index(line, " = "); eq >= 0 {
+		lhs, rhs = strings.TrimSpace(line[:eq]), strings.TrimSpace(line[eq+3:])
+	}
+
+	op, typeSuffix, rest := splitMnemonic(rhs)
+	switch op {
+	case "nop":
+		in.Op = Nop
+		return in, nil
+
+	case "const":
+		in.Op = Const
+		ty, err := parseType(typeSuffix)
+		if err != nil {
+			return in, err
+		}
+		in.Type = ty
+		dst, err := parseReg(lhs)
+		if err != nil {
+			return in, err
+		}
+		in.Dst = dst
+		imm, err := parseLiteral(ty, rest)
+		if err != nil {
+			return in, err
+		}
+		in.Imm = imm
+		return in, nil
+
+	case "load", "ld_crc":
+		ty, err := parseType(typeSuffix)
+		if err != nil {
+			return in, err
+		}
+		in.Type = ty
+		dst, err := parseReg(lhs)
+		if err != nil {
+			return in, err
+		}
+		in.Dst = dst
+		parts := splitArgs(rest)
+		if op == "load" && len(parts) != 1 {
+			return in, fmt.Errorf("load takes one operand: %q", line)
+		}
+		if op == "ld_crc" && len(parts) != 3 {
+			return in, fmt.Errorf("ld_crc takes [addr], lut, n: %q", line)
+		}
+		base, off, err := parseAddr(parts[0])
+		if err != nil {
+			return in, err
+		}
+		in.A = base
+		in.Imm = uint64(off)
+		if op == "load" {
+			in.Op = Load
+			return in, nil
+		}
+		in.Op = LdCRC
+		if in.LUT, err = parseLUT(parts[1]); err != nil {
+			return in, err
+		}
+		if in.Trunc, err = parseTrunc(parts[2]); err != nil {
+			return in, err
+		}
+		return in, nil
+
+	case "store":
+		in.Op = Store
+		ty, err := parseType(typeSuffix)
+		if err != nil {
+			return in, err
+		}
+		in.Type = ty
+		parts := splitArgs(rest)
+		if len(parts) != 2 {
+			return in, fmt.Errorf("store takes [addr], src: %q", line)
+		}
+		base, off, err := parseAddr(parts[0])
+		if err != nil {
+			return in, err
+		}
+		in.A = base
+		in.Imm = uint64(off)
+		if in.B, err = parseReg(parts[1]); err != nil {
+			return in, err
+		}
+		return in, nil
+
+	case "jmp":
+		in.Op = Jmp
+		blk, err := parseBlockRef(rest)
+		if err != nil {
+			return in, err
+		}
+		in.Blk0 = blk
+		return in, nil
+
+	case "br":
+		in.Op = Br
+		parts := splitArgs(rest)
+		if len(parts) != 3 {
+			return in, fmt.Errorf("br takes cond, bT, bF: %q", line)
+		}
+		var err error
+		if in.A, err = parseReg(parts[0]); err != nil {
+			return in, err
+		}
+		if in.Blk0, err = parseBlockRef(parts[1]); err != nil {
+			return in, err
+		}
+		if in.Blk1, err = parseBlockRef(parts[2]); err != nil {
+			return in, err
+		}
+		return in, nil
+
+	case "ret":
+		in.Op = Ret
+		args, err := parseRegList(rest)
+		if err != nil {
+			return in, err
+		}
+		in.Args = args
+		return in, nil
+
+	case "call":
+		in.Op = Call
+		open := strings.IndexByte(rest, '(')
+		if open < 0 || !strings.HasSuffix(rest, ")") {
+			return in, fmt.Errorf("malformed call %q", line)
+		}
+		in.Callee = strings.TrimSpace(rest[:open])
+		args, err := parseRegList(rest[open+1 : len(rest)-1])
+		if err != nil {
+			return in, err
+		}
+		in.Args = args
+		rets, err := parseRegList(lhs)
+		if err != nil {
+			return in, err
+		}
+		in.Rets = rets
+		return in, nil
+
+	case "cvt":
+		in.Op = Cvt
+		// cvt.FROM.TO — typeSuffix holds "FROM.TO".
+		tys := strings.SplitN(typeSuffix, ".", 2)
+		if len(tys) != 2 {
+			return in, fmt.Errorf("malformed cvt types %q", typeSuffix)
+		}
+		from, err := parseType(tys[0])
+		if err != nil {
+			return in, err
+		}
+		to, err := parseType(tys[1])
+		if err != nil {
+			return in, err
+		}
+		in.SrcType, in.Type = from, to
+		if in.Dst, err = parseReg(lhs); err != nil {
+			return in, err
+		}
+		if in.A, err = parseReg(rest); err != nil {
+			return in, err
+		}
+		return in, nil
+
+	case "reg_crc":
+		in.Op = RegCRC
+		ty, err := parseType(typeSuffix)
+		if err != nil {
+			return in, err
+		}
+		in.Type = ty
+		parts := splitArgs(rest)
+		if len(parts) != 3 {
+			return in, fmt.Errorf("reg_crc takes src, lut, n: %q", line)
+		}
+		if in.A, err = parseReg(parts[0]); err != nil {
+			return in, err
+		}
+		if in.LUT, err = parseLUT(parts[1]); err != nil {
+			return in, err
+		}
+		if in.Trunc, err = parseTrunc(parts[2]); err != nil {
+			return in, err
+		}
+		return in, nil
+
+	case "lookup":
+		in.Op = Lookup
+		lut, err := parseLUT(rest)
+		if err != nil {
+			return in, err
+		}
+		in.LUT = lut
+		regs, err := parseRegList(lhs)
+		if err != nil {
+			return in, err
+		}
+		if len(regs) != 2 {
+			return in, fmt.Errorf("lookup defines data, hit: %q", line)
+		}
+		in.Dst, in.B = regs[0], regs[1]
+		// The data register's type is not encoded; F32 covers 4-byte
+		// reads and the raw register holds 8-byte data regardless.
+		in.Type = F32
+		return in, nil
+
+	case "update":
+		in.Op = Update
+		parts := splitArgs(rest)
+		if len(parts) != 2 {
+			return in, fmt.Errorf("update takes src, lut: %q", line)
+		}
+		var err error
+		if in.A, err = parseReg(parts[0]); err != nil {
+			return in, err
+		}
+		if in.LUT, err = parseLUT(parts[1]); err != nil {
+			return in, err
+		}
+		in.Type = F32
+		return in, nil
+
+	case "invalidate":
+		in.Op = Invalidate
+		lut, err := parseLUT(rest)
+		if err != nil {
+			return in, err
+		}
+		in.LUT = lut
+		return in, nil
+	}
+
+	// Generic unary/binary forms: `rD = OP.TYPE rA[, rB]`.
+	opcode, ok := opByName[op]
+	if !ok {
+		return in, fmt.Errorf("unknown mnemonic %q", op)
+	}
+	ty, err := parseType(typeSuffix)
+	if err != nil {
+		return in, err
+	}
+	in.Op, in.Type = opcode, ty
+	if in.Dst, err = parseReg(lhs); err != nil {
+		return in, err
+	}
+	regs, err := parseRegList(rest)
+	if err != nil {
+		return in, err
+	}
+	switch {
+	case opcode.IsBinary() && len(regs) == 2:
+		in.A, in.B = regs[0], regs[1]
+	case opcode.IsUnary() && len(regs) == 1:
+		in.A = regs[0]
+	default:
+		return in, fmt.Errorf("wrong operand count for %s: %q", op, line)
+	}
+	return in, nil
+}
+
+// splitMnemonic splits "fadd.f32 r0, r1" into ("fadd", "f32", "r0, r1");
+// mnemonics without a type suffix return it empty.
+func splitMnemonic(s string) (op, typeSuffix, rest string) {
+	s = strings.TrimSpace(s)
+	sp := strings.IndexByte(s, ' ')
+	head := s
+	if sp >= 0 {
+		head, rest = s[:sp], strings.TrimSpace(s[sp+1:])
+	}
+	if dot := strings.IndexByte(head, '.'); dot >= 0 {
+		return head[:dot], head[dot+1:], rest
+	}
+	return head, "", rest
+}
+
+// splitArgs splits a comma-separated operand list, respecting brackets.
+func splitArgs(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if tail := strings.TrimSpace(s[start:]); tail != "" {
+		out = append(out, tail)
+	}
+	return out
+}
+
+// parseLiteral parses a const literal at the given type into raw bits.
+func parseLiteral(ty Type, s string) (uint64, error) {
+	s = strings.TrimSpace(s)
+	switch ty {
+	case I32:
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("malformed i32 literal %q", s)
+		}
+		return uint64(uint32(int32(v))), nil
+	case I64:
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("malformed i64 literal %q", s)
+		}
+		return uint64(v), nil
+	case F32:
+		v, err := strconv.ParseFloat(s, 32)
+		if err != nil {
+			return 0, fmt.Errorf("malformed f32 literal %q", s)
+		}
+		return uint64(math.Float32bits(float32(v))), nil
+	case F64:
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("malformed f64 literal %q", s)
+		}
+		return math.Float64bits(v), nil
+	}
+	return 0, fmt.Errorf("unknown literal type")
+}

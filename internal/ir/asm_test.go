@@ -1,0 +1,225 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildRich constructs a program exercising every instruction form the
+// textual IR can carry.
+func buildRich() *Program {
+	p := NewProgram("main")
+
+	k := p.NewFunc("kernel", []Type{F32, I64}, []Type{F32, F32})
+	entry := k.NewBlock("entry")
+	hitB := k.NewBlock("hit")
+	missB := k.NewBlock("miss")
+	bu := At(k, entry)
+	ld := bu.LdCRC(F32, k.Params[1], -4, 2, 6)
+	bu.RegCRC(F32, k.Params[0], 2, 8)
+	data, hit := bu.Lookup(F32, 2)
+	bu.Br(hit, hitB, missB)
+	bu.SetBlock(hitB)
+	mask := bu.ConstI64(0xFFFFFFFF)
+	lo := bu.Bin(And, I64, data, mask)
+	sh := bu.ConstI64(32)
+	hi := bu.Bin(Shr, I64, data, sh)
+	bu.Ret(lo, hi)
+	bu.SetBlock(missB)
+	s := bu.Un(Sqrt, F32, bu.Bin(FAdd, F32, k.Params[0], ld))
+	c := bu.Un(Cos, F32, s)
+	packed := bu.Bin(Or, I64, bu.Bin(Shl, I64, c, sh), s)
+	bu.Update(I64, packed, 2)
+	bu.Invalidate(3)
+	bu.Ret(s, c)
+
+	f := p.NewFunc("main", []Type{I64, I32}, nil)
+	fb := f.NewBlock("entry")
+	cond := f.NewBlock("cond")
+	body := f.NewBlock("body")
+	done := f.NewBlock("done")
+	mb := At(f, fb)
+	i := mb.Mov(I32, mb.ConstI32(0))
+	one := mb.ConstI32(1)
+	fc := mb.ConstF32(1.5)
+	f64c := mb.ConstF64(-2.75)
+	cv := mb.Cvt(F64, F32, f64c)
+	_ = cv
+	mb.Jmp(cond)
+	mb.SetBlock(cond)
+	lt := mb.Bin(CmpLT, I32, i, f.Params[1])
+	mb.Br(lt, body, done)
+	mb.SetBlock(body)
+	v := mb.Load(F32, f.Params[0], 8)
+	res := mb.Call("kernel", 2, v, f.Params[0])
+	mb.Store(F32, f.Params[0], 16, res[0])
+	mb.Store(F32, f.Params[0], 20, res[1])
+	sum := mb.Bin(FAdd, F32, res[0], fc)
+	_ = sum
+	mb.MovTo(I32, i, mb.Bin(Add, I32, i, one))
+	mb.Jmp(cond)
+	mb.SetBlock(done)
+	mb.Ret()
+
+	ep := p.NewFunc("noargs", nil, nil)
+	eb := ep.NewBlock("entry")
+	ebu := At(ep, eb)
+	ebu.Call("noret", 0)
+	ebu.Ret()
+	nr := p.NewFunc("noret", nil, nil)
+	nb := nr.NewBlock("entry")
+	At(nr, nb).Ret()
+
+	if err := p.Finalize(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestDumpParseRoundTrip(t *testing.T) {
+	orig := buildRich()
+	text := orig.Dump()
+	parsed, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse:\n%s\nerror: %v", text, err)
+	}
+	again := parsed.Dump()
+	if text != again {
+		t.Errorf("round trip diverged:\n--- first dump ---\n%s\n--- second dump ---\n%s", text, again)
+	}
+	if parsed.Entry != "main" {
+		t.Errorf("entry = %q", parsed.Entry)
+	}
+	if len(parsed.Funcs) != len(orig.Funcs) {
+		t.Errorf("parsed %d funcs, want %d", len(parsed.Funcs), len(orig.Funcs))
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"no program", "func f() {\nb0: ;\n\tret\n}\n"},
+		{"bad mnemonic", "program f\nfunc f() {\nb0: ;\n\tr0 = bogus.f32 r1\n\tret\n}\n"},
+		{"bad register", "program f\nfunc f() {\nb0: ;\n\tx0 = const.i32 1\n\tret\n}\n"},
+		{"bad type", "program f\nfunc f(r0 q32) {\nb0: ;\n\tret\n}\n"},
+		{"unterminated", "program f\nfunc f() {\nb0: ;\n\tret\n"},
+		{"insn before block", "program f\nfunc f() {\n\tret\n}\n"},
+		{"bad literal", "program f\nfunc f() {\nb0: ;\n\tr0 = const.i32 zebra\n\tret\n}\n"},
+		{"bad lut", "program f\nfunc f() {\nb0: ;\n\tinvalidate lut9\n\tret\n}\n"},
+		{"block out of order", "program f\nfunc f() {\nb1: ;\n\tret\n}\n"},
+		{"wrong operand count", "program f\nfunc f(r0 f32) {\nb0: ;\n\tr1 = fadd.f32 r0\n\tret\n}\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(c.src); err == nil {
+				t.Errorf("accepted malformed input:\n%s", c.src)
+			}
+		})
+	}
+}
+
+func TestParseMinimalProgram(t *testing.T) {
+	src := `program main
+
+func main(r0 f32) (f32) {
+b0: ; entry
+	r1 = fmul.f32 r0, r0
+	ret r1
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.Funcs["main"]
+	if f == nil || f.NumRegs() != 2 || len(f.Blocks) != 1 {
+		t.Fatalf("parsed shape wrong: %+v", f)
+	}
+	if f.Blocks[0].Instrs[0].Op != FMul {
+		t.Errorf("op = %s", f.Blocks[0].Instrs[0].Op)
+	}
+	if p.Dump() != src {
+		t.Errorf("dump:\n%s\nwant:\n%s", p.Dump(), src)
+	}
+}
+
+func TestParseNegativeOffsetsAndLiterals(t *testing.T) {
+	src := `program main
+
+func main(r0 i64) (f32) {
+b0: ; entry
+	r1 = load.f32 [r0+-8]
+	r2 = const.f32 -0.0015
+	r3 = const.i32 -42
+	r4 = const.f64 2.5
+	r5 = const.i64 -4000000000
+	r6 = fadd.f32 r1, r2
+	ret r6
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := p.Funcs["main"].Blocks[0].Instrs
+	if int64(ins[0].Imm) != -8 {
+		t.Errorf("offset = %d", int64(ins[0].Imm))
+	}
+	if got := int32(uint32(ins[2].Imm)); got != -42 {
+		t.Errorf("i32 literal = %d", got)
+	}
+	if got := int64(ins[4].Imm); got != -4000000000 {
+		t.Errorf("i64 literal = %d", got)
+	}
+	if p.Dump() != src {
+		t.Errorf("dump diverged:\n%s", p.Dump())
+	}
+}
+
+func TestSplitArgsRespectsBrackets(t *testing.T) {
+	got := splitArgs("[r0+-4], lut2, n6")
+	want := []string{"[r0+-4]", "lut2", "n6"}
+	if len(got) != len(want) {
+		t.Fatalf("splitArgs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitArgs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParsedProgramValidates(t *testing.T) {
+	// Parse must return a finalized (validated, SID-assigned) program.
+	p, err := Parse(buildRich().Dump())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if seen[in.SID] {
+					t.Fatal("duplicate SIDs after parse")
+				}
+				seen[in.SID] = true
+			}
+		}
+	}
+}
+
+func TestDumpMentionsEverything(t *testing.T) {
+	text := buildRich().Dump()
+	for _, want := range []string{
+		"program main", "func kernel(r0 f32, r1 i64) (f32, f32) {",
+		"ld_crc.f32 [r1+-4], lut2, n6", "reg_crc.f32 r0, lut2, n8",
+		"lookup lut2", "update r", "invalidate lut3",
+		"cvt.f64.f32", "call kernel(", "call noret()",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("dump missing %q:\n%s", want, text)
+		}
+	}
+}

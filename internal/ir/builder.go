@@ -1,0 +1,140 @@
+package ir
+
+import "math"
+
+// Builder emits instructions into a block, allocating destination
+// registers from the owning function.  It is the construction API used by
+// the workload kernels and the compiler transformation.
+type Builder struct {
+	F *Function
+	B *Block
+}
+
+// At returns a builder positioned at block b of function f.
+func At(f *Function, b *Block) *Builder { return &Builder{F: f, B: b} }
+
+// SetBlock repositions the builder.
+func (bu *Builder) SetBlock(b *Block) *Builder {
+	bu.B = b
+	return bu
+}
+
+func (bu *Builder) emit(in Instr) Reg {
+	if in.Op.HasDst() && in.Dst == NoReg {
+		in.Dst = bu.F.NewReg()
+	}
+	bu.B.Instrs = append(bu.B.Instrs, in)
+	return in.Dst
+}
+
+// ConstF32 materializes a float32 constant.
+func (bu *Builder) ConstF32(v float32) Reg {
+	return bu.emit(Instr{Op: Const, Type: F32, Dst: NoReg, A: NoReg, B: NoReg, Imm: uint64(math.Float32bits(v))})
+}
+
+// ConstF64 materializes a float64 constant.
+func (bu *Builder) ConstF64(v float64) Reg {
+	return bu.emit(Instr{Op: Const, Type: F64, Dst: NoReg, A: NoReg, B: NoReg, Imm: math.Float64bits(v)})
+}
+
+// ConstI32 materializes an int32 constant.
+func (bu *Builder) ConstI32(v int32) Reg {
+	return bu.emit(Instr{Op: Const, Type: I32, Dst: NoReg, A: NoReg, B: NoReg, Imm: uint64(uint32(v))})
+}
+
+// ConstI64 materializes an int64 constant.
+func (bu *Builder) ConstI64(v int64) Reg {
+	return bu.emit(Instr{Op: Const, Type: I64, Dst: NoReg, A: NoReg, B: NoReg, Imm: uint64(v)})
+}
+
+// Mov copies a register.
+func (bu *Builder) Mov(t Type, a Reg) Reg {
+	return bu.emit(Instr{Op: Mov, Type: t, Dst: NoReg, A: a, B: NoReg})
+}
+
+// MovTo copies a into an existing destination register (used to carry
+// loop variables across blocks without SSA form).
+func (bu *Builder) MovTo(t Type, dst, a Reg) {
+	bu.emit(Instr{Op: Mov, Type: t, Dst: dst, A: a, B: NoReg})
+}
+
+// Bin emits a two-operand arithmetic/logic/compare instruction.
+func (bu *Builder) Bin(op Op, t Type, a, b Reg) Reg {
+	return bu.emit(Instr{Op: op, Type: t, Dst: NoReg, A: a, B: b})
+}
+
+// Un emits a one-operand arithmetic instruction or math intrinsic.
+func (bu *Builder) Un(op Op, t Type, a Reg) Reg {
+	return bu.emit(Instr{Op: op, Type: t, Dst: NoReg, A: a, B: NoReg})
+}
+
+// Cvt converts a from type `from` to type `to`.
+func (bu *Builder) Cvt(from, to Type, a Reg) Reg {
+	return bu.emit(Instr{Op: Cvt, Type: to, SrcType: from, Dst: NoReg, A: a, B: NoReg})
+}
+
+// Load reads an element of type t at [base+off].
+func (bu *Builder) Load(t Type, base Reg, off int64) Reg {
+	return bu.emit(Instr{Op: Load, Type: t, Dst: NoReg, A: base, B: NoReg, Imm: uint64(off)})
+}
+
+// Store writes register v of type t to [base+off].
+func (bu *Builder) Store(t Type, base Reg, off int64, v Reg) {
+	bu.emit(Instr{Op: Store, Type: t, Dst: NoReg, A: base, B: v, Imm: uint64(off)})
+}
+
+// Jmp ends the block with an unconditional jump.
+func (bu *Builder) Jmp(target *Block) {
+	bu.emit(Instr{Op: Jmp, Dst: NoReg, A: NoReg, B: NoReg, Blk0: target.Index})
+}
+
+// Br ends the block with a conditional branch: cond != 0 → ifTrue.
+func (bu *Builder) Br(cond Reg, ifTrue, ifFalse *Block) {
+	bu.emit(Instr{Op: Br, Dst: NoReg, A: cond, B: NoReg, Blk0: ifTrue.Index, Blk1: ifFalse.Index})
+}
+
+// Ret ends the block returning vals.
+func (bu *Builder) Ret(vals ...Reg) {
+	bu.emit(Instr{Op: Ret, Dst: NoReg, A: NoReg, B: NoReg, Args: vals})
+}
+
+// Call invokes callee with args and returns nRets fresh result registers.
+func (bu *Builder) Call(callee string, nRets int, args ...Reg) []Reg {
+	rets := make([]Reg, nRets)
+	for i := range rets {
+		rets[i] = bu.F.NewReg()
+	}
+	bu.emit(Instr{Op: Call, Dst: NoReg, A: NoReg, B: NoReg, Callee: callee, Args: args, Rets: rets})
+	return rets
+}
+
+// LdCRC loads an element and feeds its truncated value to lut's CRC unit
+// (the paper's ld_crc dst, [addr], LUT_ID, n).
+func (bu *Builder) LdCRC(t Type, base Reg, off int64, lut uint8, trunc uint8) Reg {
+	return bu.emit(Instr{Op: LdCRC, Type: t, Dst: NoReg, A: base, B: NoReg, Imm: uint64(off), LUT: lut, Trunc: trunc})
+}
+
+// RegCRC feeds a register's truncated value to lut's CRC unit (reg_crc
+// src, LUT_ID, n).
+func (bu *Builder) RegCRC(t Type, src Reg, lut uint8, trunc uint8) {
+	bu.emit(Instr{Op: RegCRC, Type: t, Dst: NoReg, A: src, B: NoReg, LUT: lut, Trunc: trunc})
+}
+
+// Lookup queries lut; it returns the data register and the hit-flag
+// register (lookup dst, LUT_ID plus the condition code of §4).
+func (bu *Builder) Lookup(t Type, lut uint8) (data, hit Reg) {
+	hit = bu.F.NewReg()
+	data = bu.emit(Instr{Op: Lookup, Type: t, Dst: NoReg, B: hit, A: NoReg, LUT: lut})
+	return data, hit
+}
+
+// Update inserts src as the data of the pending lut entry (update src,
+// LUT_ID).
+func (bu *Builder) Update(t Type, src Reg, lut uint8) {
+	bu.emit(Instr{Op: Update, Type: t, Dst: NoReg, A: src, B: NoReg, LUT: lut})
+}
+
+// Invalidate clears every entry of lut (invalidate LUT_ID).
+func (bu *Builder) Invalidate(lut uint8) {
+	bu.emit(Instr{Op: Invalidate, Dst: NoReg, A: NoReg, B: NoReg, LUT: lut})
+}

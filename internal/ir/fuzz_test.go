@@ -1,0 +1,31 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: the textual-IR parser must never panic, and anything it
+// accepts must re-dump and re-parse to a fixed point.
+func FuzzParse(f *testing.F) {
+	f.Add("program main\n\nfunc main(r0 f32) (f32) {\nb0: ; entry\n\tr1 = fmul.f32 r0, r0\n\tret r1\n}\n")
+	f.Add(buildRich().Dump())
+	f.Add("program x\nfunc x() {\nb0: ;\n\tjmp b0\n}\n")
+	f.Add("garbage")
+	f.Add("program p\nfunc f(r0 i64) {\nb0: ;\n\tr1 = ld_crc.f32 [r0+-4], lut2, n6\n\tret\n}\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		text := p.Dump()
+		p2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("accepted program failed to re-parse: %v\n%s", err, text)
+		}
+		if again := p2.Dump(); again != text {
+			t.Fatalf("dump not a fixed point:\n%s\nvs\n%s", text, again)
+		}
+		_ = strings.Count(text, "\n")
+	})
+}

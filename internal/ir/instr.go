@@ -1,0 +1,296 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Instr is one IR instruction.  Fields are used per opcode as documented
+// on the Op constants.
+type Instr struct {
+	Op      Op
+	Type    Type // operand/result type
+	SrcType Type // Cvt source type
+	Dst     Reg
+	A, B    Reg
+	Imm     uint64 // Const raw bits, or Load/Store/LdCRC byte offset
+	Blk0    int    // Jmp/Br target
+	Blk1    int    // Br fall-through target
+	Callee  string // Call target
+	Args    []Reg  // Call arguments / Ret values
+	Rets    []Reg  // Call result registers
+	LUT     uint8  // memo LUT id (3-bit in hardware; ≤ 8 logical LUTs)
+	Trunc   uint8  // truncated LSBs for LdCRC/RegCRC
+	SID     int    // static instruction id, program-unique (assigned by Program.Finalize)
+	Aux     bool   // instruction inserted by the AxMemo compiler transformation
+	// (e.g. the hit-test branch); counted as a "memoization
+	// instruction" in the Fig. 8 breakdown
+
+}
+
+// Uses appends the registers the instruction reads to dst and returns it.
+func (in *Instr) Uses(dst []Reg) []Reg {
+	switch {
+	case in.Op == Br:
+		dst = append(dst, in.A)
+	case in.Op == Ret, in.Op == Call:
+		dst = append(dst, in.Args...)
+	case in.Op.IsUnary():
+		dst = append(dst, in.A)
+	case in.Op.IsBinary():
+		dst = append(dst, in.A, in.B)
+	}
+	if in.Op == Store || in.Op == LdCRC || in.Op == Load {
+		// A is the address base, already appended above for unary
+		// Load/LdCRC; Store appends base A and value B above.
+	}
+	return dst
+}
+
+// Defs appends the registers the instruction writes to dst and returns it.
+func (in *Instr) Defs(dst []Reg) []Reg {
+	if in.Op.HasDst() && in.Dst != NoReg {
+		dst = append(dst, in.Dst)
+	}
+	if in.Op == Lookup && in.B != NoReg {
+		dst = append(dst, in.B) // hit-flag condition register
+	}
+	if in.Op == Call {
+		dst = append(dst, in.Rets...)
+	}
+	return dst
+}
+
+// String renders the instruction in assembly-like form.
+func (in *Instr) String() string {
+	var b strings.Builder
+	switch in.Op {
+	case Const:
+		var lit string
+		switch in.Type {
+		case F32:
+			lit = fmt.Sprintf("%g", math.Float32frombits(uint32(in.Imm)))
+		case F64:
+			lit = fmt.Sprintf("%g", math.Float64frombits(in.Imm))
+		case I64:
+			lit = fmt.Sprintf("%d", int64(in.Imm))
+		default:
+			lit = fmt.Sprintf("%d", int32(uint32(in.Imm)))
+		}
+		fmt.Fprintf(&b, "%s = const.%s %s", in.Dst, in.Type, lit)
+	case Load:
+		fmt.Fprintf(&b, "%s = load.%s [%s+%d]", in.Dst, in.Type, in.A, int64(in.Imm))
+	case Store:
+		fmt.Fprintf(&b, "store.%s [%s+%d], %s", in.Type, in.A, int64(in.Imm), in.B)
+	case Jmp:
+		fmt.Fprintf(&b, "jmp b%d", in.Blk0)
+	case Br:
+		fmt.Fprintf(&b, "br %s, b%d, b%d", in.A, in.Blk0, in.Blk1)
+	case Ret:
+		if len(in.Args) == 0 {
+			b.WriteString("ret")
+		} else {
+			fmt.Fprintf(&b, "ret %s", regList(in.Args))
+		}
+	case Call:
+		if len(in.Rets) == 0 {
+			fmt.Fprintf(&b, "call %s(%s)", in.Callee, regList(in.Args))
+		} else {
+			fmt.Fprintf(&b, "%s = call %s(%s)", regList(in.Rets), in.Callee, regList(in.Args))
+		}
+	case Cvt:
+		fmt.Fprintf(&b, "%s = cvt.%s.%s %s", in.Dst, in.SrcType, in.Type, in.A)
+	case LdCRC:
+		fmt.Fprintf(&b, "%s = ld_crc.%s [%s+%d], lut%d, n%d", in.Dst, in.Type, in.A, int64(in.Imm), in.LUT, in.Trunc)
+	case RegCRC:
+		fmt.Fprintf(&b, "reg_crc.%s %s, lut%d, n%d", in.Type, in.A, in.LUT, in.Trunc)
+	case Lookup:
+		fmt.Fprintf(&b, "%s, %s = lookup lut%d", in.Dst, in.B, in.LUT)
+	case Update:
+		fmt.Fprintf(&b, "update %s, lut%d", in.A, in.LUT)
+	case Invalidate:
+		fmt.Fprintf(&b, "invalidate lut%d", in.LUT)
+	default:
+		if in.Op.IsBinary() {
+			fmt.Fprintf(&b, "%s = %s.%s %s, %s", in.Dst, in.Op, in.Type, in.A, in.B)
+		} else if in.Op.IsUnary() {
+			fmt.Fprintf(&b, "%s = %s.%s %s", in.Dst, in.Op, in.Type, in.A)
+		} else {
+			fmt.Fprintf(&b, "%s", in.Op)
+		}
+	}
+	return b.String()
+}
+
+func regList(rs []Reg) string {
+	if len(rs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Block is a basic block: a straight-line instruction sequence ended by a
+// branch (Jmp/Br/Ret).
+type Block struct {
+	Name   string
+	Index  int
+	Instrs []Instr
+}
+
+// Terminator returns the block's final instruction, or nil if the block is
+// empty or unterminated.
+func (b *Block) Terminator() *Instr {
+	if n := len(b.Instrs); n > 0 && b.Instrs[n-1].Op.IsBranch() {
+		return &b.Instrs[n-1]
+	}
+	return nil
+}
+
+// Function is a single-entry IR function.
+type Function struct {
+	Name       string
+	Params     []Reg
+	ParamTypes []Type
+	RetTypes   []Type
+	Blocks     []*Block
+	nextReg    Reg
+}
+
+// NewReg allocates a fresh virtual register.
+func (f *Function) NewReg() Reg {
+	r := f.nextReg
+	f.nextReg++
+	return r
+}
+
+// NumRegs returns the size of the virtual register file.
+func (f *Function) NumRegs() int { return int(f.nextReg) }
+
+// reserveRegs grows the register file to at least n registers (used by
+// the textual-IR parser, which learns the file size from the register
+// names it sees).
+func (f *Function) reserveRegs(n int) {
+	if Reg(n) > f.nextReg {
+		f.nextReg = Reg(n)
+	}
+}
+
+// NewBlock appends an empty basic block and returns it.
+func (f *Function) NewBlock(name string) *Block {
+	b := &Block{Name: name, Index: len(f.Blocks)}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Entry returns the function's entry block.
+func (f *Function) Entry() *Block { return f.Blocks[0] }
+
+// InstrCount returns the number of static instructions in the function.
+func (f *Function) InstrCount() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Disassemble renders the whole function in the textual IR format that
+// ir.Parse reads back (see asm.go).
+func (f *Function) Disassemble() string {
+	var sb strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("%s %s", p, f.ParamTypes[i])
+	}
+	rets := make([]string, len(f.RetTypes))
+	for i, rt := range f.RetTypes {
+		rets[i] = rt.String()
+	}
+	fmt.Fprintf(&sb, "func %s(%s)", f.Name, strings.Join(params, ", "))
+	if len(rets) > 0 {
+		fmt.Fprintf(&sb, " (%s)", strings.Join(rets, ", "))
+	}
+	sb.WriteString(" {\n")
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d: ; %s\n", b.Index, b.Name)
+		for i := range b.Instrs {
+			fmt.Fprintf(&sb, "\t%s\n", b.Instrs[i].String())
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Dump renders the whole program in the textual IR format, functions in
+// deterministic order, with the entry directive first.
+func (p *Program) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s\n", p.Entry)
+	for _, name := range p.sortedFuncNames() {
+		sb.WriteByte('\n')
+		sb.WriteString(p.Funcs[name].Disassemble())
+	}
+	return sb.String()
+}
+
+// Program is a set of functions with a designated entry point.
+type Program struct {
+	Funcs map[string]*Function
+	Entry string
+}
+
+// NewProgram returns an empty program.
+func NewProgram(entry string) *Program {
+	return &Program{Funcs: make(map[string]*Function), Entry: entry}
+}
+
+// NewFunc creates, registers and returns a function.  Parameter registers
+// are pre-allocated in declaration order.
+func (p *Program) NewFunc(name string, paramTypes []Type, retTypes []Type) *Function {
+	f := &Function{Name: name, ParamTypes: paramTypes, RetTypes: retTypes}
+	for range paramTypes {
+		f.Params = append(f.Params, f.NewReg())
+	}
+	p.Funcs[name] = f
+	return f
+}
+
+// EntryFunc returns the entry function, or nil if missing.
+func (p *Program) EntryFunc() *Function { return p.Funcs[p.Entry] }
+
+// Finalize assigns program-unique static instruction IDs (SIDs) in a
+// deterministic order and validates the program.  It must be called after
+// construction and after any compiler transformation.
+func (p *Program) Finalize() error {
+	sid := 0
+	for _, name := range p.sortedFuncNames() {
+		f := p.Funcs[name]
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				b.Instrs[i].SID = sid
+				sid++
+			}
+		}
+	}
+	return p.Validate()
+}
+
+func (p *Program) sortedFuncNames() []string {
+	names := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		names = append(names, n)
+	}
+	// Insertion sort keeps this dependency-free and the function count
+	// small.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}

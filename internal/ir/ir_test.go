@@ -1,0 +1,322 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildAddFunc builds: func add(a, b f32) f32 { return a + b }
+func buildAddFunc(p *Program) *Function {
+	f := p.NewFunc("add", []Type{F32, F32}, []Type{F32})
+	bb := f.NewBlock("entry")
+	bu := At(f, bb)
+	sum := bu.Bin(FAdd, F32, f.Params[0], f.Params[1])
+	bu.Ret(sum)
+	return f
+}
+
+func TestTypeSizes(t *testing.T) {
+	cases := map[Type]int{I32: 4, F32: 4, I64: 8, F64: 8}
+	for ty, want := range cases {
+		if got := ty.Size(); got != want {
+			t.Errorf("%s.Size() = %d, want %d", ty, got, want)
+		}
+	}
+	if !F32.IsFloat() || !F64.IsFloat() || I32.IsFloat() || I64.IsFloat() {
+		t.Error("IsFloat misclassifies")
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	for _, o := range []Op{LdCRC, RegCRC, Lookup, Update, Invalidate} {
+		if !o.IsMemo() {
+			t.Errorf("%s not classified as memo", o)
+		}
+	}
+	if Add.IsMemo() {
+		t.Error("add classified as memo")
+	}
+	for _, o := range []Op{Jmp, Br, Ret} {
+		if !o.IsBranch() {
+			t.Errorf("%s not classified as branch", o)
+		}
+	}
+	if Store.HasDst() || Update.HasDst() {
+		t.Error("store/update claim a destination")
+	}
+	if !Lookup.HasDst() || !Load.HasDst() {
+		t.Error("lookup/load lack a destination")
+	}
+}
+
+func TestBuilderAllocatesRegisters(t *testing.T) {
+	p := NewProgram("add")
+	f := buildAddFunc(p)
+	// 2 params + 1 result register.
+	if f.NumRegs() != 3 {
+		t.Errorf("NumRegs = %d, want 3", f.NumRegs())
+	}
+	if err := p.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+}
+
+func TestFinalizeAssignsUniqueSIDs(t *testing.T) {
+	p := NewProgram("add")
+	buildAddFunc(p)
+	g := p.NewFunc("twice", []Type{F32}, []Type{F32})
+	bb := g.NewBlock("entry")
+	bu := At(g, bb)
+	r := bu.Call("add", 1, g.Params[0], g.Params[0])
+	bu.Ret(r[0])
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if seen[in.SID] {
+					t.Fatalf("duplicate SID %d", in.SID)
+				}
+				seen[in.SID] = true
+			}
+		}
+	}
+	if len(seen) != 4 {
+		t.Errorf("got %d SIDs, want 4", len(seen))
+	}
+}
+
+func TestValidateCatchesEmptyFunction(t *testing.T) {
+	p := NewProgram("f")
+	p.NewFunc("f", nil, nil)
+	if err := p.Validate(); err == nil {
+		t.Error("function with no blocks validated")
+	}
+}
+
+func TestValidateCatchesUnterminatedBlock(t *testing.T) {
+	p := NewProgram("f")
+	f := p.NewFunc("f", nil, nil)
+	bb := f.NewBlock("entry")
+	At(f, bb).ConstI32(1)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "not terminated") {
+		t.Errorf("unterminated block: err = %v", err)
+	}
+}
+
+func TestValidateCatchesMidBlockTerminator(t *testing.T) {
+	p := NewProgram("f")
+	f := p.NewFunc("f", nil, nil)
+	bb := f.NewBlock("entry")
+	bu := At(f, bb)
+	bu.Ret()
+	bu.ConstI32(1)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "mid-block") {
+		t.Errorf("mid-block terminator: err = %v", err)
+	}
+}
+
+func TestValidateCatchesBadBranchTarget(t *testing.T) {
+	p := NewProgram("f")
+	f := p.NewFunc("f", nil, nil)
+	bb := f.NewBlock("entry")
+	bb.Instrs = append(bb.Instrs, Instr{Op: Jmp, Blk0: 5, Dst: NoReg, A: NoReg, B: NoReg})
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("bad jmp target: err = %v", err)
+	}
+}
+
+func TestValidateCatchesUndefinedCallee(t *testing.T) {
+	p := NewProgram("f")
+	f := p.NewFunc("f", nil, nil)
+	bb := f.NewBlock("entry")
+	bu := At(f, bb)
+	bu.Call("missing", 0)
+	bu.Ret()
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "undefined function") {
+		t.Errorf("undefined callee: err = %v", err)
+	}
+}
+
+func TestValidateCatchesArityMismatch(t *testing.T) {
+	p := NewProgram("g")
+	buildAddFunc(p)
+	g := p.NewFunc("g", []Type{F32}, nil)
+	bb := g.NewBlock("entry")
+	bu := At(g, bb)
+	bu.Call("add", 1, g.Params[0]) // add takes two args
+	bu.Ret()
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "args") {
+		t.Errorf("arity mismatch: err = %v", err)
+	}
+}
+
+func TestValidateCatchesRetMismatch(t *testing.T) {
+	p := NewProgram("f")
+	f := p.NewFunc("f", nil, []Type{F32})
+	bb := f.NewBlock("entry")
+	At(f, bb).Ret() // returns nothing, declares one
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "ret has") {
+		t.Errorf("ret mismatch: err = %v", err)
+	}
+}
+
+func TestValidateCatchesLUTIDOverflow(t *testing.T) {
+	p := NewProgram("f")
+	f := p.NewFunc("f", []Type{F32}, nil)
+	bb := f.NewBlock("entry")
+	bu := At(f, bb)
+	bu.RegCRC(F32, f.Params[0], 9, 0) // only 8 logical LUTs exist
+	bu.Ret()
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "LUT id") {
+		t.Errorf("LUT id overflow: err = %v", err)
+	}
+}
+
+func TestValidateCatchesOverTruncation(t *testing.T) {
+	p := NewProgram("f")
+	f := p.NewFunc("f", []Type{F32}, nil)
+	bb := f.NewBlock("entry")
+	bu := At(f, bb)
+	bu.RegCRC(F32, f.Params[0], 0, 40) // 40 > 32 bits
+	bu.Ret()
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "truncating") {
+		t.Errorf("over-truncation: err = %v", err)
+	}
+}
+
+func TestValidateCatchesEntryMissing(t *testing.T) {
+	p := NewProgram("nope")
+	buildAddFunc(p)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "entry function") {
+		t.Errorf("missing entry: err = %v", err)
+	}
+}
+
+func TestUsesDefs(t *testing.T) {
+	in := Instr{Op: Store, Type: F32, A: 1, B: 2, Dst: NoReg}
+	uses := in.Uses(nil)
+	if len(uses) != 2 || uses[0] != 1 || uses[1] != 2 {
+		t.Errorf("store uses = %v, want [r1 r2]", uses)
+	}
+	if defs := in.Defs(nil); len(defs) != 0 {
+		t.Errorf("store defs = %v, want none", defs)
+	}
+
+	lk := Instr{Op: Lookup, Type: F32, Dst: 3, B: 4, A: NoReg}
+	defs := lk.Defs(nil)
+	if len(defs) != 2 || defs[0] != 3 || defs[1] != 4 {
+		t.Errorf("lookup defs = %v, want [r3 r4]", defs)
+	}
+	if uses := lk.Uses(nil); len(uses) != 0 {
+		t.Errorf("lookup uses = %v, want none", uses)
+	}
+
+	br := Instr{Op: Br, A: 7, Dst: NoReg, B: NoReg}
+	if uses := br.Uses(nil); len(uses) != 1 || uses[0] != 7 {
+		t.Errorf("br uses = %v, want [r7]", uses)
+	}
+
+	call := Instr{Op: Call, Args: []Reg{1, 2}, Rets: []Reg{3}, Dst: NoReg}
+	if uses := call.Uses(nil); len(uses) != 2 {
+		t.Errorf("call uses = %v", uses)
+	}
+	if defs := call.Defs(nil); len(defs) != 1 || defs[0] != 3 {
+		t.Errorf("call defs = %v", defs)
+	}
+}
+
+func TestDisassembleRoundTripMentions(t *testing.T) {
+	p := NewProgram("k")
+	f := p.NewFunc("k", []Type{F32}, []Type{F32})
+	entry := f.NewBlock("entry")
+	hitB := f.NewBlock("hit")
+	missB := f.NewBlock("miss")
+	bu := At(f, entry)
+	bu.RegCRC(F32, f.Params[0], 2, 8)
+	data, hit := bu.Lookup(F32, 2)
+	bu.Br(hit, hitB, missB)
+	bu.SetBlock(hitB).Ret(data)
+	bu.SetBlock(missB)
+	r := bu.Un(Sqrt, F32, f.Params[0])
+	bu.Update(F32, r, 2)
+	bu.Ret(r)
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	asm := f.Disassemble()
+	for _, want := range []string{"reg_crc.f32", "lookup lut2", "br ", "update", "sqrt.f32", "n8"} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, asm)
+		}
+	}
+}
+
+func TestInstrStringForms(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: Const, Type: I32, Dst: 1, Imm: 42}, "r1 = const.i32 42"},
+		{Instr{Op: Load, Type: F64, Dst: 2, A: 0, Imm: 16}, "r2 = load.f64 [r0+16]"},
+		{Instr{Op: Jmp, Blk0: 3}, "jmp b3"},
+		{Instr{Op: Invalidate, LUT: 5}, "invalidate lut5"},
+		{Instr{Op: Cvt, Type: F64, SrcType: I32, Dst: 4, A: 3}, "r4 = cvt.i32.f64 r3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTerminator(t *testing.T) {
+	p := NewProgram("f")
+	f := p.NewFunc("f", nil, nil)
+	bb := f.NewBlock("entry")
+	bu := At(f, bb)
+	bu.ConstI32(0)
+	if bb.Terminator() != nil {
+		t.Error("unterminated block reports a terminator")
+	}
+	bu.Ret()
+	if term := bb.Terminator(); term == nil || term.Op != Ret {
+		t.Error("terminator not found")
+	}
+}
+
+func TestMovToReusesRegister(t *testing.T) {
+	p := NewProgram("f")
+	f := p.NewFunc("f", []Type{I32}, nil)
+	bb := f.NewBlock("entry")
+	bu := At(f, bb)
+	i := bu.ConstI32(0)
+	next := bu.Bin(Add, I32, i, f.Params[0])
+	bu.MovTo(I32, i, next)
+	bu.Ret()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	// The MovTo must target i, not a fresh register.
+	mov := bb.Instrs[2]
+	if mov.Op != Mov || mov.Dst != i {
+		t.Errorf("MovTo emitted %s", mov.String())
+	}
+}
+
+func TestSortedFuncNamesDeterministic(t *testing.T) {
+	p := NewProgram("a")
+	for _, n := range []string{"zeta", "a", "mid"} {
+		f := p.NewFunc(n, nil, nil)
+		At(f, f.NewBlock("entry")).Ret()
+	}
+	names := p.sortedFuncNames()
+	want := []string{"a", "mid", "zeta"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("sorted names = %v, want %v", names, want)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package ir
+
+// Op is an IR opcode.
+type Op uint8
+
+// Opcodes, grouped by execution class.  The class determines the latency
+// and the functional unit in the timing model (internal/cpu) and the
+// vertex weight in the DDDG (internal/dddg).
+const (
+	Nop Op = iota
+
+	// Data movement.
+	Const // Dst = Imm (raw bits of Type)
+	Mov   // Dst = A
+
+	// Integer arithmetic/logic (Type selects i32/i64).
+	Add
+	Sub
+	Mul
+	SDiv
+	SRem
+	And
+	Or
+	Xor
+	Shl
+	Shr
+
+	// Floating-point arithmetic (Type selects f32/f64).
+	FAdd
+	FSub
+	FMul
+	FDiv
+	FNeg
+	FAbs
+	FMin
+	FMax
+
+	// Math intrinsics (modeled as long-latency FPU sequences, as the
+	// benchmark kernels call libm).
+	Sqrt
+	Exp
+	Log
+	Sin
+	Cos
+	Tan
+	Asin
+	Acos
+	Atan
+	Atan2 // Dst = atan2(A, B)
+	Pow   // Dst = A**B
+	Floor
+
+	// Comparisons: Dst (i32) = A <op> B ? 1 : 0, comparing at Type.
+	CmpEQ
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+
+	// Conversion: Dst(Type) = convert(A at SrcType).
+	Cvt
+
+	// Memory: address = A + Imm (byte offset); element of Type.
+	Load  // Dst = mem[A+Imm]
+	Store // mem[A+Imm] = B
+
+	// Control flow.
+	Jmp  // goto Blk0
+	Br   // if A != 0 goto Blk0 else Blk1
+	Ret  // return Args...
+	Call // Rets... = Callee(Args...)
+
+	// AxMemo ISA extensions (§4).  LUT selects the logical lookup
+	// table; Trunc is the per-input number of truncated LSBs.
+	LdCRC      // Dst = mem[A+Imm]; feed truncate(Dst, Trunc) to LUT's CRC
+	RegCRC     // feed truncate(A, Trunc) to LUT's CRC
+	Lookup     // Dst = LUT data on hit; CondReg(B) = hit?1:0
+	Update     // insert A as LUT data for the pending entry
+	Invalidate // clear all entries of LUT
+
+	opCount // sentinel
+)
+
+var opNames = [...]string{
+	Nop: "nop", Const: "const", Mov: "mov",
+	Add: "add", Sub: "sub", Mul: "mul", SDiv: "sdiv", SRem: "srem",
+	And: "and", Or: "or", Xor: "xor", Shl: "shl", Shr: "shr",
+	FAdd: "fadd", FSub: "fsub", FMul: "fmul", FDiv: "fdiv",
+	FNeg: "fneg", FAbs: "fabs", FMin: "fmin", FMax: "fmax",
+	Sqrt: "sqrt", Exp: "exp", Log: "log", Sin: "sin", Cos: "cos",
+	Tan: "tan", Asin: "asin", Acos: "acos", Atan: "atan",
+	Atan2: "atan2", Pow: "pow", Floor: "floor",
+	CmpEQ: "cmpeq", CmpNE: "cmpne", CmpLT: "cmplt",
+	CmpLE: "cmple", CmpGT: "cmpgt", CmpGE: "cmpge",
+	Cvt: "cvt", Load: "load", Store: "store",
+	Jmp: "jmp", Br: "br", Ret: "ret", Call: "call",
+	LdCRC: "ld_crc", RegCRC: "reg_crc", Lookup: "lookup",
+	Update: "update", Invalidate: "invalidate",
+}
+
+// String returns the assembly mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// IsMemo reports whether the opcode is one of the five AxMemo ISA
+// extensions.
+func (o Op) IsMemo() bool {
+	return o == LdCRC || o == RegCRC || o == Lookup || o == Update || o == Invalidate
+}
+
+// IsBranch reports whether the opcode ends a basic block.
+func (o Op) IsBranch() bool {
+	return o == Jmp || o == Br || o == Ret
+}
+
+// HasDst reports whether the opcode writes a destination register.
+func (o Op) HasDst() bool {
+	switch o {
+	case Nop, Store, Jmp, Br, Ret, Call, RegCRC, Update, Invalidate:
+		return false
+	}
+	return true
+}
+
+// IsUnary reports whether the opcode reads only operand A.
+func (o Op) IsUnary() bool {
+	switch o {
+	case Mov, FNeg, FAbs, Sqrt, Exp, Log, Sin, Cos, Tan,
+		Asin, Acos, Atan, Floor, Cvt, Load, LdCRC, RegCRC, Update:
+		return true
+	}
+	return false
+}
+
+// IsBinary reports whether the opcode reads operands A and B.
+func (o Op) IsBinary() bool {
+	switch o {
+	case Add, Sub, Mul, SDiv, SRem, And, Or, Xor, Shl, Shr,
+		FAdd, FSub, FMul, FDiv, FMin, FMax, Atan2, Pow,
+		CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE, Store:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+// Package ir defines the register-based intermediate representation that
+// this reproduction uses in place of ARM-v8a machine code and LLVM IR.
+// Workload kernels are built as IR functions; the timing simulator
+// (internal/cpu) executes them, the tracer (internal/trace) records their
+// dynamic instruction stream, and the compiler (internal/compiler)
+// rewrites them into AxMemo's lookup/compute/update branch structure
+// (ISCA'19 Fig. 1).
+//
+// The IR is deliberately small: a load/store machine with an unlimited
+// virtual register file, typed arithmetic, the math intrinsics the
+// AxBench/Rodinia kernels need, calls, and the five AxMemo ISA extensions
+// (ld_crc, reg_crc, lookup, update, invalidate — §4 of the paper).
+package ir
+
+import "fmt"
+
+// Type is the scalar type of a register value or memory element.
+type Type uint8
+
+// Scalar types.  Register values are stored as raw uint64 bit patterns and
+// interpreted per instruction type.
+const (
+	I32 Type = iota
+	I64
+	F32
+	F64
+)
+
+// Size returns the in-memory size of the type in bytes.
+func (t Type) Size() int {
+	switch t {
+	case I32, F32:
+		return 4
+	case I64, F64:
+		return 8
+	}
+	panic(fmt.Sprintf("ir: invalid type %d", t))
+}
+
+// IsFloat reports whether the type is a floating-point type.
+func (t Type) IsFloat() bool { return t == F32 || t == F64 }
+
+// String returns the assembly name of the type.
+func (t Type) String() string {
+	switch t {
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Reg names a virtual register within a function.  Register 0 is valid.
+type Reg int32
+
+// NoReg marks an unused register slot in an instruction.
+const NoReg Reg = -1
+
+// String returns the assembly name of the register.
+func (r Reg) String() string {
+	if r == NoReg {
+		return "_"
+	}
+	return fmt.Sprintf("r%d", int32(r))
+}

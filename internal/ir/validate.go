@@ -1,0 +1,122 @@
+package ir
+
+import "fmt"
+
+// Validate checks structural well-formedness of the program: every block
+// terminated exactly once, branch targets in range, registers allocated,
+// call signatures consistent, return arities matching, and memo LUT ids
+// within the hardware's 3-bit space.
+func (p *Program) Validate() error {
+	if p.Entry != "" {
+		if _, ok := p.Funcs[p.Entry]; !ok {
+			return fmt.Errorf("ir: entry function %q not defined", p.Entry)
+		}
+	}
+	for name, f := range p.Funcs {
+		if err := p.validateFunc(f); err != nil {
+			return fmt.Errorf("ir: func %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+const maxLUTs = 8 // 3-bit LUT_ID field (§3.3)
+
+func (p *Program) validateFunc(f *Function) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("has no blocks")
+	}
+	checkReg := func(r Reg, what string, in *Instr) error {
+		if r == NoReg {
+			return fmt.Errorf("%s: missing %s register", in, what)
+		}
+		if int(r) >= f.NumRegs() || r < 0 {
+			return fmt.Errorf("%s: %s register %s out of range (file size %d)", in, what, r, f.NumRegs())
+		}
+		return nil
+	}
+	for bi, b := range f.Blocks {
+		if b.Index != bi {
+			return fmt.Errorf("block %d has stale index %d", bi, b.Index)
+		}
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("block b%d (%s) is empty", bi, b.Name)
+		}
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			last := ii == len(b.Instrs)-1
+			if in.Op.IsBranch() != last {
+				if last {
+					return fmt.Errorf("block b%d not terminated (ends with %s)", bi, in.Op)
+				}
+				return fmt.Errorf("block b%d has mid-block terminator %s at %d", bi, in.Op, ii)
+			}
+			switch in.Op {
+			case Jmp:
+				if in.Blk0 < 0 || in.Blk0 >= len(f.Blocks) {
+					return fmt.Errorf("jmp target b%d out of range", in.Blk0)
+				}
+			case Br:
+				if in.Blk0 < 0 || in.Blk0 >= len(f.Blocks) || in.Blk1 < 0 || in.Blk1 >= len(f.Blocks) {
+					return fmt.Errorf("br targets b%d/b%d out of range", in.Blk0, in.Blk1)
+				}
+				if err := checkReg(in.A, "condition", in); err != nil {
+					return err
+				}
+			case Ret:
+				if len(in.Args) != len(f.RetTypes) {
+					return fmt.Errorf("ret has %d values, function declares %d", len(in.Args), len(f.RetTypes))
+				}
+				for _, r := range in.Args {
+					if err := checkReg(r, "return", in); err != nil {
+						return err
+					}
+				}
+			case Call:
+				callee, ok := p.Funcs[in.Callee]
+				if !ok {
+					return fmt.Errorf("call to undefined function %q", in.Callee)
+				}
+				if len(in.Args) != len(callee.ParamTypes) {
+					return fmt.Errorf("call %s: %d args, callee takes %d", in.Callee, len(in.Args), len(callee.ParamTypes))
+				}
+				if len(in.Rets) != len(callee.RetTypes) {
+					return fmt.Errorf("call %s: %d results, callee returns %d", in.Callee, len(in.Rets), len(callee.RetTypes))
+				}
+				for _, r := range append(append([]Reg{}, in.Args...), in.Rets...) {
+					if err := checkReg(r, "call", in); err != nil {
+						return err
+					}
+				}
+			default:
+				if in.Op.HasDst() {
+					if err := checkReg(in.Dst, "destination", in); err != nil {
+						return err
+					}
+				}
+				if in.Op.IsUnary() || in.Op.IsBinary() {
+					if err := checkReg(in.A, "operand A", in); err != nil {
+						return err
+					}
+				}
+				if in.Op.IsBinary() {
+					if err := checkReg(in.B, "operand B", in); err != nil {
+						return err
+					}
+				}
+				if in.Op == Lookup {
+					if err := checkReg(in.B, "hit flag", in); err != nil {
+						return err
+					}
+				}
+			}
+			if in.Op.IsMemo() && int(in.LUT) >= maxLUTs {
+				return fmt.Errorf("%s: LUT id %d exceeds %d logical LUTs", in, in.LUT, maxLUTs)
+			}
+			if (in.Op == LdCRC || in.Op == RegCRC) && int(in.Trunc) > in.Type.Size()*8 {
+				return fmt.Errorf("%s: truncating %d bits of a %d-bit value", in, in.Trunc, in.Type.Size()*8)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,482 @@
+package libm
+
+import (
+	"math"
+
+	"axmemo/internal/ir"
+)
+
+// Function names registered by BuildInto.
+const (
+	FnSin   = "libm.sinf"
+	FnCos   = "libm.cosf"
+	FnExp   = "libm.expf"
+	FnLog   = "libm.logf"
+	FnAsin  = "libm.asinf"
+	FnAcos  = "libm.acosf"
+	FnAtan  = "libm.atanf"
+	FnAtan2 = "libm.atan2f"
+	FnTan   = "libm.tanf"
+	FnPow   = "libm.powf"
+)
+
+// BuildInto registers every libm routine in prog.  Each routine mirrors
+// its Go counterpart in gold.go operation-for-operation, so simulated and
+// golden results are bit-identical.
+func BuildInto(p *ir.Program) {
+	if _, ok := p.Funcs[FnSin]; ok {
+		return // already present
+	}
+	buildSinCos(p, FnSin, false)
+	buildSinCos(p, FnCos, true)
+	buildExp(p)
+	buildLog(p)
+	buildAsin(p)
+	buildAcos(p)
+	buildAtan(p)
+	buildAtan2(p)
+	buildTan(p)
+	buildPow(p)
+}
+
+func f32c(bu *ir.Builder, v float32) ir.Reg { return bu.ConstF32(v) }
+
+// buildSinCos mirrors sinCosCore.
+func buildSinCos(p *ir.Program, name string, wantCos bool) {
+	f := p.NewFunc(name, []ir.Type{ir.F32}, []ir.Type{ir.F32})
+	entry := f.NewBlock("entry")
+	evenB := f.NewBlock("even")
+	oddB := f.NewBlock("odd")
+	joinB := f.NewBlock("join")
+	negB := f.NewBlock("negate")
+	outB := f.NewBlock("out")
+
+	roundB := f.NewBlock("octant.round")
+	reduceB := f.NewBlock("reduce")
+
+	bu := ir.At(f, entry)
+	x := f.Params[0]
+	zero := f32c(bu, 0)
+	signI := bu.Bin(ir.CmpLT, ir.F32, x, zero)
+	ax := bu.Un(ir.FAbs, ir.F32, x)
+	jf := bu.Mov(ir.F32, bu.Un(ir.Floor, ir.F32, bu.Bin(ir.FMul, ir.F32, ax, f32c(bu, fourOverPi))))
+	j := bu.Mov(ir.I32, bu.Cvt(ir.F32, ir.I32, jf))
+	oneIa := bu.ConstI32(1)
+	odd := bu.Bin(ir.And, ir.I32, j, oneIa)
+	bu.Br(odd, roundB, reduceB)
+
+	bu.SetBlock(roundB)
+	oneIb := bu.ConstI32(1)
+	oneFb := f32c(bu, 1)
+	bu.MovTo(ir.I32, j, bu.Bin(ir.Add, ir.I32, j, oneIb))
+	bu.MovTo(ir.F32, jf, bu.Bin(ir.FAdd, ir.F32, jf, oneFb))
+	bu.Jmp(reduceB)
+
+	bu.SetBlock(reduceB)
+	r := bu.Bin(ir.FSub, ir.F32, ax, bu.Bin(ir.FMul, ir.F32, jf, f32c(bu, sinDP1)))
+	r = bu.Bin(ir.FSub, ir.F32, r, bu.Bin(ir.FMul, ir.F32, jf, f32c(bu, sinDP2)))
+	r = bu.Bin(ir.FSub, ir.F32, r, bu.Bin(ir.FMul, ir.F32, jf, f32c(bu, sinDP3)))
+	three := bu.ConstI32(3)
+	oneIc := bu.ConstI32(1)
+	q := bu.Bin(ir.And, ir.I32, bu.Bin(ir.Shr, ir.I32, j, oneIc), three)
+	z := bu.Bin(ir.FMul, ir.F32, r, r)
+
+	ps := f32c(bu, -1.9515295891e-4)
+	ps = bu.Bin(ir.FAdd, ir.F32, bu.Bin(ir.FMul, ir.F32, ps, z), f32c(bu, 8.3321608736e-3))
+	ps = bu.Bin(ir.FSub, ir.F32, bu.Bin(ir.FMul, ir.F32, ps, z), f32c(bu, 1.6666654611e-1))
+	ps = bu.Bin(ir.FAdd, ir.F32, bu.Bin(ir.FMul, ir.F32, bu.Bin(ir.FMul, ir.F32, ps, z), r), r)
+
+	pc := f32c(bu, 2.443315711809948e-5)
+	pc = bu.Bin(ir.FSub, ir.F32, bu.Bin(ir.FMul, ir.F32, pc, z), f32c(bu, 1.388731625493765e-3))
+	pc = bu.Bin(ir.FAdd, ir.F32, bu.Bin(ir.FMul, ir.F32, pc, z), f32c(bu, 4.166664568298827e-2))
+	half := f32c(bu, 0.5)
+	pc = bu.Bin(ir.FSub, ir.F32,
+		bu.Bin(ir.FMul, ir.F32, bu.Bin(ir.FMul, ir.F32, pc, z), z),
+		bu.Bin(ir.FMul, ir.F32, half, z))
+	one := f32c(bu, 1)
+	pc = bu.Bin(ir.FAdd, ir.F32, pc, one)
+
+	oneI := bu.ConstI32(1)
+	qOdd := bu.Bin(ir.And, ir.I32, q, oneI)
+	var negI ir.Reg
+	if wantCos {
+		// negate = q == 1 || q == 2.
+		oneC := bu.ConstI32(1)
+		twoC := bu.ConstI32(2)
+		isOne := bu.Bin(ir.CmpEQ, ir.I32, q, oneC)
+		isTwo := bu.Bin(ir.CmpEQ, ir.I32, q, twoC)
+		negI = bu.Bin(ir.Or, ir.I32, isOne, isTwo)
+	} else {
+		// negate = (q >= 2) XOR sign.
+		twoC := bu.ConstI32(2)
+		ge := bu.Bin(ir.CmpGE, ir.I32, q, twoC)
+		negI = bu.Bin(ir.Xor, ir.I32, ge, signI)
+	}
+
+	res := f.NewReg()
+	zeroI := bu.ConstI32(0)
+	isEven := bu.Bin(ir.CmpEQ, ir.I32, qOdd, zeroI)
+	bu.Br(isEven, evenB, oddB)
+
+	// Even quadrants pick one polynomial, odd the other; which is which
+	// depends on the phase.
+	first, second := ps, pc
+	if wantCos {
+		first, second = pc, ps
+	}
+	bu.SetBlock(evenB)
+	bu.MovTo(ir.F32, res, first)
+	bu.Jmp(joinB)
+	bu.SetBlock(oddB)
+	bu.MovTo(ir.F32, res, second)
+	bu.Jmp(joinB)
+
+	bu.SetBlock(joinB)
+	bu.Br(negI, negB, outB)
+	bu.SetBlock(negB)
+	bu.MovTo(ir.F32, res, bu.Un(ir.FNeg, ir.F32, res))
+	bu.Jmp(outB)
+	bu.SetBlock(outB)
+	bu.Ret(res)
+}
+
+// buildExp mirrors Expf.
+func buildExp(p *ir.Program) {
+	f := p.NewFunc(FnExp, []ir.Type{ir.F32}, []ir.Type{ir.F32})
+	entry := f.NewBlock("entry")
+	underB := f.NewBlock("underflow")
+	ckOver := f.NewBlock("check.over")
+	overB := f.NewBlock("overflow")
+	mainB := f.NewBlock("main")
+
+	bu := ir.At(f, entry)
+	x := f.Params[0]
+	z := bu.Un(ir.Floor, ir.F32,
+		bu.Bin(ir.FAdd, ir.F32, bu.Bin(ir.FMul, ir.F32, f32c(bu, log2ef), x), f32c(bu, 0.5)))
+	n := bu.Cvt(ir.F32, ir.I32, z)
+	lo := bu.ConstI32(-126)
+	under := bu.Bin(ir.CmpLT, ir.I32, n, lo)
+	bu.Br(under, underB, ckOver)
+
+	bu.SetBlock(underB)
+	zf := f32c(bu, 0)
+	bu.Ret(zf)
+
+	bu.SetBlock(ckOver)
+	hi := bu.ConstI32(127)
+	over := bu.Bin(ir.CmpGT, ir.I32, n, hi)
+	bu.Br(over, overB, mainB)
+
+	bu.SetBlock(overB)
+	inf := bu.ConstF32(float32(math.Inf(1)))
+	bu.Ret(inf)
+
+	bu.SetBlock(mainB)
+	r := bu.Bin(ir.FSub, ir.F32, x, bu.Bin(ir.FMul, ir.F32, z, f32c(bu, expC1)))
+	r = bu.Bin(ir.FSub, ir.F32, r, bu.Bin(ir.FMul, ir.F32, z, f32c(bu, expC2)))
+	zz := bu.Bin(ir.FMul, ir.F32, r, r)
+	pp := f32c(bu, 1.9875691500e-4)
+	for _, c := range []float32{1.3981999507e-3, 8.3334519073e-3, 4.1665795894e-2, 1.6666665459e-1, 5.0000001201e-1} {
+		pp = bu.Bin(ir.FAdd, ir.F32, bu.Bin(ir.FMul, ir.F32, pp, r), f32c(bu, c))
+	}
+	py := bu.Bin(ir.FAdd, ir.F32, bu.Bin(ir.FMul, ir.F32, pp, zz), r)
+	py = bu.Bin(ir.FAdd, ir.F32, py, f32c(bu, 1))
+	// Scale by 2^n: construct the float (n+127)<<23 directly in the
+	// register file (registers are raw bit patterns).
+	c127 := bu.ConstI32(127)
+	c23 := bu.ConstI32(23)
+	scaleBits := bu.Bin(ir.Shl, ir.I32, bu.Bin(ir.Add, ir.I32, n, c127), c23)
+	out := bu.Bin(ir.FMul, ir.F32, py, scaleBits)
+	bu.Ret(out)
+}
+
+// buildLog mirrors Logf.
+func buildLog(p *ir.Program) {
+	f := p.NewFunc(FnLog, []ir.Type{ir.F32}, []ir.Type{ir.F32})
+	entry := f.NewBlock("entry")
+	nanB := f.NewBlock("nan")
+	posB := f.NewBlock("positive")
+	adjB := f.NewBlock("adjust")
+	mainB := f.NewBlock("main")
+
+	bu := ir.At(f, entry)
+	x := f.Params[0]
+	zf := f32c(bu, 0)
+	nonpos := bu.Bin(ir.CmpLE, ir.F32, x, zf)
+	bu.Br(nonpos, nanB, posB)
+
+	bu.SetBlock(nanB)
+	nan := bu.ConstF32(float32(math.NaN()))
+	bu.Ret(nan)
+
+	bu.SetBlock(posB)
+	// Exponent/mantissa extraction on the raw register bits.
+	c23 := bu.ConstI32(23)
+	c126 := bu.ConstI32(126)
+	e := bu.Mov(ir.I32, bu.Bin(ir.Sub, ir.I32, bu.Bin(ir.Shr, ir.I32, x, c23), c126))
+	mantMask := bu.ConstI32(0x007FFFFF)
+	halfExp := bu.ConstI32(0x3F000000)
+	m := bu.Mov(ir.F32, bu.Bin(ir.Or, ir.I32, bu.Bin(ir.And, ir.I32, x, mantMask), halfExp))
+	small := bu.Bin(ir.CmpLT, ir.F32, m, f32c(bu, sqrthf))
+	bu.Br(small, adjB, mainB)
+
+	bu.SetBlock(adjB)
+	oneI := bu.ConstI32(1)
+	bu.MovTo(ir.I32, e, bu.Bin(ir.Sub, ir.I32, e, oneI))
+	bu.MovTo(ir.F32, m, bu.Bin(ir.FAdd, ir.F32, m, m))
+	bu.Jmp(mainB)
+
+	bu.SetBlock(mainB)
+	one := f32c(bu, 1)
+	mm := bu.Bin(ir.FSub, ir.F32, m, one)
+	z := bu.Bin(ir.FMul, ir.F32, mm, mm)
+	pp := f32c(bu, 7.0376836292e-2)
+	coeffs := []float32{-1.1514610310e-1, 1.1676998740e-1, -1.2420140846e-1,
+		1.4249322787e-1, -1.6668057665e-1, 2.0000714765e-1, -2.4999993993e-1, 3.3333331174e-1}
+	for _, c := range coeffs {
+		pp = bu.Bin(ir.FAdd, ir.F32, bu.Bin(ir.FMul, ir.F32, pp, mm), f32c(bu, c))
+	}
+	ef := bu.Cvt(ir.I32, ir.F32, e)
+	y := bu.Bin(ir.FMul, ir.F32, bu.Bin(ir.FMul, ir.F32, mm, z), pp)
+	y = bu.Bin(ir.FAdd, ir.F32, y, bu.Bin(ir.FMul, ir.F32, ef, f32c(bu, expC2)))
+	y = bu.Bin(ir.FSub, ir.F32, y, bu.Bin(ir.FMul, ir.F32, f32c(bu, 0.5), z))
+	r := bu.Bin(ir.FAdd, ir.F32, mm, y)
+	r = bu.Bin(ir.FAdd, ir.F32, r, bu.Bin(ir.FMul, ir.F32, ef, f32c(bu, expC1)))
+	bu.Ret(r)
+}
+
+// buildAsin mirrors Asinf.
+func buildAsin(p *ir.Program) {
+	f := p.NewFunc(FnAsin, []ir.Type{ir.F32}, []ir.Type{ir.F32})
+	entry := f.NewBlock("entry")
+	bigB := f.NewBlock("big")
+	smallB := f.NewBlock("small")
+	polyB := f.NewBlock("poly")
+	foldB := f.NewBlock("fold")
+	signQ := f.NewBlock("sign.check")
+	negB := f.NewBlock("negate")
+	outB := f.NewBlock("out")
+
+	bu := ir.At(f, entry)
+	x := f.Params[0]
+	zf := f32c(bu, 0)
+	signI := bu.Bin(ir.CmpLT, ir.F32, x, zf)
+	a := bu.Un(ir.FAbs, ir.F32, x)
+	half := f32c(bu, 0.5)
+	bigI := bu.Bin(ir.CmpGT, ir.F32, a, half)
+	z := f.NewReg()
+	r := f.NewReg()
+	bu.Br(bigI, bigB, smallB)
+
+	bu.SetBlock(bigB)
+	one := f32c(bu, 1)
+	halfB := f32c(bu, 0.5)
+	bu.MovTo(ir.F32, z, bu.Bin(ir.FMul, ir.F32, halfB, bu.Bin(ir.FSub, ir.F32, one, a)))
+	bu.MovTo(ir.F32, r, bu.Un(ir.Sqrt, ir.F32, z))
+	bu.Jmp(polyB)
+
+	bu.SetBlock(smallB)
+	bu.MovTo(ir.F32, z, bu.Bin(ir.FMul, ir.F32, a, a))
+	bu.MovTo(ir.F32, r, a)
+	bu.Jmp(polyB)
+
+	bu.SetBlock(polyB)
+	pp := f32c(bu, 4.2163199048e-2)
+	for _, c := range []float32{2.4181311049e-2, 4.5470025998e-2, 7.4953002686e-2, 1.6666752422e-1} {
+		pp = bu.Bin(ir.FAdd, ir.F32, bu.Bin(ir.FMul, ir.F32, pp, z), f32c(bu, c))
+	}
+	y := f.NewReg()
+	bu.MovTo(ir.F32, y,
+		bu.Bin(ir.FAdd, ir.F32, bu.Bin(ir.FMul, ir.F32, bu.Bin(ir.FMul, ir.F32, pp, z), r), r))
+	bu.Br(bigI, foldB, signQ)
+
+	bu.SetBlock(foldB)
+	pio2 := f32c(bu, pio2f)
+	bu.MovTo(ir.F32, y, bu.Bin(ir.FSub, ir.F32, pio2, bu.Bin(ir.FAdd, ir.F32, y, y)))
+	bu.Jmp(signQ)
+
+	bu.SetBlock(signQ)
+	bu.Br(signI, negB, outB)
+	bu.SetBlock(negB)
+	bu.MovTo(ir.F32, y, bu.Un(ir.FNeg, ir.F32, y))
+	bu.Jmp(outB)
+	bu.SetBlock(outB)
+	bu.Ret(y)
+}
+
+// buildAcos mirrors Acosf: π/2 − asin(x).
+func buildAcos(p *ir.Program) {
+	f := p.NewFunc(FnAcos, []ir.Type{ir.F32}, []ir.Type{ir.F32})
+	entry := f.NewBlock("entry")
+	bu := ir.At(f, entry)
+	as := bu.Call(FnAsin, 1, f.Params[0])[0]
+	pio2 := f32c(bu, pio2f)
+	bu.Ret(bu.Bin(ir.FSub, ir.F32, pio2, as))
+}
+
+// buildAtan mirrors Atanf.
+func buildAtan(p *ir.Program) {
+	f := p.NewFunc(FnAtan, []ir.Type{ir.F32}, []ir.Type{ir.F32})
+	entry := f.NewBlock("entry")
+	hiB := f.NewBlock("range.hi")
+	midQ := f.NewBlock("range.midq")
+	midB := f.NewBlock("range.mid")
+	loB := f.NewBlock("range.lo")
+	polyB := f.NewBlock("poly")
+	negB := f.NewBlock("negate")
+	outB := f.NewBlock("out")
+
+	bu := ir.At(f, entry)
+	x := f.Params[0]
+	zf := f32c(bu, 0)
+	signI := bu.Bin(ir.CmpLT, ir.F32, x, zf)
+	a := bu.Un(ir.FAbs, ir.F32, x)
+	y := f.NewReg()
+	r := f.NewReg()
+	hi := bu.Bin(ir.CmpGT, ir.F32, a, f32c(bu, 2.4142134))
+	bu.Br(hi, hiB, midQ)
+
+	bu.SetBlock(hiB)
+	one := f32c(bu, 1)
+	bu.MovTo(ir.F32, y, f32c(bu, pio2f))
+	bu.MovTo(ir.F32, r, bu.Un(ir.FNeg, ir.F32, bu.Bin(ir.FDiv, ir.F32, one, a)))
+	bu.Jmp(polyB)
+
+	bu.SetBlock(midQ)
+	mid := bu.Bin(ir.CmpGT, ir.F32, a, f32c(bu, 0.41421357))
+	bu.Br(mid, midB, loB)
+
+	bu.SetBlock(midB)
+	oneM := f32c(bu, 1)
+	bu.MovTo(ir.F32, y, f32c(bu, pio4f))
+	bu.MovTo(ir.F32, r, bu.Bin(ir.FDiv, ir.F32,
+		bu.Bin(ir.FSub, ir.F32, a, oneM), bu.Bin(ir.FAdd, ir.F32, a, oneM)))
+	bu.Jmp(polyB)
+
+	bu.SetBlock(loB)
+	bu.MovTo(ir.F32, y, f32c(bu, 0))
+	bu.MovTo(ir.F32, r, a)
+	bu.Jmp(polyB)
+
+	bu.SetBlock(polyB)
+	z := bu.Bin(ir.FMul, ir.F32, r, r)
+	pp := f32c(bu, 8.05374449538e-2)
+	pp = bu.Bin(ir.FSub, ir.F32, bu.Bin(ir.FMul, ir.F32, pp, z), f32c(bu, 1.38776856032e-1))
+	pp = bu.Bin(ir.FAdd, ir.F32, bu.Bin(ir.FMul, ir.F32, pp, z), f32c(bu, 1.99777106478e-1))
+	pp = bu.Bin(ir.FSub, ir.F32, bu.Bin(ir.FMul, ir.F32, pp, z), f32c(bu, 3.33329491539e-1))
+	bu.MovTo(ir.F32, y, bu.Bin(ir.FAdd, ir.F32, y,
+		bu.Bin(ir.FAdd, ir.F32, bu.Bin(ir.FMul, ir.F32, bu.Bin(ir.FMul, ir.F32, pp, z), r), r)))
+	bu.Br(signI, negB, outB)
+	bu.SetBlock(negB)
+	bu.MovTo(ir.F32, y, bu.Un(ir.FNeg, ir.F32, y))
+	bu.Jmp(outB)
+	bu.SetBlock(outB)
+	bu.Ret(y)
+}
+
+// buildTan mirrors Tanf.
+func buildTan(p *ir.Program) {
+	f := p.NewFunc(FnTan, []ir.Type{ir.F32}, []ir.Type{ir.F32})
+	entry := f.NewBlock("entry")
+	bu := ir.At(f, entry)
+	s := bu.Call(FnSin, 1, f.Params[0])[0]
+	c := bu.Call(FnCos, 1, f.Params[0])[0]
+	bu.Ret(bu.Bin(ir.FDiv, ir.F32, s, c))
+}
+
+// buildPow mirrors Powf.
+func buildPow(p *ir.Program) {
+	f := p.NewFunc(FnPow, []ir.Type{ir.F32, ir.F32}, []ir.Type{ir.F32})
+	entry := f.NewBlock("entry")
+	oneB := f.NewBlock("exp.zero")
+	nzB := f.NewBlock("exp.nonzero")
+	badB := f.NewBlock("base.nonpos")
+	mainB := f.NewBlock("main")
+
+	bu := ir.At(f, entry)
+	x, y := f.Params[0], f.Params[1]
+	zf := f32c(bu, 0)
+	yZero := bu.Bin(ir.CmpEQ, ir.F32, y, zf)
+	bu.Br(yZero, oneB, nzB)
+
+	bu.SetBlock(oneB)
+	one := f32c(bu, 1)
+	bu.Ret(one)
+
+	bu.SetBlock(nzB)
+	zf2 := f32c(bu, 0)
+	nonpos := bu.Bin(ir.CmpLE, ir.F32, x, zf2)
+	bu.Br(nonpos, badB, mainB)
+
+	bu.SetBlock(badB)
+	bu.Ret(bu.Call(FnLog, 1, x)[0]) // NaN, as in the mirror
+
+	bu.SetBlock(mainB)
+	lg := bu.Call(FnLog, 1, x)[0]
+	bu.Ret(bu.Call(FnExp, 1, bu.Bin(ir.FMul, ir.F32, y, lg))[0])
+}
+
+// buildAtan2 mirrors Atan2f.
+func buildAtan2(p *ir.Program) {
+	f := p.NewFunc(FnAtan2, []ir.Type{ir.F32, ir.F32}, []ir.Type{ir.F32})
+	entry := f.NewBlock("entry")
+	posB := f.NewBlock("x.pos")
+	negQ := f.NewBlock("x.negq")
+	negXB := f.NewBlock("x.neg")
+	yGE := f.NewBlock("xneg.yge")
+	yLT := f.NewBlock("xneg.ylt")
+	zeroXB := f.NewBlock("x.zero")
+	yPos := f.NewBlock("xzero.ypos")
+	yNegQ := f.NewBlock("xzero.ynegq")
+	yNeg := f.NewBlock("xzero.yneg")
+	yZero := f.NewBlock("xzero.yzero")
+
+	bu := ir.At(f, entry)
+	yv, xv := f.Params[0], f.Params[1]
+	zf := f32c(bu, 0)
+	xpos := bu.Bin(ir.CmpGT, ir.F32, xv, zf)
+	bu.Br(xpos, posB, negQ)
+
+	bu.SetBlock(posB)
+	q := bu.Bin(ir.FDiv, ir.F32, yv, xv)
+	bu.Ret(bu.Call(FnAtan, 1, q)[0])
+
+	bu.SetBlock(negQ)
+	zf2 := f32c(bu, 0)
+	xneg := bu.Bin(ir.CmpLT, ir.F32, xv, zf2)
+	bu.Br(xneg, negXB, zeroXB)
+
+	bu.SetBlock(negXB)
+	zf3 := f32c(bu, 0)
+	yge := bu.Bin(ir.CmpGE, ir.F32, yv, zf3)
+	bu.Br(yge, yGE, yLT)
+
+	bu.SetBlock(yGE)
+	q2 := bu.Bin(ir.FDiv, ir.F32, yv, xv)
+	at := bu.Call(FnAtan, 1, q2)[0]
+	bu.Ret(bu.Bin(ir.FAdd, ir.F32, at, f32c(bu, pif)))
+
+	bu.SetBlock(yLT)
+	q3 := bu.Bin(ir.FDiv, ir.F32, yv, xv)
+	at2 := bu.Call(FnAtan, 1, q3)[0]
+	bu.Ret(bu.Bin(ir.FSub, ir.F32, at2, f32c(bu, pif)))
+
+	bu.SetBlock(zeroXB)
+	zf4 := f32c(bu, 0)
+	ypos := bu.Bin(ir.CmpGT, ir.F32, yv, zf4)
+	bu.Br(ypos, yPos, yNegQ)
+
+	bu.SetBlock(yPos)
+	bu.Ret(f32c(bu, pio2f))
+
+	bu.SetBlock(yNegQ)
+	zf5 := f32c(bu, 0)
+	yneg := bu.Bin(ir.CmpLT, ir.F32, yv, zf5)
+	bu.Br(yneg, yNeg, yZero)
+
+	bu.SetBlock(yNeg)
+	bu.Ret(f32c(bu, -pio2f))
+
+	bu.SetBlock(yZero)
+	bu.Ret(f32c(bu, 0))
+}

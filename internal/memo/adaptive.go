@@ -1,0 +1,126 @@
+package memo
+
+// AdaptiveConfig implements the paper's §3.1 alternative to compile-time
+// truncation profiling: "we can use a dynamic approach.  A certain
+// percentage of the execution time can be allocated for profiling at
+// runtime ... so we can use the computation results and the LUT output to
+// calculate error and adjust the approximation level accordingly during
+// the execution."
+//
+// The controller piggybacks on the quality monitor's sampled comparisons.
+// At the end of each monitoring window it inspects the window's mean
+// relative error: comfortably below the low-water mark, it truncates one
+// more bit (raising the hit rate); above the high-water mark, it backs
+// off one bit and invalidates the LUTs (entries keyed under the stale
+// truncation level would otherwise linger unreachable).
+type AdaptiveConfig struct {
+	// Enabled turns the controller on.
+	Enabled bool
+	// MaxExtraBits bounds how far above the instruction-specified
+	// truncation the controller may go.
+	MaxExtraBits int8
+	// MinExtraBits bounds how far below (negative values un-truncate
+	// relative to the instruction's n field).
+	MinExtraBits int8
+	// LowWater: window mean relative error below this raises
+	// truncation.
+	LowWater float64
+	// HighWater: window mean relative error above this lowers it.
+	HighWater float64
+	// Exploration: sampled comparisons only exist when lookups hit, so
+	// a controller starting from an un-truncated configuration with no
+	// input reuse would never receive a signal.  Every ProbeWindow
+	// lookups with a hit rate below ProbeHitFloor, the controller
+	// raises truncation speculatively — memoization is returning
+	// nothing at the current level, so the move risks little, and the
+	// error-driven back-off corrects any overshoot.
+	ProbeWindow   uint64
+	ProbeHitFloor float64
+}
+
+// DefaultAdaptive returns a conservative controller: raise while sampled
+// error stays under 0.1%, back off beyond 2%.
+func DefaultAdaptive() AdaptiveConfig {
+	return AdaptiveConfig{
+		Enabled:       true,
+		MaxExtraBits:  16,
+		MinExtraBits:  0,
+		LowWater:      0.001,
+		HighWater:     0.02,
+		ProbeWindow:   200,
+		ProbeHitFloor: 0.05,
+	}
+}
+
+// AdaptiveStats reports controller activity.
+type AdaptiveStats struct {
+	Raises  uint64
+	Lowers  uint64
+	Current int8
+}
+
+// adaptive is the runtime controller state inside the unit.
+type adaptive struct {
+	cfg   AdaptiveConfig
+	adj   int8
+	stats AdaptiveStats
+
+	probeLookups uint64
+	probeHits    uint64
+}
+
+// onLookup feeds the exploration trigger; it returns true when the
+// controller decided to raise truncation speculatively.
+func (a *adaptive) onLookup(hit bool) bool {
+	if a.cfg.ProbeWindow == 0 {
+		return false
+	}
+	a.probeLookups++
+	if hit {
+		a.probeHits++
+	}
+	if a.probeLookups < a.cfg.ProbeWindow {
+		return false
+	}
+	rate := float64(a.probeHits) / float64(a.probeLookups)
+	a.probeLookups, a.probeHits = 0, 0
+	if rate < a.cfg.ProbeHitFloor && a.adj < a.cfg.MaxExtraBits {
+		a.adj++
+		a.stats.Raises++
+		a.stats.Current = a.adj
+		return true
+	}
+	return false
+}
+
+// onWindow digests one completed monitoring window.
+func (a *adaptive) onWindow(meanErr float64) (flushLUTs bool) {
+	switch {
+	case meanErr > a.cfg.HighWater && a.adj > a.cfg.MinExtraBits:
+		a.adj--
+		a.stats.Lowers++
+		a.stats.Current = a.adj
+		return true
+	case meanErr < a.cfg.LowWater && a.adj < a.cfg.MaxExtraBits:
+		a.adj++
+		a.stats.Raises++
+		a.stats.Current = a.adj
+	}
+	return false
+}
+
+// apply combines the instruction's truncation field with the runtime
+// adjustment, clamped to the lane width.
+func (a *adaptive) apply(instrBits uint, laneBits int) uint {
+	if a == nil {
+		return instrBits
+	}
+	eff := int(instrBits) + int(a.adj)
+	if eff < 0 {
+		eff = 0
+	}
+	if eff > laneBits {
+		eff = laneBits
+	}
+	return uint(eff)
+}

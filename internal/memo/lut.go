@@ -1,0 +1,111 @@
+package memo
+
+// lutEntry is one LUT entry: a tag (valid bit + LUT_ID + CRC value) and up
+// to 8 bytes of data.  The model stores the full CRC; hardware stores only
+// the bits above the set index, which carries the same information.
+type lutEntry struct {
+	valid bool
+	lutID uint8
+	crc   uint64
+	data  uint64
+	lru   uint64
+}
+
+// lut is one level of the lookup table: a set-associative array with true
+// LRU replacement, organized so one set occupies one 64-byte line (§3.3).
+type lut struct {
+	cfg   LUTConfig
+	sets  [][]lutEntry
+	clock uint64
+}
+
+func newLUT(cfg LUTConfig) *lut {
+	l := &lut{cfg: cfg, sets: make([][]lutEntry, cfg.Sets())}
+	for i := range l.sets {
+		l.sets[i] = make([]lutEntry, cfg.Ways())
+	}
+	return l
+}
+
+func (l *lut) setIndex(crcVal uint64) uint64 {
+	return crcVal & uint64(len(l.sets)-1)
+}
+
+// lookup searches for {lutID, crc} and refreshes its LRU age on hit.
+func (l *lut) lookup(lutID uint8, crcVal uint64) (data uint64, hit bool) {
+	l.clock++
+	set := l.sets[l.setIndex(crcVal)]
+	for i := range set {
+		if set[i].valid && set[i].lutID == lutID && set[i].crc == crcVal {
+			set[i].lru = l.clock
+			return set[i].data, true
+		}
+	}
+	return 0, false
+}
+
+// insert places {lutID, crc → data}, overwriting a matching entry if
+// present, else filling an invalid way, else evicting the LRU victim.
+// It returns the victim entry when a valid entry was displaced.
+func (l *lut) insert(lutID uint8, crcVal, data uint64) (victim lutEntry, evicted bool) {
+	l.clock++
+	set := l.sets[l.setIndex(crcVal)]
+	victimIdx := 0
+	for i := range set {
+		if set[i].valid && set[i].lutID == lutID && set[i].crc == crcVal {
+			set[i].data = data
+			set[i].lru = l.clock
+			return lutEntry{}, false
+		}
+		if !set[i].valid {
+			victimIdx = i
+		} else if set[victimIdx].valid && set[i].lru < set[victimIdx].lru {
+			victimIdx = i
+		}
+	}
+	if set[victimIdx].valid {
+		victim, evicted = set[victimIdx], true
+	}
+	set[victimIdx] = lutEntry{valid: true, lutID: lutID, crc: crcVal, data: data, lru: l.clock}
+	return victim, evicted
+}
+
+// invalidateEntry drops a specific {lutID, crc} entry if present.
+func (l *lut) invalidateEntry(lutID uint8, crcVal uint64) {
+	set := l.sets[l.setIndex(crcVal)]
+	for i := range set {
+		if set[i].valid && set[i].lutID == lutID && set[i].crc == crcVal {
+			set[i] = lutEntry{}
+			return
+		}
+	}
+}
+
+// invalidateLUT clears every entry belonging to one logical LUT.  The
+// hardware does this with dedicated logic in one cycle per way (Table 4).
+func (l *lut) invalidateLUT(lutID uint8) {
+	for s := range l.sets {
+		for w := range l.sets[s] {
+			if l.sets[s][w].valid && l.sets[s][w].lutID == lutID {
+				l.sets[s][w] = lutEntry{}
+			}
+		}
+	}
+}
+
+// occupancy returns the fraction of valid entries.
+func (l *lut) occupancy() float64 {
+	valid, total := 0, 0
+	for _, set := range l.sets {
+		for _, e := range set {
+			total++
+			if e.valid {
+				valid++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(valid) / float64(total)
+}

@@ -1,0 +1,129 @@
+package memo
+
+import "math"
+
+// monitor is the quality-monitoring unit of §6: every SamplePeriod-th LUT
+// hit is converted into a miss; the program then computes the real result
+// and the subsequent update lets the monitor compare the memoized output
+// against the computed one.  If, within a window of WindowSize
+// comparisons, more than BadFraction of the relative errors exceed
+// ErrThreshold, memoization is disabled for the rest of the run.
+type monitor struct {
+	cfg MonitorConfig
+
+	hitCount    uint64
+	windowCount int
+	windowBad   int
+	windowSum   float64
+	disabled    bool
+
+	samples   uint64
+	maxRelErr float64
+	sumRelErr float64
+
+	// onWindow, if set, receives each completed window's mean relative
+	// error (the adaptive-truncation controller subscribes here).
+	onWindow func(meanErr float64)
+}
+
+func newMonitor(cfg MonitorConfig) *monitor {
+	if cfg.SamplePeriod <= 0 {
+		cfg.SamplePeriod = 100
+	}
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 100
+	}
+	return &monitor{cfg: cfg}
+}
+
+// shouldSample is consulted on every LUT hit; when it returns true the
+// unit reports a miss to the CPU and remembers the memoized data for the
+// comparison that the matching update will trigger.
+func (m *monitor) shouldSample() bool {
+	if !m.cfg.Enabled || m.disabled {
+		return false
+	}
+	m.hitCount++
+	return m.hitCount%uint64(m.cfg.SamplePeriod) == 0
+}
+
+// observe records one comparison between the memoized output and the
+// freshly computed one.
+func (m *monitor) observe(memoized, computed uint64, kind OutputKind) {
+	rel := relativeError(memoized, computed, kind)
+	m.samples++
+	m.sumRelErr += rel
+	if rel > m.maxRelErr {
+		m.maxRelErr = rel
+	}
+	m.windowCount++
+	m.windowSum += rel
+	if rel > m.cfg.ErrThreshold {
+		m.windowBad++
+	}
+	if m.windowCount >= m.cfg.WindowSize {
+		if float64(m.windowBad) > m.cfg.BadFraction*float64(m.windowCount) {
+			m.disabled = true
+		}
+		if m.onWindow != nil {
+			m.onWindow(m.windowSum / float64(m.windowCount))
+		}
+		m.windowCount, m.windowBad, m.windowSum = 0, 0, 0
+	}
+}
+
+// relativeError computes the maximum lane-wise relative error between two
+// LUT data words interpreted per kind.
+func relativeError(a, b uint64, kind OutputKind) float64 {
+	switch kind {
+	case OutF64:
+		return relErr(math.Float64frombits(a), math.Float64frombits(b))
+	case OutTwoF32:
+		lo := relErr(float64(math.Float32frombits(uint32(a))), float64(math.Float32frombits(uint32(b))))
+		hi := relErr(float64(math.Float32frombits(uint32(a>>32))), float64(math.Float32frombits(uint32(b>>32))))
+		return math.Max(lo, hi)
+	case OutI32:
+		return relErr(float64(int32(uint32(a))), float64(int32(uint32(b))))
+	case OutPacked:
+		worst := 0.0
+		for i := 0; i < 4; i++ {
+			va := float64(int16(uint16(a >> (16 * uint(i)))))
+			vb := float64(int16(uint16(b >> (16 * uint(i)))))
+			if e := relErr(va, vb); e > worst {
+				worst = e
+			}
+		}
+		return worst
+	default: // OutF32
+		return relErr(float64(math.Float32frombits(uint32(a))), float64(math.Float32frombits(uint32(b))))
+	}
+}
+
+func relErr(approx, exact float64) float64 {
+	if math.IsNaN(approx) || math.IsNaN(exact) {
+		return 1
+	}
+	if exact == 0 {
+		if approx == 0 {
+			return 0
+		}
+		return 1
+	}
+	return math.Abs(approx-exact) / math.Abs(exact)
+}
+
+// MonitorStats summarizes quality-monitor activity.
+type MonitorStats struct {
+	Samples   uint64
+	MeanError float64
+	MaxError  float64
+	Disabled  bool
+}
+
+func (m *monitor) stats() MonitorStats {
+	s := MonitorStats{Samples: m.samples, MaxError: m.maxRelErr, Disabled: m.disabled}
+	if m.samples > 0 {
+		s.MeanError = m.sumRelErr / float64(m.samples)
+	}
+	return s
+}

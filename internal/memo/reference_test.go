@@ -1,0 +1,118 @@
+package memo
+
+import (
+	"math/rand"
+	"testing"
+
+	"axmemo/internal/approx"
+)
+
+// TestUnitMatchesReferenceModel drives the unit with a random operation
+// stream and checks it against a map-based reference model.  The safety
+// direction is strict: every hit must be for a previously-updated
+// truncated input stream and must return exactly the value last stored
+// for it (a violation would be silent wrong data).  The liveness
+// direction is eviction-tolerant: the unit may miss a stream the
+// reference remembers — identical streams fed to different logical LUTs
+// share a CRC and therefore a physical set, so a unified LUT legitimately
+// takes conflict evictions (§3.3 stores multiple logical LUTs in one
+// array) — but such misses must be rare at this working-set size.
+func TestUnitMatchesReferenceModel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Monitor.Enabled = false
+	cfg.L1 = LUTConfig{SizeBytes: 64 << 10, DataBytes: 8, HitLatency: 2}
+	cfg.L2 = &LUTConfig{SizeBytes: 1 << 20, DataBytes: 8, HitLatency: 13}
+	u := MustNew(cfg)
+
+	type key struct {
+		lut    uint8
+		stream string
+	}
+	ref := make(map[key]uint64)
+	rng := rand.New(rand.NewSource(31))
+	evictedMisses := 0
+
+	for step := 0; step < 50_000; step++ {
+		lut := uint8(rng.Intn(4))
+		trunc := uint(rng.Intn(3) * 8)
+		// Small value universe so hits actually occur.
+		nWords := 1 + rng.Intn(2)
+		var stream []byte
+		for w := 0; w < nWords; w++ {
+			v := uint64(rng.Intn(8)) * 257
+			u.Feed(lut, 0, v, 4, trunc, 0)
+			tv := approx.Lane(v, 4, trunc)
+			for b := 0; b < 4; b++ {
+				stream = append(stream, byte(tv>>(8*uint(b))))
+			}
+		}
+		k := key{lut, string(stream)}
+		res := u.Lookup(lut, 0, 0)
+		want, seen := ref[k]
+		switch {
+		case res.Hit && !seen:
+			t.Fatalf("step %d: hit on never-updated stream (lut %d stream %x)", step, lut, stream)
+		case res.Hit && res.Data != want:
+			t.Fatalf("step %d: data=%d, reference says %d", step, res.Data, want)
+		case !res.Hit && seen:
+			// Legitimate conflict eviction; re-learn it.
+			evictedMisses++
+		}
+		if !res.Hit {
+			val := uint64(rng.Intn(1 << 20))
+			u.Update(lut, 0, val, 0)
+			ref[k] = val
+		}
+		// Occasionally invalidate one logical LUT on both sides.
+		if rng.Intn(2000) == 0 {
+			victim := uint8(rng.Intn(4))
+			u.Invalidate(victim)
+			for k2 := range ref {
+				if k2.lut == victim {
+					delete(ref, k2)
+				}
+			}
+		}
+	}
+	if evictedMisses > 500 { // > 1% of 50k lookups
+		t.Errorf("%d conflict-eviction misses; working set should be nearly resident", evictedMisses)
+	}
+	if u.Stats().L1Hits == 0 {
+		t.Error("no hits at all; the reference model was never exercised")
+	}
+}
+
+// TestUnitEvictionSemantics: with a tiny single-set L1 and no L2,
+// evictions silently drop entries — a re-lookup of an evicted input is a
+// miss, never wrong data.
+func TestUnitEvictionSemantics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Monitor.Enabled = false
+	cfg.L1 = LUTConfig{SizeBytes: 64, DataBytes: 4, HitLatency: 2} // 8 entries
+	u := MustNew(cfg)
+	// Insert 64 distinct entries through one set's worth of capacity.
+	for i := uint32(0); i < 64; i++ {
+		u.Feed(0, 0, uint64(i), 4, 0, 0)
+		if r := u.Lookup(0, 0, 0); r.Hit {
+			t.Fatalf("unexpected hit for fresh input %d", i)
+		}
+		u.Update(0, 0, uint64(i)*10, 0)
+	}
+	// Re-probe newest-first without refilling: the 8 most recent
+	// survivors must hit with exactly their stored data; everything
+	// older was evicted and must miss (never return wrong data).
+	hits := 0
+	for i := int32(63); i >= 0; i-- {
+		u.Feed(0, 0, uint64(i), 4, 0, 0)
+		r := u.Lookup(0, 0, 0)
+		if r.Hit {
+			hits++
+			if r.Data != uint64(i)*10 {
+				t.Fatalf("stale/wrong data for %d: %d", i, r.Data)
+			}
+		}
+	}
+	if hits != 8 {
+		t.Errorf("hits = %d, want exactly the 8-entry capacity", hits)
+	}
+}

@@ -1,0 +1,358 @@
+package memo
+
+import (
+	"fmt"
+
+	"axmemo/internal/approx"
+)
+
+// Stats accumulates memoization-unit activity for one run.
+type Stats struct {
+	Lookups     uint64
+	L1Hits      uint64
+	L2Hits      uint64
+	Misses      uint64
+	SampledHits uint64 // hits converted to misses by the quality monitor
+	Updates     uint64
+	Invalidates uint64
+	FedBytes    uint64
+	FedOps      uint64 // individual Feed calls (HVR write events)
+	L2Probes    uint64 // lookups that reached the L2 LUT
+	L1Evictions uint64
+	L2Evictions uint64
+	Collisions  uint64 // true hash collisions (TrackCollisions only)
+	StrayOps    uint64 // updates with no pending allocation
+}
+
+// HitRate returns the total hit rate across both LUT levels (Fig. 9
+// reports this combined rate).  Sampled hits count as hits: the data was
+// present; the monitor merely withheld it.
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.L1Hits+s.L2Hits+s.SampledHits) / float64(s.Lookups)
+}
+
+// L1HitRate returns the first-level hit rate alone.
+func (s Stats) L1HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.L1Hits) / float64(s.Lookups)
+}
+
+// LookupResult describes the outcome of one LUT lookup.
+type LookupResult struct {
+	// Hit is the outcome presented to the CPU's condition code.
+	Hit bool
+	// Data is the LUT data (valid when Hit).
+	Data uint64
+	// Level is 1 or 2 for the level that supplied the data.
+	Level int
+	// DoneAt is the cycle at which the result is available, including
+	// any stall waiting for the CRC input queue to drain (§3.4).
+	DoneAt uint64
+	// Sampled reports that the quality monitor converted a hit into a
+	// miss for this lookup.
+	Sampled bool
+}
+
+type pendKey struct {
+	lut uint8
+	tid int
+}
+
+type pending struct {
+	valid       bool
+	crc         uint64
+	sampled     bool
+	sampledData uint64
+	inputKey    string
+}
+
+type shadowKey struct {
+	lut uint8
+	crc uint64
+}
+
+// Unit is one per-core memoization unit (Fig. 2): hashing unit + Hash
+// Value Registers + L1 LUT, with an optional L2 LUT level.
+type Unit struct {
+	cfg     Config
+	hvrs    *hvrFile
+	l1      *lut
+	l2      *lut // nil when not configured
+	mon     *monitor
+	outKind [MaxLUTs]OutputKind
+	pend    map[pendKey]*pending
+	shadow  map[shadowKey]string
+	adapt   *adaptive
+	stats   Stats
+	// lastLookupHit records whether the in-flight lookup found an
+	// entry (sampled hits count), for the adaptive explorer.
+	lastLookupHit bool
+}
+
+// New builds a memoization unit from a validated configuration.
+func New(cfg Config) (*Unit, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	u := &Unit{
+		cfg:  cfg,
+		hvrs: newHVRFile(cfg.CRC, cfg.Threads, cfg.TrackCollisions, cfg.CRCBytesPerCycle),
+		l1:   newLUT(cfg.L1),
+		mon:  newMonitor(cfg.Monitor),
+		pend: make(map[pendKey]*pending),
+	}
+	if cfg.L2 != nil {
+		u.l2 = newLUT(*cfg.L2)
+	}
+	if cfg.TrackCollisions {
+		u.shadow = make(map[shadowKey]string)
+	}
+	if cfg.Adaptive.Enabled {
+		if !cfg.Monitor.Enabled {
+			return nil, fmt.Errorf("memo: adaptive truncation needs the quality monitor's samples")
+		}
+		u.adapt = &adaptive{cfg: cfg.Adaptive}
+		u.mon.onWindow = func(meanErr float64) {
+			if u.adapt.onWindow(meanErr) {
+				// Backed off: flush entries keyed under the
+				// stale truncation level.
+				for lut := 0; lut < MaxLUTs; lut++ {
+					u.l1.invalidateLUT(uint8(lut))
+					if u.l2 != nil {
+						u.l2.invalidateLUT(uint8(lut))
+					}
+				}
+			}
+		}
+	}
+	return u, nil
+}
+
+// AdaptiveStats reports the runtime truncation controller's activity
+// (zero-valued when disabled).
+func (u *Unit) AdaptiveStats() AdaptiveStats {
+	if u.adapt == nil {
+		return AdaptiveStats{}
+	}
+	return u.adapt.stats
+}
+
+// MustNew builds a unit and panics on configuration errors.
+func MustNew(cfg Config) *Unit {
+	u, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Config returns the unit's configuration.
+func (u *Unit) Config() Config { return u.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (u *Unit) Stats() Stats { return u.stats }
+
+// MonitorStats returns the quality-monitor summary.
+func (u *Unit) MonitorStats() MonitorStats { return u.mon.stats() }
+
+// Disabled reports whether the quality monitor has switched memoization
+// off for the remainder of the run.
+func (u *Unit) Disabled() bool { return u.mon.disabled }
+
+// SetOutputKind declares the output layout of a logical LUT so the
+// quality monitor can compare memoized and computed results lane-wise.
+func (u *Unit) SetOutputKind(lutID uint8, kind OutputKind) {
+	u.outKind[lutID] = kind
+}
+
+// Feed truncates data (a little-endian lane of sizeBytes) by truncBits
+// and streams its bytes into the {lut, tid} CRC context at cycle now.  It
+// returns the cycle at which the unit's input queue has drained those
+// bytes — one byte per cycle, as in Table 4: the feeding instruction
+// itself does not stall the CPU.
+func (u *Unit) Feed(lutID uint8, tid int, data uint64, sizeBytes int, truncBits uint, now uint64) uint64 {
+	if int(lutID) >= MaxLUTs {
+		panic(fmt.Sprintf("memo: LUT id %d out of range", lutID))
+	}
+	truncated := approx.Lane(data, sizeBytes, u.adapt.apply(truncBits, sizeBytes*8))
+	u.stats.FedBytes += uint64(sizeBytes)
+	u.stats.FedOps++
+	return u.hvrs.feed(lutID, tid, truncated, sizeBytes, now)
+}
+
+// Lookup finalizes the {lut, tid} hash and probes the LUT hierarchy at
+// cycle now.  Per §3.4 the lookup stalls until any pending CRC
+// calculation for this LUT has drained.  A miss allocates a pending entry
+// that the matching Update will fill.
+func (u *Unit) Lookup(lutID uint8, tid int, now uint64) LookupResult {
+	start := now
+	if ra := u.hvrs.readyAt(lutID, tid); ra > start {
+		start = ra
+	}
+	crcVal := u.hvrs.digest(lutID, tid)
+	inputKey := ""
+	if u.cfg.TrackCollisions {
+		inputKey = u.hvrs.shadowKey(lutID, tid)
+	}
+	u.hvrs.reset(lutID, tid)
+	u.stats.Lookups++
+	u.lastLookupHit = false
+	defer func() {
+		if u.adapt != nil {
+			u.adapt.onLookup(u.lastLookupHit)
+		}
+	}()
+
+	res := LookupResult{DoneAt: start + uint64(u.cfg.L1.HitLatency)}
+	if u.mon.disabled {
+		u.stats.Misses++
+		u.allocPending(lutID, tid, crcVal, inputKey)
+		return res
+	}
+
+	if data, hit := u.l1.lookup(lutID, crcVal); hit {
+		return u.finishHit(lutID, tid, crcVal, data, 1, res, inputKey)
+	}
+	if u.l2 != nil {
+		res.DoneAt += uint64(u.cfg.L2.HitLatency)
+		u.stats.L2Probes++
+		if data, hit := u.l2.lookup(lutID, crcVal); hit {
+			// Promote into L1; inclusion means the L1 victim is
+			// already present in L2, so it is simply dropped.
+			if _, ev := u.l1.insert(lutID, crcVal, data); ev {
+				u.stats.L1Evictions++
+			}
+			return u.finishHit(lutID, tid, crcVal, data, 2, res, inputKey)
+		}
+	}
+	u.stats.Misses++
+	u.allocPending(lutID, tid, crcVal, inputKey)
+	return res
+}
+
+func (u *Unit) finishHit(lutID uint8, tid int, crcVal, data uint64, level int, res LookupResult, inputKey string) LookupResult {
+	u.lastLookupHit = true
+	u.noteCollision(lutID, crcVal, inputKey)
+	if u.mon.shouldSample() {
+		// Quality monitoring: report a miss; remember the memoized
+		// data for comparison against the update (§6).
+		u.stats.SampledHits++
+		p := u.allocPending(lutID, tid, crcVal, inputKey)
+		p.sampled = true
+		p.sampledData = data
+		res.Hit = false
+		res.Sampled = true
+		return res
+	}
+	if level == 1 {
+		u.stats.L1Hits++
+	} else {
+		u.stats.L2Hits++
+	}
+	res.Hit = true
+	res.Data = data
+	res.Level = level
+	return res
+}
+
+func (u *Unit) allocPending(lutID uint8, tid int, crcVal uint64, inputKey string) *pending {
+	p := &pending{valid: true, crc: crcVal, inputKey: inputKey}
+	u.pend[pendKey{lutID, tid}] = p
+	return p
+}
+
+func (u *Unit) noteCollision(lutID uint8, crcVal uint64, inputKey string) {
+	if !u.cfg.TrackCollisions {
+		return
+	}
+	k := shadowKey{lutID, crcVal}
+	if prev, ok := u.shadow[k]; ok && prev != inputKey {
+		u.stats.Collisions++
+	}
+}
+
+// Update fills the entry allocated by the last missed lookup of {lut,
+// tid} with data, at cycle now.  It returns the cycle at which the write
+// completes (Table 4: two cycles; the entry allocation already happened
+// in parallel with the original computation, §3.4).
+func (u *Unit) Update(lutID uint8, tid int, data uint64, now uint64) uint64 {
+	done := now + uint64(u.cfg.UpdateLatency)
+	key := pendKey{lutID, tid}
+	p, ok := u.pend[key]
+	if !ok || !p.valid {
+		u.stats.StrayOps++
+		return done
+	}
+	delete(u.pend, key)
+	u.stats.Updates++
+	if p.sampled {
+		u.mon.observe(p.sampledData, data, u.outKind[lutID])
+	}
+	if u.mon.disabled {
+		return done
+	}
+	if victim, ev := u.l1.insert(lutID, p.crc, data); ev {
+		u.stats.L1Evictions++
+		if u.l2 != nil {
+			// Spill the L1 victim to L2 (it may already be there
+			// under inclusion; insert refreshes it either way).
+			if l2victim, ev2 := u.l2.insert(victim.lutID, victim.crc, victim.data); ev2 {
+				u.stats.L2Evictions++
+				// Maintain inclusion: drop the L2 victim from L1.
+				u.l1.invalidateEntry(l2victim.lutID, l2victim.crc)
+			}
+		}
+	}
+	if u.l2 != nil {
+		if l2victim, ev2 := u.l2.insert(lutID, p.crc, data); ev2 {
+			u.stats.L2Evictions++
+			u.l1.invalidateEntry(l2victim.lutID, l2victim.crc)
+		}
+	}
+	if u.cfg.TrackCollisions {
+		u.shadow[shadowKey{lutID, p.crc}] = p.inputKey
+	}
+	return done
+}
+
+// Invalidate clears every entry of a logical LUT in both levels.  It
+// returns the operation's cycle cost: with dedicated hardware this is one
+// cycle per way in a set (Table 4).
+func (u *Unit) Invalidate(lutID uint8) int {
+	u.stats.Invalidates++
+	u.l1.invalidateLUT(lutID)
+	cost := u.cfg.L1.Ways()
+	if u.l2 != nil {
+		u.l2.invalidateLUT(lutID)
+		cost += u.cfg.L2.Ways()
+	}
+	for k := range u.pend {
+		if k.lut == lutID {
+			delete(u.pend, k)
+		}
+	}
+	if u.cfg.TrackCollisions {
+		for k := range u.shadow {
+			if k.lut == lutID {
+				delete(u.shadow, k)
+			}
+		}
+	}
+	return cost
+}
+
+// L1Occupancy reports the valid fraction of the L1 LUT (diagnostics).
+func (u *Unit) L1Occupancy() float64 { return u.l1.occupancy() }
+
+// L2Occupancy reports the valid fraction of the L2 LUT, or 0 without one.
+func (u *Unit) L2Occupancy() float64 {
+	if u.l2 == nil {
+		return 0
+	}
+	return u.l2.occupancy()
+}

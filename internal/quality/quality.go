@@ -1,0 +1,120 @@
+// Package quality implements the paper's output-quality metrics (§6):
+// the relative squared output error of Eq. 2, the misclassification rate
+// used for Jmeint, and the element-wise relative-error CDF of Fig. 10b.
+package quality
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// OutputError computes Eq. 2:
+//
+//	E_r = Σ_i (x̂_i − x_i)² / Σ_i x_i²
+//
+// where exact are the results of the unmodified program and approx the
+// results with AxMemo enabled.
+func OutputError(approx, exact []float64) (float64, error) {
+	if len(approx) != len(exact) {
+		return 0, fmt.Errorf("quality: length mismatch %d vs %d", len(approx), len(exact))
+	}
+	var num, den float64
+	for i := range exact {
+		d := approx[i] - exact[i]
+		num += d * d
+		den += exact[i] * exact[i]
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0, nil
+		}
+		return math.Inf(1), nil
+	}
+	return num / den, nil
+}
+
+// Misclassification returns the fraction of positions where the boolean
+// classifications disagree (the Jmeint metric).
+func Misclassification(approx, exact []bool) (float64, error) {
+	if len(approx) != len(exact) {
+		return 0, fmt.Errorf("quality: length mismatch %d vs %d", len(approx), len(exact))
+	}
+	if len(exact) == 0 {
+		return 0, nil
+	}
+	bad := 0
+	for i := range exact {
+		if approx[i] != exact[i] {
+			bad++
+		}
+	}
+	return float64(bad) / float64(len(exact)), nil
+}
+
+// ElementErrors returns the element-wise relative errors
+// |x̂_i − x_i| / |x_i| (1.0 when the exact value is zero and the
+// approximate one is not).
+func ElementErrors(approx, exact []float64) ([]float64, error) {
+	if len(approx) != len(exact) {
+		return nil, fmt.Errorf("quality: length mismatch %d vs %d", len(approx), len(exact))
+	}
+	errs := make([]float64, len(exact))
+	for i := range exact {
+		switch {
+		case exact[i] == 0 && approx[i] == 0:
+			errs[i] = 0
+		case exact[i] == 0:
+			errs[i] = 1
+		default:
+			errs[i] = math.Abs(approx[i]-exact[i]) / math.Abs(exact[i])
+		}
+	}
+	return errs, nil
+}
+
+// CDF is an empirical cumulative distribution over relative errors.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds the empirical CDF of the samples.
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64{}, samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// At returns P(X ≤ x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Percentile returns the p-th percentile (p in [0,1]).
+func (c *CDF) Percentile(p float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return c.sorted[0]
+	}
+	if p >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	idx := int(p * float64(len(c.sorted)-1))
+	return c.sorted[idx]
+}
+
+// Points samples the CDF at the given x values (for plotting Fig. 10b's
+// series as rows).
+func (c *CDF) Points(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = c.At(x)
+	}
+	return out
+}

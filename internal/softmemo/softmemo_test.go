@@ -1,0 +1,184 @@
+package softmemo
+
+import (
+	"testing"
+
+	"axmemo/internal/crc"
+)
+
+func unit(t *testing.T, cfg Config) *Unit {
+	t.Helper()
+	u, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func feed32(u *Unit, lut uint8, vals ...uint32) int {
+	insns := 0
+	for _, v := range vals {
+		alu, loads := u.Feed(lut, uint64(v), 4, 0)
+		insns += alu + loads
+	}
+	return insns
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.IndexBits = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny index accepted")
+	}
+	bad = DefaultConfig()
+	bad.EntryBytes = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero entry size accepted")
+	}
+}
+
+func TestMissUpdateHit(t *testing.T) {
+	u := unit(t, DefaultConfig())
+	feed32(u, 0, 1, 2, 3)
+	r := u.Lookup(0)
+	if r.Hit {
+		t.Fatal("cold lookup hit")
+	}
+	ur := u.Update(0, 42)
+	if ur.Addr == 0 {
+		t.Fatal("update had no pending entry")
+	}
+	feed32(u, 0, 1, 2, 3)
+	r = u.Lookup(0)
+	if !r.Hit || r.Data != 42 {
+		t.Fatalf("replay = %+v, want hit 42", r)
+	}
+	if u.Stats().Collisions != 0 {
+		t.Error("true hit counted as collision")
+	}
+}
+
+func TestSoftwareCRCCost(t *testing.T) {
+	u := unit(t, DefaultConfig())
+	// 4-byte input: 4 ALU + 1 load per byte; never below the paper's
+	// 12-instruction floor.
+	alu, loads := u.Feed(0, 0xABCD, 4, 0)
+	if alu+loads != 4*CRCInsnsPerByte || loads != 4 {
+		t.Errorf("Feed cost = %d ALU + %d loads", alu, loads)
+	}
+	if alu+loads < 12 {
+		t.Errorf("Feed cost %d below the paper's 12-instruction floor", alu+loads)
+	}
+}
+
+func TestFalseHitCollision(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CRC = crc.CRC32
+	cfg.IndexBits = 8 // tiny array: low bits collide quickly
+	u := unit(t, cfg)
+	// Insert many distinct inputs; with an 8-bit index some later
+	// lookup must land on an occupied slot whose full CRC differs and
+	// be served wrong data silently.
+	falseHits := 0
+	for i := uint32(0); i < 2000; i++ {
+		feed32(u, 0, i, i^0xBEEF)
+		r := u.Lookup(0)
+		if r.Hit {
+			falseHits++
+		} else {
+			u.Update(0, uint64(i))
+		}
+	}
+	if falseHits == 0 {
+		t.Fatal("no aliased hits on an 8-bit index over 2000 inputs")
+	}
+	if u.Stats().Collisions == 0 {
+		t.Error("false hits not counted as collisions")
+	}
+	if u.Stats().Collisions > uint64(falseHits) {
+		t.Error("more collisions than hits")
+	}
+}
+
+func TestEpochInvalidate(t *testing.T) {
+	u := unit(t, DefaultConfig())
+	feed32(u, 3, 7)
+	u.Lookup(3)
+	u.Update(3, 9)
+	if n := u.Invalidate(3); n != InvalidateInsns {
+		t.Errorf("invalidate cost = %d", n)
+	}
+	feed32(u, 3, 7)
+	if r := u.Lookup(3); r.Hit {
+		t.Error("hit after epoch invalidation")
+	}
+	// Other LUTs unaffected.
+	feed32(u, 2, 7)
+	u.Lookup(2)
+	u.Update(2, 5)
+	u.Invalidate(3)
+	feed32(u, 2, 7)
+	if r := u.Lookup(2); !r.Hit {
+		t.Error("invalidate of LUT 3 clobbered LUT 2")
+	}
+}
+
+func TestLUTsDisjoint(t *testing.T) {
+	u := unit(t, DefaultConfig())
+	feed32(u, 0, 0x1234)
+	u.Lookup(0)
+	u.Update(0, 1)
+	feed32(u, 1, 0x1234)
+	if r := u.Lookup(1); r.Hit {
+		t.Error("LUT 1 hit LUT 0's entry")
+	}
+}
+
+func TestAddressesInArrayRange(t *testing.T) {
+	cfg := DefaultConfig()
+	u := unit(t, cfg)
+	feed32(u, 0, 99)
+	r := u.Lookup(0)
+	if r.Addr < cfg.ArrayBase {
+		t.Errorf("lookup address %#x below array base %#x", r.Addr, cfg.ArrayBase)
+	}
+	max := cfg.ArrayBase + uint64(8)<<uint(cfg.IndexBits)*uint64(cfg.EntryBytes)
+	if r.Addr >= max {
+		t.Errorf("lookup address %#x beyond array end", r.Addr)
+	}
+}
+
+func TestTruncationAppliesToSoftwareHash(t *testing.T) {
+	u := unit(t, DefaultConfig())
+	u.Feed(0, 0x1000, 4, 8)
+	u.Lookup(0)
+	u.Update(0, 5)
+	u.Feed(0, 0x10AB, 4, 8) // differs only in truncated bits
+	if r := u.Lookup(0); !r.Hit {
+		t.Error("truncated software hash did not merge similar inputs")
+	}
+}
+
+func TestStrayUpdateIgnored(t *testing.T) {
+	u := unit(t, DefaultConfig())
+	ur := u.Update(0, 1)
+	if ur.Addr != 0 {
+		t.Error("stray update wrote somewhere")
+	}
+	if u.Stats().Updates != 0 {
+		t.Error("stray update counted")
+	}
+}
+
+func TestHitRateStat(t *testing.T) {
+	s := Stats{Lookups: 4, Hits: 3}
+	if s.HitRate() != 0.75 {
+		t.Errorf("HitRate = %v", s.HitRate())
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("empty HitRate != 0")
+	}
+}

@@ -1,0 +1,209 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"axmemo/internal/compiler"
+	"axmemo/internal/cpu"
+	"axmemo/internal/ir"
+	"axmemo/internal/libm"
+)
+
+// Blackscholes prices European options (AxBench).  The memoized kernel
+// takes the full six-input option tuple (24 bytes, Table 2) and returns
+// the price; quantitative-finance inputs are heavily quantized (discrete
+// strikes, rates, maturities), so exact repeats abound and no truncation
+// is needed (Table 2: 0 bits).
+func Blackscholes() *Workload {
+	return &Workload{
+		Name:        "blackscholes",
+		Domain:      "Financial Analysis",
+		Description: "Calculates the price of European-style options",
+		InputBytes:  "24",
+		TruncBits:   []uint8{0},
+		Build:       buildBlackscholes,
+		PaperScale:  50,
+		Regions: func(trunc []uint8) []compiler.Region {
+			tb := regionTrunc([]uint8{0}, trunc)
+			t := tb[0]
+			return []compiler.Region{{
+				Func:        "bs_price",
+				LUT:         0,
+				InputParams: []int{0, 1, 2, 3, 4, 5},
+				ParamTrunc:  []uint8{t, t, t, t, t, t},
+			}}
+		},
+		Setup:    setupBlackscholes,
+		MemBytes: func(scale int) int { return 1<<16 + bsCount(scale)*(24+4) },
+	}
+}
+
+func bsCount(scale int) int { return 4000 * scale }
+
+// option is one input tuple.
+type option struct {
+	s, k, r, v, t, otype float32
+}
+
+// bsPool generates the quantized option universe the samples draw from.
+func bsPool(rng *rand.Rand, size int) []option {
+	pool := make([]option, size)
+	for i := range pool {
+		pool[i] = option{
+			s:     float32(80 + rng.Intn(41)),         // $80..$120, $1 grid
+			k:     float32(75 + 5*rng.Intn(11)),       // $75..$125, $5 grid
+			r:     float32(rng.Intn(17))*0.005 + 0.02, // 2%..10%
+			v:     float32(rng.Intn(11))*0.05 + 0.10,  // 10%..60%
+			t:     []float32{0.25, 0.5, 1, 2}[rng.Intn(4)],
+			otype: float32(rng.Intn(2)),
+		}
+	}
+	return pool
+}
+
+// cndfGold mirrors the IR cndf helper in float32.
+func cndfGold(x float32) float32 {
+	ax := fabsf(x)
+	k := 1 / (1 + 0.2316419*ax)
+	poly := k * (0.319381530 + k*(-0.356563782+k*(1.781477937+k*(-1.821255978+k*1.330274429))))
+	w := 1 - 0.39894228*expf(-0.5*ax*ax)*poly
+	if x < 0 {
+		return 1 - w
+	}
+	return w
+}
+
+// bsPriceGold mirrors the IR bs_price kernel in float32.
+func bsPriceGold(o option) float32 {
+	sqrtT := sqrtf(o.t)
+	d1 := (logf(o.s/o.k) + (o.r+0.5*o.v*o.v)*o.t) / (o.v * sqrtT)
+	d2 := d1 - o.v*sqrtT
+	n1 := cndfGold(d1)
+	n2 := cndfGold(d2)
+	expRT := expf(-o.r * o.t)
+	call := o.s*n1 - o.k*expRT*n2
+	put := o.k*expRT*(1-n2) - o.s*(1-n1)
+	return call + o.otype*(put-call)
+}
+
+func setupBlackscholes(img *cpu.Memory, scale int) *Instance {
+	rng := rand.New(rand.NewSource(42))
+	pool := bsPool(rng, 256)
+	n := bsCount(scale)
+	src := img.Alloc(n * 24)
+	dst := img.Alloc(n * 4)
+	golden := make([]float64, n)
+	for i := 0; i < n; i++ {
+		o := pool[rng.Intn(len(pool))]
+		base := src + uint64(i*24)
+		img.SetF32(base+0, o.s)
+		img.SetF32(base+4, o.k)
+		img.SetF32(base+8, o.r)
+		img.SetF32(base+12, o.v)
+		img.SetF32(base+16, o.t)
+		img.SetF32(base+20, o.otype)
+		golden[i] = float64(bsPriceGold(o))
+	}
+	return &Instance{
+		Args:   []uint64{src, dst, uint64(uint32(n))},
+		N:      n,
+		Golden: golden,
+		Outputs: func(img *cpu.Memory) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = float64(img.F32(dst + uint64(i*4)))
+			}
+			return out
+		},
+	}
+}
+
+// buildCNDF emits the cumulative-normal helper used twice by the kernel
+// (Abramowitz–Stegun 7.1.26, as in the PARSEC source).
+func buildCNDF(p *ir.Program) {
+	f := p.NewFunc("cndf", []ir.Type{ir.F32}, []ir.Type{ir.F32})
+	bb := f.NewBlock("entry")
+	bu := ir.At(f, bb)
+	x := f.Params[0]
+	ax := bu.Un(ir.FAbs, ir.F32, x)
+	one := bu.ConstF32(1)
+	kden := bu.Bin(ir.FAdd, ir.F32, one, bu.Bin(ir.FMul, ir.F32, bu.ConstF32(0.2316419), ax))
+	k := bu.Bin(ir.FDiv, ir.F32, one, kden)
+	// Horner evaluation of the quintic.
+	poly := bu.ConstF32(1.330274429)
+	poly = bu.Bin(ir.FAdd, ir.F32, bu.ConstF32(-1.821255978), bu.Bin(ir.FMul, ir.F32, k, poly))
+	poly = bu.Bin(ir.FAdd, ir.F32, bu.ConstF32(1.781477937), bu.Bin(ir.FMul, ir.F32, k, poly))
+	poly = bu.Bin(ir.FAdd, ir.F32, bu.ConstF32(-0.356563782), bu.Bin(ir.FMul, ir.F32, k, poly))
+	poly = bu.Bin(ir.FAdd, ir.F32, bu.ConstF32(0.319381530), bu.Bin(ir.FMul, ir.F32, k, poly))
+	poly = bu.Bin(ir.FMul, ir.F32, k, poly)
+	half := bu.ConstF32(-0.5)
+	gauss := bu.Call(libm.FnExp, 1, bu.Bin(ir.FMul, ir.F32, half, bu.Bin(ir.FMul, ir.F32, ax, ax)))[0]
+	w := bu.Bin(ir.FSub, ir.F32, one,
+		bu.Bin(ir.FMul, ir.F32, bu.Bin(ir.FMul, ir.F32, bu.ConstF32(0.39894228), gauss), poly))
+	// Branchless sign fold: result = w + neg*(1-2w).
+	zero := bu.ConstF32(0)
+	negI := bu.Bin(ir.CmpLT, ir.F32, x, zero)
+	neg := bu.Cvt(ir.I32, ir.F32, negI)
+	two := bu.ConstF32(2)
+	res := bu.Bin(ir.FAdd, ir.F32, w,
+		bu.Bin(ir.FMul, ir.F32, neg, bu.Bin(ir.FSub, ir.F32, one, bu.Bin(ir.FMul, ir.F32, two, w))))
+	bu.Ret(res)
+}
+
+func buildBlackscholes() *ir.Program {
+	p := ir.NewProgram("main")
+	libm.BuildInto(p)
+	buildCNDF(p)
+
+	// Kernel: bs_price(S, K, r, v, T, otype) -> price.
+	k := p.NewFunc("bs_price", []ir.Type{ir.F32, ir.F32, ir.F32, ir.F32, ir.F32, ir.F32}, []ir.Type{ir.F32})
+	kb := k.NewBlock("entry")
+	bu := ir.At(k, kb)
+	s, kk, r, v, tt, otype := k.Params[0], k.Params[1], k.Params[2], k.Params[3], k.Params[4], k.Params[5]
+	sqrtT := bu.Un(ir.Sqrt, ir.F32, tt)
+	half := bu.ConstF32(0.5)
+	vv := bu.Bin(ir.FMul, ir.F32, v, v)
+	drift := bu.Bin(ir.FAdd, ir.F32, r, bu.Bin(ir.FMul, ir.F32, half, vv))
+	lg := bu.Call(libm.FnLog, 1, bu.Bin(ir.FDiv, ir.F32, s, kk))[0]
+	num := bu.Bin(ir.FAdd, ir.F32, lg, bu.Bin(ir.FMul, ir.F32, drift, tt))
+	den := bu.Bin(ir.FMul, ir.F32, v, sqrtT)
+	d1 := bu.Bin(ir.FDiv, ir.F32, num, den)
+	d2 := bu.Bin(ir.FSub, ir.F32, d1, den)
+	n1 := bu.Call("cndf", 1, d1)[0]
+	n2 := bu.Call("cndf", 1, d2)[0]
+	expRT := bu.Call(libm.FnExp, 1, bu.Un(ir.FNeg, ir.F32, bu.Bin(ir.FMul, ir.F32, r, tt)))[0]
+	one := bu.ConstF32(1)
+	call := bu.Bin(ir.FSub, ir.F32,
+		bu.Bin(ir.FMul, ir.F32, s, n1),
+		bu.Bin(ir.FMul, ir.F32, bu.Bin(ir.FMul, ir.F32, kk, expRT), n2))
+	put := bu.Bin(ir.FSub, ir.F32,
+		bu.Bin(ir.FMul, ir.F32, bu.Bin(ir.FMul, ir.F32, kk, expRT), bu.Bin(ir.FSub, ir.F32, one, n2)),
+		bu.Bin(ir.FMul, ir.F32, s, bu.Bin(ir.FSub, ir.F32, one, n1)))
+	price := bu.Bin(ir.FAdd, ir.F32, call,
+		bu.Bin(ir.FMul, ir.F32, otype, bu.Bin(ir.FSub, ir.F32, put, call)))
+	bu.Ret(price)
+
+	// Driver: main(src, dst, n) prices each option tuple.
+	f := p.NewFunc("main", []ir.Type{ir.I64, ir.I64, ir.I32}, nil)
+	fb := f.NewBlock("entry")
+	mbu := ir.At(f, fb)
+	zero := mbu.ConstI32(0)
+	l := BeginLoop(mbu, f, zero, f.Params[2])
+	src := ElemAddr(mbu, f.Params[0], l.I, 24)
+	sV := mbu.Load(ir.F32, src, 0)
+	kV := mbu.Load(ir.F32, src, 4)
+	rV := mbu.Load(ir.F32, src, 8)
+	vV := mbu.Load(ir.F32, src, 12)
+	tV := mbu.Load(ir.F32, src, 16)
+	oV := mbu.Load(ir.F32, src, 20)
+	priced := mbu.Call("bs_price", 1, sV, kV, rV, vV, tV, oV)[0]
+	dst := ElemAddr(mbu, f.Params[1], l.I, 4)
+	mbu.Store(ir.F32, dst, 0, priced)
+	l.End(mbu)
+	mbu.Ret()
+
+	if err := p.Finalize(); err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,226 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"axmemo/internal/compiler"
+	"axmemo/internal/cpu"
+	"axmemo/internal/ir"
+	"axmemo/internal/libm"
+)
+
+// FFT is a radix-2 Cooley-Tukey FFT (AxBench).  The memoized kernel is
+// the twiddle-factor computation: a single 4-byte angle input (Table 2)
+// producing (cos, sin) packed into an 8-byte LUT entry.  The same angles
+// recur across butterfly groups and stages, so the hit rate is high with
+// zero truncation.  This is the paper's example of a kernel whose inputs
+// are not loads, exercising reg_crc.
+//
+// Substitution note: the driver receives the input pre-permuted in
+// bit-reversed order (the permutation is staged by the host, as the
+// in-simulator index-reversal loop adds nothing to the memoization
+// study); the butterfly stages run fully in the simulator.
+func FFT() *Workload {
+	return &Workload{
+		Name:        "fft",
+		Domain:      "Signal Processing",
+		Description: "Radix-2 Cooley-Tukey FFT",
+		InputBytes:  "4",
+		TruncBits:   []uint8{0},
+		Build:       buildFFT,
+		PaperScale:  16,
+		Regions: func(trunc []uint8) []compiler.Region {
+			tb := regionTrunc([]uint8{0}, trunc)
+			return []compiler.Region{{
+				Func:        "twiddle",
+				LUT:         0,
+				InputParams: []int{0},
+				ParamTrunc:  []uint8{tb[0]},
+			}}
+		},
+		Setup:    setupFFT,
+		MemBytes: func(scale int) int { return 1<<16 + fftSize(scale)*8 },
+	}
+}
+
+func fftSize(scale int) int {
+	n := 256
+	for n < 256*scale {
+		n <<= 1
+	}
+	return n
+}
+
+// bitReverse returns the bit-reversed permutation index.
+func bitReverse(i, logn int) int {
+	r := 0
+	for b := 0; b < logn; b++ {
+		r = r<<1 | (i>>b)&1
+	}
+	return r
+}
+
+// fftGold runs the same staged FFT in float32.
+func fftGold(re, im []float32) {
+	n := len(re)
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		theta := float32(-6.2831853071795864769) / float32(size)
+		for start := 0; start < n; start += size {
+			for j := 0; j < half; j++ {
+				angle := theta * float32(j)
+				wre := cosf(angle)
+				wim := sinf(angle)
+				k1 := start + j
+				k2 := k1 + half
+				tre := wre*re[k2] - wim*im[k2]
+				tim := wre*im[k2] + wim*re[k2]
+				re[k2] = re[k1] - tre
+				im[k2] = im[k1] - tim
+				re[k1] = re[k1] + tre
+				im[k1] = im[k1] + tim
+			}
+		}
+	}
+}
+
+func setupFFT(img *cpu.Memory, scale int) *Instance {
+	rng := rand.New(rand.NewSource(7))
+	n := fftSize(scale)
+	logn := 0
+	for 1<<logn < n {
+		logn++
+	}
+	signal := make([]float32, n)
+	for i := range signal {
+		v := sinf(float32(i)*0.1) + 0.5*sinf(float32(i)*0.37+1.0) + float32(rng.NormFloat64())*0.05
+		signal[i] = v
+	}
+	// Pre-permute into bit-reversed order.
+	re := make([]float32, n)
+	im := make([]float32, n)
+	for i := range signal {
+		re[bitReverse(i, logn)] = signal[i]
+	}
+	reBase := img.Alloc(n * 4)
+	imBase := img.Alloc(n * 4)
+	for i := 0; i < n; i++ {
+		img.SetF32(reBase+uint64(i*4), re[i])
+		img.SetF32(imBase+uint64(i*4), im[i])
+	}
+	gre := append([]float32{}, re...)
+	gim := append([]float32{}, im...)
+	fftGold(gre, gim)
+	golden := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		golden[2*i] = float64(gre[i])
+		golden[2*i+1] = float64(gim[i])
+	}
+	// Kernel invocations: (n/2)·log2(n).
+	return &Instance{
+		Args:   []uint64{reBase, imBase, uint64(uint32(n))},
+		N:      n / 2 * logn,
+		Golden: golden,
+		Outputs: func(img *cpu.Memory) []float64 {
+			out := make([]float64, 2*n)
+			for i := 0; i < n; i++ {
+				out[2*i] = float64(img.F32(reBase + uint64(i*4)))
+				out[2*i+1] = float64(img.F32(imBase + uint64(i*4)))
+			}
+			return out
+		},
+	}
+}
+
+func buildFFT() *ir.Program {
+	p := ir.NewProgram("main")
+	libm.BuildInto(p)
+
+	// Kernel: twiddle(angle) -> (cos, sin).
+	k := p.NewFunc("twiddle", []ir.Type{ir.F32}, []ir.Type{ir.F32, ir.F32})
+	kb := k.NewBlock("entry")
+	kbu := ir.At(k, kb)
+	c := kbu.Call(libm.FnCos, 1, k.Params[0])[0]
+	s := kbu.Call(libm.FnSin, 1, k.Params[0])[0]
+	kbu.Ret(c, s)
+
+	// Driver: main(reBase, imBase, n).
+	f := p.NewFunc("main", []ir.Type{ir.I64, ir.I64, ir.I32}, nil)
+	entry := f.NewBlock("entry")
+	sizeCond := f.NewBlock("size.cond")
+	sizeBody := f.NewBlock("size.body")
+	done := f.NewBlock("done")
+
+	bu := ir.At(f, entry)
+	reB, imB, n := f.Params[0], f.Params[1], f.Params[2]
+	two := bu.ConstI32(2)
+	size := bu.Mov(ir.I32, two)
+	minusTwoPi := bu.ConstF32(-6.2831855)
+	bu.Jmp(sizeCond)
+
+	bu.SetBlock(sizeCond)
+	cnd := bu.Bin(ir.CmpLE, ir.I32, size, n)
+	bu.Br(cnd, sizeBody, done)
+
+	bu.SetBlock(sizeBody)
+	one := bu.ConstI32(1)
+	half := bu.Bin(ir.Shr, ir.I32, size, one)
+	sizeF := bu.Cvt(ir.I32, ir.F32, size)
+	theta := bu.Bin(ir.FDiv, ir.F32, minusTwoPi, sizeF)
+
+	// for start := 0; start < n; start += size — manual loop since the
+	// stride is a register.
+	startCond := f.NewBlock("start.cond")
+	startBody := f.NewBlock("start.body")
+	startDone := f.NewBlock("start.done")
+	zero := bu.ConstI32(0)
+	start := bu.Mov(ir.I32, zero)
+	bu.Jmp(startCond)
+	bu.SetBlock(startCond)
+	sc := bu.Bin(ir.CmpLT, ir.I32, start, n)
+	bu.Br(sc, startBody, startDone)
+
+	bu.SetBlock(startBody)
+	jl := BeginLoop(bu, f, zero, half)
+	{
+		jF := bu.Cvt(ir.I32, ir.F32, jl.I)
+		angle := bu.Bin(ir.FMul, ir.F32, theta, jF)
+		w := bu.Call("twiddle", 2, angle)
+		wre, wim := w[0], w[1]
+		k1 := bu.Bin(ir.Add, ir.I32, start, jl.I)
+		k2 := bu.Bin(ir.Add, ir.I32, k1, half)
+		reA1 := ElemAddr(bu, reB, k1, 4)
+		imA1 := ElemAddr(bu, imB, k1, 4)
+		reA2 := ElemAddr(bu, reB, k2, 4)
+		imA2 := ElemAddr(bu, imB, k2, 4)
+		re2 := bu.Load(ir.F32, reA2, 0)
+		im2 := bu.Load(ir.F32, imA2, 0)
+		re1 := bu.Load(ir.F32, reA1, 0)
+		im1 := bu.Load(ir.F32, imA1, 0)
+		tre := bu.Bin(ir.FSub, ir.F32,
+			bu.Bin(ir.FMul, ir.F32, wre, re2),
+			bu.Bin(ir.FMul, ir.F32, wim, im2))
+		tim := bu.Bin(ir.FAdd, ir.F32,
+			bu.Bin(ir.FMul, ir.F32, wre, im2),
+			bu.Bin(ir.FMul, ir.F32, wim, re2))
+		bu.Store(ir.F32, reA2, 0, bu.Bin(ir.FSub, ir.F32, re1, tre))
+		bu.Store(ir.F32, imA2, 0, bu.Bin(ir.FSub, ir.F32, im1, tim))
+		bu.Store(ir.F32, reA1, 0, bu.Bin(ir.FAdd, ir.F32, re1, tre))
+		bu.Store(ir.F32, imA1, 0, bu.Bin(ir.FAdd, ir.F32, im1, tim))
+	}
+	jl.End(bu)
+	bu.MovTo(ir.I32, start, bu.Bin(ir.Add, ir.I32, start, size))
+	bu.Jmp(startCond)
+
+	bu.SetBlock(startDone)
+	bu.MovTo(ir.I32, size, bu.Bin(ir.Shl, ir.I32, size, one))
+	bu.Jmp(sizeCond)
+
+	bu.SetBlock(done)
+	bu.Ret()
+
+	if err := p.Finalize(); err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,184 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+
+	"axmemo/internal/ir"
+	"axmemo/internal/libm"
+)
+
+// Loop is a counted-loop scaffold for IR construction:
+//
+//	l := BeginLoop(bu, f, start, limit)   // bu now at the body block
+//	... emit body using l.I ...
+//	l.End(bu)                             // bu now at the exit block
+//
+// Loops nest naturally.  The induction variable l.I is an i32 register.
+type Loop struct {
+	I    ir.Reg
+	cond *ir.Block
+	body *ir.Block
+	done *ir.Block
+	one  ir.Reg
+}
+
+// BeginLoop emits `for I := start; I < limit; I++` and leaves the builder
+// positioned in the body block.
+func BeginLoop(bu *ir.Builder, f *ir.Function, start, limit ir.Reg) *Loop {
+	l := &Loop{
+		cond: f.NewBlock("loop.cond"),
+		body: f.NewBlock("loop.body"),
+		done: f.NewBlock("loop.done"),
+	}
+	l.I = bu.Mov(ir.I32, start)
+	l.one = bu.ConstI32(1)
+	bu.Jmp(l.cond)
+	bu.SetBlock(l.cond)
+	c := bu.Bin(ir.CmpLT, ir.I32, l.I, limit)
+	bu.Br(c, l.body, l.done)
+	bu.SetBlock(l.body)
+	return l
+}
+
+// End closes the loop body and positions the builder at the exit block.
+func (l *Loop) End(bu *ir.Builder) {
+	next := bu.Bin(ir.Add, ir.I32, l.I, l.one)
+	bu.MovTo(ir.I32, l.I, next)
+	bu.Jmp(l.cond)
+	bu.SetBlock(l.done)
+}
+
+// LoopN is BeginLoop with a constant trip count.
+func LoopN(bu *ir.Builder, f *ir.Function, n int32) *Loop {
+	zero := bu.ConstI32(0)
+	lim := bu.ConstI32(n)
+	return BeginLoop(bu, f, zero, lim)
+}
+
+// ElemAddr emits address arithmetic base + idx*stride (+ byteOff) and
+// returns the i64 address register.
+func ElemAddr(bu *ir.Builder, base ir.Reg, idx ir.Reg, stride int64) ir.Reg {
+	s := bu.ConstI64(stride)
+	i64 := bu.Cvt(ir.I32, ir.I64, idx)
+	off := bu.Bin(ir.Mul, ir.I64, i64, s)
+	return bu.Bin(ir.Add, ir.I64, base, off)
+}
+
+// SyntheticImage generates a w×h grayscale image with the statistics
+// memoization cares about: smooth large-scale structure (sums of a few
+// sinusoids), mild noise, and quantization to integer 8-bit levels — the
+// value locality of natural images that makes truncated inputs repeat.
+// It stands in for the benchmark suites' 512×512 input images.
+func SyntheticImage(w, h int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	// Natural photographs are dominated by flat regions (sky, walls),
+	// slow gradients, and object boundaries whose edge profile repeats
+	// along the edge — exactly the window-level redundancy Sobel/JPEG
+	// memoization exploits.  Synthesize that structure directly: a
+	// quantized linear-gradient background plus constant-fill shapes.
+	gx := float64(rng.Intn(3)) * 0.25 // sky-like slow gradients
+	gy := float64(rng.Intn(3)) * 0.25
+	base := 48 + rng.Float64()*48
+	img := make([]float32, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img[y*w+x] = float32(base + gx*float64(x) + gy*float64(y))
+		}
+	}
+	// Constant-fill rectangles (buildings, walls — most of a photo's
+	// area is flat).
+	for s := 0; s < 8; s++ {
+		x0 := rng.Intn(w)
+		y0 := rng.Intn(h)
+		ww := 4 + rng.Intn(w/2)
+		hh := 4 + rng.Intn(h/2)
+		fill := float32(rng.Intn(32) * 8)
+		for y := y0; y < y0+hh && y < h; y++ {
+			for x := x0; x < x0+ww && x < w; x++ {
+				img[y*w+x] = fill
+			}
+		}
+	}
+	// Constant-fill disks.
+	for s := 0; s < 4; s++ {
+		cx := rng.Intn(w)
+		cy := rng.Intn(h)
+		rad := 2 + rng.Intn(w/4)
+		fill := float32(rng.Intn(32) * 8)
+		for y := cy - rad; y <= cy+rad; y++ {
+			for x := cx - rad; x <= cx+rad; x++ {
+				if x < 0 || y < 0 || x >= w || y >= h {
+					continue
+				}
+				dx, dy := x-cx, y-cy
+				if dx*dx+dy*dy <= rad*rad {
+					img[y*w+x] = fill
+				}
+			}
+		}
+	}
+	// 8-bit sensor quantization and clamping.
+	for i, v := range img {
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		img[i] = float32(math.Floor(float64(v)))
+	}
+	return img
+}
+
+// SyntheticRGBImage generates three correlated channels from a base
+// luminance image (for K-means and Sobel's RGB input).
+func SyntheticRGBImage(w, h int, seed int64) (r, g, b []float32) {
+	lum := SyntheticImage(w, h, seed)
+	shift := SyntheticImage(w, h, seed+101)
+	r = make([]float32, w*h)
+	g = make([]float32, w*h)
+	b = make([]float32, w*h)
+	for i := range lum {
+		r[i] = clamp255(lum[i])
+		g[i] = clamp255(lum[i]*0.75 + shift[i]*0.25)
+		b[i] = clamp255(255 - lum[i]*0.5)
+		r[i] = float32(math.Floor(float64(r[i])))
+		g[i] = float32(math.Floor(float64(g[i])))
+		b[i] = float32(math.Floor(float64(b[i])))
+	}
+	return
+}
+
+func clamp255(v float32) float32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}
+
+// Float32 math helpers mirroring the simulator's semantics exactly.
+// sqrt, |x| and floor are hardware instructions (single rounding, matching
+// Go float32 semantics); the transcendental functions go through the
+// internal/libm software routines, whose Go mirrors are bit-identical to
+// the IR implementations the simulated kernels call.
+
+func sqrtf(x float32) float32 { return float32(math.Sqrt(float64(x))) }
+func expf(x float32) float32  { return libm.Expf(x) }
+func logf(x float32) float32  { return libm.Logf(x) }
+func sinf(x float32) float32  { return libm.Sinf(x) }
+func cosf(x float32) float32  { return libm.Cosf(x) }
+func acosf(x float32) float32 { return libm.Acosf(x) }
+func atan2f(y, x float32) float32 {
+	return libm.Atan2f(y, x)
+}
+func fabsf(x float32) float32 { return float32(math.Abs(float64(x))) }
+func floorf(x float32) float32 {
+	return float32(math.Floor(float64(x)))
+}
+
+// newTestRng returns a deterministic RNG for test data generation.
+func newTestRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,215 @@
+package workloads
+
+import (
+	"axmemo/internal/compiler"
+	"axmemo/internal/cpu"
+	"axmemo/internal/ir"
+)
+
+// Hotspot simulates the temperature of an IC chip from per-cell power
+// (Rodinia).  The memoized kernel computes the new cell temperature from
+// four inputs — 16 bytes, Table 2: the center temperature, the summed
+// north/south and east/west neighbor temperatures (the cheap sums stay in
+// the driver), and the cell power.  Large die regions sit at ambient
+// temperature, so truncated inputs repeat heavily.
+func Hotspot() *Workload {
+	return &Workload{
+		Name:        "hotspot",
+		Domain:      "Physics Simulation",
+		Description: "Simulates the temperature of an IC chip",
+		InputBytes:  "16",
+		TruncBits:   []uint8{8},
+		Build:       buildHotspot,
+		PaperScale:  113,
+		Regions: func(trunc []uint8) []compiler.Region {
+			tb := regionTrunc([]uint8{8}, trunc)
+			t := tb[0]
+			return []compiler.Region{{
+				Func:        "hs_cell",
+				LUT:         0,
+				InputParams: []int{0, 1, 2, 3},
+				ParamTrunc:  []uint8{t, t, t, t},
+			}}
+		},
+		Setup:    setupHotspot,
+		MemBytes: func(scale int) int { w, h := hotspotDims(scale); return 1<<16 + w*h*16 },
+	}
+}
+
+func hotspotDims(scale int) (int, int) {
+	side := 48
+	for side*side < 48*48*scale {
+		side *= 2
+	}
+	return side, side
+}
+
+const (
+	hsIters = 4
+	hsAmb   = float32(80.0)
+	hsRx    = float32(10.0)
+	hsRy    = float32(8.0)
+	hsRz    = float32(40.0)
+	hsCap   = float32(0.5)
+)
+
+// hsCellGold mirrors the IR kernel.  As in the Rodinia source, the
+// resistances enter as precomputed reciprocals — the stencil is pure
+// multiply/add.
+func hsCellGold(center, nsSum, ewSum, power float32) float32 {
+	dNS := (nsSum - 2*center) * (1 / hsRy)
+	dEW := (ewSum - 2*center) * (1 / hsRx)
+	dZ := (hsAmb - center) * (1 / hsRz)
+	delta := hsCap * (power + dNS + dEW + dZ)
+	return center + delta
+}
+
+// hotspotGold runs the full stencil in float32 (interior cells; borders
+// pinned).
+func hotspotGold(temp, power []float32, w, h int) []float64 {
+	cur := append([]float32{}, temp...)
+	next := append([]float32{}, temp...)
+	for it := 0; it < hsIters; it++ {
+		for y := 1; y < h-1; y++ {
+			for x := 1; x < w-1; x++ {
+				i := y*w + x
+				ns := cur[i-w] + cur[i+w]
+				ew := cur[i-1] + cur[i+1]
+				next[i] = hsCellGold(cur[i], ns, ew, power[i])
+			}
+		}
+		cur, next = next, cur
+	}
+	out := make([]float64, w*h)
+	for i, v := range cur {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func setupHotspot(img *cpu.Memory, scale int) *Instance {
+	w, h := hotspotDims(scale)
+	n := w * h
+	temp := make([]float32, n)
+	power := make([]float32, n)
+	for i := range temp {
+		temp[i] = hsAmb // uniform ambient start
+	}
+	// A few localized power hotspots (quantized), as on a real
+	// floorplan; most of the die stays quiet and at ambient.
+	blobs := [][3]int{{w / 4, h / 4, 4}, {3 * w / 4, h / 3, 3}, {w / 2, 3 * h / 4, 5}}
+	for _, bl := range blobs {
+		cx, cy, rad := bl[0], bl[1], bl[2]
+		for y := cy - rad; y <= cy+rad; y++ {
+			for x := cx - rad; x <= cx+rad; x++ {
+				if x < 0 || y < 0 || x >= w || y >= h {
+					continue
+				}
+				dx, dy := x-cx, y-cy
+				if dx*dx+dy*dy <= rad*rad {
+					power[y*w+x] = 2.0
+				}
+			}
+		}
+	}
+	tA := img.Alloc(n * 4)
+	tB := img.Alloc(n * 4)
+	pA := img.Alloc(n * 4)
+	for i := 0; i < n; i++ {
+		img.SetF32(tA+uint64(i*4), temp[i])
+		img.SetF32(tB+uint64(i*4), temp[i])
+		img.SetF32(pA+uint64(i*4), power[i])
+	}
+	golden := hotspotGold(temp, power, w, h)
+	// After hsIters ping-pong swaps the result lives in tA when
+	// hsIters is even, tB when odd.
+	resBase := tA
+	if hsIters%2 == 1 {
+		resBase = tB
+	}
+	return &Instance{
+		Args:   []uint64{tA, tB, pA, uint64(uint32(w)), uint64(uint32(h))},
+		N:      (w - 2) * (h - 2) * hsIters,
+		Golden: golden,
+		Outputs: func(img *cpu.Memory) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = float64(img.F32(resBase + uint64(i*4)))
+			}
+			return out
+		},
+	}
+}
+
+func buildHotspot() *ir.Program {
+	p := ir.NewProgram("main")
+
+	// Kernel: hs_cell(center, nsSum, ewSum, power) -> newTemp.
+	k := p.NewFunc("hs_cell", []ir.Type{ir.F32, ir.F32, ir.F32, ir.F32}, []ir.Type{ir.F32})
+	kb := k.NewBlock("entry")
+	bu := ir.At(k, kb)
+	center, ns, ew, pw := k.Params[0], k.Params[1], k.Params[2], k.Params[3]
+	two := bu.ConstF32(2)
+	c2 := bu.Bin(ir.FMul, ir.F32, two, center)
+	ryInv := bu.ConstF32(1 / hsRy)
+	rxInv := bu.ConstF32(1 / hsRx)
+	rzInv := bu.ConstF32(1 / hsRz)
+	amb := bu.ConstF32(hsAmb)
+	capC := bu.ConstF32(hsCap)
+	dNS := bu.Bin(ir.FMul, ir.F32, bu.Bin(ir.FSub, ir.F32, ns, c2), ryInv)
+	dEW := bu.Bin(ir.FMul, ir.F32, bu.Bin(ir.FSub, ir.F32, ew, c2), rxInv)
+	dZ := bu.Bin(ir.FMul, ir.F32, bu.Bin(ir.FSub, ir.F32, amb, center), rzInv)
+	sum := bu.Bin(ir.FAdd, ir.F32, bu.Bin(ir.FAdd, ir.F32, bu.Bin(ir.FAdd, ir.F32, pw, dNS), dEW), dZ)
+	delta := bu.Bin(ir.FMul, ir.F32, capC, sum)
+	bu.Ret(bu.Bin(ir.FAdd, ir.F32, center, delta))
+
+	// Driver: main(tA, tB, power, w, h): hsIters ping-pong steps.
+	f := p.NewFunc("main", []ir.Type{ir.I64, ir.I64, ir.I64, ir.I32, ir.I32}, nil)
+	fb := f.NewBlock("entry")
+	mbu := ir.At(f, fb)
+	tA, tB, pw2, wP, hP := f.Params[0], f.Params[1], f.Params[2], f.Params[3], f.Params[4]
+	one := mbu.ConstI32(1)
+	four := mbu.ConstI64(4)
+	hEnd := mbu.Bin(ir.Sub, ir.I32, hP, one)
+	wEnd := mbu.Bin(ir.Sub, ir.I32, wP, one)
+	wOff := mbu.Bin(ir.Mul, ir.I64, mbu.Cvt(ir.I32, ir.I64, wP), four)
+	cur := mbu.Mov(ir.I64, tA)
+	nxt := mbu.Mov(ir.I64, tB)
+
+	il := LoopN(mbu, f, hsIters)
+	{
+		yl := BeginLoop(mbu, f, one, hEnd)
+		{
+			xl := BeginLoop(mbu, f, one, wEnd)
+			{
+				idx := mbu.Bin(ir.Add, ir.I32, mbu.Bin(ir.Mul, ir.I32, yl.I, wP), xl.I)
+				ca := ElemAddr(mbu, cur, idx, 4)
+				north := mbu.Load(ir.F32, mbu.Bin(ir.Sub, ir.I64, ca, wOff), 0)
+				south := mbu.Load(ir.F32, mbu.Bin(ir.Add, ir.I64, ca, wOff), 0)
+				west := mbu.Load(ir.F32, ca, -4)
+				east := mbu.Load(ir.F32, ca, 4)
+				cv := mbu.Load(ir.F32, ca, 0)
+				nsSum := mbu.Bin(ir.FAdd, ir.F32, north, south)
+				ewSum := mbu.Bin(ir.FAdd, ir.F32, west, east)
+				pa := ElemAddr(mbu, pw2, idx, 4)
+				pv := mbu.Load(ir.F32, pa, 0)
+				nv := mbu.Call("hs_cell", 1, cv, nsSum, ewSum, pv)[0]
+				na := ElemAddr(mbu, nxt, idx, 4)
+				mbu.Store(ir.F32, na, 0, nv)
+			}
+			xl.End(mbu)
+		}
+		yl.End(mbu)
+		// Swap the ping-pong buffers.
+		tmp := mbu.Mov(ir.I64, cur)
+		mbu.MovTo(ir.I64, cur, nxt)
+		mbu.MovTo(ir.I64, nxt, tmp)
+	}
+	il.End(mbu)
+	mbu.Ret()
+
+	if err := p.Finalize(); err != nil {
+		panic(err)
+	}
+	return p
+}

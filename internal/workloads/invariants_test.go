@@ -1,0 +1,283 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+)
+
+// Domain-invariant tests: each benchmark's golden implementation must
+// satisfy the mathematical properties of the algorithm it claims to be.
+// These catch "plausible-looking but wrong" kernels that output-diffing
+// against the same implementation never would.
+
+// Put-call parity: call − put = S − K·e^(−rT), a structural identity of
+// the Black-Scholes formulas that must hold to float32 accuracy.
+func TestBlackscholesPutCallParity(t *testing.T) {
+	for _, o := range bsPool(newTestRng(1), 64) {
+		call := bsPriceGold(option{o.s, o.k, o.r, o.v, o.t, 0})
+		put := bsPriceGold(option{o.s, o.k, o.r, o.v, o.t, 1})
+		parity := float64(o.s) - float64(o.k)*float64(expf(-o.r*o.t))
+		got := float64(call - put)
+		if math.Abs(got-parity) > 1e-3*math.Abs(parity)+1e-3 {
+			t.Fatalf("parity violated for %+v: call-put = %v, S-Ke^-rT = %v", o, got, parity)
+		}
+	}
+}
+
+// Monotonicity: a call is worth more when the spot is higher, all else
+// equal.
+func TestBlackscholesCallMonotoneInSpot(t *testing.T) {
+	base := option{s: 100, k: 100, r: 0.05, v: 0.3, t: 1, otype: 0}
+	prev := bsPriceGold(base)
+	for s := float32(101); s <= 120; s += 1 {
+		o := base
+		o.s = s
+		p := bsPriceGold(o)
+		if p < prev-1e-4 {
+			t.Fatalf("call price fell as spot rose: %v at S=%v (prev %v)", p, s, prev)
+		}
+		prev = p
+	}
+}
+
+// Parseval: the FFT preserves signal energy up to the transform's
+// normalization — Σ|x|² = (1/N)·Σ|X|².
+func TestFFTParseval(t *testing.T) {
+	n := 256
+	re := make([]float32, n)
+	var inputEnergy float64
+	for i := range re {
+		re[i] = sinf(float32(i)*0.3) + 0.25*cosf(float32(i)*0.11)
+		inputEnergy += float64(re[i]) * float64(re[i])
+	}
+	// fftGold expects bit-reversed input ordering.
+	logn := 8
+	pre := make([]float32, n)
+	for i, v := range re {
+		pre[bitReverse(i, logn)] = v
+	}
+	pim := make([]float32, n)
+	fftGold(pre, pim)
+	var outputEnergy float64
+	for i := range pre {
+		outputEnergy += float64(pre[i])*float64(pre[i]) + float64(pim[i])*float64(pim[i])
+	}
+	outputEnergy /= float64(n)
+	if rel := math.Abs(outputEnergy-inputEnergy) / inputEnergy; rel > 1e-3 {
+		t.Fatalf("Parseval violated: in %v vs out/N %v (rel %v)", inputEnergy, outputEnergy, rel)
+	}
+}
+
+// FFT of a pure tone concentrates energy in two bins.
+func TestFFTPureTone(t *testing.T) {
+	n, k := 256, 16
+	logn := 8
+	re := make([]float32, n)
+	im := make([]float32, n)
+	for i := 0; i < n; i++ {
+		v := cosf(2 * 3.1415927 * float32(k) * float32(i) / float32(n))
+		re[bitReverse(i, logn)] = v
+	}
+	fftGold(re, im)
+	var total, peak float64
+	for i := 0; i < n; i++ {
+		mag := float64(re[i])*float64(re[i]) + float64(im[i])*float64(im[i])
+		total += mag
+		if i == k || i == n-k {
+			peak += mag
+		}
+	}
+	if peak/total < 0.99 {
+		t.Fatalf("tone energy not concentrated: %.4f of total in bins %d/%d", peak/total, k, n-k)
+	}
+}
+
+// Inverse kinematics: forward kinematics of the solved joint angles must
+// land back on the target.
+func TestInversek2jForwardConsistency(t *testing.T) {
+	rng := newTestRng(9)
+	for i := 0; i < 200; i++ {
+		t1 := float32(rng.Float64()) * 1.2
+		t2 := float32(rng.Float64())*2 + 0.2 // stay away from the singular fully-straight pose
+		x := ikL1*cosf(t1) + ikL2*cosf(t1+t2)
+		y := ikL1*sinf(t1) + ikL2*sinf(t1+t2)
+		s1, s2 := ikGold(x, y)
+		xr := ikL1*cosf(s1) + ikL2*cosf(s1+s2)
+		yr := ikL1*sinf(s1) + ikL2*sinf(s1+s2)
+		if d := math.Hypot(float64(xr-x), float64(yr-y)); d > 1e-3 {
+			t.Fatalf("IK round trip missed target by %v at pose (%v, %v)", d, t1, t2)
+		}
+	}
+}
+
+// Triangle intersection is invariant under cyclic relabeling of the
+// query triangle's vertices.
+func TestJmeintCyclicInvariance(t *testing.T) {
+	rng := newTestRng(13)
+	for i := 0; i < 500; i++ {
+		var v [9]float32
+		for j := range v {
+			v[j] = float32(rng.Float64()*2 - 0.5)
+		}
+		base := tritriGold(v)
+		rot := [9]float32{v[3], v[4], v[5], v[6], v[7], v[8], v[0], v[1], v[2]}
+		if got := tritriGold(rot); got != base {
+			t.Fatalf("classification changed under cyclic relabel: %v -> %v for %v", base, got, v)
+		}
+	}
+}
+
+// A triangle far above the plane never intersects; one passing through
+// the canonical triangle's interior always does.
+func TestJmeintKnownCases(t *testing.T) {
+	far := [9]float32{0, 0, 5, 1, 0, 6, 0, 1, 5}
+	if tritriGold(far) {
+		t.Error("triangle above the plane reported intersecting")
+	}
+	through := [9]float32{0.2, 0.2, -1, 0.3, 0.2, 1, 0.2, 0.3, 1}
+	if !tritriGold(through) {
+		t.Error("triangle piercing the canonical interior reported disjoint")
+	}
+}
+
+// Quantization idempotence: re-encoding a reconstructed group is
+// (near-)lossless because its coefficients already sit on the quantizer
+// grid.
+func TestJPEGRequantizationStable(t *testing.T) {
+	px := []float32{100, 104, 108, 112, 116, 120, 124, 128}
+	out1 := make([]float32, 8)
+	jpegGoldRow(px, out1)
+	out2 := make([]float32, 8)
+	jpegGoldRow(out1, out2)
+	for i := range out1 {
+		if d := math.Abs(float64(out1[i] - out2[i])); d > 1e-3 {
+			t.Fatalf("recompression drifted at %d: %v -> %v", i, out1[i], out2[i])
+		}
+	}
+}
+
+// Lloyd's algorithm never increases the clustering objective between
+// iterations.
+func TestKMeansObjectiveNonIncreasing(t *testing.T) {
+	w, h := 32, 32
+	r, g, b := SyntheticRGBImage(w, h, 77)
+	n := w * h
+	cent := kmInitCent
+	objective := func(c *[kmK][3]float32) float64 {
+		var sum float64
+		for i := 0; i < n; i++ {
+			a := assignGold(r[i], g[i], b[i], c)
+			dr := float64(r[i] - c[a][0])
+			dg := float64(g[i] - c[a][1])
+			db := float64(b[i] - c[a][2])
+			sum += dr*dr + dg*dg + db*db
+		}
+		return sum
+	}
+	prev := objective(&cent)
+	for it := 0; it < 4; it++ {
+		var sum [kmK][3]float32
+		var cnt [kmK]float32
+		for i := 0; i < n; i++ {
+			a := assignGold(r[i], g[i], b[i], &cent)
+			sum[a][0] += r[i]
+			sum[a][1] += g[i]
+			sum[a][2] += b[i]
+			cnt[a]++
+		}
+		for c := 0; c < kmK; c++ {
+			if cnt[c] > 0 {
+				cent[c][0] = sum[c][0] / cnt[c]
+				cent[c][1] = sum[c][1] / cnt[c]
+				cent[c][2] = sum[c][2] / cnt[c]
+			}
+		}
+		cur := objective(&cent)
+		if cur > prev*(1+1e-5) {
+			t.Fatalf("objective rose at iteration %d: %v -> %v", it, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+// A constant image has no edges; a vertical step produces a response
+// exactly along the step.
+func TestSobelKnownResponses(t *testing.T) {
+	flat := [9]float32{7, 7, 7, 7, 7, 7, 7, 7, 7}
+	if got := sobelGold(flat); got != 0 {
+		t.Errorf("flat window magnitude = %v, want 0", got)
+	}
+	step := [9]float32{0, 0, 100, 0, 0, 100, 0, 0, 100}
+	if got := sobelGold(step); got < 100 {
+		t.Errorf("step-edge magnitude = %v, want strong response", got)
+	}
+	// Symmetry: mirroring the window flips gx's sign but not |G|.
+	mirror := [9]float32{100, 0, 0, 100, 0, 0, 100, 0, 0}
+	if a, b := sobelGold(step), sobelGold(mirror); a != b {
+		t.Errorf("mirror asymmetry: %v vs %v", a, b)
+	}
+}
+
+// With no power and a uniform temperature field, hotspot must hold the
+// temperature exactly (ambient equals the field).
+func TestHotspotEquilibrium(t *testing.T) {
+	if got := hsCellGold(hsAmb, 2*hsAmb, 2*hsAmb, 0); got != hsAmb {
+		t.Errorf("equilibrium cell moved: %v -> %v", hsAmb, got)
+	}
+	// Power injection raises temperature.
+	if got := hsCellGold(hsAmb, 2*hsAmb, 2*hsAmb, 2); got <= hsAmb {
+		t.Errorf("powered cell did not warm: %v", got)
+	}
+	// A cell hotter than its neighbors cools toward them.
+	hot := hsAmb + 40
+	if got := hsCellGold(hot, 2*hsAmb, 2*hsAmb, 0); got >= hot {
+		t.Errorf("hot cell did not cool: %v -> %v", hot, got)
+	}
+}
+
+// The pair potential is even in the displacement and decays with
+// distance.
+func TestLavaMDPotentialProperties(t *testing.T) {
+	v1, f1 := pairGold(0.5, -0.25, 0.125)
+	v2, f2 := pairGold(-0.5, 0.25, -0.125)
+	if v1 != v2 || f1 != f2 {
+		t.Errorf("potential not even: (%v,%v) vs (%v,%v)", v1, f1, v2, f2)
+	}
+	vNear, _ := pairGold(0.1, 0, 0)
+	vFar, _ := pairGold(2, 0, 0)
+	if vNear <= vFar {
+		t.Errorf("potential does not decay: near %v, far %v", vNear, vFar)
+	}
+	v0, fs0 := pairGold(0, 0, 0)
+	if v0 != 1 || fs0 != 2*lavaAlpha {
+		t.Errorf("zero-displacement potential = (%v, %v)", v0, fs0)
+	}
+}
+
+// The diffusion coefficient is clamped to [0, 1] and equals 1/(1+den2)
+// in the flat-gradient case.
+func TestSRADCoefficientRange(t *testing.T) {
+	rng := newTestRng(21)
+	for i := 0; i < 500; i++ {
+		c := float32(rng.Float64()*200 + 10)
+		n := c + float32(rng.NormFloat64()*8)
+		s := c + float32(rng.NormFloat64()*8)
+		wv := c + float32(rng.NormFloat64()*8)
+		e := c + float32(rng.NormFloat64()*8)
+		q0 := float32(rng.Float64()*0.3 + 0.01)
+		coeff := sradCoeffGold(c, n, s, wv, e, q0)
+		if coeff < 0 || coeff > 1 || math.IsNaN(float64(coeff)) {
+			t.Fatalf("coefficient out of range: %v", coeff)
+		}
+	}
+}
+
+// Homogeneous-speckle regions (local statistic equal to the global one)
+// should diffuse strongly: the coefficient approaches 1.
+func TestSRADHomogeneousRegionDiffuses(t *testing.T) {
+	// dN=dS=dW=dE=0: qsqr=0; den2 = -1/(1+q0); c = 1/(1-1/(1+q0)).
+	got := sradCoeffGold(100, 100, 100, 100, 100, 0.25)
+	if got != 1 { // clamped at 1
+		t.Errorf("flat region coefficient = %v, want 1 (clamped)", got)
+	}
+}

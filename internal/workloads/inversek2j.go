@@ -1,0 +1,151 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"axmemo/internal/compiler"
+	"axmemo/internal/cpu"
+	"axmemo/internal/ir"
+	"axmemo/internal/libm"
+)
+
+// Inversek2j computes the joint angles of a two-joint robotic arm from
+// end-effector targets (AxBench).  The memoized kernel takes the (x, y)
+// target — 8 bytes — and returns the packed (θ1, θ2) pair.  Targets come
+// from quantized sensor readings with measurement jitter; truncating 8
+// LSBs (Table 2) merges jittered repeats of the same pose.
+func Inversek2j() *Workload {
+	return &Workload{
+		Name:        "inversek2j",
+		Domain:      "Robotics",
+		Description: "Calculates the angles of a two-joint arm",
+		InputBytes:  "8",
+		TruncBits:   []uint8{8},
+		Build:       buildInversek2j,
+		PaperScale:  310,
+		Regions: func(trunc []uint8) []compiler.Region {
+			tb := regionTrunc([]uint8{8}, trunc)
+			return []compiler.Region{{
+				Func:        "ik",
+				LUT:         0,
+				InputParams: []int{0, 1},
+				ParamTrunc:  []uint8{tb[0], tb[0]},
+			}}
+		},
+		Setup:    setupInversek2j,
+		MemBytes: func(scale int) int { return 1<<16 + ikCount(scale)*16 },
+	}
+}
+
+func ikCount(scale int) int { return 4000 * scale }
+
+const ikL1, ikL2 = float32(0.5), float32(0.5)
+
+// ikGold mirrors the IR kernel in float32.
+func ikGold(x, y float32) (t1, t2 float32) {
+	r2 := x*x + y*y
+	cosT2 := (r2 - ikL1*ikL1 - ikL2*ikL2) / (2 * ikL1 * ikL2)
+	if cosT2 > 1 {
+		cosT2 = 1
+	}
+	if cosT2 < -1 {
+		cosT2 = -1
+	}
+	t2 = acosf(cosT2)
+	t1 = atan2f(y, x) - atan2f(ikL2*sinf(t2), ikL1+ikL2*cosf(t2))
+	return
+}
+
+func setupInversek2j(img *cpu.Memory, scale int) *Instance {
+	rng := rand.New(rand.NewSource(11))
+	n := ikCount(scale)
+	// Pose pool: angle pairs on a 1/128 grid (quantized trajectory
+	// waypoints); each sample adds sensor jitter far below the 8-bit
+	// truncation granularity.
+	type pose struct{ x, y float32 }
+	pool := make([]pose, 512)
+	for i := range pool {
+		t1 := float32(rng.Intn(128)) * (1.5707964 / 128)
+		t2 := float32(rng.Intn(128)) * (3.1415927 / 128)
+		x := ikL1*cosf(t1) + ikL2*cosf(t1+t2)
+		y := ikL1*sinf(t1) + ikL2*sinf(t1+t2)
+		pool[i] = pose{x, y}
+	}
+	src := img.Alloc(n * 8)
+	dst := img.Alloc(n * 8)
+	golden := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		p := pool[rng.Intn(len(pool))]
+		x := p.x + float32(rng.NormFloat64())*1e-6
+		y := p.y + float32(rng.NormFloat64())*1e-6
+		img.SetF32(src+uint64(i*8), x)
+		img.SetF32(src+uint64(i*8)+4, y)
+		t1, t2 := ikGold(x, y)
+		golden[2*i] = float64(t1)
+		golden[2*i+1] = float64(t2)
+	}
+	return &Instance{
+		Args:   []uint64{src, dst, uint64(uint32(n))},
+		N:      n,
+		Golden: golden,
+		Outputs: func(img *cpu.Memory) []float64 {
+			out := make([]float64, 2*n)
+			for i := 0; i < n; i++ {
+				out[2*i] = float64(img.F32(dst + uint64(i*8)))
+				out[2*i+1] = float64(img.F32(dst + uint64(i*8) + 4))
+			}
+			return out
+		},
+	}
+}
+
+func buildInversek2j() *ir.Program {
+	p := ir.NewProgram("main")
+	libm.BuildInto(p)
+
+	// Kernel: ik(x, y) -> (θ1, θ2).
+	k := p.NewFunc("ik", []ir.Type{ir.F32, ir.F32}, []ir.Type{ir.F32, ir.F32})
+	kb := k.NewBlock("entry")
+	bu := ir.At(k, kb)
+	x, y := k.Params[0], k.Params[1]
+	r2 := bu.Bin(ir.FAdd, ir.F32, bu.Bin(ir.FMul, ir.F32, x, x), bu.Bin(ir.FMul, ir.F32, y, y))
+	l1sq := bu.ConstF32(ikL1 * ikL1)
+	l2sq := bu.ConstF32(ikL2 * ikL2)
+	den := bu.ConstF32(2 * ikL1 * ikL2)
+	cosT2 := bu.Bin(ir.FDiv, ir.F32,
+		bu.Bin(ir.FSub, ir.F32, bu.Bin(ir.FSub, ir.F32, r2, l1sq), l2sq), den)
+	one := bu.ConstF32(1)
+	negOne := bu.ConstF32(-1)
+	cosT2 = bu.Bin(ir.FMin, ir.F32, cosT2, one)
+	cosT2 = bu.Bin(ir.FMax, ir.F32, cosT2, negOne)
+	t2 := bu.Call(libm.FnAcos, 1, cosT2)[0]
+	l2c := bu.ConstF32(ikL2)
+	l1c := bu.ConstF32(ikL1)
+	sy := bu.Bin(ir.FMul, ir.F32, l2c, bu.Call(libm.FnSin, 1, t2)[0])
+	sx := bu.Bin(ir.FAdd, ir.F32, l1c, bu.Bin(ir.FMul, ir.F32, l2c, bu.Call(libm.FnCos, 1, t2)[0]))
+	t1 := bu.Bin(ir.FSub, ir.F32,
+		bu.Call(libm.FnAtan2, 1, y, x)[0],
+		bu.Call(libm.FnAtan2, 1, sy, sx)[0])
+	bu.Ret(t1, t2)
+
+	// Driver: main(src, dst, n).
+	f := p.NewFunc("main", []ir.Type{ir.I64, ir.I64, ir.I32}, nil)
+	fb := f.NewBlock("entry")
+	mbu := ir.At(f, fb)
+	zero := mbu.ConstI32(0)
+	l := BeginLoop(mbu, f, zero, f.Params[2])
+	src := ElemAddr(mbu, f.Params[0], l.I, 8)
+	xv := mbu.Load(ir.F32, src, 0)
+	yv := mbu.Load(ir.F32, src, 4)
+	r := mbu.Call("ik", 2, xv, yv)
+	dst := ElemAddr(mbu, f.Params[1], l.I, 8)
+	mbu.Store(ir.F32, dst, 0, r[0])
+	mbu.Store(ir.F32, dst, 4, r[1])
+	l.End(mbu)
+	mbu.Ret()
+
+	if err := p.Finalize(); err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,271 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"axmemo/internal/compiler"
+	"axmemo/internal/cpu"
+	"axmemo/internal/ir"
+)
+
+// Jmeint detects whether two 3D triangles intersect (AxBench).  The
+// memoized kernel takes the nine coordinates of one triangle — 36 bytes,
+// matching Table 2 — tested against a canonical reference triangle
+// {(0,0,0), (1,0,0), (0,1,0)}; the input generator expresses every pair
+// in the first triangle's frame (see DESIGN.md).  Inputs are essentially
+// random, so the paper's key negative result reproduces: the LUT hit
+// rate is ≈ 0 and AxMemo yields no speedup.  Quality is the
+// misclassification rate.
+func Jmeint() *Workload {
+	return &Workload{
+		Name:        "jmeint",
+		Domain:      "3D-Gaming",
+		Description: "Detects the intersection of two triangles",
+		InputBytes:  "36",
+		TruncBits:   []uint8{6},
+		Misclass:    true,
+		PaperScale:  72,
+		Build:       buildJmeint,
+		Regions: func(trunc []uint8) []compiler.Region {
+			tb := regionTrunc([]uint8{6}, trunc)
+			t := tb[0]
+			return []compiler.Region{{
+				Func:        "tritri",
+				LUT:         0,
+				InputParams: []int{0, 1, 2, 3, 4, 5, 6, 7, 8},
+				ParamTrunc:  []uint8{t, t, t, t, t, t, t, t, t},
+			}}
+		},
+		Setup:    setupJmeint,
+		MemBytes: func(scale int) int { return 1<<16 + jmCount(scale)*40 },
+	}
+}
+
+func jmCount(scale int) int { return 2000 * scale }
+
+// orient2 is the 2D orientation determinant (b−a)×(c−a).
+func orient2(ax, ay, bx, by, cx, cy float32) float32 {
+	return (bx-ax)*(cy-ay) - (by-ay)*(cx-ax)
+}
+
+// segCross reports whether segments PQ and CD intersect (proper or
+// touching).
+func segCross(px, py, qx, qy, cx, cy, dx, dy float32) bool {
+	o1 := orient2(px, py, qx, qy, cx, cy)
+	o2 := orient2(px, py, qx, qy, dx, dy)
+	o3 := orient2(cx, cy, dx, dy, px, py)
+	o4 := orient2(cx, cy, dx, dy, qx, qy)
+	return o1*o2 <= 0 && o3*o4 <= 0
+}
+
+// inCanon reports whether 2D point p lies in the canonical triangle
+// {(0,0),(1,0),(0,1)}.
+func inCanon(px, py float32) bool {
+	return px >= 0 && py >= 0 && px+py <= 1
+}
+
+// tritriGold mirrors the IR kernel in float32: does the triangle with the
+// given vertices intersect the canonical triangle in the z=0 plane?
+func tritriGold(v [9]float32) bool {
+	d0, d1, d2 := v[2], v[5], v[8]
+	c01 := d0*d1 < 0
+	c12 := d1*d2 < 0
+	c20 := d2*d0 < 0
+	nc := 0
+	for _, c := range []bool{c01, c12, c20} {
+		if c {
+			nc++
+		}
+	}
+	if nc < 2 {
+		return false // no plane crossing (coplanar treated as miss)
+	}
+	cross := func(ax, ay, az, bx, by, bz float32) (float32, float32) {
+		t := az / (az - bz)
+		return ax + t*(bx-ax), ay + t*(by-ay)
+	}
+	p01x, p01y := cross(v[0], v[1], v[2], v[3], v[4], v[5])
+	p12x, p12y := cross(v[3], v[4], v[5], v[6], v[7], v[8])
+	p20x, p20y := cross(v[6], v[7], v[8], v[0], v[1], v[2])
+	var px, py, qx, qy float32
+	switch {
+	case c01 && c12:
+		px, py, qx, qy = p01x, p01y, p12x, p12y
+	case c01 && c20:
+		px, py, qx, qy = p01x, p01y, p20x, p20y
+	default:
+		px, py, qx, qy = p12x, p12y, p20x, p20y
+	}
+	if inCanon(px, py) || inCanon(qx, qy) {
+		return true
+	}
+	return segCross(px, py, qx, qy, 0, 0, 1, 0) ||
+		segCross(px, py, qx, qy, 1, 0, 0, 1) ||
+		segCross(px, py, qx, qy, 0, 1, 0, 0)
+}
+
+func setupJmeint(img *cpu.Memory, scale int) *Instance {
+	rng := rand.New(rand.NewSource(23))
+	n := jmCount(scale)
+	src := img.Alloc(n * 36)
+	dst := img.Alloc(n * 4)
+	golden := make([]bool, n)
+	for i := 0; i < n; i++ {
+		var v [9]float32
+		for j := range v {
+			v[j] = float32(rng.Float64()*2 - 0.5)
+		}
+		for j, val := range v {
+			img.SetF32(src+uint64(i*36+j*4), val)
+		}
+		golden[i] = tritriGold(v)
+	}
+	return &Instance{
+		Args:       []uint64{src, dst, uint64(uint32(n))},
+		N:          n,
+		GoldenBool: golden,
+		OutputsBool: func(img *cpu.Memory) []bool {
+			out := make([]bool, n)
+			for i := range out {
+				out[i] = img.I32(dst+uint64(i*4)) != 0
+			}
+			return out
+		},
+	}
+}
+
+func buildJmeint() *ir.Program {
+	p := ir.NewProgram("main")
+
+	// Kernel: tritri(x0,y0,z0, x1,y1,z1, x2,y2,z2) -> i32.
+	types := make([]ir.Type, 9)
+	for i := range types {
+		types[i] = ir.F32
+	}
+	k := p.NewFunc("tritri", types, []ir.Type{ir.I32})
+	entry := k.NewBlock("entry")
+	selA := k.NewBlock("sel.c01c12")
+	selTryB := k.NewBlock("sel.tryB")
+	selB := k.NewBlock("sel.c01c20")
+	selC := k.NewBlock("sel.c12c20")
+	overlap := k.NewBlock("overlap")
+	missB := k.NewBlock("miss")
+
+	bu := ir.At(k, entry)
+	v := k.Params
+	x0, y0, z0 := v[0], v[1], v[2]
+	x1, y1, z1 := v[3], v[4], v[5]
+	x2, y2, z2 := v[6], v[7], v[8]
+	zero := bu.ConstF32(0)
+	c01 := bu.Bin(ir.CmpLT, ir.F32, bu.Bin(ir.FMul, ir.F32, z0, z1), zero)
+	c12 := bu.Bin(ir.CmpLT, ir.F32, bu.Bin(ir.FMul, ir.F32, z1, z2), zero)
+	c20 := bu.Bin(ir.CmpLT, ir.F32, bu.Bin(ir.FMul, ir.F32, z2, z0), zero)
+	nc := bu.Bin(ir.Add, ir.I32, bu.Bin(ir.Add, ir.I32, c01, c12), c20)
+	two := bu.ConstI32(2)
+	anyCross := bu.Bin(ir.CmpGE, ir.I32, nc, two)
+
+	// Edge-plane crossing points (computed unconditionally; unused
+	// ones may divide by ~0, which is harmless in FP).
+	crossPt := func(ax, ay, az, bx, by, bz ir.Reg) (ir.Reg, ir.Reg) {
+		t := bu.Bin(ir.FDiv, ir.F32, az, bu.Bin(ir.FSub, ir.F32, az, bz))
+		px := bu.Bin(ir.FAdd, ir.F32, ax, bu.Bin(ir.FMul, ir.F32, t, bu.Bin(ir.FSub, ir.F32, bx, ax)))
+		py := bu.Bin(ir.FAdd, ir.F32, ay, bu.Bin(ir.FMul, ir.F32, t, bu.Bin(ir.FSub, ir.F32, by, ay)))
+		return px, py
+	}
+	p01x, p01y := crossPt(x0, y0, z0, x1, y1, z1)
+	p12x, p12y := crossPt(x1, y1, z1, x2, y2, z2)
+	p20x, p20y := crossPt(x2, y2, z2, x0, y0, z0)
+
+	// Common registers for the selected segment endpoints.
+	px := k.NewReg()
+	py := k.NewReg()
+	qx := k.NewReg()
+	qy := k.NewReg()
+
+	sel01 := bu.Bin(ir.And, ir.I32, anyCross, c01)
+	bothA := bu.Bin(ir.And, ir.I32, sel01, c12)
+	bu.Br(bothA, selA, selTryB)
+
+	bu.SetBlock(selA)
+	bu.MovTo(ir.F32, px, p01x)
+	bu.MovTo(ir.F32, py, p01y)
+	bu.MovTo(ir.F32, qx, p12x)
+	bu.MovTo(ir.F32, qy, p12y)
+	bu.Jmp(overlap)
+
+	bu.SetBlock(selTryB)
+	cnd := bu.Bin(ir.And, ir.I32, bu.Bin(ir.And, ir.I32, anyCross, c01), c20)
+	bu.Br(cnd, selB, selC)
+
+	bu.SetBlock(selB)
+	bu.MovTo(ir.F32, px, p01x)
+	bu.MovTo(ir.F32, py, p01y)
+	bu.MovTo(ir.F32, qx, p20x)
+	bu.MovTo(ir.F32, qy, p20y)
+	bu.Jmp(overlap)
+
+	bu.SetBlock(selC)
+	// Either {c12, c20} crossing, or no crossing at all.
+	bu.MovTo(ir.F32, px, p12x)
+	bu.MovTo(ir.F32, py, p12y)
+	bu.MovTo(ir.F32, qx, p20x)
+	bu.MovTo(ir.F32, qy, p20y)
+	bu.Br(anyCross, overlap, missB)
+
+	bu.SetBlock(overlap)
+	one := bu.ConstF32(1)
+	zf := bu.ConstF32(0)
+	// inside(p): px ≥ 0 ∧ py ≥ 0 ∧ px+py ≤ 1.
+	inside := func(ax, ay ir.Reg) ir.Reg {
+		gx := bu.Bin(ir.CmpGE, ir.F32, ax, zf)
+		gy := bu.Bin(ir.CmpGE, ir.F32, ay, zf)
+		le := bu.Bin(ir.CmpLE, ir.F32, bu.Bin(ir.FAdd, ir.F32, ax, ay), one)
+		return bu.Bin(ir.And, ir.I32, bu.Bin(ir.And, ir.I32, gx, gy), le)
+	}
+	// orient(a,b,c) = (b−a)×(c−a).
+	orient := func(ax, ay, bx, by, cx, cy ir.Reg) ir.Reg {
+		return bu.Bin(ir.FSub, ir.F32,
+			bu.Bin(ir.FMul, ir.F32, bu.Bin(ir.FSub, ir.F32, bx, ax), bu.Bin(ir.FSub, ir.F32, cy, ay)),
+			bu.Bin(ir.FMul, ir.F32, bu.Bin(ir.FSub, ir.F32, by, ay), bu.Bin(ir.FSub, ir.F32, cx, ax)))
+	}
+	segTest := func(cx, cy, dx, dy ir.Reg) ir.Reg {
+		o1 := orient(px, py, qx, qy, cx, cy)
+		o2 := orient(px, py, qx, qy, dx, dy)
+		o3 := orient(cx, cy, dx, dy, px, py)
+		o4 := orient(cx, cy, dx, dy, qx, qy)
+		s1 := bu.Bin(ir.CmpLE, ir.F32, bu.Bin(ir.FMul, ir.F32, o1, o2), zf)
+		s2 := bu.Bin(ir.CmpLE, ir.F32, bu.Bin(ir.FMul, ir.F32, o3, o4), zf)
+		return bu.Bin(ir.And, ir.I32, s1, s2)
+	}
+	hit := bu.Bin(ir.Or, ir.I32, inside(px, py), inside(qx, qy))
+	hit = bu.Bin(ir.Or, ir.I32, hit, segTest(zf, zf, one, zf))
+	hit = bu.Bin(ir.Or, ir.I32, hit, segTest(one, zf, zf, one))
+	hit = bu.Bin(ir.Or, ir.I32, hit, segTest(zf, one, zf, zf))
+	bu.Ret(hit)
+
+	bu.SetBlock(missB)
+	miss := bu.ConstI32(0)
+	bu.Ret(miss)
+
+	// Driver: main(src, dst, n).
+	f := p.NewFunc("main", []ir.Type{ir.I64, ir.I64, ir.I32}, nil)
+	fb := f.NewBlock("entry")
+	mbu := ir.At(f, fb)
+	z := mbu.ConstI32(0)
+	l := BeginLoop(mbu, f, z, f.Params[2])
+	src := ElemAddr(mbu, f.Params[0], l.I, 36)
+	args := make([]ir.Reg, 9)
+	for j := 0; j < 9; j++ {
+		args[j] = mbu.Load(ir.F32, src, int64(j*4))
+	}
+	r := mbu.Call("tritri", 1, args...)
+	dst := ElemAddr(mbu, f.Params[1], l.I, 4)
+	mbu.Store(ir.I32, dst, 0, r[0])
+	l.End(mbu)
+	mbu.Ret()
+
+	if err := p.Finalize(); err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,247 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"axmemo/internal/compiler"
+	"axmemo/internal/cpu"
+	"axmemo/internal/ir"
+	"axmemo/internal/memo"
+)
+
+// JPEG compresses and reconstructs a grayscale image (AxBench).  Two code
+// regions are memoized, matching Table 2's (16, 16)-byte inputs and
+// (2, 7)-bit truncations:
+//
+//   - wht4 (LUT 0): the 4-pixel butterfly of the block transform —
+//     (a,b,c,d) → (sum, alternating difference), the Walsh–Hadamard-style
+//     stage standing in for the DCT butterflies (see DESIGN.md);
+//   - quant4 (LUT 1): uniform quantization of four transform
+//     coefficients into four int16 levels packed into one 8-byte value.
+//
+// The driver dequantizes and inverts the transform, so the program's
+// output is the reconstructed image and quality is measured against the
+// exact (unmemoized) codec.
+func JPEG() *Workload {
+	packed := memo.OutPacked
+	return &Workload{
+		Name:        "jpeg",
+		Domain:      "Compression",
+		Description: "Compresses an image using a block transform codec",
+		InputBytes:  "(16, 16)",
+		TruncBits:   []uint8{2, 7},
+		ImageOutput: true,
+		Build:       buildJPEG,
+		PaperScale:  64,
+		Regions: func(trunc []uint8) []compiler.Region {
+			tb := regionTrunc([]uint8{2, 7}, trunc)
+			return []compiler.Region{
+				{
+					Func:        "wht4",
+					LUT:         0,
+					InputParams: []int{0, 1, 2, 3},
+					ParamTrunc:  []uint8{tb[0], tb[0], tb[0], tb[0]},
+				},
+				{
+					Func:         "quant4",
+					LUT:          1,
+					InputParams:  []int{0, 1, 2, 3},
+					ParamTrunc:   []uint8{tb[1], tb[1], tb[1], tb[1]},
+					KindOverride: &packed,
+				},
+			}
+		},
+		Setup:    setupJPEG,
+		MemBytes: func(scale int) int { w, h := jpegDims(scale); return 1<<16 + w*h*8 },
+	}
+}
+
+func jpegDims(scale int) (int, int) {
+	side := 64
+	for side*side < 64*64*scale {
+		side *= 2
+	}
+	return side, side
+}
+
+const jpegQ = float32(8)
+
+// wht4Gold mirrors the IR wht4 kernel: JPEG level shift followed by the
+// DC and first-AC butterflies of the 4-point DCT-II.
+func wht4Gold(a, b, c, d float32) (s, t float32) {
+	a = a - 128
+	b = b - 128
+	c = c - 128
+	d = d - 128
+	s = (a+d+(b+c))*0.5 + 128
+	t = 0.65328148*(a-d) + 0.27059805*(b-c)
+	return
+}
+
+// quant4Gold mirrors the IR quant4 kernel: floor(v/Q + 0.5) per lane.
+func quant4Gold(v0, v1, v2, v3 float32) [4]int16 {
+	q := func(v float32) int16 {
+		return int16(int32(floorf(v/jpegQ + 0.5)))
+	}
+	return [4]int16{q(v0), q(v1), q(v2), q(v3)}
+}
+
+// jpegGoldRow runs the exact codec over one 8-pixel group and writes the
+// reconstruction.
+func jpegGoldRow(px []float32, out []float32) {
+	s0, t0 := wht4Gold(px[0], px[1], px[2], px[3])
+	s1, t1 := wht4Gold(px[4], px[5], px[6], px[7])
+	qv := quant4Gold(s0, t0, s1, t1)
+	ds0 := float32(qv[0]) * jpegQ
+	dt0 := float32(qv[1]) * jpegQ
+	ds1 := float32(qv[2]) * jpegQ
+	dt1 := float32(qv[3]) * jpegQ
+	recon := func(s, t float32, dst []float32) {
+		m := (s - 128) * 0.5
+		dst[0] = m + t*0.65328148 + 128
+		dst[1] = m + t*0.27059805 + 128
+		dst[2] = m - t*0.27059805 + 128
+		dst[3] = m - t*0.65328148 + 128
+	}
+	recon(ds0, dt0, out[0:4])
+	recon(ds1, dt1, out[4:8])
+}
+
+func setupJPEG(img *cpu.Memory, scale int) *Instance {
+	w, h := jpegDims(scale)
+	pix := SyntheticImage(w, h, 31)
+	// Color-space conversion upstream of the codec leaves a tiny
+	// relative fuzz on each sample; Table 2's 2-bit truncation is just
+	// enough to fold it away (Fig. 11).
+	rng := rand.New(rand.NewSource(32))
+	for i := range pix {
+		if pix[i] > 0 {
+			pix[i] = pix[i] * (1 + float32(0.1+0.8*rng.Float64())*(1.0/(1<<21)))
+		}
+	}
+	src := img.Alloc(w * h * 4)
+	dst := img.Alloc(w * h * 4)
+	for i, v := range pix {
+		img.SetF32(src+uint64(i*4), v)
+	}
+	golden := make([]float64, w*h)
+	row := make([]float32, 8)
+	out := make([]float32, 8)
+	for base := 0; base < w*h; base += 8 {
+		copy(row, pix[base:base+8])
+		jpegGoldRow(row, out)
+		for j, v := range out {
+			golden[base+j] = float64(v)
+		}
+	}
+	groups := w * h / 8
+	return &Instance{
+		Args:   []uint64{src, dst, uint64(uint32(groups))},
+		N:      groups * 3, // 2×wht4 + 1×quant4 per group
+		Golden: golden,
+		Outputs: func(img *cpu.Memory) []float64 {
+			outv := make([]float64, w*h)
+			for i := range outv {
+				outv[i] = float64(img.F32(dst + uint64(i*4)))
+			}
+			return outv
+		},
+	}
+}
+
+func buildJPEG() *ir.Program {
+	p := ir.NewProgram("main")
+
+	// Kernel A: wht4(a,b,c,d) -> (sum/2, altdiff/2).
+	ka := p.NewFunc("wht4", []ir.Type{ir.F32, ir.F32, ir.F32, ir.F32}, []ir.Type{ir.F32, ir.F32})
+	kab := ka.NewBlock("entry")
+	bu := ir.At(ka, kab)
+	a0, b0, c0, d0 := ka.Params[0], ka.Params[1], ka.Params[2], ka.Params[3]
+	half := bu.ConstF32(0.5)
+	shift := bu.ConstF32(128)
+	a := bu.Bin(ir.FSub, ir.F32, a0, shift)
+	b := bu.Bin(ir.FSub, ir.F32, b0, shift)
+	c := bu.Bin(ir.FSub, ir.F32, c0, shift)
+	d := bu.Bin(ir.FSub, ir.F32, d0, shift)
+	ad := bu.Bin(ir.FAdd, ir.F32, a, d)
+	bc := bu.Bin(ir.FAdd, ir.F32, b, c)
+	s := bu.Bin(ir.FAdd, ir.F32,
+		bu.Bin(ir.FMul, ir.F32, bu.Bin(ir.FAdd, ir.F32, ad, bc), half), shift)
+	c1 := bu.ConstF32(0.65328148)
+	c3 := bu.ConstF32(0.27059805)
+	t := bu.Bin(ir.FAdd, ir.F32,
+		bu.Bin(ir.FMul, ir.F32, c1, bu.Bin(ir.FSub, ir.F32, a, d)),
+		bu.Bin(ir.FMul, ir.F32, c3, bu.Bin(ir.FSub, ir.F32, b, c)))
+	bu.Ret(s, t)
+
+	// Kernel B: quant4(v0..v3) -> i64 packing four int16 levels.
+	kb := p.NewFunc("quant4", []ir.Type{ir.F32, ir.F32, ir.F32, ir.F32}, []ir.Type{ir.I64})
+	kbb := kb.NewBlock("entry")
+	bu = ir.At(kb, kbb)
+	q := bu.ConstF32(jpegQ)
+	halfQ := bu.ConstF32(0.5)
+	mask16 := bu.ConstI64(0xFFFF)
+	var packed ir.Reg
+	for i := 0; i < 4; i++ {
+		lvlF := bu.Un(ir.Floor, ir.F32, bu.Bin(ir.FAdd, ir.F32, bu.Bin(ir.FDiv, ir.F32, kb.Params[i], q), halfQ))
+		lvl := bu.Cvt(ir.F32, ir.I64, lvlF)
+		lane := bu.Bin(ir.And, ir.I64, lvl, mask16)
+		if i == 0 {
+			packed = lane
+		} else {
+			sh := bu.ConstI64(int64(16 * i))
+			packed = bu.Bin(ir.Or, ir.I64, packed, bu.Bin(ir.Shl, ir.I64, lane, sh))
+		}
+	}
+	bu.Ret(packed)
+
+	// Driver: main(src, dst, groups) — one group is 8 pixels.
+	f := p.NewFunc("main", []ir.Type{ir.I64, ir.I64, ir.I32}, nil)
+	fb := f.NewBlock("entry")
+	mbu := ir.At(f, fb)
+	zero := mbu.ConstI32(0)
+	l := BeginLoop(mbu, f, zero, f.Params[2])
+	src := ElemAddr(mbu, f.Params[0], l.I, 32)
+	dst := ElemAddr(mbu, f.Params[1], l.I, 32)
+	px := make([]ir.Reg, 8)
+	for j := 0; j < 8; j++ {
+		px[j] = mbu.Load(ir.F32, src, int64(j*4))
+	}
+	g0 := mbu.Call("wht4", 2, px[0], px[1], px[2], px[3])
+	g1 := mbu.Call("wht4", 2, px[4], px[5], px[6], px[7])
+	qp := mbu.Call("quant4", 1, g0[0], g0[1], g1[0], g1[1])[0]
+	// Dequantize: sign-extend each 16-bit lane and scale by Q.
+	qC := mbu.ConstF32(jpegQ)
+	c48 := mbu.ConstI64(48)
+	deq := make([]ir.Reg, 4)
+	for i := 0; i < 4; i++ {
+		shl := mbu.ConstI64(int64(48 - 16*i))
+		up := mbu.Bin(ir.Shl, ir.I64, qp, shl)
+		lane := mbu.Bin(ir.Shr, ir.I64, up, c48) // arithmetic shift sign-extends
+		lf := mbu.Cvt(ir.I64, ir.F32, lane)
+		deq[i] = mbu.Bin(ir.FMul, ir.F32, lf, qC)
+	}
+	// Reconstruct with the transposed basis (see jpegGoldRow).
+	halfC := mbu.ConstF32(0.5)
+	shiftC := mbu.ConstF32(128)
+	k1 := mbu.ConstF32(0.65328148)
+	k3 := mbu.ConstF32(0.27059805)
+	recon := func(s, t ir.Reg, off int64) {
+		m := mbu.Bin(ir.FMul, ir.F32, mbu.Bin(ir.FSub, ir.F32, s, shiftC), halfC)
+		t1 := mbu.Bin(ir.FMul, ir.F32, t, k1)
+		t3 := mbu.Bin(ir.FMul, ir.F32, t, k3)
+		mbu.Store(ir.F32, dst, off+0, mbu.Bin(ir.FAdd, ir.F32, mbu.Bin(ir.FAdd, ir.F32, m, t1), shiftC))
+		mbu.Store(ir.F32, dst, off+4, mbu.Bin(ir.FAdd, ir.F32, mbu.Bin(ir.FAdd, ir.F32, m, t3), shiftC))
+		mbu.Store(ir.F32, dst, off+8, mbu.Bin(ir.FAdd, ir.F32, mbu.Bin(ir.FSub, ir.F32, m, t3), shiftC))
+		mbu.Store(ir.F32, dst, off+12, mbu.Bin(ir.FAdd, ir.F32, mbu.Bin(ir.FSub, ir.F32, m, t1), shiftC))
+	}
+	recon(deq[0], deq[1], 0)
+	recon(deq[2], deq[3], 16)
+	l.End(mbu)
+	mbu.Ret()
+
+	if err := p.Finalize(); err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,278 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"axmemo/internal/compiler"
+	"axmemo/internal/cpu"
+	"axmemo/internal/ir"
+)
+
+// KMeans clusters the pixels of an RGB image into K=4 color clusters
+// (AxBench).  The memoized kernel is the per-pixel assignment: its inputs
+// are the pixel's (r, g, b) — 12 bytes, Table 2 — truncated by 16 bits so
+// perceptually identical colors share a LUT entry.  The centroids are
+// read from fixed memory inside the kernel (they are constant within an
+// iteration); the driver issues `invalidate` between iterations because
+// the centroids — and therefore the memoized function — change.  This is
+// the workload that exercises the invalidate instruction.
+func KMeans() *Workload {
+	return &Workload{
+		Name:        "kmeans",
+		Domain:      "Machine Learning",
+		Description: "K-means clustering on an image",
+		InputBytes:  "12",
+		TruncBits:   []uint8{16},
+		ImageOutput: true,
+		Build:       buildKMeans,
+		PaperScale:  113,
+		Regions: func(trunc []uint8) []compiler.Region {
+			tb := regionTrunc([]uint8{16}, trunc)
+			t := tb[0]
+			return []compiler.Region{{
+				Func:        "assign",
+				LUT:         0,
+				InputParams: []int{0, 1, 2}, // the centroid pointer (param 3) is not a value
+				ParamTrunc:  []uint8{t, t, t},
+				EpochFunc:   "epoch",
+			}}
+		},
+		Setup:    setupKMeans,
+		MemBytes: func(scale int) int { w, h := kmeansDims(scale); return 1<<16 + w*h*32 },
+	}
+}
+
+func kmeansDims(scale int) (int, int) {
+	side := 48
+	for side*side < 48*48*scale {
+		side *= 2
+	}
+	return side, side
+}
+
+const (
+	kmK     = 4
+	kmIters = 2
+)
+
+var kmInitCent = [kmK][3]float32{
+	{32, 32, 32}, {96, 96, 96}, {160, 160, 160}, {224, 224, 224},
+}
+
+// assignGold mirrors the IR assign kernel.  As in the AxBench source, the
+// distance is the euclidean distance (with the sqrt), not its square.
+func assignGold(r, g, b float32, cent *[kmK][3]float32) int32 {
+	best := int32(0)
+	var bestD float32
+	for c := 0; c < kmK; c++ {
+		dr := r - cent[c][0]
+		dg := g - cent[c][1]
+		db := b - cent[c][2]
+		d := sqrtf(dr*dr + dg*dg + db*db)
+		if c == 0 || d < bestD {
+			bestD = d
+			best = int32(c)
+		}
+	}
+	return best
+}
+
+// kmeansGold runs the full 2-iteration clustering in float32 and returns
+// the per-pixel centroid colors.
+func kmeansGold(r, g, b []float32) []float64 {
+	n := len(r)
+	cent := kmInitCent
+	asg := make([]int32, n)
+	for it := 0; it < kmIters; it++ {
+		var sum [kmK][3]float32
+		var cnt [kmK]float32
+		for i := 0; i < n; i++ {
+			a := assignGold(r[i], g[i], b[i], &cent)
+			asg[i] = a
+			sum[a][0] += r[i]
+			sum[a][1] += g[i]
+			sum[a][2] += b[i]
+			cnt[a]++
+		}
+		for c := 0; c < kmK; c++ {
+			if cnt[c] > 0 {
+				cent[c][0] = sum[c][0] / cnt[c]
+				cent[c][1] = sum[c][1] / cnt[c]
+				cent[c][2] = sum[c][2] / cnt[c]
+			}
+		}
+	}
+	out := make([]float64, 3*n)
+	for i := 0; i < n; i++ {
+		out[3*i] = float64(cent[asg[i]][0])
+		out[3*i+1] = float64(cent[asg[i]][1])
+		out[3*i+2] = float64(cent[asg[i]][2])
+	}
+	return out
+}
+
+func setupKMeans(img *cpu.Memory, scale int) *Instance {
+	w, h := kmeansDims(scale)
+	n := w * h
+	r, g, b := SyntheticRGBImage(w, h, 55)
+	// Camera pixels carry sub-level fractions from white balance and
+	// demosaicing; Table 2's 16-bit truncation folds them away so
+	// perceptually identical colors share a LUT entry (Fig. 11).
+	rng := rand.New(rand.NewSource(56))
+	dither := func(v float32) float32 { return v + 0.25 + float32(rng.Float64()*0.4-0.2) }
+	for i := range r {
+		r[i] = dither(r[i])
+		g[i] = dither(g[i])
+		b[i] = dither(b[i])
+	}
+	pixBase := img.Alloc(n * 12)
+	for i := 0; i < n; i++ {
+		img.SetF32(pixBase+uint64(i*12), r[i])
+		img.SetF32(pixBase+uint64(i*12)+4, g[i])
+		img.SetF32(pixBase+uint64(i*12)+8, b[i])
+	}
+	centBase := img.Alloc(kmK * 12)
+	for c := 0; c < kmK; c++ {
+		img.SetF32(centBase+uint64(c*12), kmInitCent[c][0])
+		img.SetF32(centBase+uint64(c*12)+4, kmInitCent[c][1])
+		img.SetF32(centBase+uint64(c*12)+8, kmInitCent[c][2])
+	}
+	sumBase := img.Alloc(kmK * 16) // sumR, sumG, sumB, count per cluster
+	asgBase := img.Alloc(n * 4)
+	outBase := img.Alloc(n * 12)
+	golden := kmeansGold(r, g, b)
+	return &Instance{
+		Args:   []uint64{pixBase, centBase, sumBase, asgBase, outBase, uint64(uint32(n))},
+		N:      n * kmIters,
+		Golden: golden,
+		Outputs: func(img *cpu.Memory) []float64 {
+			out := make([]float64, 3*n)
+			for i := 0; i < n; i++ {
+				out[3*i] = float64(img.F32(outBase + uint64(i*12)))
+				out[3*i+1] = float64(img.F32(outBase + uint64(i*12) + 4))
+				out[3*i+2] = float64(img.F32(outBase + uint64(i*12) + 8))
+			}
+			return out
+		},
+	}
+}
+
+func buildKMeans() *ir.Program {
+	p := ir.NewProgram("main")
+
+	// Kernel: assign(r, g, b, centBase) -> cluster index.
+	k := p.NewFunc("assign", []ir.Type{ir.F32, ir.F32, ir.F32, ir.I64}, []ir.Type{ir.I32})
+	kb := k.NewBlock("entry")
+	bu := ir.At(k, kb)
+	r, g, b, cb := k.Params[0], k.Params[1], k.Params[2], k.Params[3]
+	var best, bestD ir.Reg
+	for c := 0; c < kmK; c++ {
+		cr := bu.Load(ir.F32, cb, int64(c*12))
+		cg := bu.Load(ir.F32, cb, int64(c*12+4))
+		cbv := bu.Load(ir.F32, cb, int64(c*12+8))
+		dr := bu.Bin(ir.FSub, ir.F32, r, cr)
+		dg := bu.Bin(ir.FSub, ir.F32, g, cg)
+		db := bu.Bin(ir.FSub, ir.F32, b, cbv)
+		d := bu.Un(ir.Sqrt, ir.F32, bu.Bin(ir.FAdd, ir.F32,
+			bu.Bin(ir.FAdd, ir.F32, bu.Bin(ir.FMul, ir.F32, dr, dr), bu.Bin(ir.FMul, ir.F32, dg, dg)),
+			bu.Bin(ir.FMul, ir.F32, db, db)))
+		if c == 0 {
+			best = bu.ConstI32(0)
+			bestD = bu.Mov(ir.F32, d)
+		} else {
+			lt := bu.Bin(ir.CmpLT, ir.F32, d, bestD)
+			cIdx := bu.ConstI32(int32(c))
+			diff := bu.Bin(ir.Sub, ir.I32, cIdx, best)
+			bu.MovTo(ir.I32, best, bu.Bin(ir.Add, ir.I32, best, bu.Bin(ir.Mul, ir.I32, lt, diff)))
+			bu.MovTo(ir.F32, bestD, bu.Bin(ir.FMin, ir.F32, bestD, d))
+		}
+	}
+	bu.Ret(best)
+
+	// Epoch marker: called after each centroid update; the AxMemo
+	// compiler injects `invalidate` here because the memoized mapping
+	// (pixel → cluster under the current centroids) has changed.
+	ep := p.NewFunc("epoch", nil, nil)
+	epb := ep.NewBlock("entry")
+	ir.At(ep, epb).Ret()
+
+	// Driver: main(pix, cent, sums, asg, out, n).
+	f := p.NewFunc("main", []ir.Type{ir.I64, ir.I64, ir.I64, ir.I64, ir.I64, ir.I32}, nil)
+	fb := f.NewBlock("entry")
+	mbu := ir.At(f, fb)
+	pix, cent, sums, asg, out, n := f.Params[0], f.Params[1], f.Params[2], f.Params[3], f.Params[4], f.Params[5]
+	zeroI := mbu.ConstI32(0)
+	zeroF := mbu.ConstF32(0)
+	oneF := mbu.ConstF32(1)
+
+	iterLoop := LoopN(mbu, f, kmIters)
+	{
+		// Zero the accumulators.
+		zl := LoopN(mbu, f, kmK)
+		sa := ElemAddr(mbu, sums, zl.I, 16)
+		mbu.Store(ir.F32, sa, 0, zeroF)
+		mbu.Store(ir.F32, sa, 4, zeroF)
+		mbu.Store(ir.F32, sa, 8, zeroF)
+		mbu.Store(ir.F32, sa, 12, zeroF)
+		zl.End(mbu)
+
+		// Assignment pass.
+		pl := BeginLoop(mbu, f, zeroI, n)
+		{
+			pa := ElemAddr(mbu, pix, pl.I, 12)
+			rv := mbu.Load(ir.F32, pa, 0)
+			gv := mbu.Load(ir.F32, pa, 4)
+			bv := mbu.Load(ir.F32, pa, 8)
+			idx := mbu.Call("assign", 1, rv, gv, bv, cent)[0]
+			aa := ElemAddr(mbu, asg, pl.I, 4)
+			mbu.Store(ir.I32, aa, 0, idx)
+			sa := ElemAddr(mbu, sums, idx, 16)
+			mbu.Store(ir.F32, sa, 0, mbu.Bin(ir.FAdd, ir.F32, mbu.Load(ir.F32, sa, 0), rv))
+			mbu.Store(ir.F32, sa, 4, mbu.Bin(ir.FAdd, ir.F32, mbu.Load(ir.F32, sa, 4), gv))
+			mbu.Store(ir.F32, sa, 8, mbu.Bin(ir.FAdd, ir.F32, mbu.Load(ir.F32, sa, 8), bv))
+			mbu.Store(ir.F32, sa, 12, mbu.Bin(ir.FAdd, ir.F32, mbu.Load(ir.F32, sa, 12), oneF))
+		}
+		pl.End(mbu)
+
+		// Centroid update (skip empty clusters), then invalidate the
+		// assignment LUT: the memoized function changed.
+		cl := LoopN(mbu, f, kmK)
+		{
+			sa := ElemAddr(mbu, sums, cl.I, 16)
+			cnt := mbu.Load(ir.F32, sa, 12)
+			nonEmpty := mbu.Bin(ir.CmpGT, ir.F32, cnt, zeroF)
+			upd := f.NewBlock("cent.update")
+			skip := f.NewBlock("cent.skip")
+			mbu.Br(nonEmpty, upd, skip)
+			mbu.SetBlock(upd)
+			ca := ElemAddr(mbu, cent, cl.I, 12)
+			mbu.Store(ir.F32, ca, 0, mbu.Bin(ir.FDiv, ir.F32, mbu.Load(ir.F32, sa, 0), cnt))
+			mbu.Store(ir.F32, ca, 4, mbu.Bin(ir.FDiv, ir.F32, mbu.Load(ir.F32, sa, 4), cnt))
+			mbu.Store(ir.F32, ca, 8, mbu.Bin(ir.FDiv, ir.F32, mbu.Load(ir.F32, sa, 8), cnt))
+			mbu.Jmp(skip)
+			mbu.SetBlock(skip)
+		}
+		cl.End(mbu)
+		mbu.Call("epoch", 0)
+	}
+	iterLoop.End(mbu)
+
+	// Emit the clustered image: each pixel gets its centroid color.
+	ol := BeginLoop(mbu, f, zeroI, n)
+	{
+		aa := ElemAddr(mbu, asg, ol.I, 4)
+		idx := mbu.Load(ir.I32, aa, 0)
+		ca := ElemAddr(mbu, cent, idx, 12)
+		oa := ElemAddr(mbu, out, ol.I, 12)
+		mbu.Store(ir.F32, oa, 0, mbu.Load(ir.F32, ca, 0))
+		mbu.Store(ir.F32, oa, 4, mbu.Load(ir.F32, ca, 4))
+		mbu.Store(ir.F32, oa, 8, mbu.Load(ir.F32, ca, 8))
+	}
+	ol.End(mbu)
+	mbu.Ret()
+
+	if err := p.Finalize(); err != nil {
+		panic(err)
+	}
+	return p
+}

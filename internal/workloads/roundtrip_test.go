@@ -1,0 +1,90 @@
+package workloads
+
+import (
+	"testing"
+
+	"axmemo/internal/compiler"
+	"axmemo/internal/cpu"
+	"axmemo/internal/ir"
+	"axmemo/internal/quality"
+)
+
+// TestProgramsRoundTripThroughTextIR: every benchmark program survives
+// Dump → Parse → Dump unchanged, and the re-parsed program produces
+// exactly the same baseline outputs — the textual IR is a faithful
+// serialization of the whole workload suite.
+func TestProgramsRoundTripThroughTextIR(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			orig := w.Build()
+			text := orig.Dump()
+			parsed, err := ir.Parse(text)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if again := parsed.Dump(); again != text {
+				t.Fatal("dump → parse → dump diverged")
+			}
+
+			// The re-parsed program must compute identical outputs.
+			imgA := cpu.NewMemory(w.MemBytes(1))
+			instA := w.Setup(imgA, 1)
+			mA, err := cpu.New(orig, imgA, cpu.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := mA.Run(instA.Args...); err != nil {
+				t.Fatal(err)
+			}
+
+			imgB := cpu.NewMemory(w.MemBytes(1))
+			instB := w.Setup(imgB, 1)
+			mB, err := cpu.New(parsed, imgB, cpu.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := mB.Run(instB.Args...); err != nil {
+				t.Fatal(err)
+			}
+
+			if w.Misclass {
+				a, b := instA.OutputsBool(imgA), instB.OutputsBool(imgB)
+				mc, err := quality.Misclassification(a, b)
+				if err != nil || mc != 0 {
+					t.Fatalf("outputs differ after round trip: %v %v", mc, err)
+				}
+			} else {
+				a, b := instA.Outputs(imgA), instB.Outputs(imgB)
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("output %d differs after round trip: %v vs %v", i, a[i], b[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTransformedProgramRoundTrips: the memoized (compiler-transformed)
+// program also survives the text format, memo instructions included.
+func TestTransformedProgramRoundTrips(t *testing.T) {
+	for _, name := range []string{"blackscholes", "sobel", "jpeg"} {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := w.Build()
+		if err := compiler.Transform(prog, w.Regions(nil)); err != nil {
+			t.Fatal(err)
+		}
+		text := prog.Dump()
+		parsed, err := ir.Parse(text)
+		if err != nil {
+			t.Fatalf("%s: parse transformed program: %v", name, err)
+		}
+		if parsed.Dump() != text {
+			t.Fatalf("%s: transformed program round trip diverged", name)
+		}
+	}
+}

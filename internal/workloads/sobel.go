@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"axmemo/internal/compiler"
+	"axmemo/internal/cpu"
+	"axmemo/internal/ir"
+)
+
+// Sobel applies the Sobel edge-detection filter to an image (AxBench).
+// The memoized kernel consumes the full 3×3 pixel window — nine
+// floating-point values, 36 bytes, the paper's headline example of why
+// concatenated tags are infeasible and CRC tags are needed (§2).  The
+// window pixels are memory inputs, so the compiler rewrites the kernel's
+// loads into ld_crc (ConvertLoads), truncating 16 LSBs per pixel.
+func Sobel() *Workload {
+	return &Workload{
+		Name:        "sobel",
+		Domain:      "Image Processing",
+		Description: "Applies Sobel filter on an image",
+		InputBytes:  "36",
+		TruncBits:   []uint8{16},
+		ImageOutput: true,
+		Build:       buildSobel,
+		PaperScale:  113,
+		Regions: func(trunc []uint8) []compiler.Region {
+			tb := regionTrunc([]uint8{16}, trunc)
+			return []compiler.Region{{
+				Func:         "sobel3x3",
+				LUT:          0,
+				ConvertLoads: true,
+				LoadTrunc:    tb[0],
+			}}
+		},
+		Setup:    setupSobel,
+		MemBytes: func(scale int) int { w, h := sobelDims(scale); return 1<<16 + w*h*8 },
+	}
+}
+
+func sobelDims(scale int) (int, int) {
+	side := 48
+	for side*side < 48*48*scale {
+		side *= 2
+	}
+	return side, side
+}
+
+// sobelGold mirrors the IR kernel: 3×3 window → clamped gradient
+// magnitude.
+func sobelGold(p [9]float32) float32 {
+	gx := (p[2] + 2*p[5] + p[8]) - (p[0] + 2*p[3] + p[6])
+	gy := (p[6] + 2*p[7] + p[8]) - (p[0] + 2*p[1] + p[2])
+	mag := sqrtf(gx*gx + gy*gy)
+	if mag > 255 {
+		mag = 255
+	}
+	return mag
+}
+
+func setupSobel(img *cpu.Memory, scale int) *Instance {
+	w, h := sobelDims(scale)
+	pix := SyntheticImage(w, h, 77)
+	// The AxBench driver converts RGB to a fractional gray plane; the
+	// conversion leaves sub-unit fractions on every pixel.  Model that
+	// with a small additive fraction: without truncation these make
+	// every window tuple unique, and the Table 2 16-bit truncation
+	// removes them — the Fig. 11 effect.
+	rng := rand.New(rand.NewSource(78))
+	for i := range pix {
+		pix[i] = pix[i] + 0.25 + float32(rng.Float64()*0.4-0.2)
+	}
+	src := img.Alloc(w * h * 4)
+	dst := img.Alloc(w * h * 4)
+	for i, v := range pix {
+		img.SetF32(src+uint64(i*4), v)
+	}
+	golden := make([]float64, w*h)
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			var win [9]float32
+			for dy := 0; dy < 3; dy++ {
+				for dx := 0; dx < 3; dx++ {
+					win[dy*3+dx] = pix[(y-1+dy)*w+(x-1+dx)]
+				}
+			}
+			golden[y*w+x] = float64(sobelGold(win))
+		}
+	}
+	return &Instance{
+		Args:   []uint64{src, dst, uint64(uint32(w)), uint64(uint32(h))},
+		N:      (w - 2) * (h - 2),
+		Golden: golden,
+		Outputs: func(img *cpu.Memory) []float64 {
+			out := make([]float64, w*h)
+			for i := range out {
+				out[i] = float64(img.F32(dst + uint64(i*4)))
+			}
+			return out
+		},
+	}
+}
+
+func buildSobel() *ir.Program {
+	p := ir.NewProgram("main")
+
+	// Kernel: sobel3x3(row0, row1, row2) — three pointers to the
+	// window's row starts; the nine loads below become ld_crc.
+	k := p.NewFunc("sobel3x3", []ir.Type{ir.I64, ir.I64, ir.I64}, []ir.Type{ir.F32})
+	kb := k.NewBlock("entry")
+	bu := ir.At(k, kb)
+	var w [9]ir.Reg
+	for row := 0; row < 3; row++ {
+		for col := 0; col < 3; col++ {
+			w[row*3+col] = bu.Load(ir.F32, k.Params[row], int64(col*4))
+		}
+	}
+	two := bu.ConstF32(2)
+	sum3 := func(a, b, c ir.Reg) ir.Reg {
+		return bu.Bin(ir.FAdd, ir.F32, bu.Bin(ir.FAdd, ir.F32, a, bu.Bin(ir.FMul, ir.F32, two, b)), c)
+	}
+	gx := bu.Bin(ir.FSub, ir.F32, sum3(w[2], w[5], w[8]), sum3(w[0], w[3], w[6]))
+	gy := bu.Bin(ir.FSub, ir.F32, sum3(w[6], w[7], w[8]), sum3(w[0], w[1], w[2]))
+	mag := bu.Un(ir.Sqrt, ir.F32,
+		bu.Bin(ir.FAdd, ir.F32, bu.Bin(ir.FMul, ir.F32, gx, gx), bu.Bin(ir.FMul, ir.F32, gy, gy)))
+	cap255 := bu.ConstF32(255)
+	mag = bu.Bin(ir.FMin, ir.F32, mag, cap255)
+	bu.Ret(mag)
+
+	// Driver: main(src, dst, w, h) — interior pixels only.
+	f := p.NewFunc("main", []ir.Type{ir.I64, ir.I64, ir.I32, ir.I32}, nil)
+	fb := f.NewBlock("entry")
+	mbu := ir.At(f, fb)
+	src, dst, wP, hP := f.Params[0], f.Params[1], f.Params[2], f.Params[3]
+	one := mbu.ConstI32(1)
+	four := mbu.ConstI64(4)
+	hEnd := mbu.Bin(ir.Sub, ir.I32, hP, one)
+	wEnd := mbu.Bin(ir.Sub, ir.I32, wP, one)
+
+	yl := BeginLoop(mbu, f, one, hEnd)
+	{
+		xl := BeginLoop(mbu, f, one, wEnd)
+		{
+			// idx = y*w + x; window rows start at idx-w-1, idx-1, idx+w-1.
+			idx := mbu.Bin(ir.Add, ir.I32, mbu.Bin(ir.Mul, ir.I32, yl.I, wP), xl.I)
+			center := ElemAddr(mbu, src, idx, 4)
+			wOff := mbu.Bin(ir.Mul, ir.I64, mbu.Cvt(ir.I32, ir.I64, wP), four)
+			row1 := mbu.Bin(ir.Sub, ir.I64, center, four)
+			row0 := mbu.Bin(ir.Sub, ir.I64, row1, wOff)
+			row2 := mbu.Bin(ir.Add, ir.I64, row1, wOff)
+			mag := mbu.Call("sobel3x3", 1, row0, row1, row2)[0]
+			oa := ElemAddr(mbu, dst, idx, 4)
+			mbu.Store(ir.F32, oa, 0, mag)
+		}
+		xl.End(mbu)
+	}
+	yl.End(mbu)
+	mbu.Ret()
+
+	if err := p.Finalize(); err != nil {
+		panic(err)
+	}
+	return p
+}
