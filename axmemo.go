@@ -29,6 +29,7 @@ import (
 	"axmemo/internal/core"
 	"axmemo/internal/cpu"
 	"axmemo/internal/dddg"
+	"axmemo/internal/fault"
 	"axmemo/internal/harness"
 	"axmemo/internal/ir"
 	"axmemo/internal/libm"
@@ -180,6 +181,42 @@ func NewBaselineMachine(p *Program, img *Memory) (*Machine, error) {
 // set) is instantiated once per core.
 func NewCluster(p *Program, img *Memory, cfg MachineConfig, cores int) (*Cluster, error) {
 	return cpu.NewCluster(p, img, cfg, cores)
+}
+
+// Simulator error taxonomy.  Machine.Run and friends return wrapped
+// sentinels; triage with errors.Is.  Budget errors (ErrInsnBudget,
+// ErrCycleBudget) come with a non-nil result carrying the partial
+// statistics accumulated up to the halt.
+var (
+	// ErrOOBAccess reports a load or store outside the memory image.
+	ErrOOBAccess = cpu.ErrOOBAccess
+	// ErrOOM reports memory-image exhaustion during allocation.
+	ErrOOM = cpu.ErrOOM
+	// ErrInsnBudget reports a run halted by RunOptions.MaxInsns.
+	ErrInsnBudget = cpu.ErrInsnBudget
+	// ErrCycleBudget reports a run halted by the MaxCycles watchdog.
+	ErrCycleBudget = cpu.ErrCycleBudget
+)
+
+// Fault injection and resilience experiments.
+type (
+	// FaultPlan configures deterministic, seeded hardware-fault
+	// injection: LUT/HVR bit flips, dropped updates, stuck-at entries
+	// and cache tag flips (see RunOptions.Faults).
+	FaultPlan = fault.Plan
+	// FaultStats counts the fault events delivered during a run.
+	FaultStats = fault.Stats
+	// FaultPoint is one row of a fault sweep.
+	FaultPoint = harness.FaultPoint
+	// FaultSweepConfig parametrizes FaultSweep.
+	FaultSweepConfig = harness.FaultSweepConfig
+)
+
+// FaultSweep measures how output quality and hit rate degrade as LUT
+// storage gets noisier, with an optional quality-guarded column per
+// flip rate.
+func FaultSweep(w *Workload, cfg FaultSweepConfig) ([]FaultPoint, error) {
+	return harness.FaultSweep(w, cfg)
 }
 
 // Benchmarks and experiments.

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	axmemo -bench sobel -l1 8 -l2 512 [-scale 2] [-trunc off] [-mode hw|soft|atm]
+//	axmemo -bench sobel -fault-sweep 0,1e-4,1e-2 -guard-budget 0.05
 //	axmemo -list
 package main
 
@@ -12,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"axmemo/internal/compiler"
 	"axmemo/internal/harness"
@@ -28,6 +31,11 @@ func main() {
 		truncOff  = flag.Bool("trunc-off", false, "disable input truncation (Fig. 11's no-approximation case)")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		dump      = flag.Bool("dump", false, "print the benchmark's memoized program in textual IR and exit")
+
+		faultRates  = flag.String("fault-sweep", "", "comma-separated LUT bit-flip rates; runs a fault sweep instead of a single run (e.g. 0,1e-4,1e-2)")
+		faultSeed   = flag.Int64("fault-seed", 1, "fault-injection seed (deterministic pattern per seed)")
+		guardBudget = flag.Float64("guard-budget", 0, "per-LUT quality-guard relative-error budget; > 0 arms the guard (and adds a guarded column to fault sweeps)")
+		maxCycles   = flag.Uint64("max-cycles", 0, "cycle-budget watchdog; the run fails past this many simulated cycles (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -76,6 +84,25 @@ func main() {
 		cfg.Trunc = make([]uint8, len(w.TruncBits))
 		cfg.Name += " no-approx"
 	}
+	cfg.GuardBudget = *guardBudget
+	cfg.MaxCycles = *maxCycles
+
+	if *faultRates != "" {
+		if cfg.Mode != harness.ModeHW {
+			fatal(fmt.Errorf("fault sweeps need -mode hw"))
+		}
+		rates, err := parseRates(*faultRates)
+		if err != nil {
+			fatal(err)
+		}
+		runFaultSweep(w, harness.FaultSweepConfig{
+			Base:        cfg,
+			Rates:       rates,
+			Seed:        *faultSeed,
+			GuardBudget: *guardBudget,
+		})
+		return
+	}
 
 	baseCfg := harness.Baseline()
 	baseCfg.Scale = *scale
@@ -105,6 +132,55 @@ func main() {
 		fmt.Printf("quality monitor: %d samples, mean rel err %.4f, disabled=%v\n",
 			res.Monitor.Samples, res.Monitor.MeanError, res.Monitor.Disabled)
 	}
+	if res.Monitor.GuardDisables > 0 || res.Monitor.GuardBypassed > 0 {
+		fmt.Printf("quality guard:   %d trips, %d re-enables, %d lookups bypassed, %d permanent\n",
+			res.Monitor.GuardDisables, res.Monitor.GuardReenables,
+			res.Monitor.GuardBypassed, res.Monitor.GuardPermanent)
+	}
+	if n := res.Faults.Total(); n > 0 {
+		fmt.Printf("injected faults: %d\n", n)
+	}
+}
+
+// runFaultSweep prints one table row per flip rate: injected-fault
+// counts, LUT hit rate and mean relative output error, with a second
+// column group when the quality guard is armed.
+func runFaultSweep(w *workloads.Workload, cfg harness.FaultSweepConfig) {
+	pts, err := harness.FaultSweep(w, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchmark:     %s (%s)\n", w.Name, w.Domain)
+	fmt.Printf("configuration: %s, fault seed %d\n", cfg.Base.Name, cfg.Seed)
+	guarded := cfg.GuardBudget > 0
+	if guarded {
+		fmt.Printf("guard budget:  %.2f%% mean relative error\n", 100*cfg.GuardBudget)
+		fmt.Printf("%-10s %8s %8s %10s | %8s %10s %6s\n",
+			"flip rate", "faults", "hit rate", "mean err", "hit rate", "mean err", "trips")
+	} else {
+		fmt.Printf("%-10s %8s %8s %10s\n", "flip rate", "faults", "hit rate", "mean err")
+	}
+	for _, pt := range pts {
+		r := pt.Result
+		fmt.Printf("%-10.0e %8d %7.1f%% %9.4f%%", pt.Rate, r.Faults.Total(), 100*r.HitRate, 100*r.MeanError)
+		if g := pt.Guarded; g != nil {
+			fmt.Printf(" | %7.1f%% %9.4f%% %6d", 100*g.HitRate, 100*g.MeanError, g.Monitor.GuardDisables)
+		}
+		fmt.Println()
+	}
+}
+
+// parseRates parses a comma-separated list of flip rates.
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, f := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad fault rate %q: %w", f, err)
+		}
+		rates = append(rates, r)
+	}
+	return rates, nil
 }
 
 func fatal(err error) {

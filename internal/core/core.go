@@ -16,6 +16,7 @@ import (
 	"axmemo/internal/compiler"
 	"axmemo/internal/cpu"
 	"axmemo/internal/dddg"
+	"axmemo/internal/fault"
 	"axmemo/internal/ir"
 	"axmemo/internal/memo"
 	"axmemo/internal/softmemo"
@@ -110,6 +111,19 @@ type RunOptions struct {
 	SoftwareLUT bool
 	// ATM services them with the prior-work ATM runtime.
 	ATM bool
+	// Faults, if non-nil and enabled, injects the planned hardware
+	// faults into the memoization unit and the caches.
+	Faults *fault.Plan
+	// GuardBudget, if > 0, arms the per-LUT quality guard with this
+	// relative-error budget: a LUT whose sampled error estimate exceeds
+	// it is invalidated and bypassed until the guard's cooldown expires.
+	// Requires the monitor (ignored under SoftwareLUT/ATM).
+	GuardBudget float64
+	// GuardCooldown overrides the guard's re-enable delay, counted in
+	// lookups addressed to the disabled LUT (0 = default).
+	GuardCooldown uint64
+	// MaxCycles caps simulated time; see cpu.Config.MaxCycles.
+	MaxCycles uint64
 }
 
 // NewMachine builds a simulator for the (transformed) program over img.
@@ -120,6 +134,13 @@ func (s *System) NewMachine(img *cpu.Memory, opts RunOptions) (*cpu.Machine, err
 		return nil, fmt.Errorf("core: Transform before NewMachine (or run the baseline directly with cpu.New)")
 	}
 	cfg := cpu.DefaultConfig()
+	cfg.MaxCycles = opts.MaxCycles
+	if opts.Faults != nil {
+		if err := opts.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		cfg.Hierarchy.Faults = opts.Faults
+	}
 	switch {
 	case opts.SoftwareLUT && opts.ATM:
 		return nil, fmt.Errorf("core: SoftwareLUT and ATM are mutually exclusive")
@@ -147,6 +168,14 @@ func (s *System) NewMachine(img *cpu.Memory, opts RunOptions) (*cpu.Machine, err
 		}
 		base.Monitor.Enabled = !opts.DisableMonitor
 		base.TrackCollisions = opts.TrackCollisions
+		base.Faults = opts.Faults
+		if opts.GuardBudget > 0 {
+			base.Monitor.Enabled = true // the guard samples through the monitor
+			base.Monitor.Guard = memo.DefaultGuard(opts.GuardBudget)
+			if opts.GuardCooldown > 0 {
+				base.Monitor.Guard.CooldownLookups = opts.GuardCooldown
+			}
+		}
 		full, kinds, err := compiler.MemoConfigFor(s.Program, s.Regions, base)
 		if err != nil {
 			return nil, err
@@ -157,7 +186,9 @@ func (s *System) NewMachine(img *cpu.Memory, opts RunOptions) (*cpu.Machine, err
 			return nil, err
 		}
 		for lut, kind := range kinds {
-			m.MemoUnit().SetOutputKind(lut, kind)
+			if err := m.MemoUnit().SetOutputKind(lut, kind); err != nil {
+				return nil, err
+			}
 		}
 		return m, nil
 	}

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"errors"
 	"fmt"
 
 	"axmemo/internal/ir"
@@ -88,6 +89,8 @@ func (c *Cluster) Run(argSets ...[]uint64) (res *ClusterResult, err error) {
 		threads[i] = &threadState{id: 0, cur: f}
 	}
 	remaining := len(c.Cores)
+	var haltErr error
+halted:
 	for remaining > 0 {
 		for i, m := range c.Cores {
 			t := threads[i]
@@ -95,7 +98,14 @@ func (c *Cluster) Run(argSets ...[]uint64) (res *ClusterResult, err error) {
 				continue
 			}
 			if err := m.step(t); err != nil {
-				return nil, fmt.Errorf("core %d: %w", i, err)
+				err = fmt.Errorf("core %d: %w", i, err)
+				if errors.Is(err, ErrCycleBudget) || errors.Is(err, ErrInsnBudget) {
+					// Budget halt: stop the whole cluster but still
+					// assemble the partial statistics below.
+					haltErr = err
+					break halted
+				}
+				return nil, err
 			}
 			if t.done {
 				remaining--
@@ -115,5 +125,5 @@ func (c *Cluster) Run(argSets ...[]uint64) (res *ClusterResult, err error) {
 		}
 		out.Insns += st.Insns
 	}
-	return out, nil
+	return out, haltErr
 }

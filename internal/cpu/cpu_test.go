@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -311,8 +312,36 @@ func TestInstructionLimit(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxInsns = 1000
 	m, _ := New(p, NewMemory(64), cfg)
-	if _, err := m.Run(); err == nil {
-		t.Error("infinite loop terminated without error")
+	if _, err := m.Run(); !errors.Is(err, ErrInsnBudget) {
+		t.Errorf("infinite loop: err = %v, want ErrInsnBudget", err)
+	}
+}
+
+func TestCycleBudgetWatchdog(t *testing.T) {
+	// The cycle watchdog must halt a non-terminating program with
+	// ErrCycleBudget and hand back the statistics gathered so far.
+	p := ir.NewProgram("spin")
+	f := p.NewFunc("spin", nil, nil)
+	bb := f.NewBlock("entry")
+	ir.At(f, bb).Jmp(bb)
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 500
+	m, _ := New(p, NewMemory(64), cfg)
+	res, err := m.Run()
+	if !errors.Is(err, ErrCycleBudget) {
+		t.Fatalf("err = %v, want ErrCycleBudget", err)
+	}
+	if res == nil {
+		t.Fatal("budget halt returned no partial result")
+	}
+	if res.Stats.Insns == 0 || res.Stats.Cycles == 0 {
+		t.Errorf("partial stats empty: %d insns, %d cycles", res.Stats.Insns, res.Stats.Cycles)
+	}
+	if res.Stats.Cycles > cfg.MaxCycles+16 {
+		t.Errorf("halted at cycle %d, far past the %d budget", res.Stats.Cycles, cfg.MaxCycles)
 	}
 }
 
@@ -458,14 +487,34 @@ func TestMemoryAllocAlignsAndBumps(t *testing.T) {
 	}
 }
 
-func TestMemoryOutOfBoundsPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("OOB access did not panic")
-		}
-	}()
+func TestMemoryOutOfBoundsErrors(t *testing.T) {
 	img := NewMemory(16)
-	img.LoadRaw(ir.F64, 12)
+	if _, err := img.LoadRaw(ir.F64, 12); !errors.Is(err, ErrOOBAccess) {
+		t.Errorf("OOB load: err = %v, want ErrOOBAccess", err)
+	}
+	if err := img.StoreRaw(ir.I32, 14, 1); !errors.Is(err, ErrOOBAccess) {
+		t.Errorf("OOB store: err = %v, want ErrOOBAccess", err)
+	}
+	if _, err := img.LoadRaw(ir.I64, ^uint64(0)-3); !errors.Is(err, ErrOOBAccess) {
+		t.Errorf("wrapping load: err = %v, want ErrOOBAccess", err)
+	}
+	if img.Err() != nil {
+		t.Errorf("direct raw accesses must not poison the image: %v", img.Err())
+	}
+
+	// Typed helpers record the first failure instead of returning it.
+	img.SetF32(100, 1)
+	if !errors.Is(img.Err(), ErrOOBAccess) {
+		t.Errorf("staging error not recorded: %v", img.Err())
+	}
+
+	exhausted := NewMemory(64)
+	if base := exhausted.Alloc(128); base != 0 {
+		t.Errorf("exhausted Alloc returned %d, want 0", base)
+	}
+	if !errors.Is(exhausted.Err(), ErrOOM) {
+		t.Errorf("exhaustion error not recorded: %v", exhausted.Err())
+	}
 }
 
 func TestHookObservesExecution(t *testing.T) {

@@ -1,0 +1,27 @@
+package cpu
+
+import "errors"
+
+// Typed simulator errors.  Functional faults in guest programs (wild
+// addresses, bad conversions, runaway loops) surface as wrapped instances
+// of these sentinels through Machine.Run / RunSMT / Cluster.Run instead
+// of panicking the host: a fuzzer or a fault-injection sweep can drive
+// the simulator with arbitrary programs and triage failures with
+// errors.Is.
+var (
+	// ErrOOBAccess marks a data access beyond the memory image.
+	ErrOOBAccess = errors.New("cpu: memory access out of bounds")
+	// ErrOOM marks an Alloc beyond the memory image.
+	ErrOOM = errors.New("cpu: memory image exhausted")
+	// ErrInsnBudget aborts a run whose dynamic instruction count exceeds
+	// Config.MaxInsns.
+	ErrInsnBudget = errors.New("cpu: dynamic instruction limit exceeded")
+	// ErrCycleBudget aborts a run whose simulated time exceeds
+	// Config.MaxCycles.  The partial statistics accumulated up to the
+	// abort are returned alongside the error.
+	ErrCycleBudget = errors.New("cpu: cycle budget exceeded")
+	// ErrBadConversion marks a Cvt between unsupported types; programs
+	// built through ir.Program.Finalize are rejected at validation
+	// instead.
+	ErrBadConversion = errors.New("cpu: invalid conversion")
+)

@@ -208,7 +208,7 @@ func evalUn(op ir.Op, t ir.Type, a uint64) (uint64, error) {
 }
 
 // evalCvt converts raw from type `from` to type `to`.
-func evalCvt(from, to ir.Type, raw uint64) uint64 {
+func evalCvt(from, to ir.Type, raw uint64) (uint64, error) {
 	// Read the source as a float64 or int64 view, then write at the
 	// destination type.
 	switch from {
@@ -216,50 +216,50 @@ func evalCvt(from, to ir.Type, raw uint64) uint64 {
 		v := i32v(raw)
 		switch to {
 		case ir.I32:
-			return fromI32(v)
+			return fromI32(v), nil
 		case ir.I64:
-			return fromI64(int64(v))
+			return fromI64(int64(v)), nil
 		case ir.F32:
-			return fromF32(float32(v))
+			return fromF32(float32(v)), nil
 		case ir.F64:
-			return fromF64(float64(v))
+			return fromF64(float64(v)), nil
 		}
 	case ir.I64:
 		v := i64v(raw)
 		switch to {
 		case ir.I32:
-			return fromI32(int32(v))
+			return fromI32(int32(v)), nil
 		case ir.I64:
-			return fromI64(v)
+			return fromI64(v), nil
 		case ir.F32:
-			return fromF32(float32(v))
+			return fromF32(float32(v)), nil
 		case ir.F64:
-			return fromF64(float64(v))
+			return fromF64(float64(v)), nil
 		}
 	case ir.F32:
 		v := f32(raw)
 		switch to {
 		case ir.I32:
-			return fromI32(int32(v))
+			return fromI32(int32(v)), nil
 		case ir.I64:
-			return fromI64(int64(v))
+			return fromI64(int64(v)), nil
 		case ir.F32:
-			return fromF32(v)
+			return fromF32(v), nil
 		case ir.F64:
-			return fromF64(float64(v))
+			return fromF64(float64(v)), nil
 		}
 	case ir.F64:
 		v := f64v(raw)
 		switch to {
 		case ir.I32:
-			return fromI32(int32(v))
+			return fromI32(int32(v)), nil
 		case ir.I64:
-			return fromI64(int64(v))
+			return fromI64(int64(v)), nil
 		case ir.F32:
-			return fromF32(float32(v))
+			return fromF32(float32(v)), nil
 		case ir.F64:
-			return fromF64(v)
+			return fromF64(v), nil
 		}
 	}
-	panic(fmt.Sprintf("cpu: invalid conversion %s -> %s", from, to))
+	return 0, fmt.Errorf("%w: %s -> %s", ErrBadConversion, from, to)
 }

@@ -132,28 +132,28 @@ func TestEvalUnMatchesGo(t *testing.T) {
 
 func TestEvalCvtMatrix(t *testing.T) {
 	// Every conversion pair against Go's conversion semantics.
-	if got := evalCvt(ir.I32, ir.F64, fromI32(-7)); math.Float64frombits(got) != -7.0 {
+	if got := mustCvt(t, ir.I32, ir.F64, fromI32(-7)); math.Float64frombits(got) != -7.0 {
 		t.Errorf("i32->f64: %v", math.Float64frombits(got))
 	}
-	if got := evalCvt(ir.F64, ir.I32, math.Float64bits(-7.9)); int32(uint32(got)) != -7 {
+	if got := mustCvt(t, ir.F64, ir.I32, math.Float64bits(-7.9)); int32(uint32(got)) != -7 {
 		t.Errorf("f64->i32: %d, want -7 (truncation)", int32(uint32(got)))
 	}
-	if got := evalCvt(ir.F32, ir.I64, f32raw(3.99)); int64(got) != 3 {
+	if got := mustCvt(t, ir.F32, ir.I64, f32raw(3.99)); int64(got) != 3 {
 		t.Errorf("f32->i64: %d", int64(got))
 	}
-	if got := evalCvt(ir.I64, ir.F32, fromI64(1<<40)); math.Float32frombits(uint32(got)) != float32(int64(1)<<40) {
+	if got := mustCvt(t, ir.I64, ir.F32, fromI64(1<<40)); math.Float32frombits(uint32(got)) != float32(int64(1)<<40) {
 		t.Errorf("i64->f32: %v", math.Float32frombits(uint32(got)))
 	}
-	if got := evalCvt(ir.F32, ir.F64, f32raw(1.5)); math.Float64frombits(got) != 1.5 {
+	if got := mustCvt(t, ir.F32, ir.F64, f32raw(1.5)); math.Float64frombits(got) != 1.5 {
 		t.Errorf("f32->f64: %v", math.Float64frombits(got))
 	}
-	if got := evalCvt(ir.F64, ir.F32, math.Float64bits(0.1)); math.Float32frombits(uint32(got)) != float32(0.1) {
+	if got := mustCvt(t, ir.F64, ir.F32, math.Float64bits(0.1)); math.Float32frombits(uint32(got)) != float32(0.1) {
 		t.Errorf("f64->f32: %v", math.Float32frombits(uint32(got)))
 	}
-	if got := evalCvt(ir.I32, ir.I64, fromI32(-5)); int64(got) != -5 {
+	if got := mustCvt(t, ir.I32, ir.I64, fromI32(-5)); int64(got) != -5 {
 		t.Errorf("i32->i64 sign extension: %d", int64(got))
 	}
-	if got := evalCvt(ir.I64, ir.I32, fromI64(1<<33|7)); int32(uint32(got)) != 7 {
+	if got := mustCvt(t, ir.I64, ir.I32, fromI64(1<<33|7)); int32(uint32(got)) != 7 {
 		t.Errorf("i64->i32 truncation: %d", int32(uint32(got)))
 	}
 }
@@ -161,8 +161,8 @@ func TestEvalCvtMatrix(t *testing.T) {
 func TestEvalCvtIdentityProperty(t *testing.T) {
 	f := func(v int32) bool {
 		// i32 -> i64 -> i32 round trip is the identity.
-		wide := evalCvt(ir.I32, ir.I64, fromI32(v))
-		back := evalCvt(ir.I64, ir.I32, wide)
+		wide := mustCvt(t, ir.I32, ir.I64, fromI32(v))
+		back := mustCvt(t, ir.I64, ir.I32, wide)
 		return int32(uint32(back)) == v
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -209,4 +209,14 @@ func TestEvalI64Division(t *testing.T) {
 	if _, err := evalBin(ir.SRem, ir.I32, 1, 0); err == nil {
 		t.Error("i32 rem by zero accepted")
 	}
+}
+
+// mustCvt unwraps evalCvt for conversion pairs the tests know are valid.
+func mustCvt(t *testing.T, from, to ir.Type, raw uint64) uint64 {
+	t.Helper()
+	out, err := evalCvt(from, to, raw)
+	if err != nil {
+		t.Fatalf("evalCvt(%s, %s): %v", from, to, err)
+	}
+	return out
 }

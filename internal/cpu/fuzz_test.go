@@ -1,0 +1,59 @@
+package cpu
+
+import (
+	"errors"
+	"testing"
+
+	"axmemo/internal/ir"
+	"axmemo/internal/memo"
+)
+
+// FuzzRun drives the whole simulator front door with arbitrary textual
+// IR: whatever the parser accepts must either run to completion or fail
+// with an error — never panic the host and never run unbounded.  This is
+// the end-to-end check behind the panic-free hardening: validation bounds
+// every table index, memory accesses return ErrOOBAccess, and the
+// MaxInsns/MaxCycles watchdogs cut off non-terminating programs.
+func FuzzRun(f *testing.F) {
+	f.Add("program main\n\nfunc main(r0 f32) (f32) {\nb0: ; entry\n\tr1 = fmul.f32 r0, r0\n\tret r1\n}\n")
+	f.Add("program x\nfunc x() {\nb0: ;\n\tjmp b0\n}\n") // infinite loop: watchdog territory
+	f.Add("program p\nfunc p(r0 i64) (f32) {\nb0: ;\n\tr1 = ld_crc.f32 [r0+0], lut2, n6\n\tr2, r3 = lookup lut2\n\tupdate lut2, r1\n\tinvalidate lut2\n\tret r1\n}\n")
+	f.Add("program m\nfunc m(r0 i64) (i32) {\nb0: ;\n\tr1 = load.i32 [r0+1048576]\n\tret r1\n}\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := ir.Parse(src)
+		if err != nil {
+			return // parser rejection is fine
+		}
+		if err := prog.Validate(); err != nil {
+			return
+		}
+		cfg := DefaultConfig()
+		mc := memo.DefaultConfig()
+		cfg.Memo = &mc
+		cfg.MaxInsns = 10_000
+		cfg.MaxCycles = 100_000
+		m, err := New(prog, NewMemory(1<<16), cfg)
+		if err != nil {
+			return // construction-time rejection is fine
+		}
+		entry := prog.EntryFunc()
+		if entry == nil {
+			return
+		}
+		args := make([]uint64, len(entry.ParamTypes))
+		for i := range args {
+			args[i] = 64 // a valid in-image address, in case params are pointers
+		}
+		res, err := m.Run(args...)
+		if err != nil {
+			// Budget halts must carry partial statistics.
+			if (errors.Is(err, ErrInsnBudget) || errors.Is(err, ErrCycleBudget)) && res == nil {
+				t.Fatalf("budget halt without partial stats: %v", err)
+			}
+			return
+		}
+		if res == nil {
+			t.Fatal("nil result without error")
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"axmemo/internal/energy"
+	"axmemo/internal/fault"
 	"axmemo/internal/ir"
 	"axmemo/internal/mem"
 	"axmemo/internal/memo"
@@ -45,6 +46,11 @@ type Config struct {
 	Soft SoftUnit
 	// MaxInsns aborts runaway programs (0 = default limit).
 	MaxInsns uint64
+	// MaxCycles is a watchdog on simulated time: a run whose cycle count
+	// exceeds it halts with ErrCycleBudget and the statistics gathered so
+	// far (0 = unlimited).  Unlike MaxInsns it bounds modeled time, so a
+	// fault sweep can cap how long a degraded configuration may take.
+	MaxCycles uint64
 	// Hook, if set, is invoked after every executed instruction; the
 	// tracer uses it to build dynamic traces.
 	Hook Hook
@@ -115,6 +121,9 @@ type Stats struct {
 	L1D  mem.Stats
 	L2   mem.Stats
 	DRAM uint64
+	// Faults counts injected-fault events across the memoization unit
+	// and the caches (zero-valued without a fault plan).
+	Faults fault.Stats
 }
 
 // IPC returns retired instructions per cycle.
@@ -169,6 +178,12 @@ func newMachine(prog *ir.Program, image *Memory, cfg Config, mkHier func() (*mem
 	if cfg.IssueWidth <= 0 {
 		return nil, fmt.Errorf("cpu: issue width %d", cfg.IssueWidth)
 	}
+	// Re-validate even finalized programs: the interpreter indexes its
+	// dispatch tables with fields the validator bounds (a fuzzer can
+	// hand-build a Program without Finalize).
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
 	if prog.EntryFunc() == nil {
 		return nil, fmt.Errorf("cpu: program has no entry function %q", prog.Entry)
 	}
@@ -203,9 +218,6 @@ func (m *Machine) Memory() *Memory { return m.mem }
 // MemoUnit returns the attached memoization unit, or nil.
 func (m *Machine) MemoUnit() *memo.Unit { return m.memo }
 
-// errLimit aborts execution when MaxInsns is exceeded.
-var errLimit = errors.New("cpu: dynamic instruction limit exceeded")
-
 // SMTResult is the outcome of an SMT run: per-thread return values plus
 // the shared-machine statistics.
 type SMTResult struct {
@@ -215,9 +227,14 @@ type SMTResult struct {
 
 // Run executes the entry function with args (raw bit patterns matching
 // the entry's parameter types) and returns its results and statistics.
+// When the run halts on a budget (ErrInsnBudget, ErrCycleBudget) the
+// result carries the partial statistics alongside the error.
 func (m *Machine) Run(args ...uint64) (*Result, error) {
 	smt, err := m.RunSMT(args)
 	if err != nil {
+		if smt != nil {
+			return &Result{Stats: smt.Stats}, err
+		}
 		return nil, err
 	}
 	return &Result{Rets: smt.Rets[0], Stats: smt.Stats}, nil
@@ -261,8 +278,17 @@ func (m *Machine) RunSMT(argSets ...[]uint64) (res *SMTResult, err error) {
 			err = fmt.Errorf("cpu: %v", r)
 		}
 	}()
-	if err := m.runThreads(threads); err != nil {
-		return nil, err
+	if runErr := m.runThreads(threads); runErr != nil {
+		if errors.Is(runErr, ErrCycleBudget) || errors.Is(runErr, ErrInsnBudget) {
+			// Budget halts are diagnostic outcomes, not failures: hand
+			// back the statistics accumulated so far with the error.
+			st, statErr := m.finishStats()
+			if statErr != nil {
+				return nil, runErr
+			}
+			return &SMTResult{Stats: st}, runErr
+		}
+		return nil, runErr
 	}
 	rets := make([][]uint64, len(threads))
 	for i, t := range threads {
@@ -286,6 +312,11 @@ func (m *Machine) finishStats() (Stats, error) {
 		L2:        m.hier.L2().Stats(),
 		DRAM:      m.hier.DRAMAccesses(),
 	}
+	st.Faults = sumFaults(st.Faults, m.hier.L1D().FaultStats())
+	st.Faults = sumFaults(st.Faults, m.hier.L2().FaultStats())
+	if m.memo != nil {
+		st.Faults = sumFaults(st.Faults, m.memo.FaultStats())
+	}
 	st.Energy.Cycles = m.cycle
 	st.Energy.L1DAccesses = st.L1D.Accesses()
 	st.Energy.L2Accesses = st.L2.Accesses()
@@ -307,4 +338,14 @@ func (m *Machine) finishStats() (Stats, error) {
 		st.Energy.MonitorOps = st.Monitor.Samples
 	}
 	return st, nil
+}
+
+// sumFaults accumulates fault counters component-wise.
+func sumFaults(a, b fault.Stats) fault.Stats {
+	a.LUTBitFlips += b.LUTBitFlips
+	a.HVRBitFlips += b.HVRBitFlips
+	a.DroppedUpdates += b.DroppedUpdates
+	a.StuckEntries += b.StuckEntries
+	a.CacheTagFlips += b.CacheTagFlips
+	return a
 }

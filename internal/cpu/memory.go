@@ -11,9 +11,16 @@ import (
 // Memory is the flat little-endian memory image of a simulated program.
 // The harness places input arrays in it, passes their base addresses as
 // program arguments, and reads output arrays back after the run.
+//
+// The simulator accesses it through LoadRaw/StoreRaw, which return typed
+// errors on out-of-bounds addresses.  The typed helpers (SetF32, F32, …)
+// used by harness staging code keep their terse signatures and instead
+// record the first failure, retrievable with Err — callers stage a whole
+// input set and check once.
 type Memory struct {
 	data []byte
 	brk  uint64 // simple bump allocator watermark
+	err  error  // first staging failure (Alloc or typed helper)
 }
 
 // NewMemory allocates a zeroed memory image of size bytes.
@@ -24,80 +31,112 @@ func NewMemory(size int) *Memory {
 // Size returns the image size in bytes.
 func (m *Memory) Size() int { return len(m.data) }
 
-// Alloc reserves n bytes aligned to 8 and returns the base address.
+// Err returns the first error recorded by Alloc or a typed helper, or
+// nil.  Check it after staging inputs and after reading outputs.
+func (m *Memory) Err() error { return m.err }
+
+func (m *Memory) setErr(err error) {
+	if m.err == nil {
+		m.err = err
+	}
+}
+
+// Alloc reserves n bytes aligned to 8 and returns the base address.  On
+// exhaustion it returns 0 and records ErrOOM (see Err).
 func (m *Memory) Alloc(n int) uint64 {
 	base := (m.brk + 7) &^ 7
-	if base+uint64(n) > uint64(len(m.data)) {
-		panic(fmt.Sprintf("cpu: memory image exhausted (%d requested at %d of %d)", n, base, len(m.data)))
+	if n < 0 || base+uint64(n) > uint64(len(m.data)) {
+		m.setErr(fmt.Errorf("%w (%d requested at %d of %d)", ErrOOM, n, base, len(m.data)))
+		return 0
 	}
 	m.brk = base + uint64(n)
 	return base
 }
 
-func (m *Memory) check(addr uint64, size int) {
-	if addr+uint64(size) > uint64(len(m.data)) {
-		panic(fmt.Sprintf("cpu: access at %#x+%d beyond image of %d bytes", addr, size, len(m.data)))
+func (m *Memory) check(addr uint64, size int) error {
+	if addr+uint64(size) > uint64(len(m.data)) || addr+uint64(size) < addr {
+		return fmt.Errorf("%w: %#x+%d beyond image of %d bytes", ErrOOBAccess, addr, size, len(m.data))
 	}
+	return nil
 }
 
 // LoadRaw reads a value of type t at addr as raw bits.
-func (m *Memory) LoadRaw(t ir.Type, addr uint64) uint64 {
-	m.check(addr, t.Size())
-	if t.Size() == 4 {
-		return uint64(binary.LittleEndian.Uint32(m.data[addr:]))
+func (m *Memory) LoadRaw(t ir.Type, addr uint64) (uint64, error) {
+	if err := m.check(addr, t.Size()); err != nil {
+		return 0, err
 	}
-	return binary.LittleEndian.Uint64(m.data[addr:])
+	if t.Size() == 4 {
+		return uint64(binary.LittleEndian.Uint32(m.data[addr:])), nil
+	}
+	return binary.LittleEndian.Uint64(m.data[addr:]), nil
 }
 
 // StoreRaw writes raw bits of type t at addr.
-func (m *Memory) StoreRaw(t ir.Type, addr uint64, raw uint64) {
-	m.check(addr, t.Size())
+func (m *Memory) StoreRaw(t ir.Type, addr uint64, raw uint64) error {
+	if err := m.check(addr, t.Size()); err != nil {
+		return err
+	}
 	if t.Size() == 4 {
 		binary.LittleEndian.PutUint32(m.data[addr:], uint32(raw))
-		return
+		return nil
 	}
 	binary.LittleEndian.PutUint64(m.data[addr:], raw)
+	return nil
 }
 
 // Typed helpers used by the harness when staging inputs and reading
-// outputs.
+// outputs.  Failures are recorded for Err rather than returned.
+
+func (m *Memory) store(t ir.Type, addr, raw uint64) {
+	if err := m.StoreRaw(t, addr, raw); err != nil {
+		m.setErr(err)
+	}
+}
+
+func (m *Memory) load(t ir.Type, addr uint64) uint64 {
+	raw, err := m.LoadRaw(t, addr)
+	if err != nil {
+		m.setErr(err)
+	}
+	return raw
+}
 
 // SetF32 writes a float32 at addr.
 func (m *Memory) SetF32(addr uint64, v float32) {
-	m.StoreRaw(ir.F32, addr, uint64(math.Float32bits(v)))
+	m.store(ir.F32, addr, uint64(math.Float32bits(v)))
 }
 
 // F32 reads a float32 at addr.
 func (m *Memory) F32(addr uint64) float32 {
-	return math.Float32frombits(uint32(m.LoadRaw(ir.F32, addr)))
+	return math.Float32frombits(uint32(m.load(ir.F32, addr)))
 }
 
 // SetF64 writes a float64 at addr.
 func (m *Memory) SetF64(addr uint64, v float64) {
-	m.StoreRaw(ir.F64, addr, math.Float64bits(v))
+	m.store(ir.F64, addr, math.Float64bits(v))
 }
 
 // F64 reads a float64 at addr.
 func (m *Memory) F64(addr uint64) float64 {
-	return math.Float64frombits(m.LoadRaw(ir.F64, addr))
+	return math.Float64frombits(m.load(ir.F64, addr))
 }
 
 // SetI32 writes an int32 at addr.
 func (m *Memory) SetI32(addr uint64, v int32) {
-	m.StoreRaw(ir.I32, addr, uint64(uint32(v)))
+	m.store(ir.I32, addr, uint64(uint32(v)))
 }
 
 // I32 reads an int32 at addr.
 func (m *Memory) I32(addr uint64) int32 {
-	return int32(uint32(m.LoadRaw(ir.I32, addr)))
+	return int32(uint32(m.load(ir.I32, addr)))
 }
 
 // SetI64 writes an int64 at addr.
 func (m *Memory) SetI64(addr uint64, v int64) {
-	m.StoreRaw(ir.I64, addr, uint64(v))
+	m.store(ir.I64, addr, uint64(v))
 }
 
 // I64 reads an int64 at addr.
 func (m *Memory) I64(addr uint64) int64 {
-	return int64(m.LoadRaw(ir.I64, addr))
+	return int64(m.load(ir.I64, addr))
 }

@@ -130,7 +130,7 @@ func opsReady(f *frame, in *ir.Instr, scratch []ir.Reg) uint64 {
 
 // errLimitf formats the dynamic-limit error.
 func (m *Machine) errLimitf() error {
-	return fmt.Errorf("%w (%d)", errLimit, m.cfg.MaxInsns)
+	return fmt.Errorf("%w (%d)", ErrInsnBudget, m.cfg.MaxInsns)
 }
 
 // step executes one instruction of thread t.  It returns an error on
@@ -138,6 +138,9 @@ func (m *Machine) errLimitf() error {
 func (m *Machine) step(t *threadState) error {
 	if m.insns >= m.cfg.MaxInsns {
 		return m.errLimitf()
+	}
+	if m.cfg.MaxCycles > 0 && m.cycle > m.cfg.MaxCycles {
+		return fmt.Errorf("%w (%d)", ErrCycleBudget, m.cfg.MaxCycles)
 	}
 	f := t.cur
 	blk := f.fn.Blocks[f.block]
@@ -174,7 +177,11 @@ func (m *Machine) step(t *threadState) error {
 
 	case ir.Cvt:
 		tt := m.issueAt(t, ready, info.fu, info.pipelined, info.lat)
-		f.regs[in.Dst] = evalCvt(in.SrcType, in.Type, f.regs[in.A])
+		raw, err := evalCvt(in.SrcType, in.Type, f.regs[in.A])
+		if err != nil {
+			return fmt.Errorf("%s (sid %d): %w", in, in.SID, err)
+		}
+		f.regs[in.Dst] = raw
 		f.ready[in.Dst] = tt + uint64(info.lat)
 		m.retire(f.ready[in.Dst], in)
 		m.hook(t, f, in, 0, false, false)
@@ -183,7 +190,11 @@ func (m *Machine) step(t *threadState) error {
 		tt := m.issueAt(t, ready, info.fu, true, 1)
 		addr := uint64(int64(f.regs[in.A]) + int64(in.Imm))
 		acc := m.hier.Access(addr, false)
-		f.regs[in.Dst] = m.mem.LoadRaw(in.Type, addr)
+		raw, err := m.mem.LoadRaw(in.Type, addr)
+		if err != nil {
+			return fmt.Errorf("%s (sid %d): %w", in, in.SID, err)
+		}
+		f.regs[in.Dst] = raw
 		f.ready[in.Dst] = tt + uint64(acc.Latency)
 		m.retire(f.ready[in.Dst], in)
 		m.hook(t, f, in, addr, true, false)
@@ -192,7 +203,9 @@ func (m *Machine) step(t *threadState) error {
 		tt := m.issueAt(t, ready, info.fu, true, 1)
 		addr := uint64(int64(f.regs[in.A]) + int64(in.Imm))
 		m.hier.Access(addr, true)
-		m.mem.StoreRaw(in.Type, addr, f.regs[in.B])
+		if err := m.mem.StoreRaw(in.Type, addr, f.regs[in.B]); err != nil {
+			return fmt.Errorf("%s (sid %d): %w", in, in.SID, err)
+		}
 		// Stores retire through the write buffer; the issue slot is
 		// the visible cost.
 		m.retire(tt+1, in)
@@ -264,7 +277,10 @@ func (m *Machine) step(t *threadState) error {
 		tt := m.issueAt(t, ready, info.fu, true, 1)
 		addr := uint64(int64(f.regs[in.A]) + int64(in.Imm))
 		acc := m.hier.Access(addr, false)
-		raw := m.mem.LoadRaw(in.Type, addr)
+		raw, err := m.mem.LoadRaw(in.Type, addr)
+		if err != nil {
+			return fmt.Errorf("%s (sid %d): %w", in, in.SID, err)
+		}
 		f.regs[in.Dst] = raw
 		dataReady := tt + uint64(acc.Latency)
 		f.ready[in.Dst] = dataReady
@@ -273,7 +289,9 @@ func (m *Machine) step(t *threadState) error {
 			// The loaded value streams into the CRC unit as soon
 			// as it is available; draining happens in the
 			// background (Table 4).
-			m.memo.Feed(in.LUT, t.id, raw, in.Type.Size(), uint(in.Trunc), dataReady)
+			if _, err := m.memo.Feed(in.LUT, t.id, raw, in.Type.Size(), uint(in.Trunc), dataReady); err != nil {
+				return fmt.Errorf("%s (sid %d): %w", in, in.SID, err)
+			}
 		case m.soft != nil:
 			m.softFeed(t, in, raw)
 		default:
@@ -286,7 +304,9 @@ func (m *Machine) step(t *threadState) error {
 		tt := m.issueAt(t, ready, info.fu, true, 1)
 		switch {
 		case m.memo != nil:
-			m.memo.Feed(in.LUT, t.id, f.regs[in.A], in.Type.Size(), uint(in.Trunc), tt+1)
+			if _, err := m.memo.Feed(in.LUT, t.id, f.regs[in.A], in.Type.Size(), uint(in.Trunc), tt+1); err != nil {
+				return fmt.Errorf("%s (sid %d): %w", in, in.SID, err)
+			}
 		case m.soft != nil:
 			m.softFeed(t, in, f.regs[in.A])
 		default:
@@ -299,7 +319,10 @@ func (m *Machine) step(t *threadState) error {
 		tt := m.issueAt(t, ready, info.fu, true, 1)
 		switch {
 		case m.memo != nil:
-			res := m.memo.Lookup(in.LUT, t.id, tt)
+			res, err := m.memo.Lookup(in.LUT, t.id, tt)
+			if err != nil {
+				return fmt.Errorf("%s (sid %d): %w", in, in.SID, err)
+			}
 			f.regs[in.Dst] = res.Data
 			f.regs[in.B] = boolToRaw(res.Hit)
 			f.ready[in.Dst] = res.DoneAt
@@ -318,7 +341,10 @@ func (m *Machine) step(t *threadState) error {
 		tt := m.issueAt(t, ready, info.fu, true, 1)
 		switch {
 		case m.memo != nil:
-			done := m.memo.Update(in.LUT, t.id, f.regs[in.A], tt)
+			done, err := m.memo.Update(in.LUT, t.id, f.regs[in.A], tt)
+			if err != nil {
+				return fmt.Errorf("%s (sid %d): %w", in, in.SID, err)
+			}
 			m.retire(done, in)
 		case m.soft != nil:
 			m.softUpdate(t, f, in)
@@ -332,7 +358,10 @@ func (m *Machine) step(t *threadState) error {
 		tt := m.issueAt(t, ready, info.fu, true, 1)
 		switch {
 		case m.memo != nil:
-			cost := m.memo.Invalidate(in.LUT)
+			cost, err := m.memo.Invalidate(in.LUT)
+			if err != nil {
+				return fmt.Errorf("%s (sid %d): %w", in, in.SID, err)
+			}
 			t.nextIssue = tt + uint64(cost)
 			m.retire(tt+uint64(cost), in)
 		case m.soft != nil:

@@ -1,0 +1,103 @@
+package fault
+
+import "testing"
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	inj := NewInjector(Plan{}, 0)
+	for i := 0; i < 1000; i++ {
+		if got := inj.CorruptLUTRead(0xDEADBEEF, 32); got != 0xDEADBEEF {
+			t.Fatal("zero plan corrupted a LUT read")
+		}
+		if inj.DropUpdate() || inj.StickEntry() {
+			t.Fatal("zero plan injected an event")
+		}
+		if _, flip := inj.FlipCacheTag(8); flip {
+			t.Fatal("zero plan flipped a tag")
+		}
+	}
+	if inj.Stats().Total() != 0 {
+		t.Errorf("stats = %+v, want all zero", inj.Stats())
+	}
+}
+
+func TestValidateRejectsBadRates(t *testing.T) {
+	bad := []Plan{
+		{LUTBitFlipRate: -0.1},
+		{HVRBitFlipRate: 1.5},
+		{DropUpdateRate: 2},
+		{StuckEntryRate: -1},
+		{CacheTagFlipRate: 1.01},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+	if err := (Plan{LUTBitFlipRate: 0.5, DropUpdateRate: 1}).Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	p := Plan{Seed: 42, LUTBitFlipRate: 0.01, DropUpdateRate: 0.1}
+	a, b := NewInjector(p, 1), NewInjector(p, 1)
+	for i := 0; i < 10000; i++ {
+		if a.CorruptLUTRead(uint64(i), 32) != b.CorruptLUTRead(uint64(i), 32) {
+			t.Fatal("same seed+salt diverged on LUT reads")
+		}
+		if a.DropUpdate() != b.DropUpdate() {
+			t.Fatal("same seed+salt diverged on update drops")
+		}
+	}
+	// A different salt must give a different stream.
+	c := NewInjector(p, 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.CorruptLUTRead(0, 32) == c.CorruptLUTRead(0, 32) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Error("different salts produced identical corruption streams")
+	}
+}
+
+func TestFlipRateIsRoughlyHonored(t *testing.T) {
+	const rate = 0.01
+	inj := NewInjector(Plan{Seed: 7, LUTBitFlipRate: rate}, 0)
+	const reads = 20000
+	for i := 0; i < reads; i++ {
+		inj.CorruptLUTRead(0, 32)
+	}
+	got := float64(inj.Stats().LUTBitFlips)
+	want := rate * 32 * reads
+	if got < want*0.8 || got > want*1.2 {
+		t.Errorf("flips = %v, want ≈ %v (±20%%)", got, want)
+	}
+}
+
+func TestHigherRateFlipsMoreBits(t *testing.T) {
+	lo := NewInjector(Plan{Seed: 1, LUTBitFlipRate: 1e-4}, 0)
+	hi := NewInjector(Plan{Seed: 1, LUTBitFlipRate: 1e-2}, 0)
+	for i := 0; i < 50000; i++ {
+		lo.CorruptLUTRead(0, 32)
+		hi.CorruptLUTRead(0, 32)
+	}
+	if lo.Stats().LUTBitFlips >= hi.Stats().LUTBitFlips {
+		t.Errorf("flip counts not monotone in rate: lo=%d hi=%d",
+			lo.Stats().LUTBitFlips, hi.Stats().LUTBitFlips)
+	}
+}
+
+func TestCacheTagFlipPicksValidWay(t *testing.T) {
+	inj := NewInjector(Plan{Seed: 3, CacheTagFlipRate: 1}, 0)
+	for i := 0; i < 100; i++ {
+		way, flip := inj.FlipCacheTag(4)
+		if !flip {
+			t.Fatal("rate-1 plan did not flip")
+		}
+		if way < 0 || way >= 4 {
+			t.Fatalf("way %d out of range", way)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"fmt"
+
+	"axmemo/internal/fault"
+	"axmemo/internal/workloads"
+)
+
+// FaultPoint is one row of a fault sweep: the configuration run at one
+// bit-flip rate, with and (optionally) without the quality guard.
+type FaultPoint struct {
+	// Rate is the per-bit per-access LUT bit-flip probability.
+	Rate float64
+	// Result is the measured run at this rate.
+	Result *Result
+	// Guarded is the same rate with the quality guard armed (nil when
+	// the sweep runs without a guard budget).
+	Guarded *Result
+}
+
+// FaultSweepConfig parametrizes a fault sweep.
+type FaultSweepConfig struct {
+	// Base is the hardware configuration to degrade (Mode must be
+	// ModeHW; BestConfig() if zero-valued).
+	Base Config
+	// Rates are the LUT bit-flip rates to sweep (per bit per read).
+	Rates []float64
+	// Seed makes the injected fault pattern deterministic.
+	Seed int64
+	// GuardBudget, if > 0, repeats every point with the quality guard
+	// armed at this relative-error budget.
+	GuardBudget float64
+}
+
+// FaultSweep measures how output quality and hit rate degrade as the LUT
+// storage gets noisier, the experiment behind the resilience claims: the
+// unguarded column shows quality eroding with the flip rate; the guarded
+// column shows the quality guard trading hit rate for bounded error.
+func FaultSweep(w *workloads.Workload, cfg FaultSweepConfig) ([]FaultPoint, error) {
+	base := cfg.Base
+	if base.Name == "" {
+		base = BestConfig()
+	}
+	if base.Mode != ModeHW {
+		return nil, fmt.Errorf("harness: fault sweep needs a hardware configuration, got mode %d", base.Mode)
+	}
+	if len(cfg.Rates) == 0 {
+		cfg.Rates = []float64{0, 1e-5, 1e-4, 1e-3, 1e-2}
+	}
+	points := make([]FaultPoint, 0, len(cfg.Rates))
+	for _, rate := range cfg.Rates {
+		pt := FaultPoint{Rate: rate}
+
+		run := base
+		run.Name = fmt.Sprintf("%s flip=%.0e", base.Name, rate)
+		run.GuardBudget = 0 // the unguarded column, even if Base carries a budget
+		if rate > 0 {
+			run.Faults = &fault.Plan{Seed: cfg.Seed, LUTBitFlipRate: rate}
+		}
+		res, err := Run(w, run)
+		if err != nil {
+			return nil, err
+		}
+		pt.Result = res
+
+		if cfg.GuardBudget > 0 {
+			guarded := run
+			guarded.Name = run.Name + " +guard"
+			guarded.GuardBudget = cfg.GuardBudget
+			gres, err := Run(w, guarded)
+			if err != nil {
+				return nil, err
+			}
+			pt.Guarded = gres
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}

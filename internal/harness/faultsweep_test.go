@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"testing"
+
+	"axmemo/internal/workloads"
+)
+
+func TestFaultSweepDegradesMonotonically(t *testing.T) {
+	w, err := workloads.ByName("blackscholes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := FaultSweep(w, FaultSweepConfig{
+		Rates: []float64{0, 1e-4, 1e-2},
+		Seed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	if pts[0].Result.Faults.Total() != 0 {
+		t.Errorf("zero-rate point injected %d faults", pts[0].Result.Faults.Total())
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Result.Faults.LUTBitFlips <= pts[i-1].Result.Faults.LUTBitFlips {
+			t.Errorf("flip count not increasing: %d at %g vs %d at %g",
+				pts[i].Result.Faults.LUTBitFlips, pts[i].Rate,
+				pts[i-1].Result.Faults.LUTBitFlips, pts[i-1].Rate)
+		}
+		if pts[i].Result.Quality < pts[i-1].Result.Quality {
+			t.Errorf("quality improved under more faults: %.4g at %g vs %.4g at %g",
+				pts[i].Result.Quality, pts[i].Rate,
+				pts[i-1].Result.Quality, pts[i-1].Rate)
+		}
+	}
+	if pts[2].Result.Quality <= pts[0].Result.Quality {
+		t.Errorf("1%% bit flips did not degrade quality: %.4g vs %.4g",
+			pts[2].Result.Quality, pts[0].Result.Quality)
+	}
+}
+
+func TestFaultSweepGuardBoundsError(t *testing.T) {
+	w, err := workloads.ByName("blackscholes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 0.05
+	rate := 1e-2
+	pts, err := FaultSweep(w, FaultSweepConfig{
+		Rates:       []float64{rate},
+		Seed:        1,
+		GuardBudget: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	un, gd := pts[0].Result, pts[0].Guarded
+	if gd == nil {
+		t.Fatal("guarded run missing")
+	}
+	if gd.Monitor.GuardDisables == 0 {
+		t.Fatalf("guard never tripped at flip rate %g (unguarded quality %.4g)", rate, un.Quality)
+	}
+	if gd.MeanError >= un.MeanError {
+		t.Errorf("guard did not improve quality: %.4g guarded vs %.4g unguarded", gd.MeanError, un.MeanError)
+	}
+	if gd.MeanError > budget {
+		t.Errorf("guarded mean error %.4g exceeds the %.2f budget", gd.MeanError, budget)
+	}
+	if gd.HitRate >= un.HitRate {
+		t.Errorf("guard should absorb the loss in hit rate: %.3f guarded vs %.3f unguarded",
+			gd.HitRate, un.HitRate)
+	}
+}
+
+func TestFaultSweepRejectsNonHardwareBase(t *testing.T) {
+	w, err := workloads.ByName("blackscholes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FaultSweep(w, FaultSweepConfig{Base: Baseline()}); err == nil {
+		t.Error("baseline base config accepted")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"axmemo/internal/cpu"
 	"axmemo/internal/crc"
 	"axmemo/internal/energy"
+	"axmemo/internal/fault"
 	"axmemo/internal/memo"
 	"axmemo/internal/quality"
 	"axmemo/internal/softmemo"
@@ -68,6 +69,20 @@ type Config struct {
 	// (0 keeps the default unrolled 4 B/cycle; 1 models Table 4's
 	// byte-serial unit).
 	CRCBytesPerCycle int
+	// Faults, if non-nil and enabled, injects the planned hardware
+	// faults into the memoization unit and the caches (ModeHW; cache
+	// tag flips apply in every mode).
+	Faults *fault.Plan
+	// GuardBudget arms the per-LUT quality guard with this
+	// relative-error budget (> 0; requires the monitor, so it overrides
+	// MonitorOff).
+	GuardBudget float64
+	// GuardCooldown overrides the guard's re-enable delay in lookups
+	// (0 = default).
+	GuardCooldown uint64
+	// MaxCycles caps simulated time; the run fails with
+	// cpu.ErrCycleBudget beyond it (0 = unlimited).
+	MaxCycles uint64
 }
 
 // Baseline returns the no-memoization configuration.
@@ -111,10 +126,16 @@ type Result struct {
 	L1HitRate  float64
 	Collisions uint64
 	Monitor    memo.MonitorStats
+	// Faults counts the injected-fault events delivered during the run.
+	Faults fault.Stats
 
 	// Quality is E_r (Eq. 2) against the golden outputs, or the
 	// misclassification rate for Jmeint.
 	Quality float64
+	// MeanError is the mean clamped element-wise relative error in
+	// [0, 1] — the score a guard budget is checked against (equals
+	// Quality for misclassification workloads).
+	MeanError float64
 	// ElemErrors holds per-element relative errors when requested.
 	ElemErrors []float64
 }
@@ -128,6 +149,13 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 	ccfg := cpu.DefaultConfig()
 	if cfg.TotalL2CacheKB > 0 {
 		ccfg.Hierarchy.L2.SizeBytes = cfg.TotalL2CacheKB << 10
+	}
+	ccfg.MaxCycles = cfg.MaxCycles
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("harness: %s/%s: %w", w.Name, cfg.Name, err)
+		}
+		ccfg.Hierarchy.Faults = cfg.Faults
 	}
 
 	var kinds map[uint8]memo.OutputKind
@@ -172,6 +200,14 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 			if cfg.CRCBytesPerCycle > 0 {
 				base.CRCBytesPerCycle = cfg.CRCBytesPerCycle
 			}
+			base.Faults = cfg.Faults
+			if cfg.GuardBudget > 0 {
+				base.Monitor.Enabled = true // the guard samples through the monitor
+				base.Monitor.Guard = memo.DefaultGuard(cfg.GuardBudget)
+				if cfg.GuardCooldown > 0 {
+					base.Monitor.Guard.CooldownLookups = cfg.GuardCooldown
+				}
+			}
 			full, k, err := compiler.MemoConfigFor(prog, regions, base)
 			if err != nil {
 				return nil, err
@@ -195,12 +231,17 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 
 	img := cpu.NewMemory(w.MemBytes(cfg.Scale))
 	inst := w.Setup(img, cfg.Scale)
+	if err := img.Err(); err != nil {
+		return nil, fmt.Errorf("harness: %s/%s: staging inputs: %w", w.Name, cfg.Name, err)
+	}
 	m, err := cpu.New(prog, img, ccfg)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s/%s: %w", w.Name, cfg.Name, err)
 	}
 	for lut, kind := range kinds {
-		m.MemoUnit().SetOutputKind(lut, kind)
+		if err := m.MemoUnit().SetOutputKind(lut, kind); err != nil {
+			return nil, fmt.Errorf("harness: %s/%s: %w", w.Name, cfg.Name, err)
+		}
 	}
 	run, err := m.Run(inst.Args...)
 	if err != nil {
@@ -220,6 +261,7 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 		EnergyPJ:  breakdown.TotalPJ(),
 		Energy:    breakdown,
 		Monitor:   st.Monitor,
+		Faults:    st.Faults,
 	}
 	switch cfg.Mode {
 	case ModeHW:
@@ -237,6 +279,7 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 			return nil, err
 		}
 		res.Quality = q
+		res.MeanError = q
 	} else {
 		outs := inst.Outputs(img)
 		q, err := quality.OutputError(outs, inst.Golden)
@@ -244,6 +287,11 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 			return nil, err
 		}
 		res.Quality = q
+		me, err := quality.MeanError(outs, inst.Golden)
+		if err != nil {
+			return nil, err
+		}
+		res.MeanError = me
 		if cfg.CollectElemErrors {
 			errs, err := quality.ElementErrors(outs, inst.Golden)
 			if err != nil {
@@ -251,6 +299,9 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 			}
 			res.ElemErrors = errs
 		}
+	}
+	if err := img.Err(); err != nil {
+		return nil, fmt.Errorf("harness: %s/%s: reading outputs: %w", w.Name, cfg.Name, err)
 	}
 	return res, nil
 }

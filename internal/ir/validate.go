@@ -44,6 +44,19 @@ func (p *Program) validateFunc(f *Function) error {
 		}
 		for ii := range b.Instrs {
 			in := &b.Instrs[ii]
+			// Bound the fields the interpreter uses as table indices
+			// before anything (including error formatting) interprets
+			// them: a hand-built or fuzzed instruction can hold any
+			// byte here.
+			if in.Op >= opCount {
+				return fmt.Errorf("block b%d instr %d: op %d out of range", bi, ii, in.Op)
+			}
+			if in.Type > F64 {
+				return fmt.Errorf("block b%d instr %d (%s): type %d out of range", bi, ii, in.Op, in.Type)
+			}
+			if in.Op == Cvt && in.SrcType > F64 {
+				return fmt.Errorf("block b%d instr %d (%s): source type %d out of range", bi, ii, in.Op, in.SrcType)
+			}
 			last := ii == len(b.Instrs)-1
 			if in.Op.IsBranch() != last {
 				if last {

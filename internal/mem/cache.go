@@ -4,7 +4,11 @@
 // host AxMemo's L2 lookup table (ISCA'19 §3.3, Table 3).
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"axmemo/internal/fault"
+)
 
 // Stats accumulates access statistics for one cache.
 type Stats struct {
@@ -72,6 +76,7 @@ type Cache struct {
 	sets  [][]line
 	clock uint64
 	stats Stats
+	inj   *fault.Injector // nil without fault injection
 
 	lineShift uint
 	setMask   uint64
@@ -97,14 +102,18 @@ func New(cfg Config) (*Cache, error) {
 	return c, nil
 }
 
-// MustNew builds a cache and panics on a bad geometry.  Intended for
-// configuration tables validated by tests.
-func MustNew(cfg Config) *Cache {
-	c, err := New(cfg)
-	if err != nil {
-		panic(err)
+// AttachInjector wires a fault injector into the cache: each access may
+// corrupt a random tag of its set (see fault.Plan.CacheTagFlipRate),
+// turning a later access to that line into a miss.  nil detaches.
+func (c *Cache) AttachInjector(inj *fault.Injector) { c.inj = inj }
+
+// FaultStats reports injected-fault activity (zero-valued without an
+// injector).
+func (c *Cache) FaultStats() fault.Stats {
+	if c.inj == nil {
+		return fault.Stats{}
 	}
-	return c
+	return c.inj.Stats()
 }
 
 // Config returns the geometry the cache was built with.
@@ -137,6 +146,15 @@ func (c *Cache) Access(addr uint64, write bool) (hit, dirtyEvict bool) {
 	c.clock++
 	set, tag := c.index(addr)
 	lines := c.sets[set]
+	if c.inj != nil {
+		// Tag corruption: the flipped line no longer matches its
+		// address, so a future access to it misses (and a clean line's
+		// data is silently dropped — presence-only model, so the
+		// timing/energy effect is what materializes).
+		if way, flip := c.inj.FlipCacheTag(len(lines)); flip && lines[way].valid {
+			lines[way].tag ^= 1
+		}
+	}
 	if write {
 		c.stats.Writes++
 	}

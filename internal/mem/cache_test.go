@@ -10,6 +10,15 @@ func small() Config {
 	return Config{Name: "T", SizeBytes: 1024, LineBytes: 64, Ways: 4, HitLatency: 1}
 }
 
+func mustNew(tb testing.TB, cfg Config) *Cache {
+	tb.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		tb.Fatalf("New(%q): %v", cfg.Name, err)
+	}
+	return c
+}
+
 func TestConfigValidate(t *testing.T) {
 	good := small()
 	if err := good.Validate(); err != nil {
@@ -36,7 +45,7 @@ func TestSets(t *testing.T) {
 }
 
 func TestColdMissThenHit(t *testing.T) {
-	c := MustNew(small())
+	c := mustNew(t, small())
 	if hit, _ := c.Access(0x1000, false); hit {
 		t.Error("cold access hit")
 	}
@@ -50,7 +59,7 @@ func TestColdMissThenHit(t *testing.T) {
 }
 
 func TestSameLineDifferentOffsetsHit(t *testing.T) {
-	c := MustNew(small())
+	c := mustNew(t, small())
 	c.Access(0x1000, false)
 	if hit, _ := c.Access(0x103F, false); !hit {
 		t.Error("access within same 64B line missed")
@@ -61,7 +70,7 @@ func TestSameLineDifferentOffsetsHit(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := MustNew(small()) // 4 sets, 4 ways
+	c := mustNew(t, small()) // 4 sets, 4 ways
 	// Five distinct lines mapping to set 0 (stride = sets*line = 256).
 	for i := uint64(0); i < 5; i++ {
 		c.Access(i*256, false)
@@ -78,7 +87,7 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestLRUTouchedLineSurvives(t *testing.T) {
-	c := MustNew(small())
+	c := mustNew(t, small())
 	for i := uint64(0); i < 4; i++ {
 		c.Access(i*256, false)
 	}
@@ -93,7 +102,7 @@ func TestLRUTouchedLineSurvives(t *testing.T) {
 }
 
 func TestDirtyEviction(t *testing.T) {
-	c := MustNew(small())
+	c := mustNew(t, small())
 	c.Access(0, true) // dirty line in set 0
 	var dirty bool
 	for i := uint64(1); i <= 4; i++ {
@@ -106,7 +115,7 @@ func TestDirtyEviction(t *testing.T) {
 }
 
 func TestInvalidateAll(t *testing.T) {
-	c := MustNew(small())
+	c := mustNew(t, small())
 	for i := uint64(0); i < 8; i++ {
 		c.Access(i*64, false)
 	}
@@ -120,7 +129,7 @@ func TestInvalidateAll(t *testing.T) {
 }
 
 func TestOccupancy(t *testing.T) {
-	c := MustNew(small()) // 16 lines total
+	c := mustNew(t, small()) // 16 lines total
 	for i := uint64(0); i < 4; i++ {
 		c.Access(i*64, false)
 	}
@@ -130,7 +139,7 @@ func TestOccupancy(t *testing.T) {
 }
 
 func TestResetStatsKeepsContents(t *testing.T) {
-	c := MustNew(small())
+	c := mustNew(t, small())
 	c.Access(0, false)
 	c.ResetStats()
 	if c.Stats().Accesses() != 0 {
@@ -144,7 +153,7 @@ func TestResetStatsKeepsContents(t *testing.T) {
 // Property: a cache never holds more distinct lines than its capacity, and
 // an immediately repeated access always hits.
 func TestRepeatAccessAlwaysHits(t *testing.T) {
-	c := MustNew(small())
+	c := mustNew(t, small())
 	f := func(addrs []uint64) bool {
 		for _, a := range addrs {
 			c.Access(a, false)
@@ -162,7 +171,7 @@ func TestRepeatAccessAlwaysHits(t *testing.T) {
 // Property: hit rate of a working set that fits in the cache converges to
 // ~1 after the first pass.
 func TestResidentWorkingSet(t *testing.T) {
-	c := MustNew(small())
+	c := mustNew(t, small())
 	addrs := make([]uint64, 16)
 	for i := range addrs {
 		addrs[i] = uint64(i) * 64
@@ -262,7 +271,7 @@ func TestDRAMAccounting(t *testing.T) {
 }
 
 func BenchmarkCacheAccess(b *testing.B) {
-	c := MustNew(Config{Name: "L1D", SizeBytes: 32 << 10, LineBytes: 64, Ways: 4, HitLatency: 1})
+	c := mustNew(b, Config{Name: "L1D", SizeBytes: 32 << 10, LineBytes: 64, Ways: 4, HitLatency: 1})
 	for i := 0; i < b.N; i++ {
 		c.Access(uint64(i*64)&0xFFFF, false)
 	}

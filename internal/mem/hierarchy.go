@@ -1,6 +1,10 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"axmemo/internal/fault"
+)
 
 // HierarchyConfig describes the modeled memory system.  Defaults mirror
 // the paper's Table 3 (ARM HPI): 32 KB 2-way L1I, 32 KB 4-way L1D, 2 MB
@@ -14,6 +18,10 @@ type HierarchyConfig struct {
 	L2ReservedWays int
 	// DRAMLatency is the flat main-memory access latency in cycles.
 	DRAMLatency int
+	// Faults, if non-nil and enabled, injects tag corruption into the
+	// caches (rate CacheTagFlipRate); L1D and L2 draw from independent
+	// seeded streams.
+	Faults *fault.Plan
 }
 
 // DefaultHierarchy returns the Table 3 configuration.  Only 1 MB of the
@@ -62,7 +70,14 @@ func buildUsableL2(cfg HierarchyConfig) (*Cache, error) {
 		l2cfg.Ways = usable
 		l2cfg.SizeBytes = cfg.L2.SizeBytes / cfg.L2.Ways * usable
 	}
-	return New(l2cfg)
+	l2, err := New(l2cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Faults != nil && cfg.Faults.CacheTagFlipRate > 0 {
+		l2.AttachInjector(fault.NewInjector(*cfg.Faults, fault.SaltL2Cache))
+	}
+	return l2, nil
 }
 
 // NewHierarchySharing builds a hierarchy whose private L1D sits in front
@@ -74,6 +89,9 @@ func NewHierarchySharing(cfg HierarchyConfig, sharedL2 *Cache) (*Hierarchy, erro
 	l1d, err := New(cfg.L1D)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Faults != nil && cfg.Faults.CacheTagFlipRate > 0 {
+		l1d.AttachInjector(fault.NewInjector(*cfg.Faults, fault.SaltL1D))
 	}
 	return &Hierarchy{cfg: cfg, l1d: l1d, l2: sharedL2}, nil
 }

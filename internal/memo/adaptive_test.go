@@ -20,28 +20,28 @@ func f32bits(v float32) uint64 { return uint64(math.Float32bits(v)) }
 // errLevel, enough to complete `windows` monitor windows.
 func driveWindows(u *Unit, errLevel float32, windows int) {
 	base := float32(100)
-	u.Feed(0, 0, f32bits(base), 4, 0, 0)
-	u.Lookup(0, 0, 0)
-	u.Update(0, 0, f32bits(base), 0)
+	u.feedT(0, 0, f32bits(base), 4, 0, 0)
+	u.lookupT(0, 0, 0)
+	u.updateT(0, 0, f32bits(base), 0)
 	needed := windows * 8 * 4 * 2 // windows × windowSize × samplePeriod, generous
 	for i := 0; i < needed; i++ {
-		u.Feed(0, 0, f32bits(base), 4, 0, 0)
-		r := u.Lookup(0, 0, 0)
+		u.feedT(0, 0, f32bits(base), 4, 0, 0)
+		r := u.lookupT(0, 0, 0)
 		if r.Sampled {
 			// The freshly computed value alternates so that every
 			// sampled comparison observes ≈ errLevel relative
 			// error regardless of what the previous update wrote.
 			v := base * (1 + errLevel*float32(1+i%3))
-			u.Update(0, 0, f32bits(v), 0)
+			u.updateT(0, 0, f32bits(v), 0)
 		} else if !r.Hit {
-			u.Update(0, 0, f32bits(base), 0)
+			u.updateT(0, 0, f32bits(base), 0)
 		}
 	}
 }
 
 func TestAdaptiveRaisesOnLowError(t *testing.T) {
-	u := MustNew(adaptiveCfg())
-	u.SetOutputKind(0, OutF32)
+	u := mustNewT(adaptiveCfg())
+	u.setOutputKindT(0, OutF32)
 	driveWindows(u, 0, 4) // zero observed error
 	st := u.AdaptiveStats()
 	if st.Raises == 0 || st.Current <= 0 {
@@ -52,8 +52,8 @@ func TestAdaptiveRaisesOnLowError(t *testing.T) {
 func TestAdaptiveLowersOnHighError(t *testing.T) {
 	cfg := adaptiveCfg()
 	cfg.Adaptive.MinExtraBits = -4
-	u := MustNew(cfg)
-	u.SetOutputKind(0, OutF32)
+	u := mustNewT(cfg)
+	u.setOutputKindT(0, OutF32)
 	driveWindows(u, 0.10, 3) // 10% sampled error, above the 2% high water
 	st := u.AdaptiveStats()
 	if st.Lowers == 0 {
@@ -68,21 +68,21 @@ func TestAdaptiveAdjustAffectsHashing(t *testing.T) {
 	// With a positive adjustment, two values differing in low mantissa
 	// bits must collide even though the instruction requests zero
 	// truncation.
-	u := MustNew(adaptiveCfg())
-	u.SetOutputKind(0, OutF32)
+	u := mustNewT(adaptiveCfg())
+	u.setOutputKindT(0, OutF32)
 	driveWindows(u, 0, 6) // push the adjustment up
 	if u.AdaptiveStats().Current < 4 {
 		t.Skip("controller did not accumulate enough adjustment")
 	}
 	a := f32bits(1.2345)
 	b := a ^ 0x7
-	u.Feed(1, 0, a, 4, 0, 0)
-	u.Lookup(1, 0, 0)
-	u.Update(1, 0, 42, 0)
-	u.Feed(1, 0, b, 4, 0, 0)
+	u.feedT(1, 0, a, 4, 0, 0)
+	u.lookupT(1, 0, 0)
+	u.updateT(1, 0, 42, 0)
+	u.feedT(1, 0, b, 4, 0, 0)
 	// The monitor may convert this hit into a sampled miss; both count
 	// as the entry being found.
-	if r := u.Lookup(1, 0, 0); !r.Hit && !r.Sampled {
+	if r := u.lookupT(1, 0, 0); !r.Hit && !r.Sampled {
 		t.Error("runtime-adjusted truncation did not merge similar inputs")
 	}
 }
@@ -131,18 +131,18 @@ func TestAdaptiveApplyClampsToLane(t *testing.T) {
 func TestAdaptiveBackoffFlushesLUT(t *testing.T) {
 	cfg := adaptiveCfg()
 	cfg.Adaptive.MinExtraBits = -8
-	u := MustNew(cfg)
-	u.SetOutputKind(0, OutF32)
+	u := mustNewT(cfg)
+	u.setOutputKindT(0, OutF32)
 	// Seed an unrelated entry in LUT 2, then force a back-off.
-	u.Feed(2, 0, f32bits(7), 4, 0, 0)
-	u.Lookup(2, 0, 0)
-	u.Update(2, 0, 9, 0)
+	u.feedT(2, 0, f32bits(7), 4, 0, 0)
+	u.lookupT(2, 0, 0)
+	u.updateT(2, 0, 9, 0)
 	driveWindows(u, 0.10, 3)
 	if u.AdaptiveStats().Lowers == 0 {
 		t.Skip("no back-off happened")
 	}
-	u.Feed(2, 0, f32bits(7), 4, 0, 0)
-	if r := u.Lookup(2, 0, 0); r.Hit {
+	u.feedT(2, 0, f32bits(7), 4, 0, 0)
+	if r := u.lookupT(2, 0, 0); r.Hit {
 		t.Error("back-off did not flush stale LUT entries")
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"axmemo/internal/crc"
+	"axmemo/internal/fault"
 )
 
 // LUT set geometry (§3.3): one set of LUT entries fits exactly one 64-byte
@@ -97,6 +98,39 @@ type MonitorConfig struct {
 	// BadFraction disables memoization when more than this fraction of
 	// a window's samples exceed ErrThreshold (paper: 0.10).
 	BadFraction float64
+	// Guard configures the per-LUT online quality guard, a finer-grained
+	// companion to the global kill switch above: each logical LUT tracks
+	// a running error estimate from the sampled exact recomputations and
+	// is individually disabled (INVALIDATE + bypass) when the estimate
+	// exceeds its region's quality budget, then re-enabled after a
+	// cooldown.  Degradation is graceful: a faulty region falls back to
+	// exact execution while healthy regions keep memoizing.
+	Guard GuardConfig
+}
+
+// GuardConfig parametrizes the per-LUT quality guard.
+type GuardConfig struct {
+	// Enabled turns the guard on (requires the monitor).
+	Enabled bool
+	// Budget is the default per-region mean-relative-error budget; a
+	// LUT whose windowed estimate exceeds it is disabled.  Per-LUT
+	// overrides are set with Unit.SetRegionBudget.
+	Budget float64
+	// Window is the number of sampled comparisons per estimate
+	// (default 16).
+	Window int
+	// CooldownLookups is how many lookups a disabled LUT bypasses
+	// before being re-enabled to probe whether quality recovered
+	// (default 4096).
+	CooldownLookups uint64
+	// MaxDisables permanently disables a LUT after this many guard
+	// trips (0 = retry forever).
+	MaxDisables int
+}
+
+// DefaultGuard returns the guard defaults with the given budget.
+func DefaultGuard(budget float64) GuardConfig {
+	return GuardConfig{Enabled: true, Budget: budget, Window: 16, CooldownLookups: 4096}
 }
 
 // DefaultMonitor returns the paper's quality-monitor settings.
@@ -139,6 +173,10 @@ type Config struct {
 	// dynamic alternative to compile-time profiling).  Requires the
 	// quality monitor, whose sampled comparisons drive it.
 	Adaptive AdaptiveConfig
+	// Faults, if non-nil and enabled, injects storage faults into the
+	// unit: bit flips in LUT reads and HVR feeds, stuck-at entries and
+	// dropped updates (see internal/fault).
+	Faults *fault.Plan
 }
 
 // MaxLUTs is the number of logical LUTs addressable by the 3-bit LUT_ID.
@@ -178,6 +216,22 @@ func (c Config) Validate() error {
 	}
 	if c.CRCBytesPerCycle <= 0 {
 		return fmt.Errorf("memo: CRC absorption rate %d bytes/cycle", c.CRCBytesPerCycle)
+	}
+	if g := c.Monitor.Guard; g.Enabled {
+		if !c.Monitor.Enabled {
+			return fmt.Errorf("memo: the quality guard needs the quality monitor's samples")
+		}
+		if g.Budget <= 0 {
+			return fmt.Errorf("memo: quality-guard budget %v must be positive", g.Budget)
+		}
+		if g.Window < 0 || g.MaxDisables < 0 {
+			return fmt.Errorf("memo: negative quality-guard window or disable limit")
+		}
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,51 @@
+package memo
+
+// Test-side wrappers over the error-returning Unit API.  Tests exercise
+// in-range IDs and lane sizes, so any error here is a test bug; panicking
+// keeps call sites as terse as the old panic-free signatures.
+
+func mustNewT(cfg Config) *Unit {
+	u, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+func (u *Unit) feedT(lutID uint8, tid int, value uint64, sizeBytes int, truncBits uint, now uint64) uint64 {
+	done, err := u.Feed(lutID, tid, value, sizeBytes, truncBits, now)
+	if err != nil {
+		panic(err)
+	}
+	return done
+}
+
+func (u *Unit) lookupT(lutID uint8, tid int, now uint64) LookupResult {
+	r, err := u.Lookup(lutID, tid, now)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func (u *Unit) updateT(lutID uint8, tid int, data, now uint64) uint64 {
+	done, err := u.Update(lutID, tid, data, now)
+	if err != nil {
+		panic(err)
+	}
+	return done
+}
+
+func (u *Unit) invalidateT(lutID uint8) int {
+	cost, err := u.Invalidate(lutID)
+	if err != nil {
+		panic(err)
+	}
+	return cost
+}
+
+func (u *Unit) setOutputKindT(lutID uint8, kind OutputKind) {
+	if err := u.SetOutputKind(lutID, kind); err != nil {
+		panic(err)
+	}
+}

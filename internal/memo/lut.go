@@ -9,6 +9,9 @@ type lutEntry struct {
 	crc   uint64
 	data  uint64
 	lru   uint64
+	// stuck marks a faulty storage cell (fault injection): the entry's
+	// data can never be rewritten and the entry survives invalidation.
+	stuck bool
 }
 
 // lut is one level of the lookup table: a set-associative array with true
@@ -17,6 +20,9 @@ type lut struct {
 	cfg   LUTConfig
 	sets  [][]lutEntry
 	clock uint64
+	// stick, if set, decides per insert whether the written entry
+	// becomes stuck (fault injection).
+	stick func() bool
 }
 
 func newLUT(cfg LUTConfig) *lut {
@@ -50,12 +56,23 @@ func (l *lut) lookup(lutID uint8, crcVal uint64) (data uint64, hit bool) {
 func (l *lut) insert(lutID uint8, crcVal, data uint64) (victim lutEntry, evicted bool) {
 	l.clock++
 	set := l.sets[l.setIndex(crcVal)]
-	victimIdx := 0
+	victimIdx := -1
 	for i := range set {
 		if set[i].valid && set[i].lutID == lutID && set[i].crc == crcVal {
-			set[i].data = data
+			if !set[i].stuck {
+				set[i].data = data
+			}
 			set[i].lru = l.clock
 			return lutEntry{}, false
+		}
+		if set[i].stuck {
+			// A stuck cell can never be re-written; it is not a
+			// replacement candidate.
+			continue
+		}
+		if victimIdx < 0 {
+			victimIdx = i
+			continue
 		}
 		if !set[i].valid {
 			victimIdx = i
@@ -63,19 +80,42 @@ func (l *lut) insert(lutID uint8, crcVal, data uint64) (victim lutEntry, evicted
 			victimIdx = i
 		}
 	}
+	if victimIdx < 0 {
+		// Every way of the set is stuck: the write is lost.
+		return lutEntry{}, false
+	}
 	if set[victimIdx].valid {
 		victim, evicted = set[victimIdx], true
 	}
-	set[victimIdx] = lutEntry{valid: true, lutID: lutID, crc: crcVal, data: data, lru: l.clock}
+	set[victimIdx] = lutEntry{valid: true, lutID: lutID, crc: crcVal, data: data, lru: l.clock,
+		stuck: l.stick != nil && l.stick()}
 	return victim, evicted
 }
 
-// invalidateEntry drops a specific {lutID, crc} entry if present.
+// corrupt rewrites the stored data of a present {lutID, crc} entry, used
+// by fault injection to make bit flips persistent.  Stuck cells keep
+// their frozen value.
+func (l *lut) corrupt(lutID uint8, crcVal, data uint64) {
+	set := l.sets[l.setIndex(crcVal)]
+	for i := range set {
+		if set[i].valid && set[i].lutID == lutID && set[i].crc == crcVal {
+			if !set[i].stuck {
+				set[i].data = data
+			}
+			return
+		}
+	}
+}
+
+// invalidateEntry drops a specific {lutID, crc} entry if present.  Stuck
+// cells (fault injection) cannot be cleared.
 func (l *lut) invalidateEntry(lutID uint8, crcVal uint64) {
 	set := l.sets[l.setIndex(crcVal)]
 	for i := range set {
 		if set[i].valid && set[i].lutID == lutID && set[i].crc == crcVal {
-			set[i] = lutEntry{}
+			if !set[i].stuck {
+				set[i] = lutEntry{}
+			}
 			return
 		}
 	}
@@ -83,10 +123,11 @@ func (l *lut) invalidateEntry(lutID uint8, crcVal uint64) {
 
 // invalidateLUT clears every entry belonging to one logical LUT.  The
 // hardware does this with dedicated logic in one cycle per way (Table 4).
+// Stuck cells (fault injection) survive.
 func (l *lut) invalidateLUT(lutID uint8) {
 	for s := range l.sets {
 		for w := range l.sets[s] {
-			if l.sets[s][w].valid && l.sets[s][w].lutID == lutID {
+			if l.sets[s][w].valid && l.sets[s][w].lutID == lutID && !l.sets[s][w].stuck {
 				l.sets[s][w] = lutEntry{}
 			}
 		}

@@ -15,7 +15,7 @@ func noMonitorCfg() Config {
 
 func feed32(u *Unit, lut uint8, vals ...uint32) {
 	for _, v := range vals {
-		u.Feed(lut, 0, uint64(v), 4, 0, 0)
+		u.feedT(lut, 0, uint64(v), 4, 0, 0)
 	}
 }
 
@@ -48,40 +48,40 @@ func TestLUTConfigValidate(t *testing.T) {
 }
 
 func TestMissThenUpdateThenHit(t *testing.T) {
-	u := MustNew(noMonitorCfg())
+	u := mustNewT(noMonitorCfg())
 	feed32(u, 0, 0xDEADBEEF, 0x12345678)
-	r := u.Lookup(0, 0, 100)
+	r := u.lookupT(0, 0, 100)
 	if r.Hit {
 		t.Fatal("cold lookup hit")
 	}
-	u.Update(0, 0, 0x42, 200)
+	u.updateT(0, 0, 0x42, 200)
 
 	feed32(u, 0, 0xDEADBEEF, 0x12345678)
-	r = u.Lookup(0, 0, 300)
+	r = u.lookupT(0, 0, 300)
 	if !r.Hit || r.Data != 0x42 || r.Level != 1 {
 		t.Fatalf("lookup after update = %+v, want L1 hit with 0x42", r)
 	}
 }
 
 func TestDifferentInputsMiss(t *testing.T) {
-	u := MustNew(noMonitorCfg())
+	u := mustNewT(noMonitorCfg())
 	feed32(u, 0, 1, 2, 3)
-	u.Lookup(0, 0, 0)
-	u.Update(0, 0, 7, 0)
+	u.lookupT(0, 0, 0)
+	u.updateT(0, 0, 7, 0)
 	feed32(u, 0, 1, 2, 4)
-	if r := u.Lookup(0, 0, 0); r.Hit {
+	if r := u.lookupT(0, 0, 0); r.Hit {
 		t.Error("different inputs produced a hit")
 	}
 }
 
 func TestLogicalLUTsAreDistinct(t *testing.T) {
-	u := MustNew(noMonitorCfg())
+	u := mustNewT(noMonitorCfg())
 	feed32(u, 0, 0xAAAA)
-	u.Lookup(0, 0, 0)
-	u.Update(0, 0, 1, 0)
+	u.lookupT(0, 0, 0)
+	u.updateT(0, 0, 1, 0)
 	// Same input bytes into LUT 1 must not hit LUT 0's entry.
 	feed32(u, 1, 0xAAAA)
-	if r := u.Lookup(1, 0, 0); r.Hit {
+	if r := u.lookupT(1, 0, 0); r.Hit {
 		t.Error("LUT 1 hit an entry tagged for LUT 0")
 	}
 }
@@ -89,48 +89,48 @@ func TestLogicalLUTsAreDistinct(t *testing.T) {
 func TestThreadsHaveSeparateHVRContexts(t *testing.T) {
 	cfg := noMonitorCfg()
 	cfg.Threads = 2
-	u := MustNew(cfg)
+	u := mustNewT(cfg)
 	// Interleave feeds from two threads into the same logical LUT.
-	u.Feed(0, 0, 0x11, 4, 0, 0)
-	u.Feed(0, 1, 0x22, 4, 0, 0)
-	u.Feed(0, 0, 0x33, 4, 0, 0)
-	u.Feed(0, 1, 0x44, 4, 0, 0)
-	u.Lookup(0, 0, 0)
-	u.Update(0, 0, 100, 0)
-	u.Lookup(0, 1, 0)
-	u.Update(0, 1, 200, 0)
+	u.feedT(0, 0, 0x11, 4, 0, 0)
+	u.feedT(0, 1, 0x22, 4, 0, 0)
+	u.feedT(0, 0, 0x33, 4, 0, 0)
+	u.feedT(0, 1, 0x44, 4, 0, 0)
+	u.lookupT(0, 0, 0)
+	u.updateT(0, 0, 100, 0)
+	u.lookupT(0, 1, 0)
+	u.updateT(0, 1, 200, 0)
 
 	// Re-feed thread 0's stream uninterleaved: must hit its entry.
-	u.Feed(0, 0, 0x11, 4, 0, 0)
-	u.Feed(0, 0, 0x33, 4, 0, 0)
-	if r := u.Lookup(0, 0, 0); !r.Hit || r.Data != 100 {
+	u.feedT(0, 0, 0x11, 4, 0, 0)
+	u.feedT(0, 0, 0x33, 4, 0, 0)
+	if r := u.lookupT(0, 0, 0); !r.Hit || r.Data != 100 {
 		t.Errorf("thread 0 replay = %+v, want hit 100", r)
 	}
-	u.Feed(0, 1, 0x22, 4, 0, 0)
-	u.Feed(0, 1, 0x44, 4, 0, 0)
-	if r := u.Lookup(0, 1, 0); !r.Hit || r.Data != 200 {
+	u.feedT(0, 1, 0x22, 4, 0, 0)
+	u.feedT(0, 1, 0x44, 4, 0, 0)
+	if r := u.lookupT(0, 1, 0); !r.Hit || r.Data != 200 {
 		t.Errorf("thread 1 replay = %+v, want hit 200", r)
 	}
 }
 
 func TestTruncationMakesSimilarInputsHit(t *testing.T) {
-	u := MustNew(noMonitorCfg())
+	u := mustNewT(noMonitorCfg())
 	a := math.Float32bits(1.2345)
 	b := a ^ 0x7 // perturb low mantissa bits
-	u.Feed(0, 0, uint64(a), 4, 8, 0)
-	u.Lookup(0, 0, 0)
-	u.Update(0, 0, 55, 0)
-	u.Feed(0, 0, uint64(b), 4, 8, 0)
-	if r := u.Lookup(0, 0, 0); !r.Hit || r.Data != 55 {
+	u.feedT(0, 0, uint64(a), 4, 8, 0)
+	u.lookupT(0, 0, 0)
+	u.updateT(0, 0, 55, 0)
+	u.feedT(0, 0, uint64(b), 4, 8, 0)
+	if r := u.lookupT(0, 0, 0); !r.Hit || r.Data != 55 {
 		t.Errorf("truncated similar input = %+v, want hit", r)
 	}
 	// Without truncation the perturbed input must miss.
-	u2 := MustNew(noMonitorCfg())
-	u2.Feed(0, 0, uint64(a), 4, 0, 0)
-	u2.Lookup(0, 0, 0)
-	u2.Update(0, 0, 55, 0)
-	u2.Feed(0, 0, uint64(b), 4, 0, 0)
-	if r := u2.Lookup(0, 0, 0); r.Hit {
+	u2 := mustNewT(noMonitorCfg())
+	u2.feedT(0, 0, uint64(a), 4, 0, 0)
+	u2.lookupT(0, 0, 0)
+	u2.updateT(0, 0, 55, 0)
+	u2.feedT(0, 0, uint64(b), 4, 0, 0)
+	if r := u2.lookupT(0, 0, 0); r.Hit {
 		t.Error("un-truncated perturbed input hit")
 	}
 }
@@ -139,22 +139,22 @@ func TestLookupWaitsForInputQueue(t *testing.T) {
 	// Byte-serial unit (Table 4's one-cycle-per-byte accounting).
 	cfg := noMonitorCfg()
 	cfg.CRCBytesPerCycle = 1
-	u := MustNew(cfg)
+	u := mustNewT(cfg)
 	// Feed 24 bytes at cycle 0: queue drains at cycle 24.
 	for i := 0; i < 6; i++ {
-		u.Feed(0, 0, uint64(i), 4, 0, 0)
+		u.feedT(0, 0, uint64(i), 4, 0, 0)
 	}
-	r := u.Lookup(0, 0, 10) // lookup issued while queue still draining
-	want := uint64(24 + 2)  // drain + L1 LUT latency
+	r := u.lookupT(0, 0, 10) // lookup issued while queue still draining
+	want := uint64(24 + 2)   // drain + L1 LUT latency
 	if r.DoneAt != want {
 		t.Errorf("DoneAt = %d, want %d (stall until CRC ready)", r.DoneAt, want)
 	}
 	// A lookup issued after the drain completes pays only the LUT
 	// latency.
 	for i := 0; i < 6; i++ {
-		u.Feed(0, 0, uint64(i), 4, 0, 100)
+		u.feedT(0, 0, uint64(i), 4, 0, 100)
 	}
-	r = u.Lookup(0, 0, 200)
+	r = u.lookupT(0, 0, 200)
 	if r.DoneAt != 202 {
 		t.Errorf("DoneAt = %d, want 202", r.DoneAt)
 	}
@@ -163,11 +163,11 @@ func TestLookupWaitsForInputQueue(t *testing.T) {
 func TestUnrolledUnitAbsorbsWordPerCycle(t *testing.T) {
 	// The evaluated configuration (4x unrolled, pipelined, §6.1)
 	// drains a 4-byte word per cycle.
-	u := MustNew(noMonitorCfg())
+	u := mustNewT(noMonitorCfg())
 	for i := 0; i < 6; i++ {
-		u.Feed(0, 0, uint64(i), 4, 0, 0)
+		u.feedT(0, 0, uint64(i), 4, 0, 0)
 	}
-	r := u.Lookup(0, 0, 0)
+	r := u.lookupT(0, 0, 0)
 	if want := uint64(6 + 2); r.DoneAt != want {
 		t.Errorf("DoneAt = %d, want %d", r.DoneAt, want)
 	}
@@ -176,14 +176,14 @@ func TestUnrolledUnitAbsorbsWordPerCycle(t *testing.T) {
 func TestFeedOverlapsWithExecution(t *testing.T) {
 	cfg := noMonitorCfg()
 	cfg.CRCBytesPerCycle = 1
-	u := MustNew(cfg)
+	u := mustNewT(cfg)
 	// Two feeds spaced apart: the queue position accumulates from the
 	// later of (previous drain, feed time).
-	r1 := u.Feed(0, 0, 1, 4, 0, 0)
+	r1 := u.feedT(0, 0, 1, 4, 0, 0)
 	if r1 != 4 {
 		t.Errorf("first feed drains at %d, want 4", r1)
 	}
-	r2 := u.Feed(0, 0, 2, 4, 0, 100)
+	r2 := u.feedT(0, 0, 2, 4, 0, 100)
 	if r2 != 104 {
 		t.Errorf("second feed drains at %d, want 104", r2)
 	}
@@ -198,14 +198,14 @@ func TestL2LUTRaisesTotalHitRate(t *testing.T) {
 		if withL2 {
 			cfg.L2 = &LUTConfig{SizeBytes: 64 << 10, DataBytes: 4, HitLatency: 13}
 		}
-		u := MustNew(cfg)
+		u := mustNewT(cfg)
 		const n = 1000 // > 128 L1 entries, < 8192 L2 entries
 		for pass := 0; pass < 2; pass++ {
 			for i := 0; i < n; i++ {
 				feed32(u, 0, uint32(i), uint32(i*3))
-				r := u.Lookup(0, 0, 0)
+				r := u.lookupT(0, 0, 0)
 				if !r.Hit {
-					u.Update(0, 0, uint64(i), 0)
+					u.updateT(0, 0, uint64(i), 0)
 				}
 			}
 		}
@@ -226,64 +226,64 @@ func TestL2HitPromotesToL1(t *testing.T) {
 	cfg := noMonitorCfg()
 	cfg.L1 = LUTConfig{SizeBytes: 64, DataBytes: 4, HitLatency: 2} // 1 set × 8 ways
 	cfg.L2 = &LUTConfig{SizeBytes: 4 << 10, DataBytes: 4, HitLatency: 13}
-	u := MustNew(cfg)
+	u := mustNewT(cfg)
 	// Fill beyond L1 capacity so early entries spill to L2.
 	for i := 0; i < 20; i++ {
 		feed32(u, 0, uint32(i))
-		if r := u.Lookup(0, 0, 0); !r.Hit {
-			u.Update(0, 0, uint64(i), 0)
+		if r := u.lookupT(0, 0, 0); !r.Hit {
+			u.updateT(0, 0, uint64(i), 0)
 		}
 	}
 	// Entry 0 must now hit via L2...
 	feed32(u, 0, 0)
-	r := u.Lookup(0, 0, 0)
+	r := u.lookupT(0, 0, 0)
 	if !r.Hit || r.Level != 2 {
 		t.Fatalf("expected L2 hit for spilled entry, got %+v", r)
 	}
 	// ...and be promoted so the next access is an L1 hit.
 	feed32(u, 0, 0)
-	r = u.Lookup(0, 0, 0)
+	r = u.lookupT(0, 0, 0)
 	if !r.Hit || r.Level != 1 {
 		t.Errorf("expected L1 hit after promotion, got %+v", r)
 	}
 }
 
 func TestInvalidateClearsLUT(t *testing.T) {
-	u := MustNew(noMonitorCfg())
+	u := mustNewT(noMonitorCfg())
 	feed32(u, 3, 0xABCD)
-	u.Lookup(3, 0, 0)
-	u.Update(3, 0, 9, 0)
+	u.lookupT(3, 0, 0)
+	u.updateT(3, 0, 9, 0)
 	feed32(u, 2, 0xABCD)
-	u.Lookup(2, 0, 0)
-	u.Update(2, 0, 8, 0)
+	u.lookupT(2, 0, 0)
+	u.updateT(2, 0, 8, 0)
 
-	cost := u.Invalidate(3)
+	cost := u.invalidateT(3)
 	if cost != 8 { // 8 ways, no L2
 		t.Errorf("invalidate cost = %d, want 8", cost)
 	}
 	feed32(u, 3, 0xABCD)
-	if r := u.Lookup(3, 0, 0); r.Hit {
+	if r := u.lookupT(3, 0, 0); r.Hit {
 		t.Error("LUT 3 hit after invalidate")
 	}
 	// LUT 2 must be untouched.
 	feed32(u, 2, 0xABCD)
-	if r := u.Lookup(2, 0, 0); !r.Hit || r.Data != 8 {
+	if r := u.lookupT(2, 0, 0); !r.Hit || r.Data != 8 {
 		t.Errorf("LUT 2 lost its entry: %+v", r)
 	}
 }
 
 func TestUpdateLatency(t *testing.T) {
-	u := MustNew(noMonitorCfg())
+	u := mustNewT(noMonitorCfg())
 	feed32(u, 0, 1)
-	u.Lookup(0, 0, 0)
-	if done := u.Update(0, 0, 1, 500); done != 502 {
+	u.lookupT(0, 0, 0)
+	if done := u.updateT(0, 0, 1, 500); done != 502 {
 		t.Errorf("update done at %d, want 502", done)
 	}
 }
 
 func TestStrayUpdateCounted(t *testing.T) {
-	u := MustNew(noMonitorCfg())
-	u.Update(0, 0, 1, 0) // no lookup miss pending
+	u := mustNewT(noMonitorCfg())
+	u.updateT(0, 0, 1, 0) // no lookup miss pending
 	if u.Stats().StrayOps != 1 {
 		t.Errorf("StrayOps = %d, want 1", u.Stats().StrayOps)
 	}
@@ -298,15 +298,15 @@ func TestCollisionTracking(t *testing.T) {
 	// A 16-bit CRC over many distinct inputs must collide.
 	cfg.CRC = crc.CRC16
 	cfg.L2 = &LUTConfig{SizeBytes: 512 << 10, DataBytes: 4, HitLatency: 13}
-	u := MustNew(cfg)
+	u := mustNewT(cfg)
 	hits := 0
 	for i := 0; i < 200000; i++ {
 		feed32(u, 0, uint32(i), uint32(i)^0x9E3779B9)
-		r := u.Lookup(0, 0, 0)
+		r := u.lookupT(0, 0, 0)
 		if r.Hit {
 			hits++
 		} else {
-			u.Update(0, 0, uint64(i), 0)
+			u.updateT(0, 0, uint64(i), 0)
 		}
 	}
 	if hits == 0 {
@@ -321,11 +321,11 @@ func TestCRC32CollisionFreeOnModestSet(t *testing.T) {
 	cfg := noMonitorCfg()
 	cfg.TrackCollisions = true
 	cfg.L2 = &LUTConfig{SizeBytes: 512 << 10, DataBytes: 4, HitLatency: 13}
-	u := MustNew(cfg)
+	u := mustNewT(cfg)
 	for i := 0; i < 50000; i++ {
 		feed32(u, 0, uint32(i), uint32(i*7))
-		if r := u.Lookup(0, 0, 0); !r.Hit {
-			u.Update(0, 0, uint64(i), 0)
+		if r := u.lookupT(0, 0, 0); !r.Hit {
+			u.updateT(0, 0, uint64(i), 0)
 		}
 	}
 	if c := u.Stats().Collisions; c != 0 {
@@ -336,24 +336,24 @@ func TestCRC32CollisionFreeOnModestSet(t *testing.T) {
 func TestQualityMonitorSamplesHits(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Monitor = MonitorConfig{Enabled: true, SamplePeriod: 10, WindowSize: 100, ErrThreshold: 0.1, BadFraction: 0.1}
-	u := MustNew(cfg)
-	u.SetOutputKind(0, OutF32)
+	u := mustNewT(cfg)
+	u.setOutputKindT(0, OutF32)
 
 	feed32(u, 0, 0x1111)
-	u.Lookup(0, 0, 0)
-	u.Update(0, 0, uint64(math.Float32bits(2.0)), 0)
+	u.lookupT(0, 0, 0)
+	u.updateT(0, 0, uint64(math.Float32bits(2.0)), 0)
 
 	sampled := 0
 	for i := 0; i < 100; i++ {
 		feed32(u, 0, 0x1111)
-		r := u.Lookup(0, 0, 0)
+		r := u.lookupT(0, 0, 0)
 		if r.Sampled {
 			sampled++
 			if r.Hit {
 				t.Fatal("sampled lookup reported hit")
 			}
 			// Program recomputes (same value) and updates.
-			u.Update(0, 0, uint64(math.Float32bits(2.0)), 0)
+			u.updateT(0, 0, uint64(math.Float32bits(2.0)), 0)
 		}
 	}
 	if sampled != 10 {
@@ -368,21 +368,21 @@ func TestQualityMonitorSamplesHits(t *testing.T) {
 func TestQualityMonitorDisablesOnBadErrors(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Monitor = MonitorConfig{Enabled: true, SamplePeriod: 2, WindowSize: 10, ErrThreshold: 0.1, BadFraction: 0.1}
-	u := MustNew(cfg)
-	u.SetOutputKind(0, OutF32)
+	u := mustNewT(cfg)
+	u.setOutputKindT(0, OutF32)
 
 	feed32(u, 0, 0x2222)
-	u.Lookup(0, 0, 0)
-	u.Update(0, 0, uint64(math.Float32bits(1.0)), 0) // memoized value 1.0
+	u.lookupT(0, 0, 0)
+	u.updateT(0, 0, uint64(math.Float32bits(1.0)), 0) // memoized value 1.0
 
 	for i := 0; i < 100 && !u.Disabled(); i++ {
 		feed32(u, 0, 0x2222)
-		r := u.Lookup(0, 0, 0)
+		r := u.lookupT(0, 0, 0)
 		if r.Sampled {
 			// Freshly computed value differs wildly every time —
 			// far beyond the 10% threshold regardless of what the
 			// update wrote into the entry last time.
-			u.Update(0, 0, uint64(math.Float32bits(float32(2+i))), 0)
+			u.updateT(0, 0, uint64(math.Float32bits(float32(2+i))), 0)
 		}
 	}
 	if !u.Disabled() {
@@ -390,7 +390,7 @@ func TestQualityMonitorDisablesOnBadErrors(t *testing.T) {
 	}
 	// Once disabled, lookups must miss.
 	feed32(u, 0, 0x2222)
-	if r := u.Lookup(0, 0, 0); r.Hit {
+	if r := u.lookupT(0, 0, 0); r.Hit {
 		t.Error("lookup hit while memoization disabled")
 	}
 }
@@ -462,13 +462,13 @@ func TestLUTCostSelection(t *testing.T) {
 func TestEightByteData(t *testing.T) {
 	cfg := noMonitorCfg()
 	cfg.L1.DataBytes = 8
-	u := MustNew(cfg)
+	u := mustNewT(cfg)
 	feed32(u, 0, 0xCAFE)
-	u.Lookup(0, 0, 0)
+	u.lookupT(0, 0, 0)
 	packed := uint64(math.Float32bits(1.5)) | uint64(math.Float32bits(-2.5))<<32
-	u.Update(0, 0, packed, 0)
+	u.updateT(0, 0, packed, 0)
 	feed32(u, 0, 0xCAFE)
-	r := u.Lookup(0, 0, 0)
+	r := u.lookupT(0, 0, 0)
 	if !r.Hit || r.Data != packed {
 		t.Errorf("8-byte data round trip failed: %+v", r)
 	}
@@ -516,13 +516,13 @@ func TestInsertOverwritesSameTag(t *testing.T) {
 }
 
 func BenchmarkUnitLookupHit(b *testing.B) {
-	u := MustNew(noMonitorCfg())
+	u := mustNewT(noMonitorCfg())
 	feed32(u, 0, 7, 8)
-	u.Lookup(0, 0, 0)
-	u.Update(0, 0, 1, 0)
+	u.lookupT(0, 0, 0)
+	u.updateT(0, 0, 1, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		feed32(u, 0, 7, 8)
-		u.Lookup(0, 0, 0)
+		u.lookupT(0, 0, 0)
 	}
 }

@@ -21,9 +21,33 @@ type monitor struct {
 	maxRelErr float64
 	sumRelErr float64
 
+	guards        [MaxLUTs]lutGuard
+	guardBypassed uint64
+
 	// onWindow, if set, receives each completed window's mean relative
 	// error (the adaptive-truncation controller subscribes here).
 	onWindow func(meanErr float64)
+	// onGuardDisable, if set, is invoked when the quality guard trips
+	// for one logical LUT (the unit flushes that LUT's entries here).
+	onGuardDisable func(lut uint8)
+}
+
+// lutGuard is the per-LUT quality-guard state machine: active →
+// (estimate over budget) → disabled → (cooldown elapsed) → active.  A
+// LUT that trips MaxDisables times is disabled permanently.
+type lutGuard struct {
+	budget float64 // per-region override; 0 = GuardConfig.Budget
+
+	sum float64 // running estimate window
+	n   int
+
+	lookups    uint64 // lookups addressed to this LUT
+	disabled   bool
+	permanent  bool
+	reenableAt uint64 // lookup count at which the cooldown expires
+	disables   uint64
+	reenables  uint64
+	estimate   float64 // last completed window's mean relative error
 }
 
 func newMonitor(cfg MonitorConfig) *monitor {
@@ -33,7 +57,86 @@ func newMonitor(cfg MonitorConfig) *monitor {
 	if cfg.WindowSize <= 0 {
 		cfg.WindowSize = 100
 	}
+	if cfg.Guard.Window <= 0 {
+		cfg.Guard.Window = 16
+	}
+	if cfg.Guard.CooldownLookups == 0 {
+		cfg.Guard.CooldownLookups = 4096
+	}
 	return &monitor{cfg: cfg}
+}
+
+// guardBypass is consulted on every lookup of one logical LUT.  It
+// returns true while the guard holds the LUT disabled: the unit then
+// reports a miss so the program recomputes exactly (graceful degradation
+// to baseline execution).  After the cooldown the LUT is re-enabled to
+// probe whether quality recovered.
+func (m *monitor) guardBypass(lut uint8) bool {
+	if !m.cfg.Guard.Enabled {
+		return false
+	}
+	g := &m.guards[lut]
+	g.lookups++
+	if !g.disabled {
+		return false
+	}
+	if !g.permanent && g.lookups >= g.reenableAt {
+		g.disabled = false
+		g.reenables++
+		g.sum, g.n = 0, 0
+		return false
+	}
+	m.guardBypassed++
+	return true
+}
+
+// budgetFor returns the effective quality budget of one LUT.
+func (m *monitor) budgetFor(lut uint8) float64 {
+	if b := m.guards[lut].budget; b > 0 {
+		return b
+	}
+	return m.cfg.Guard.Budget
+}
+
+// observeGuard feeds one sampled comparison into the LUT's estimate and
+// trips the guard when a completed window exceeds the region budget.
+func (m *monitor) observeGuard(lut uint8, rel float64) {
+	if !m.cfg.Guard.Enabled {
+		return
+	}
+	g := &m.guards[lut]
+	if g.disabled {
+		return
+	}
+	g.sum += rel
+	g.n++
+	budget := m.budgetFor(lut)
+	// Early trip: once the partial window's accumulated error already
+	// guarantees the window mean will exceed the budget (even if every
+	// remaining sample were exact), react now — waiting out the window
+	// only lets more corrupted values through.
+	if g.sum <= budget*float64(m.cfg.Guard.Window) {
+		if g.n < m.cfg.Guard.Window {
+			return
+		}
+		g.estimate = g.sum / float64(g.n)
+		g.sum, g.n = 0, 0
+		if g.estimate <= budget {
+			return
+		}
+	} else {
+		g.estimate = g.sum / float64(g.n)
+		g.sum, g.n = 0, 0
+	}
+	g.disabled = true
+	g.disables++
+	g.reenableAt = g.lookups + m.cfg.Guard.CooldownLookups
+	if m.cfg.Guard.MaxDisables > 0 && g.disables >= uint64(m.cfg.Guard.MaxDisables) {
+		g.permanent = true
+	}
+	if m.onGuardDisable != nil {
+		m.onGuardDisable(lut)
+	}
 }
 
 // shouldSample is consulted on every LUT hit; when it returns true the
@@ -49,8 +152,9 @@ func (m *monitor) shouldSample() bool {
 
 // observe records one comparison between the memoized output and the
 // freshly computed one.
-func (m *monitor) observe(memoized, computed uint64, kind OutputKind) {
+func (m *monitor) observe(lut uint8, memoized, computed uint64, kind OutputKind) {
 	rel := relativeError(memoized, computed, kind)
+	m.observeGuard(lut, rel)
 	m.samples++
 	m.sumRelErr += rel
 	if rel > m.maxRelErr {
@@ -109,7 +213,10 @@ func relErr(approx, exact float64) float64 {
 		}
 		return 1
 	}
-	return math.Abs(approx-exact) / math.Abs(exact)
+	// Clamp at 100%: beyond total corruption, magnitude carries no
+	// information, and a single garbage-exponent float (bit flips in
+	// the LUT) must not dominate every window statistic.
+	return math.Min(math.Abs(approx-exact)/math.Abs(exact), 1)
 }
 
 // MonitorStats summarizes quality-monitor activity.
@@ -118,12 +225,34 @@ type MonitorStats struct {
 	MeanError float64
 	MaxError  float64
 	Disabled  bool
+
+	// Per-LUT quality-guard activity (zero-valued when the guard is
+	// off).
+	GuardDisables  uint64 // guard trips across all LUTs
+	GuardReenables uint64 // cooldown expirations that re-armed a LUT
+	GuardBypassed  uint64 // lookups bypassed while a LUT was disabled
+	GuardPermanent int    // LUTs disabled for good (MaxDisables reached)
+	// GuardDisabled flags the LUTs currently held disabled.
+	GuardDisabled [MaxLUTs]bool
+	// GuardEstimate is each LUT's last completed-window error estimate.
+	GuardEstimate [MaxLUTs]float64
 }
 
 func (m *monitor) stats() MonitorStats {
-	s := MonitorStats{Samples: m.samples, MaxError: m.maxRelErr, Disabled: m.disabled}
+	s := MonitorStats{Samples: m.samples, MaxError: m.maxRelErr, Disabled: m.disabled,
+		GuardBypassed: m.guardBypassed}
 	if m.samples > 0 {
 		s.MeanError = m.sumRelErr / float64(m.samples)
+	}
+	for i := range m.guards {
+		g := &m.guards[i]
+		s.GuardDisables += g.disables
+		s.GuardReenables += g.reenables
+		if g.permanent {
+			s.GuardPermanent++
+		}
+		s.GuardDisabled[i] = g.disabled
+		s.GuardEstimate[i] = g.estimate
 	}
 	return s
 }

@@ -22,7 +22,7 @@ func TestUnitMatchesReferenceModel(t *testing.T) {
 	cfg.Monitor.Enabled = false
 	cfg.L1 = LUTConfig{SizeBytes: 64 << 10, DataBytes: 8, HitLatency: 2}
 	cfg.L2 = &LUTConfig{SizeBytes: 1 << 20, DataBytes: 8, HitLatency: 13}
-	u := MustNew(cfg)
+	u := mustNewT(cfg)
 
 	type key struct {
 		lut    uint8
@@ -40,14 +40,14 @@ func TestUnitMatchesReferenceModel(t *testing.T) {
 		var stream []byte
 		for w := 0; w < nWords; w++ {
 			v := uint64(rng.Intn(8)) * 257
-			u.Feed(lut, 0, v, 4, trunc, 0)
+			u.feedT(lut, 0, v, 4, trunc, 0)
 			tv := approx.Lane(v, 4, trunc)
 			for b := 0; b < 4; b++ {
 				stream = append(stream, byte(tv>>(8*uint(b))))
 			}
 		}
 		k := key{lut, string(stream)}
-		res := u.Lookup(lut, 0, 0)
+		res := u.lookupT(lut, 0, 0)
 		want, seen := ref[k]
 		switch {
 		case res.Hit && !seen:
@@ -60,13 +60,13 @@ func TestUnitMatchesReferenceModel(t *testing.T) {
 		}
 		if !res.Hit {
 			val := uint64(rng.Intn(1 << 20))
-			u.Update(lut, 0, val, 0)
+			u.updateT(lut, 0, val, 0)
 			ref[k] = val
 		}
 		// Occasionally invalidate one logical LUT on both sides.
 		if rng.Intn(2000) == 0 {
 			victim := uint8(rng.Intn(4))
-			u.Invalidate(victim)
+			u.invalidateT(victim)
 			for k2 := range ref {
 				if k2.lut == victim {
 					delete(ref, k2)
@@ -89,22 +89,22 @@ func TestUnitEvictionSemantics(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Monitor.Enabled = false
 	cfg.L1 = LUTConfig{SizeBytes: 64, DataBytes: 4, HitLatency: 2} // 8 entries
-	u := MustNew(cfg)
+	u := mustNewT(cfg)
 	// Insert 64 distinct entries through one set's worth of capacity.
 	for i := uint32(0); i < 64; i++ {
-		u.Feed(0, 0, uint64(i), 4, 0, 0)
-		if r := u.Lookup(0, 0, 0); r.Hit {
+		u.feedT(0, 0, uint64(i), 4, 0, 0)
+		if r := u.lookupT(0, 0, 0); r.Hit {
 			t.Fatalf("unexpected hit for fresh input %d", i)
 		}
-		u.Update(0, 0, uint64(i)*10, 0)
+		u.updateT(0, 0, uint64(i)*10, 0)
 	}
 	// Re-probe newest-first without refilling: the 8 most recent
 	// survivors must hit with exactly their stored data; everything
 	// older was evicted and must miss (never return wrong data).
 	hits := 0
 	for i := int32(63); i >= 0; i-- {
-		u.Feed(0, 0, uint64(i), 4, 0, 0)
-		r := u.Lookup(0, 0, 0)
+		u.feedT(0, 0, uint64(i), 4, 0, 0)
+		r := u.lookupT(0, 0, 0)
 		if r.Hit {
 			hits++
 			if r.Data != uint64(i)*10 {

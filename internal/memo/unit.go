@@ -1,9 +1,22 @@
 package memo
 
 import (
+	"errors"
 	"fmt"
 
 	"axmemo/internal/approx"
+	"axmemo/internal/fault"
+)
+
+// Typed errors returned by the unit's operational interface.  They
+// propagate through the CPU model's Machine.Run instead of panicking.
+var (
+	// ErrBadLUT flags a LUT id outside the 3-bit hardware space.
+	ErrBadLUT = errors.New("memo: LUT id out of range")
+	// ErrBadThread flags a thread id outside the configured contexts.
+	ErrBadThread = errors.New("memo: thread id out of range")
+	// ErrBadLane flags an input lane size other than 4 or 8 bytes.
+	ErrBadLane = errors.New("memo: lane size must be 4 or 8 bytes")
 )
 
 // Stats accumulates memoization-unit activity for one run.
@@ -68,6 +81,7 @@ type pending struct {
 	crc         uint64
 	sampled     bool
 	sampledData uint64
+	bypass      bool // allocated while the quality guard bypasses this LUT
 	inputKey    string
 }
 
@@ -88,6 +102,7 @@ type Unit struct {
 	pend    map[pendKey]*pending
 	shadow  map[shadowKey]string
 	adapt   *adaptive
+	inj     *fault.Injector // nil without fault injection
 	stats   Stats
 	// lastLookupHit records whether the in-flight lookup found an
 	// entry (sampled hits count), for the adaptive explorer.
@@ -130,7 +145,41 @@ func New(cfg Config) (*Unit, error) {
 			}
 		}
 	}
+	// Quality guard: on a trip, flush the offending LUT so corrupt
+	// entries cannot outlive the disable window.
+	u.mon.onGuardDisable = func(lut uint8) { u.flushLUT(lut) }
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		u.inj = fault.NewInjector(*cfg.Faults, fault.SaltMemoUnit)
+		if cfg.Faults.StuckEntryRate > 0 {
+			u.l1.stick = u.inj.StickEntry
+			if u.l2 != nil {
+				u.l2.stick = u.inj.StickEntry
+			}
+		}
+	}
 	return u, nil
+}
+
+// flushLUT clears one logical LUT in both levels plus its pending
+// allocations and shadow keys, without charging program-visible
+// invalidate statistics (the guard, not the program, initiated it).
+func (u *Unit) flushLUT(lutID uint8) {
+	u.l1.invalidateLUT(lutID)
+	if u.l2 != nil {
+		u.l2.invalidateLUT(lutID)
+	}
+	for k := range u.pend {
+		if k.lut == lutID {
+			delete(u.pend, k)
+		}
+	}
+	if u.cfg.TrackCollisions {
+		for k := range u.shadow {
+			if k.lut == lutID {
+				delete(u.shadow, k)
+			}
+		}
+	}
 }
 
 // AdaptiveStats reports the runtime truncation controller's activity
@@ -140,15 +189,6 @@ func (u *Unit) AdaptiveStats() AdaptiveStats {
 		return AdaptiveStats{}
 	}
 	return u.adapt.stats
-}
-
-// MustNew builds a unit and panics on configuration errors.
-func MustNew(cfg Config) *Unit {
-	u, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return u
 }
 
 // Config returns the unit's configuration.
@@ -164,10 +204,47 @@ func (u *Unit) MonitorStats() MonitorStats { return u.mon.stats() }
 // off for the remainder of the run.
 func (u *Unit) Disabled() bool { return u.mon.disabled }
 
+// FaultStats reports injected-fault activity (zero-valued without a
+// fault plan).
+func (u *Unit) FaultStats() fault.Stats {
+	if u.inj == nil {
+		return fault.Stats{}
+	}
+	return u.inj.Stats()
+}
+
+// checkIDs validates the {LUT, thread} address of an operation.
+func (u *Unit) checkIDs(lutID uint8, tid int) error {
+	if int(lutID) >= MaxLUTs {
+		return fmt.Errorf("%w: %d (max %d)", ErrBadLUT, lutID, MaxLUTs-1)
+	}
+	if tid < 0 || tid >= u.cfg.Threads {
+		return fmt.Errorf("%w: %d (unit has %d contexts)", ErrBadThread, tid, u.cfg.Threads)
+	}
+	return nil
+}
+
 // SetOutputKind declares the output layout of a logical LUT so the
 // quality monitor can compare memoized and computed results lane-wise.
-func (u *Unit) SetOutputKind(lutID uint8, kind OutputKind) {
+func (u *Unit) SetOutputKind(lutID uint8, kind OutputKind) error {
+	if int(lutID) >= MaxLUTs {
+		return fmt.Errorf("%w: %d (max %d)", ErrBadLUT, lutID, MaxLUTs-1)
+	}
 	u.outKind[lutID] = kind
+	return nil
+}
+
+// SetRegionBudget overrides the quality guard's error budget for one
+// logical LUT (0 restores the configured default).
+func (u *Unit) SetRegionBudget(lutID uint8, budget float64) error {
+	if int(lutID) >= MaxLUTs {
+		return fmt.Errorf("%w: %d (max %d)", ErrBadLUT, lutID, MaxLUTs-1)
+	}
+	if budget < 0 {
+		return fmt.Errorf("memo: negative region budget %v", budget)
+	}
+	u.mon.guards[lutID].budget = budget
+	return nil
 }
 
 // Feed truncates data (a little-endian lane of sizeBytes) by truncBits
@@ -175,21 +252,32 @@ func (u *Unit) SetOutputKind(lutID uint8, kind OutputKind) {
 // returns the cycle at which the unit's input queue has drained those
 // bytes — one byte per cycle, as in Table 4: the feeding instruction
 // itself does not stall the CPU.
-func (u *Unit) Feed(lutID uint8, tid int, data uint64, sizeBytes int, truncBits uint, now uint64) uint64 {
-	if int(lutID) >= MaxLUTs {
-		panic(fmt.Sprintf("memo: LUT id %d out of range", lutID))
+func (u *Unit) Feed(lutID uint8, tid int, data uint64, sizeBytes int, truncBits uint, now uint64) (uint64, error) {
+	if err := u.checkIDs(lutID, tid); err != nil {
+		return now, err
+	}
+	if sizeBytes != 4 && sizeBytes != 8 {
+		return now, fmt.Errorf("%w: got %d", ErrBadLane, sizeBytes)
 	}
 	truncated := approx.Lane(data, sizeBytes, u.adapt.apply(truncBits, sizeBytes*8))
+	if u.inj != nil {
+		// Bit flips on the way into the hash unit corrupt the key, so
+		// they surface as spurious misses rather than wrong outputs.
+		truncated = u.inj.CorruptHVRFeed(truncated, sizeBytes*8)
+	}
 	u.stats.FedBytes += uint64(sizeBytes)
 	u.stats.FedOps++
-	return u.hvrs.feed(lutID, tid, truncated, sizeBytes, now)
+	return u.hvrs.feed(lutID, tid, truncated, sizeBytes, now), nil
 }
 
 // Lookup finalizes the {lut, tid} hash and probes the LUT hierarchy at
 // cycle now.  Per §3.4 the lookup stalls until any pending CRC
 // calculation for this LUT has drained.  A miss allocates a pending entry
 // that the matching Update will fill.
-func (u *Unit) Lookup(lutID uint8, tid int, now uint64) LookupResult {
+func (u *Unit) Lookup(lutID uint8, tid int, now uint64) (LookupResult, error) {
+	if err := u.checkIDs(lutID, tid); err != nil {
+		return LookupResult{DoneAt: now}, err
+	}
 	start := now
 	if ra := u.hvrs.readyAt(lutID, tid); ra > start {
 		start = ra
@@ -212,11 +300,20 @@ func (u *Unit) Lookup(lutID uint8, tid int, now uint64) LookupResult {
 	if u.mon.disabled {
 		u.stats.Misses++
 		u.allocPending(lutID, tid, crcVal, inputKey)
-		return res
+		return res, nil
+	}
+	if u.mon.guardBypass(lutID) {
+		// The quality guard holds this LUT disabled: report a miss so
+		// the program computes exactly; the matching update is
+		// consumed without refilling the LUT.
+		u.stats.Misses++
+		p := u.allocPending(lutID, tid, crcVal, inputKey)
+		p.bypass = true
+		return res, nil
 	}
 
 	if data, hit := u.l1.lookup(lutID, crcVal); hit {
-		return u.finishHit(lutID, tid, crcVal, data, 1, res, inputKey)
+		return u.finishHit(lutID, tid, crcVal, data, 1, res, inputKey), nil
 	}
 	if u.l2 != nil {
 		res.DoneAt += uint64(u.cfg.L2.HitLatency)
@@ -227,17 +324,29 @@ func (u *Unit) Lookup(lutID uint8, tid int, now uint64) LookupResult {
 			if _, ev := u.l1.insert(lutID, crcVal, data); ev {
 				u.stats.L1Evictions++
 			}
-			return u.finishHit(lutID, tid, crcVal, data, 2, res, inputKey)
+			return u.finishHit(lutID, tid, crcVal, data, 2, res, inputKey), nil
 		}
 	}
 	u.stats.Misses++
 	u.allocPending(lutID, tid, crcVal, inputKey)
-	return res
+	return res, nil
 }
 
 func (u *Unit) finishHit(lutID uint8, tid int, crcVal, data uint64, level int, res LookupResult, inputKey string) LookupResult {
 	u.lastLookupHit = true
 	u.noteCollision(lutID, crcVal, inputKey)
+	if u.inj != nil {
+		// Retention errors in the LUT's approximate storage: flips are
+		// persistent, so the corrupted word is written back to the
+		// entry (the L1 copy; an L2 copy refreshes on the next spill).
+		if corrupted := u.inj.CorruptLUTRead(data, u.cfg.L1.DataBytes*8); corrupted != data {
+			data = corrupted
+			u.l1.corrupt(lutID, crcVal, data)
+			if u.l2 != nil {
+				u.l2.corrupt(lutID, crcVal, data)
+			}
+		}
+	}
 	if u.mon.shouldSample() {
 		// Quality monitoring: report a miss; remember the memoized
 		// data for comparison against the update (§6).
@@ -280,21 +389,33 @@ func (u *Unit) noteCollision(lutID uint8, crcVal uint64, inputKey string) {
 // tid} with data, at cycle now.  It returns the cycle at which the write
 // completes (Table 4: two cycles; the entry allocation already happened
 // in parallel with the original computation, §3.4).
-func (u *Unit) Update(lutID uint8, tid int, data uint64, now uint64) uint64 {
+func (u *Unit) Update(lutID uint8, tid int, data uint64, now uint64) (uint64, error) {
+	if err := u.checkIDs(lutID, tid); err != nil {
+		return now, err
+	}
 	done := now + uint64(u.cfg.UpdateLatency)
 	key := pendKey{lutID, tid}
 	p, ok := u.pend[key]
 	if !ok || !p.valid {
 		u.stats.StrayOps++
-		return done
+		return done, nil
 	}
 	delete(u.pend, key)
 	u.stats.Updates++
+	if p.bypass {
+		// Allocated while the quality guard bypassed this LUT: consume
+		// the update without refilling the table.
+		return done, nil
+	}
 	if p.sampled {
-		u.mon.observe(p.sampledData, data, u.outKind[lutID])
+		u.mon.observe(lutID, p.sampledData, data, u.outKind[lutID])
 	}
 	if u.mon.disabled {
-		return done
+		return done, nil
+	}
+	if u.inj != nil && u.inj.DropUpdate() {
+		// The LUT write is silently lost.
+		return done, nil
 	}
 	if victim, ev := u.l1.insert(lutID, p.crc, data); ev {
 		u.stats.L1Evictions++
@@ -317,33 +438,23 @@ func (u *Unit) Update(lutID uint8, tid int, data uint64, now uint64) uint64 {
 	if u.cfg.TrackCollisions {
 		u.shadow[shadowKey{lutID, p.crc}] = p.inputKey
 	}
-	return done
+	return done, nil
 }
 
 // Invalidate clears every entry of a logical LUT in both levels.  It
 // returns the operation's cycle cost: with dedicated hardware this is one
 // cycle per way in a set (Table 4).
-func (u *Unit) Invalidate(lutID uint8) int {
+func (u *Unit) Invalidate(lutID uint8) (int, error) {
+	if int(lutID) >= MaxLUTs {
+		return 0, fmt.Errorf("%w: %d (max %d)", ErrBadLUT, lutID, MaxLUTs-1)
+	}
 	u.stats.Invalidates++
-	u.l1.invalidateLUT(lutID)
 	cost := u.cfg.L1.Ways()
 	if u.l2 != nil {
-		u.l2.invalidateLUT(lutID)
 		cost += u.cfg.L2.Ways()
 	}
-	for k := range u.pend {
-		if k.lut == lutID {
-			delete(u.pend, k)
-		}
-	}
-	if u.cfg.TrackCollisions {
-		for k := range u.shadow {
-			if k.lut == lutID {
-				delete(u.shadow, k)
-			}
-		}
-	}
-	return cost
+	u.flushLUT(lutID)
+	return cost, nil
 }
 
 // L1Occupancy reports the valid fraction of the L1 LUT (diagnostics).

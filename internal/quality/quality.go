@@ -15,6 +15,11 @@ import (
 //
 // where exact are the results of the unmodified program and approx the
 // results with AxMemo enabled.
+//
+// A non-finite approximate element (NaN or ±Inf, e.g. from a corrupted
+// LUT entry) counts as 100% error for that element — it contributes
+// x_i² to the numerator — so one poisoned value degrades the score
+// instead of turning the whole metric into NaN.
 func OutputError(approx, exact []float64) (float64, error) {
 	if len(approx) != len(exact) {
 		return 0, fmt.Errorf("quality: length mismatch %d vs %d", len(approx), len(exact))
@@ -22,6 +27,12 @@ func OutputError(approx, exact []float64) (float64, error) {
 	var num, den float64
 	for i := range exact {
 		d := approx[i] - exact[i]
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			d = exact[i]
+			if d == 0 {
+				d = 1
+			}
+		}
 		num += d * d
 		den += exact[i] * exact[i]
 	}
@@ -53,8 +64,11 @@ func Misclassification(approx, exact []bool) (float64, error) {
 }
 
 // ElementErrors returns the element-wise relative errors
-// |x̂_i − x_i| / |x_i| (1.0 when the exact value is zero and the
-// approximate one is not).
+// |x̂_i − x_i| / |x_i|, clamped to [0, 1]: 1.0 when the exact value is
+// zero and the approximate one is not, when either value is NaN, and for
+// any error of 100% or more.  The clamp makes the distribution (and its
+// CDF, Fig. 10b) robust to garbage-exponent floats from fault injection —
+// past total corruption, magnitude carries no information.
 func ElementErrors(approx, exact []float64) ([]float64, error) {
 	if len(approx) != len(exact) {
 		return nil, fmt.Errorf("quality: length mismatch %d vs %d", len(approx), len(exact))
@@ -62,15 +76,35 @@ func ElementErrors(approx, exact []float64) ([]float64, error) {
 	errs := make([]float64, len(exact))
 	for i := range exact {
 		switch {
+		case math.IsNaN(approx[i]) || math.IsNaN(exact[i]):
+			errs[i] = 1
 		case exact[i] == 0 && approx[i] == 0:
 			errs[i] = 0
 		case exact[i] == 0:
 			errs[i] = 1
 		default:
-			errs[i] = math.Abs(approx[i]-exact[i]) / math.Abs(exact[i])
+			e := math.Abs(approx[i]-exact[i]) / math.Abs(exact[i])
+			errs[i] = math.Min(e, 1)
 		}
 	}
 	return errs, nil
+}
+
+// MeanError returns the mean of ElementErrors: a bounded [0, 1] quality
+// score directly comparable to a guard's relative-error budget.
+func MeanError(approx, exact []float64) (float64, error) {
+	errs, err := ElementErrors(approx, exact)
+	if err != nil {
+		return 0, err
+	}
+	if len(errs) == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for _, e := range errs {
+		sum += e
+	}
+	return sum / float64(len(errs)), nil
 }
 
 // CDF is an empirical cumulative distribution over relative errors.

@@ -146,3 +146,63 @@ func TestCDFMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestOutputErrorNonFiniteApprox(t *testing.T) {
+	// A NaN or Inf approximate element counts as 100% error for that
+	// element (contributes x_i² to the numerator), keeping E_r finite.
+	exact := []float64{3, 4} // Σx² = 25
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		er, err := OutputError([]float64{bad, 4}, exact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(er) || math.IsInf(er, 0) {
+			t.Fatalf("E_r with approx %v is %v, want finite", bad, er)
+		}
+		if math.Abs(er-9.0/25.0) > 1e-12 {
+			t.Errorf("E_r with approx %v = %v, want 0.36", bad, er)
+		}
+	}
+	// Non-finite against a zero exact element substitutes a unit error.
+	er, err := OutputError([]float64{math.NaN()}, []float64{0})
+	if err != nil || !math.IsInf(er, 1) {
+		t.Errorf("E_r NaN-vs-0 = %v (%v), want +Inf (1/0)", er, err)
+	}
+}
+
+func TestElementErrorsClamped(t *testing.T) {
+	approx := []float64{math.NaN(), math.Inf(1), 1e30, 0.5, 2}
+	exact := []float64{1, 1, 1, math.NaN(), 2}
+	errs, err := ElementErrors(approx, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 1, 1, 0}
+	for i := range want {
+		if errs[i] != want[i] {
+			t.Errorf("errs[%d] = %v, want %v", i, errs[i], want[i])
+		}
+	}
+	for _, e := range errs {
+		if e < 0 || e > 1 {
+			t.Fatalf("element error %v out of [0, 1]", e)
+		}
+	}
+}
+
+func TestMeanError(t *testing.T) {
+	// (0.1 + 1 + 0) / 3: one 10% error, one total corruption, one exact.
+	me, err := MeanError([]float64{1.1, math.NaN(), 5}, []float64{1, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(me-1.1/3) > 1e-9 {
+		t.Errorf("MeanError = %v, want %v", me, 1.1/3)
+	}
+	if me, _ := MeanError(nil, nil); me != 0 {
+		t.Errorf("MeanError of empty = %v, want 0", me)
+	}
+	if _, err := MeanError([]float64{1}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
