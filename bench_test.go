@@ -22,16 +22,22 @@ import (
 	"axmemo/internal/workloads"
 )
 
-var benchScale = flag.Int("scale", 1, "input scale for the benchmark harness")
+var (
+	benchScale    = flag.Int("scale", 1, "input scale for the benchmark harness")
+	benchParallel = flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial)")
+)
 
-// figBench runs one figure generator per iteration and logs the artifact.
-func figBench(b *testing.B, gen func(s *harness.Suite) (*harness.Figure, error)) *harness.Figure {
+// figBench regenerates one figure per iteration through the sweep
+// scheduler — cells prewarmed on the -parallel worker pool — and logs
+// the artifact.
+func figBench(b *testing.B, id string) *harness.Figure {
 	b.Helper()
 	var fig *harness.Figure
 	for i := 0; i < b.N; i++ {
 		s := harness.NewSuite(*benchScale)
+		s.Parallel = *benchParallel
 		var err error
-		fig, err = gen(s)
+		fig, err = s.Generate(id)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -70,43 +76,64 @@ func BenchmarkTable1DDDG(b *testing.B) {
 }
 
 func BenchmarkFig7aSpeedup(b *testing.B) {
-	fig := figBench(b, func(s *harness.Suite) (*harness.Figure, error) { return s.Fig7a() })
+	fig := figBench(b, "Fig7a")
 	reportAverage(b, fig, "avg-speedup-best-config", len(fig.Header)-2)
 }
 
 func BenchmarkFig7bEnergy(b *testing.B) {
-	fig := figBench(b, func(s *harness.Suite) (*harness.Figure, error) { return s.Fig7b() })
+	fig := figBench(b, "Fig7b")
 	reportAverage(b, fig, "avg-energy-saving-best-config", len(fig.Header)-2)
 }
 
 func BenchmarkFig8DynInsn(b *testing.B) {
-	figBench(b, func(s *harness.Suite) (*harness.Figure, error) { return s.Fig8() })
+	figBench(b, "Fig8")
 }
 
 func BenchmarkFig9HitRate(b *testing.B) {
-	fig := figBench(b, func(s *harness.Suite) (*harness.Figure, error) { return s.Fig9() })
+	fig := figBench(b, "Fig9")
 	reportAverage(b, fig, "avg-hit-rate-best-config", len(fig.Header)-2)
 }
 
 func BenchmarkFig10aQuality(b *testing.B) {
-	figBench(b, func(s *harness.Suite) (*harness.Figure, error) { return s.Fig10a() })
+	figBench(b, "Fig10a")
 }
 
 func BenchmarkFig10bCDF(b *testing.B) {
-	figBench(b, func(s *harness.Suite) (*harness.Figure, error) { return s.Fig10b() })
+	figBench(b, "Fig10b")
 }
 
 func BenchmarkFig11Approx(b *testing.B) {
-	figBench(b, func(s *harness.Suite) (*harness.Figure, error) { return s.Fig11() })
+	figBench(b, "Fig11")
 }
 
 func BenchmarkATMComparison(b *testing.B) {
-	figBench(b, func(s *harness.Suite) (*harness.Figure, error) { return s.ATMComparison() })
+	figBench(b, "ATM")
 }
 
 func BenchmarkL2Sensitivity(b *testing.B) {
-	figBench(b, func(s *harness.Suite) (*harness.Figure, error) { return s.L2Sensitivity() })
+	figBench(b, "SENS")
 }
+
+// benchSuite prewarms the shared standard sweep (the cells behind
+// Fig7a/7b/8/9/10a) on a pool of the given size.
+func benchSuite(b *testing.B, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := harness.NewSuite(*benchScale)
+		if err := s.Prewarm(workers, "Fig7a", "Fig7b", "Fig8", "Fig9", "Fig10a"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteSerial and BenchmarkSuiteParallel bracket the sweep
+// scheduler's wall-clock win: same cells, worker pool of 1 vs one per
+// CPU.  Their outputs are byte-identical (see
+// TestParallelSweepMatchesSerial); only elapsed time differs.
+func BenchmarkSuiteSerial(b *testing.B) { benchSuite(b, 1) }
+
+func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, 0) }
 
 // BenchmarkAblationCRCWidth sweeps the CRC tag width (16/32/64 bits) on
 // the widest-input benchmarks and reports true hash collisions and

@@ -1,0 +1,121 @@
+// Command axbench times the experiment harness serially and on the
+// parallel sweep scheduler, checks the two render byte-identical
+// figures, and writes a machine-readable summary (BENCH_harness.json) —
+// the evidence file for the scheduler's wall-clock claim.
+//
+// Usage:
+//
+//	axbench [-figures Fig7a,Fig7b,Fig8,Fig9,Fig10a] [-workers 0] [-scale 1] [-out BENCH_harness.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"axmemo/internal/harness"
+)
+
+// report is the JSON schema of BENCH_harness.json.
+type report struct {
+	Generated       string   `json:"generated"`
+	GoVersion       string   `json:"go_version"`
+	CPUs            int      `json:"cpus"`
+	Scale           int      `json:"scale"`
+	Figures         []string `json:"figures"`
+	Cells           int      `json:"cells"`
+	Workers         int      `json:"workers"`
+	SerialSeconds   float64  `json:"serial_seconds"`
+	ParallelSeconds float64  `json:"parallel_seconds"`
+	Speedup         float64  `json:"speedup"`
+	IdenticalOutput bool     `json:"identical_output"`
+}
+
+func main() {
+	var (
+		figureList = flag.String("figures", "Fig7a,Fig7b,Fig8,Fig9,Fig10a", "comma-separated figure IDs to sweep ('all' for every figure)")
+		workers    = flag.Int("workers", 0, "parallel pool size (0 = one worker per CPU)")
+		scale      = flag.Int("scale", 1, "input scale")
+		out        = flag.String("out", "BENCH_harness.json", "output file ('-' for stdout only)")
+	)
+	flag.Parse()
+
+	var ids []string
+	if strings.EqualFold(*figureList, "all") {
+		ids = harness.FigureIDs()
+	} else {
+		for _, id := range strings.Split(*figureList, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	cells, err := harness.SweepCells(ids...)
+	if err != nil {
+		fatal(err)
+	}
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+
+	render := func(pool int) (string, time.Duration) {
+		s := harness.NewSuite(*scale)
+		s.Parallel = pool
+		start := time.Now()
+		figs, err := s.GenerateAll(ids...)
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+		var sb strings.Builder
+		for _, f := range figs {
+			sb.WriteString(f.String())
+		}
+		return sb.String(), elapsed
+	}
+
+	serialOut, serialT := render(1)
+	parallelOut, parallelT := render(*workers)
+
+	r := report{
+		Generated:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:       runtime.Version(),
+		CPUs:            runtime.NumCPU(),
+		Scale:           *scale,
+		Figures:         ids,
+		Cells:           len(cells),
+		Workers:         *workers,
+		SerialSeconds:   serialT.Seconds(),
+		ParallelSeconds: parallelT.Seconds(),
+		Speedup:         serialT.Seconds() / parallelT.Seconds(),
+		IdenticalOutput: serialOut == parallelOut,
+	}
+
+	enc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	fmt.Printf("%d cells, %d workers: serial %.2fs, parallel %.2fs (%.2fx), identical=%v\n",
+		r.Cells, r.Workers, r.SerialSeconds, r.ParallelSeconds, r.Speedup, r.IdenticalOutput)
+	if *out != "-" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *out)
+	} else {
+		os.Stdout.Write(enc)
+	}
+	if !r.IdenticalOutput {
+		fatal(fmt.Errorf("parallel sweep output differs from serial"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "axbench:", err)
+	os.Exit(1)
+}

@@ -6,13 +6,19 @@
 //
 //	axmemo -bench sobel -l1 8 -l2 512 [-scale 2] [-trunc off] [-mode hw|soft|atm]
 //	axmemo -bench sobel -fault-sweep 0,1e-4,1e-2 -guard-budget 0.05
+//	axmemo -figures Fig7a,Fig9 -parallel 4
 //	axmemo -list
+//
+// Profiling: -cpuprofile/-memprofile write pprof profiles of whatever
+// the invocation runs (a single simulation or a -figures sweep).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -36,8 +42,42 @@ func main() {
 		faultSeed   = flag.Int64("fault-seed", 1, "fault-injection seed (deterministic pattern per seed)")
 		guardBudget = flag.Float64("guard-budget", 0, "per-LUT quality-guard relative-error budget; > 0 arms the guard (and adds a guarded column to fault sweeps)")
 		maxCycles   = flag.Uint64("max-cycles", 0, "cycle-budget watchdog; the run fails past this many simulated cycles (0 = unlimited)")
+
+		figures    = flag.String("figures", "", "generate evaluation figures through the parallel sweep scheduler instead of a single run (comma-separated IDs or 'all')")
+		parallel   = flag.Int("parallel", 0, "sweep worker pool size for -figures (0 = one worker per CPU, 1 = serial)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
+	if *figures != "" {
+		runFigures(*figures, *scale, *parallel)
+		return
+	}
 
 	if *list {
 		fmt.Printf("%-14s %-20s %-18s %s\n", "name", "domain", "memo input (bytes)", "truncated bits")
@@ -139,6 +179,37 @@ func main() {
 	}
 	if n := res.Faults.Total(); n > 0 {
 		fmt.Printf("injected faults: %d\n", n)
+	}
+}
+
+// runFigures renders the requested evaluation figures, prewarming their
+// deduplicated sweep cells on the scheduler's worker pool.
+func runFigures(ids string, scale, parallel int) {
+	known := harness.FigureIDs()
+	var sel []string
+	if !strings.EqualFold(ids, "all") {
+		for _, id := range strings.Split(ids, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			for _, k := range known {
+				if strings.EqualFold(id, k) {
+					id = k
+					break
+				}
+			}
+			sel = append(sel, id)
+		}
+	}
+	s := harness.NewSuite(scale)
+	s.Parallel = parallel
+	figs, err := s.GenerateAll(sel...)
+	if err != nil {
+		fatal(err)
+	}
+	for _, fig := range figs {
+		fmt.Println(fig.String())
 	}
 }
 

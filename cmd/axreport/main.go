@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	axreport [-scale 1] [-only Fig7a,Fig9] [-o report.txt]
+//	axreport [-scale 1] [-parallel 4] [-only Fig7a,Fig9] [-o report.txt]
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 func main() {
 	var (
 		scale    = flag.Int("scale", 1, "input scale for all experiments")
+		parallel = flag.Int("parallel", 0, "sweep worker pool size (0 = one worker per CPU, 1 = serial)")
 		only     = flag.String("only", "", "comma-separated subset of artifact IDs (e.g. Fig7a,Fig9,Table1)")
 		out      = flag.String("o", "", "also write the report to this file")
 		asJSON   = flag.Bool("json", false, "emit the figures as JSON instead of text tables")
@@ -38,6 +39,24 @@ func main() {
 	}
 
 	s := harness.NewSuite(*scale)
+	s.Parallel = *parallel
+
+	// Prewarm the selected figures' deduplicated sweep cells on the
+	// worker pool; the generators below then only read cached results, so
+	// the report bytes match a serial run exactly.
+	var sweepIDs []string
+	for _, id := range harness.FigureIDs() {
+		if selected(id) {
+			sweepIDs = append(sweepIDs, id)
+		}
+	}
+	if len(sweepIDs) > 0 {
+		if err := s.Prewarm(0, sweepIDs...); err != nil {
+			fmt.Fprintln(os.Stderr, "axreport:", err)
+			os.Exit(1)
+		}
+	}
+
 	var b strings.Builder
 	var figures []*harness.Figure
 	if !*asJSON {

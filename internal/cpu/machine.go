@@ -163,6 +163,13 @@ type Machine struct {
 	memoInsns uint64
 	ecounts   energy.Counts
 	frameSeq  uint64
+
+	// Allocation-free interpreter scratch: retired activations are
+	// recycled through framePool, and operand-use lists are gathered
+	// into usesScratch (see step/opsReady).  Neither affects simulated
+	// results — recycled frames are re-zeroed and re-numbered.
+	framePool   []*frame
+	usesScratch []ir.Reg
 }
 
 // New builds a machine for prog (which must be finalized) over image.
@@ -191,7 +198,8 @@ func newMachine(prog *ir.Program, image *Memory, cfg Config, mkHier func() (*mem
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{cfg: cfg, prog: prog, mem: image, hier: h}
+	m := &Machine{cfg: cfg, prog: prog, mem: image, hier: h,
+		usesScratch: make([]ir.Reg, 0, 16)}
 	if cfg.Memo != nil && cfg.Soft != nil {
 		return nil, fmt.Errorf("cpu: hardware and software memoization are mutually exclusive")
 	}

@@ -35,14 +35,48 @@ type threadState struct {
 	done      bool
 }
 
+// newFrame activates fn, reusing a retired frame from the machine's free
+// list when one is available.  A recycled frame is indistinguishable from
+// a fresh one — registers and scoreboard are zeroed, the activation id is
+// newly allocated — so execution (and therefore every simulated result)
+// is identical whether or not recycling kicks in.  This keeps the
+// call-heavy interpreter hot path allocation-free in steady state.
 func (m *Machine) newFrame(fn *ir.Function) *frame {
 	m.frameSeq++
+	n := fn.NumRegs()
+	if k := len(m.framePool); k > 0 {
+		f := m.framePool[k-1]
+		m.framePool[k-1] = nil
+		m.framePool = m.framePool[:k-1]
+		if cap(f.regs) < n {
+			f.regs = make([]uint64, n)
+			f.ready = make([]uint64, n)
+		} else {
+			f.regs = f.regs[:n]
+			f.ready = f.ready[:n]
+			clear(f.regs)
+			clear(f.ready)
+		}
+		f.fn = fn
+		f.id = m.frameSeq
+		f.block, f.pc = 0, 0
+		f.caller, f.retTo = nil, nil
+		return f
+	}
 	return &frame{
 		fn:    fn,
-		regs:  make([]uint64, fn.NumRegs()),
-		ready: make([]uint64, fn.NumRegs()),
+		regs:  make([]uint64, n),
+		ready: make([]uint64, n),
 		id:    m.frameSeq,
 	}
+}
+
+// freeFrame retires a returned activation to the free list.
+func (m *Machine) freeFrame(f *frame) {
+	f.fn = nil
+	f.caller = nil
+	f.retTo = nil
+	m.framePool = append(m.framePool, f)
 }
 
 // issueAt computes the issue cycle of an instruction of thread t whose
@@ -117,10 +151,14 @@ func (m *Machine) hook(t *threadState, f *frame, in *ir.Instr, addr uint64, hasA
 }
 
 // opsReady returns the cycle at which all of in's register operands are
-// available in frame f.
-func opsReady(f *frame, in *ir.Instr, scratch []ir.Reg) uint64 {
+// available in frame f.  The operand list is gathered into the machine's
+// persistent scratch slice so the per-instruction path never allocates,
+// even for calls with many arguments.
+func (m *Machine) opsReady(f *frame, in *ir.Instr) uint64 {
+	uses := in.Uses(m.usesScratch[:0])
+	m.usesScratch = uses[:0] // retain any growth for the next instruction
 	var t uint64
-	for _, r := range in.Uses(scratch[:0]) {
+	for _, r := range uses {
 		if f.ready[r] > t {
 			t = f.ready[r]
 		}
@@ -149,8 +187,7 @@ func (m *Machine) step(t *threadState) error {
 	}
 	in := &blk.Instrs[f.pc]
 	info := opTable[in.Op]
-	var scratch [8]ir.Reg
-	ready := opsReady(f, in, scratch[:])
+	ready := m.opsReady(f, in)
 
 	// Default control flow: advance within the block.
 	f.pc++
@@ -249,6 +286,8 @@ func (m *Machine) step(t *threadState) error {
 				t.rets[i] = f.regs[r]
 			}
 			t.done = true
+			t.cur = nil
+			m.freeFrame(f)
 			return nil
 		}
 		caller := f.caller
@@ -257,6 +296,7 @@ func (m *Machine) step(t *threadState) error {
 			caller.ready[r] = t.nextIssue
 		}
 		t.cur = caller
+		m.freeFrame(f)
 
 	case ir.Call:
 		tt := m.issueAt(t, ready, info.fu, true, 1)

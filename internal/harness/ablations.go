@@ -6,6 +6,53 @@ import (
 	"axmemo/internal/workloads"
 )
 
+// The benchmark subsets and configurations below are shared between the
+// ablation figure generators and the sweep scheduler's cell enumeration
+// (scheduler.go), so the two cannot drift apart.
+var (
+	ablCRCWidthNames     = []string{"blackscholes", "sobel", "srad"}
+	ablCRCWidths         = []uint{16, 32, 64}
+	ablAdaptiveNames     = []string{"inversek2j", "sobel", "srad"}
+	energyBreakdownNames = []string{"blackscholes", "sobel", "jmeint"}
+	ablCRCRateNames      = []string{"sobel", "jmeint"}
+)
+
+// crcWidthConfig is BestConfig at a given CRC tag width, with true-hash
+// collision tracking on.
+func crcWidthConfig(width uint) Config {
+	cfg := BestConfig()
+	cfg.Name = fmt.Sprintf("CRC%d", width)
+	cfg.CRCWidth = width
+	cfg.TrackCollisions = true
+	return cfg
+}
+
+// adaptiveConfig starts from zero truncation and lets the §3.1 runtime
+// controller pick the truncation profile.
+func adaptiveConfig(w *workloads.Workload) Config {
+	cfg := BestConfig()
+	cfg.Name = "adaptive"
+	cfg.Trunc = make([]uint8, len(w.TruncBits))
+	cfg.Adaptive = true
+	return cfg
+}
+
+// noApproxConfig pins truncation to zero: exact memoization only.
+func noApproxConfig(w *workloads.Workload) Config {
+	cfg := BestConfig()
+	cfg.Name = "no-approx"
+	cfg.Trunc = make([]uint8, len(w.TruncBits))
+	return cfg
+}
+
+// serialCRCConfig models the Table 4 byte-serial hash unit.
+func serialCRCConfig() Config {
+	cfg := BestConfig()
+	cfg.Name = "serial-crc"
+	cfg.CRCBytesPerCycle = 1
+	return cfg
+}
+
 // AblationCRCWidth sweeps the CRC tag width on the widest-input
 // benchmarks: the §6 design claim is that 32 bits is "generally large
 // enough to avoid collision", while 16 bits visibly is not.
@@ -15,17 +62,13 @@ func (s *Suite) AblationCRCWidth() (*Figure, error) {
 		Title:  "ablation: CRC tag width vs true hash collisions",
 		Header: []string{"benchmark", "width", "collisions", "hit rate", "quality loss"},
 	}
-	for _, name := range []string{"blackscholes", "sobel", "srad"} {
+	for _, name := range ablCRCWidthNames {
 		w, err := workloads.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		for _, width := range []uint{16, 32, 64} {
-			cfg := BestConfig()
-			cfg.Name = fmt.Sprintf("CRC%d", width)
-			cfg.CRCWidth = width
-			cfg.TrackCollisions = true
-			r, err := s.Under(w, cfg)
+		for _, width := range ablCRCWidths {
+			r, err := s.Under(w, crcWidthConfig(width))
 			if err != nil {
 				return nil, err
 			}
@@ -49,7 +92,7 @@ func (s *Suite) AblationAdaptive() (*Figure, error) {
 		Title:  "ablation: compile-time vs runtime truncation selection",
 		Header: []string{"benchmark", "static hit", "adaptive hit", "no-approx hit", "static quality", "adaptive quality"},
 	}
-	for _, name := range []string{"inversek2j", "sobel", "srad"} {
+	for _, name := range ablAdaptiveNames {
 		w, err := workloads.ByName(name)
 		if err != nil {
 			return nil, err
@@ -58,18 +101,11 @@ func (s *Suite) AblationAdaptive() (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		ad := BestConfig()
-		ad.Name = "adaptive"
-		ad.Trunc = make([]uint8, len(w.TruncBits))
-		ad.Adaptive = true
-		adaptive, err := s.Under(w, ad)
+		adaptive, err := s.Under(w, adaptiveConfig(w))
 		if err != nil {
 			return nil, err
 		}
-		none := BestConfig()
-		none.Name = "no-approx"
-		none.Trunc = make([]uint8, len(w.TruncBits))
-		noApprox, err := s.Under(w, none)
+		noApprox, err := s.Under(w, noApproxConfig(w))
 		if err != nil {
 			return nil, err
 		}
@@ -96,7 +132,7 @@ func (s *Suite) EnergyBreakdown() (*Figure, error) {
 			"caches", "DRAM", "memo unit", "static", "total"},
 	}
 	mpj := func(v float64) string { return fmt.Sprintf("%.2f", v/1e6) }
-	for _, name := range []string{"blackscholes", "sobel", "jmeint"} {
+	for _, name := range energyBreakdownNames {
 		w, err := workloads.ByName(name)
 		if err != nil {
 			return nil, err
@@ -132,15 +168,12 @@ func (s *Suite) AblationCRCRate() (*Figure, error) {
 		Title:  "ablation: CRC absorption rate (36-byte-input benchmarks stall on the input queue)",
 		Header: []string{"benchmark", "1 B/cycle", "4 B/cycle", "speedup from unrolling"},
 	}
-	for _, name := range []string{"sobel", "jmeint"} {
+	for _, name := range ablCRCRateNames {
 		w, err := workloads.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		serial := BestConfig()
-		serial.Name = "serial-crc"
-		serial.CRCBytesPerCycle = 1
-		sr, err := s.Under(w, serial)
+		sr, err := s.Under(w, serialCRCConfig())
 		if err != nil {
 			return nil, err
 		}

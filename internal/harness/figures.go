@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"axmemo/internal/memo"
 	"axmemo/internal/quality"
@@ -105,11 +106,37 @@ func (f *Figure) Bars(col int, width int) string {
 	return sb.String()
 }
 
-// Suite caches runs so that multiple figures share the same sweep.
+// Suite caches runs so that multiple figures share the same sweep.  The
+// cache is safe for concurrent use: every (workload, config) cell is
+// executed exactly once, even when the parallel sweep scheduler
+// (scheduler.go) and figure generators race for it.
 type Suite struct {
-	Scale     int
-	baselines map[string]*Result
-	sweep     map[string]map[string]*Result // workload -> config -> result
+	Scale int
+	// Parallel bounds the scheduler's worker pool (0 = GOMAXPROCS, 1 =
+	// serial).  Cell results are independent of this setting — each
+	// simulation carries all of its state (RNG seeds, fault plans, memo
+	// units) per Run, so only wall-clock changes.
+	Parallel int
+
+	mu    sync.Mutex
+	cells map[cellKey]*cell
+}
+
+// cellKey addresses one cached simulation: figures share baselines and
+// standard-config runs through this key.
+type cellKey struct {
+	workload string
+	config   string
+}
+
+// cell is one cached simulation with once-semantics: whichever caller
+// arrives first runs it, everyone else blocks on the Once and reads the
+// same result.
+type cell struct {
+	once     sync.Once
+	baseline bool
+	res      *Result
+	err      error
 }
 
 // NewSuite prepares a suite at the given input scale.
@@ -118,43 +145,39 @@ func NewSuite(scale int) *Suite {
 		scale = 1
 	}
 	return &Suite{
-		Scale:     scale,
-		baselines: make(map[string]*Result),
-		sweep:     make(map[string]map[string]*Result),
+		Scale: scale,
+		cells: make(map[cellKey]*cell),
 	}
+}
+
+// getCell returns the cache cell for key, creating it if needed.
+func (s *Suite) getCell(key cellKey, baseline bool) *cell {
+	s.mu.Lock()
+	c, ok := s.cells[key]
+	if !ok {
+		c = &cell{baseline: baseline}
+		s.cells[key] = c
+	}
+	s.mu.Unlock()
+	return c
+}
+
+// runCell executes (or waits for) the cached simulation of w under cfg.
+func (s *Suite) runCell(w *workloads.Workload, cfg Config, baseline bool) (*Result, error) {
+	cfg.Scale = s.Scale
+	c := s.getCell(cellKey{workload: w.Name, config: cfg.Name}, baseline)
+	c.once.Do(func() { c.res, c.err = Run(w, cfg) })
+	return c.res, c.err
 }
 
 // Baseline runs (and caches) the unmemoized configuration.
 func (s *Suite) Baseline(w *workloads.Workload) (*Result, error) {
-	if r, ok := s.baselines[w.Name]; ok {
-		return r, nil
-	}
-	cfg := Baseline()
-	cfg.Scale = s.Scale
-	r, err := Run(w, cfg)
-	if err != nil {
-		return nil, err
-	}
-	s.baselines[w.Name] = r
-	return r, nil
+	return s.runCell(w, Baseline(), true)
 }
 
 // Under runs (and caches) one standard configuration.
 func (s *Suite) Under(w *workloads.Workload, cfg Config) (*Result, error) {
-	cfg.Scale = s.Scale
-	if m, ok := s.sweep[w.Name]; ok {
-		if r, ok := m[cfg.Name]; ok {
-			return r, nil
-		}
-	} else {
-		s.sweep[w.Name] = make(map[string]*Result)
-	}
-	r, err := Run(w, cfg)
-	if err != nil {
-		return nil, err
-	}
-	s.sweep[w.Name][cfg.Name] = r
-	return r, nil
+	return s.runCell(w, cfg, false)
 }
 
 func f2x(v float64) string { return fmt.Sprintf("%.2fx", v) }
@@ -290,6 +313,35 @@ func (s *Suite) Fig10a() (*Figure, error) {
 	return fig, nil
 }
 
+// fig10bConfig is the element-error-collecting variant of the best
+// configuration used by Fig. 10b (also enumerated by the scheduler).
+func fig10bConfig() Config {
+	cfg := BestConfig()
+	cfg.CollectElemErrors = true
+	cfg.Name = cfg.Name + " +cdf"
+	return cfg
+}
+
+// fig11NoApproxConfig is Fig. 11's approximation-disabled run for w.
+func fig11NoApproxConfig(w *workloads.Workload) Config {
+	cfg := BestConfig()
+	cfg.Name = "L1 (8KB)+L2 (512KB) no-approx"
+	cfg.Trunc = make([]uint8, len(w.TruncBits))
+	return cfg
+}
+
+// atmConfig is the §6.2 prior-work runtime configuration.
+func atmConfig() Config { return Config{Name: "ATM", Mode: ModeATM} }
+
+// l2SensitivityConfigs returns the §6.2 sensitivity pair: a 256KB L2 LUT
+// over the default 1MB shared L2 and over a 512KB one.
+func l2SensitivityConfigs() (big, small Config) {
+	big = HW("L1 (8KB)+L2 (256KB)", 8, 256)
+	small = HW("L1 (8KB)+L2 (256KB) @512KB-L2", 8, 256)
+	small.TotalL2CacheKB = 512
+	return big, small
+}
+
 // Fig10b reproduces Fig. 10b: the CDF of element-wise relative error at
 // the largest configuration, sampled at fixed error points.
 func (s *Suite) Fig10b() (*Figure, error) {
@@ -306,10 +358,7 @@ func (s *Suite) Fig10b() (*Figure, error) {
 		if w.Misclass {
 			continue // boolean outputs have no element-wise error CDF
 		}
-		cfg := BestConfig()
-		cfg.CollectElemErrors = true
-		cfg.Name = cfg.Name + " +cdf"
-		r, err := s.Under(w, cfg)
+		r, err := s.Under(w, fig10bConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -343,10 +392,7 @@ func (s *Suite) Fig11() (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		noTr := BestConfig()
-		noTr.Name = "L1 (8KB)+L2 (512KB) no-approx"
-		noTr.Trunc = make([]uint8, len(w.TruncBits))
-		without, err := s.Under(w, noTr)
+		without, err := s.Under(w, fig11NoApproxConfig(w))
 		if err != nil {
 			return nil, err
 		}
@@ -381,7 +427,7 @@ func (s *Suite) ATMComparison() (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		atmRes, err := s.Under(w, Config{Name: "ATM", Mode: ModeATM})
+		atmRes, err := s.Under(w, atmConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -412,13 +458,12 @@ func (s *Suite) L2Sensitivity() (*Figure, error) {
 		Header: []string{"benchmark", "cycles @1MB", "cycles @512KB", "degradation"},
 	}
 	var degs []float64
+	bigCfg, smallCfg := l2SensitivityConfigs()
 	for _, w := range workloads.All() {
-		big, err := s.Under(w, HW("L1 (8KB)+L2 (256KB)", 8, 256))
+		big, err := s.Under(w, bigCfg)
 		if err != nil {
 			return nil, err
 		}
-		smallCfg := HW("L1 (8KB)+L2 (256KB) @512KB-L2", 8, 256)
-		smallCfg.TotalL2CacheKB = 512
 		small, err := s.Under(w, smallCfg)
 		if err != nil {
 			return nil, err
@@ -508,13 +553,24 @@ func Table5() *Figure {
 	return fig
 }
 
-// SortedConfigNames lists the cached configurations of a workload, for
-// diagnostics.
+// SortedConfigNames lists the cached (non-baseline) configurations of a
+// workload, for diagnostics.
 func (s *Suite) SortedConfigNames(workload string) []string {
+	s.mu.Lock()
 	var names []string
-	for n := range s.sweep[workload] {
-		names = append(names, n)
+	for k, c := range s.cells {
+		if k.workload == workload && !c.baseline {
+			names = append(names, k.config)
+		}
 	}
+	s.mu.Unlock()
 	sort.Strings(names)
 	return names
+}
+
+// CachedCells reports how many simulations the suite has cached.
+func (s *Suite) CachedCells() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cells)
 }

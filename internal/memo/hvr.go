@@ -18,9 +18,14 @@ type hvr struct {
 // hvrFile is the register file of MaxLUTs×Threads Hash Value Registers,
 // addressed by {LUT_ID, TID}.
 type hvrFile struct {
-	regs     []hvr
-	threads  int
-	hasher   *crc.Table
+	regs    []hvr
+	threads int
+	// hasher is the slicing-by-8 software engine; it computes the same
+	// function as the modeled byte-parallel hardware (asserted by the
+	// crc package's equivalence tests) while absorbing a whole lane per
+	// step.  Timing stays byte-serial: readyAt accounting below charges
+	// the Table 4 perCycle rate independently of the functional engine.
+	hasher   *crc.Slicing8
 	track    bool
 	perCycle int // absorption rate in bytes per cycle
 }
@@ -29,7 +34,7 @@ func newHVRFile(p crc.Params, threads int, track bool, bytesPerCycle int) *hvrFi
 	return &hvrFile{
 		regs:     make([]hvr, MaxLUTs*threads),
 		threads:  threads,
-		hasher:   crc.NewTable(p),
+		hasher:   crc.NewSlicing8(p),
 		track:    track,
 		perCycle: bytesPerCycle,
 	}
@@ -52,11 +57,10 @@ func (f *hvrFile) feed(lut uint8, tid int, data uint64, sizeBytes int, now uint6
 		r.bytes = 0
 	}
 	f.hasher.SetState(r.state)
-	for i := 0; i < sizeBytes; i++ {
-		b := byte(data >> (8 * uint(i)))
-		f.hasher.FeedByte(b)
-		if f.track {
-			r.shadow = append(r.shadow, b)
+	f.hasher.FeedWord(data, sizeBytes)
+	if f.track {
+		for i := 0; i < sizeBytes; i++ {
+			r.shadow = append(r.shadow, byte(data>>(8*uint(i))))
 		}
 	}
 	r.state = f.hasher.State()

@@ -71,11 +71,6 @@ type LookupResult struct {
 	Sampled bool
 }
 
-type pendKey struct {
-	lut uint8
-	tid int
-}
-
 type pending struct {
 	valid       bool
 	crc         uint64
@@ -99,8 +94,11 @@ type Unit struct {
 	l2      *lut // nil when not configured
 	mon     *monitor
 	outKind [MaxLUTs]OutputKind
-	pend    map[pendKey]*pending
-	shadow  map[shadowKey]string
+	// pend holds at most one in-flight allocation per {LUT, TID} pair,
+	// indexed lut*Threads+tid — a flat register file rather than a map,
+	// so the lookup/update hot path never allocates.
+	pend   []pending
+	shadow map[shadowKey]string
 	adapt   *adaptive
 	inj     *fault.Injector // nil without fault injection
 	stats   Stats
@@ -119,7 +117,7 @@ func New(cfg Config) (*Unit, error) {
 		hvrs: newHVRFile(cfg.CRC, cfg.Threads, cfg.TrackCollisions, cfg.CRCBytesPerCycle),
 		l1:   newLUT(cfg.L1),
 		mon:  newMonitor(cfg.Monitor),
-		pend: make(map[pendKey]*pending),
+		pend: make([]pending, MaxLUTs*cfg.Threads),
 	}
 	if cfg.L2 != nil {
 		u.l2 = newLUT(*cfg.L2)
@@ -168,10 +166,8 @@ func (u *Unit) flushLUT(lutID uint8) {
 	if u.l2 != nil {
 		u.l2.invalidateLUT(lutID)
 	}
-	for k := range u.pend {
-		if k.lut == lutID {
-			delete(u.pend, k)
-		}
+	for tid := 0; tid < u.cfg.Threads; tid++ {
+		u.pend[int(lutID)*u.cfg.Threads+tid] = pending{}
 	}
 	if u.cfg.TrackCollisions {
 		for k := range u.shadow {
@@ -370,8 +366,8 @@ func (u *Unit) finishHit(lutID uint8, tid int, crcVal, data uint64, level int, r
 }
 
 func (u *Unit) allocPending(lutID uint8, tid int, crcVal uint64, inputKey string) *pending {
-	p := &pending{valid: true, crc: crcVal, inputKey: inputKey}
-	u.pend[pendKey{lutID, tid}] = p
+	p := &u.pend[int(lutID)*u.cfg.Threads+tid]
+	*p = pending{valid: true, crc: crcVal, inputKey: inputKey}
 	return p
 }
 
@@ -394,13 +390,13 @@ func (u *Unit) Update(lutID uint8, tid int, data uint64, now uint64) (uint64, er
 		return now, err
 	}
 	done := now + uint64(u.cfg.UpdateLatency)
-	key := pendKey{lutID, tid}
-	p, ok := u.pend[key]
-	if !ok || !p.valid {
+	slot := &u.pend[int(lutID)*u.cfg.Threads+tid]
+	if !slot.valid {
 		u.stats.StrayOps++
 		return done, nil
 	}
-	delete(u.pend, key)
+	p := *slot
+	*slot = pending{}
 	u.stats.Updates++
 	if p.bypass {
 		// Allocated while the quality guard bypassed this LUT: consume

@@ -63,6 +63,9 @@ type Recorder struct {
 	// lastStore maps an element address to the entry that last stored
 	// to it.
 	lastStore map[uint64]int32
+	// scratch backs Instr.Uses/Defs decoding; per-recorder so that
+	// recorders on concurrent simulations never share it.
+	scratch [8]ir.Reg
 }
 
 type regKey struct {
@@ -92,8 +95,6 @@ func (r *Recorder) Truncated() bool { return r.full }
 // Hook returns the cpu.Hook that feeds this recorder.
 func (r *Recorder) Hook() cpu.Hook { return r.observe }
 
-var scratchUses [8]ir.Reg
-
 func (r *Recorder) observe(e cpu.ExecInfo) {
 	if len(r.entries) >= r.MaxEntries {
 		r.full = true
@@ -109,7 +110,7 @@ func (r *Recorder) observe(e cpu.ExecInfo) {
 	}
 
 	// Register dependencies.
-	for _, u := range in.Uses(scratchUses[:0]) {
+	for _, u := range in.Uses(r.scratch[:0]) {
 		if def, ok := r.lastDef[regKey{e.Frame, u}]; ok {
 			ent.Deps = append(ent.Deps, def)
 		} else {
@@ -130,7 +131,7 @@ func (r *Recorder) observe(e cpu.ExecInfo) {
 		}
 	}
 	// Register definitions.
-	for _, d := range in.Defs(scratchUses[:0]) {
+	for _, d := range in.Defs(r.scratch[:0]) {
 		r.lastDef[regKey{e.Frame, d}] = id
 	}
 	// A call's results are produced inside the callee frame; the
