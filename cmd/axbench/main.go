@@ -1,7 +1,8 @@
 // Command axbench times the experiment harness serially and on the
 // parallel sweep scheduler, checks the two render byte-identical
-// figures, and writes a machine-readable summary (BENCH_harness.json) —
-// the evidence file for the scheduler's wall-clock claim.
+// figures, and writes a machine-readable summary (BENCH_harness.json,
+// schema harness.BenchReportSchema) — the evidence file for the
+// scheduler's wall-clock claim.
 //
 // Usage:
 //
@@ -9,40 +10,35 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
 	"time"
 
+	"axmemo/internal/cli"
 	"axmemo/internal/harness"
+	"axmemo/internal/obs"
 )
 
-// report is the JSON schema of BENCH_harness.json.
-type report struct {
-	Generated       string   `json:"generated"`
-	GoVersion       string   `json:"go_version"`
-	CPUs            int      `json:"cpus"`
-	Scale           int      `json:"scale"`
-	Figures         []string `json:"figures"`
-	Cells           int      `json:"cells"`
-	Workers         int      `json:"workers"`
-	SerialSeconds   float64  `json:"serial_seconds"`
-	ParallelSeconds float64  `json:"parallel_seconds"`
-	Speedup         float64  `json:"speedup"`
-	IdenticalOutput bool     `json:"identical_output"`
-}
+func main() { cli.Main("axbench", run) }
 
-func main() {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("axbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		figureList = flag.String("figures", "Fig7a,Fig7b,Fig8,Fig9,Fig10a", "comma-separated figure IDs to sweep ('all' for every figure)")
-		workers    = flag.Int("workers", 0, "parallel pool size (0 = one worker per CPU)")
-		scale      = flag.Int("scale", 1, "input scale")
-		out        = flag.String("out", "BENCH_harness.json", "output file ('-' for stdout only)")
+		figureList = fs.String("figures", "Fig7a,Fig7b,Fig8,Fig9,Fig10a", "comma-separated figure IDs to sweep ('all' for every figure)")
+		workers    = fs.Int("workers", 0, "parallel pool size (0 = one worker per CPU)")
+		scale      = fs.Int("scale", 1, "input scale")
+		out        = fs.String("out", "BENCH_harness.json", "output file ('-' for stdout only)")
+		metricsOut = fs.String("metrics-out", "", "write the parallel sweep's deterministic metrics snapshot (JSON) to this file")
+		traceOut   = fs.String("trace-out", "", "write the parallel sweep's Chrome trace-event timeline (JSON) to this file")
 	)
-	flag.Parse()
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
 
 	var ids []string
 	if strings.EqualFold(*figureList, "all") {
@@ -56,32 +52,46 @@ func main() {
 	}
 	cells, err := harness.SweepCells(ids...)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 
-	render := func(pool int) (string, time.Duration) {
+	render := func(pool int, sink *obs.Sink) (string, time.Duration, error) {
 		s := harness.NewSuite(*scale)
 		s.Parallel = pool
+		s.Obs = sink
 		start := time.Now()
 		figs, err := s.GenerateAll(ids...)
 		if err != nil {
-			fatal(err)
+			return "", 0, err
 		}
 		elapsed := time.Since(start)
 		var sb strings.Builder
 		for _, f := range figs {
 			sb.WriteString(f.String())
 		}
-		return sb.String(), elapsed
+		return sb.String(), elapsed, nil
 	}
 
-	serialOut, serialT := render(1)
-	parallelOut, parallelT := render(*workers)
+	// The parallel rendering carries the observability sink: its
+	// deterministic artifacts must match what a serial sweep would emit
+	// (asserted end-to-end by the cmd tests).
+	var sink *obs.Sink
+	if *metricsOut != "" || *traceOut != "" {
+		sink = obs.NewSink()
+	}
+	serialOut, serialT, err := render(1, nil)
+	if err != nil {
+		return err
+	}
+	parallelOut, parallelT, err := render(*workers, sink)
+	if err != nil {
+		return err
+	}
 
-	r := report{
+	r := harness.BenchReport{
 		Generated:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:       runtime.Version(),
 		CPUs:            runtime.NumCPU(),
@@ -95,27 +105,25 @@ func main() {
 		IdenticalOutput: serialOut == parallelOut,
 	}
 
-	enc, err := json.MarshalIndent(r, "", "  ")
+	enc, err := r.Encode()
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	enc = append(enc, '\n')
-	fmt.Printf("%d cells, %d workers: serial %.2fs, parallel %.2fs (%.2fx), identical=%v\n",
+	fmt.Fprintf(stdout, "%d cells, %d workers: serial %.2fs, parallel %.2fs (%.2fx), identical=%v\n",
 		r.Cells, r.Workers, r.SerialSeconds, r.ParallelSeconds, r.Speedup, r.IdenticalOutput)
 	if *out != "-" {
 		if err := os.WriteFile(*out, enc, 0o644); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println("wrote", *out)
+		fmt.Fprintln(stdout, "wrote", *out)
 	} else {
-		os.Stdout.Write(enc)
+		stdout.Write(enc)
+	}
+	if err := sink.WriteFiles(*metricsOut, *traceOut, ""); err != nil {
+		return err
 	}
 	if !r.IdenticalOutput {
-		fatal(fmt.Errorf("parallel sweep output differs from serial"))
+		return fmt.Errorf("parallel sweep output differs from serial")
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "axbench:", err)
-	os.Exit(1)
+	return nil
 }

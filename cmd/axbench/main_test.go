@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"axmemo/internal/cli"
+	"axmemo/internal/harness"
+)
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return cli.ExitCode(err), out.String(), errb.String()
+}
+
+func TestFlagHandling(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string
+	}{
+		{name: "help", args: []string{"-h"}, wantCode: 0, wantErr: "-figures"},
+		{name: "bad flag", args: []string{"-definitely-not-a-flag"}, wantCode: 2, wantErr: "definitely-not-a-flag"},
+		{name: "unknown figure", args: []string{"-figures", "Fig99"}, wantCode: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errOut := runCmd(t, tc.args...)
+			if code != tc.wantCode {
+				t.Fatalf("exit code = %d, want %d (stderr: %s)", code, tc.wantCode, errOut)
+			}
+			if tc.wantErr != "" && !strings.Contains(errOut, tc.wantErr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantErr, errOut)
+			}
+		})
+	}
+}
+
+func TestBenchEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	report := filepath.Join(dir, "bench.json")
+	metrics := filepath.Join(dir, "m.json")
+	trace := filepath.Join(dir, "t.json")
+
+	code, out, errOut := runCmd(t, "-figures", "ABL-RATE", "-workers", "2", "-out", report,
+		"-metrics-out", metrics, "-trace-out", trace)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "identical=true") {
+		t.Errorf("stdout missing identical=true:\n%s", out)
+	}
+
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r harness.BenchReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if r.Schema != harness.BenchReportSchema {
+		t.Errorf("schema = %d, want %d", r.Schema, harness.BenchReportSchema)
+	}
+	if !r.IdenticalOutput {
+		t.Error("parallel sweep output differed from serial")
+	}
+	if r.Cells == 0 || r.Workers != 2 {
+		t.Errorf("report cells/workers = %d/%d", r.Cells, r.Workers)
+	}
+
+	for _, p := range []string{metrics, trace} {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !json.Valid(raw) {
+			t.Errorf("%s is not valid JSON", p)
+		}
+	}
+}

@@ -13,59 +13,62 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
+	"io"
 
+	"axmemo/internal/cli"
 	"axmemo/internal/core"
 	"axmemo/internal/harness"
 	"axmemo/internal/workloads"
 )
 
-func main() {
+func main() { cli.Main("axcompile", run) }
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("axcompile", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		benchName  = flag.String("bench", "", "analyze one benchmark")
-		table1     = flag.Bool("table1", false, "print the full Table 1 analysis for all benchmarks")
-		maxEntries = flag.Int("max-entries", 120_000, "dynamic trace cap")
+		benchName  = fs.String("bench", "", "analyze one benchmark")
+		table1     = fs.Bool("table1", false, "print the full Table 1 analysis for all benchmarks")
+		maxEntries = fs.Int("max-entries", 120_000, "dynamic trace cap")
 	)
-	flag.Parse()
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
 
 	switch {
 	case *table1:
 		fig, err := harness.Table1(*maxEntries)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Print(fig.String())
+		fmt.Fprint(stdout, fig.String())
 	case *benchName != "":
 		w, err := workloads.ByName(*benchName)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		a, err := harness.AnalyzeWorkload(w, *maxEntries)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("benchmark:          %s\n", w.Name)
-		fmt.Printf("dynamic subgraphs:  %d\n", a.DynamicSubgraphs)
-		fmt.Printf("unique subgraphs:   %d\n", len(a.UniqueGroups))
-		fmt.Printf("mean CI ratio:      %.2f\n", a.MeanCIRatio)
-		fmt.Printf("memoization coverage: %.2f%%\n", 100*a.Coverage)
+		fmt.Fprintf(stdout, "benchmark:          %s\n", w.Name)
+		fmt.Fprintf(stdout, "dynamic subgraphs:  %d\n", a.DynamicSubgraphs)
+		fmt.Fprintf(stdout, "unique subgraphs:   %d\n", len(a.UniqueGroups))
+		fmt.Fprintf(stdout, "mean CI ratio:      %.2f\n", a.MeanCIRatio)
+		fmt.Fprintf(stdout, "memoization coverage: %.2f%%\n", 100*a.Coverage)
 		for i, g := range a.UniqueGroups {
 			if i >= 8 {
-				fmt.Printf("  ... and %d more groups\n", len(a.UniqueGroups)-8)
+				fmt.Fprintf(stdout, "  ... and %d more groups\n", len(a.UniqueGroups)-8)
 				break
 			}
-			fmt.Printf("  group %d: %d instances, %d static insns, CI %.2f, mean inputs %.1f\n",
+			fmt.Fprintf(stdout, "  group %d: %d instances, %d static insns, CI %.2f, mean inputs %.1f\n",
 				i, g.Count, len(g.SIDs), g.MeanRatio, g.MeanInputs)
 		}
 		names := core.DiscoverRegions(w.Build(), a)
-		fmt.Printf("suggested kernels:  %v\n", names)
+		fmt.Fprintf(stdout, "suggested kernels:  %v\n", names)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return cli.Usagef("one of -bench or -table1 is required")
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "axcompile:", err)
-	os.Exit(1)
+	return nil
 }

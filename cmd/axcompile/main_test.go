@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"axmemo/internal/cli"
+)
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return cli.ExitCode(err), out.String(), errb.String()
+}
+
+func TestFlagHandling(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantOut  string
+		wantErr  string
+	}{
+		{name: "help", args: []string{"-h"}, wantCode: 0, wantErr: "-bench"},
+		{name: "bad flag", args: []string{"-definitely-not-a-flag"}, wantCode: 2, wantErr: "definitely-not-a-flag"},
+		{name: "no selection", args: nil, wantCode: 2, wantErr: "-table1"},
+		{name: "unknown bench", args: []string{"-bench", "no-such-bench"}, wantCode: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, errOut := runCmd(t, tc.args...)
+			if code != tc.wantCode {
+				t.Fatalf("exit code = %d, want %d (stderr: %s)", code, tc.wantCode, errOut)
+			}
+			if tc.wantOut != "" && !strings.Contains(out, tc.wantOut) {
+				t.Errorf("stdout missing %q:\n%s", tc.wantOut, out)
+			}
+			if tc.wantErr != "" && !strings.Contains(errOut, tc.wantErr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantErr, errOut)
+			}
+		})
+	}
+}
+
+func TestAnalyzeBench(t *testing.T) {
+	code, out, errOut := runCmd(t, "-bench", "blackscholes", "-max-entries", "20000")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"benchmark:", "dynamic subgraphs:", "memoization coverage:", "suggested kernels:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+}

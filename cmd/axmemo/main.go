@@ -9,54 +9,71 @@
 //	axmemo -figures Fig7a,Fig9 -parallel 4
 //	axmemo -list
 //
-// Profiling: -cpuprofile/-memprofile write pprof profiles of whatever
-// the invocation runs (a single simulation or a -figures sweep).
+// Observability: -metrics-out, -trace-out and -events-out write the
+// run's deterministic metrics snapshot, Chrome trace and JSONL event
+// log; -debug-addr serves the live registry (expvar) and pprof over
+// HTTP for the duration of the run.  -cpuprofile/-memprofile write
+// pprof profiles of whatever the invocation runs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
 
+	"axmemo/internal/cli"
 	"axmemo/internal/compiler"
 	"axmemo/internal/harness"
+	"axmemo/internal/obs"
 	"axmemo/internal/workloads"
 )
 
-func main() {
+func main() { cli.Main("axmemo", run) }
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("axmemo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		benchName = flag.String("bench", "blackscholes", "benchmark name (see -list)")
-		l1        = flag.Int("l1", 8, "L1 LUT size in KB (hardware mode)")
-		l2        = flag.Int("l2", 512, "L2 LUT size in KB, 0 disables (hardware mode)")
-		scale     = flag.Int("scale", 1, "input scale (1 = test size; larger approaches the paper's datasets)")
-		mode      = flag.String("mode", "hw", "memoization mode: hw, soft (software LUT), atm")
-		truncOff  = flag.Bool("trunc-off", false, "disable input truncation (Fig. 11's no-approximation case)")
-		list      = flag.Bool("list", false, "list benchmarks and exit")
-		dump      = flag.Bool("dump", false, "print the benchmark's memoized program in textual IR and exit")
+		benchName = fs.String("bench", "blackscholes", "benchmark name (see -list)")
+		l1        = fs.Int("l1", 8, "L1 LUT size in KB (hardware mode)")
+		l2        = fs.Int("l2", 512, "L2 LUT size in KB, 0 disables (hardware mode)")
+		scale     = fs.Int("scale", 1, "input scale (1 = test size; larger approaches the paper's datasets)")
+		mode      = fs.String("mode", "hw", "memoization mode: hw, soft (software LUT), atm")
+		truncOff  = fs.Bool("trunc-off", false, "disable input truncation (Fig. 11's no-approximation case)")
+		list      = fs.Bool("list", false, "list benchmarks and exit")
+		dump      = fs.Bool("dump", false, "print the benchmark's memoized program in textual IR and exit")
 
-		faultRates  = flag.String("fault-sweep", "", "comma-separated LUT bit-flip rates; runs a fault sweep instead of a single run (e.g. 0,1e-4,1e-2)")
-		faultSeed   = flag.Int64("fault-seed", 1, "fault-injection seed (deterministic pattern per seed)")
-		guardBudget = flag.Float64("guard-budget", 0, "per-LUT quality-guard relative-error budget; > 0 arms the guard (and adds a guarded column to fault sweeps)")
-		maxCycles   = flag.Uint64("max-cycles", 0, "cycle-budget watchdog; the run fails past this many simulated cycles (0 = unlimited)")
+		faultRates  = fs.String("fault-sweep", "", "comma-separated LUT bit-flip rates; runs a fault sweep instead of a single run (e.g. 0,1e-4,1e-2)")
+		faultSeed   = fs.Int64("fault-seed", 1, "fault-injection seed (deterministic pattern per seed)")
+		guardBudget = fs.Float64("guard-budget", 0, "per-LUT quality-guard relative-error budget; > 0 arms the guard (and adds a guarded column to fault sweeps)")
+		maxCycles   = fs.Uint64("max-cycles", 0, "cycle-budget watchdog; the run fails past this many simulated cycles (0 = unlimited)")
 
-		figures    = flag.String("figures", "", "generate evaluation figures through the parallel sweep scheduler instead of a single run (comma-separated IDs or 'all')")
-		parallel   = flag.Int("parallel", 0, "sweep worker pool size for -figures (0 = one worker per CPU, 1 = serial)")
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		figures    = fs.String("figures", "", "generate evaluation figures through the parallel sweep scheduler instead of a single run (comma-separated IDs or 'all')")
+		parallel   = fs.Int("parallel", 0, "sweep worker pool size for -figures (0 = one worker per CPU, 1 = serial)")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+
+		metricsOut = fs.String("metrics-out", "", "write the deterministic metrics snapshot (JSON) to this file")
+		traceOut   = fs.String("trace-out", "", "write the Chrome trace-event timeline (JSON) to this file")
+		eventsOut  = fs.String("events-out", "", "write the flat JSONL event log to this file")
+		debugAddr  = fs.String("debug-addr", "", "serve the live metrics registry (expvar) and pprof on this address (e.g. localhost:6060)")
 	)
-	flag.Parse()
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			return err
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -64,44 +81,63 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fatal(err)
+				fmt.Fprintln(stderr, "axmemo:", err)
+				return
 			}
 			defer f.Close()
 			runtime.GC() // settle allocations so the profile shows live heap
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
+				fmt.Fprintln(stderr, "axmemo:", err)
 			}
 		}()
 	}
 
+	// An observability sink is attached whenever any consumer asks for
+	// one; otherwise everything stays nil and costs one check per event.
+	var sink *obs.Sink
+	if *metricsOut != "" || *traceOut != "" || *eventsOut != "" || *debugAddr != "" {
+		sink = obs.NewSink()
+	}
+	if *debugAddr != "" {
+		bound, closeDebug, err := obs.ServeDebug(*debugAddr, sink.Reg())
+		if err != nil {
+			return err
+		}
+		defer closeDebug()
+		fmt.Fprintf(stderr, "axmemo: debug server on http://%s/debug/vars\n", bound)
+	}
+	writeArtifacts := func() error { return sink.WriteFiles(*metricsOut, *traceOut, *eventsOut) }
+
 	if *figures != "" {
-		runFigures(*figures, *scale, *parallel)
-		return
+		if err := runFigures(stdout, sink, *figures, *scale, *parallel); err != nil {
+			return err
+		}
+		return writeArtifacts()
 	}
 
 	if *list {
-		fmt.Printf("%-14s %-20s %-18s %s\n", "name", "domain", "memo input (bytes)", "truncated bits")
+		fmt.Fprintf(stdout, "%-14s %-20s %-18s %s\n", "name", "domain", "memo input (bytes)", "truncated bits")
 		for _, w := range workloads.All() {
-			fmt.Printf("%-14s %-20s %-18s %v\n", w.Name, w.Domain, w.InputBytes, w.TruncBits)
+			fmt.Fprintf(stdout, "%-14s %-20s %-18s %v\n", w.Name, w.Domain, w.InputBytes, w.TruncBits)
 		}
-		return
+		return nil
 	}
 
 	w, err := workloads.ByName(*benchName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	if *dump {
 		prog := w.Build()
 		if err := compiler.Transform(prog, w.Regions(nil)); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Print(prog.Dump())
-		return
+		fmt.Fprint(stdout, prog.Dump())
+		return nil
 	}
 
-	cfg := harness.Config{Scale: *scale}
+	cfg := harness.Config{Scale: *scale, Obs: sink}
 	switch *mode {
 	case "hw":
 		cfg.Mode = harness.ModeHW
@@ -118,7 +154,7 @@ func main() {
 		cfg.Mode = harness.ModeATM
 		cfg.Name = "ATM"
 	default:
-		fatal(fmt.Errorf("unknown mode %q (want hw, soft or atm)", *mode))
+		return cli.Usagef("unknown mode %q (want hw, soft or atm)", *mode)
 	}
 	if *truncOff {
 		cfg.Trunc = make([]uint8, len(w.TruncBits))
@@ -129,62 +165,68 @@ func main() {
 
 	if *faultRates != "" {
 		if cfg.Mode != harness.ModeHW {
-			fatal(fmt.Errorf("fault sweeps need -mode hw"))
+			return cli.Usagef("fault sweeps need -mode hw")
 		}
 		rates, err := parseRates(*faultRates)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		runFaultSweep(w, harness.FaultSweepConfig{
+		if err := runFaultSweep(stdout, w, harness.FaultSweepConfig{
 			Base:        cfg,
 			Rates:       rates,
 			Seed:        *faultSeed,
 			GuardBudget: *guardBudget,
-		})
-		return
+		}); err != nil {
+			return err
+		}
+		return writeArtifacts()
 	}
 
 	baseCfg := harness.Baseline()
 	baseCfg.Scale = *scale
+	baseCfg.Obs = sink
+	baseCfg.ObsPID = 1
 	base, err := harness.Run(w, baseCfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
+	cfg.ObsPID = 2
 	res, err := harness.Run(w, cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	fmt.Printf("benchmark:     %s (%s)\n", w.Name, w.Domain)
-	fmt.Printf("configuration: %s, scale %d\n", cfg.Name, *scale)
-	fmt.Printf("baseline:      %d cycles, %d insns, %.3g pJ\n", base.Cycles, base.Insns, base.EnergyPJ)
-	fmt.Printf("memoized:      %d cycles, %d insns (%d memo), %.3g pJ\n",
+	fmt.Fprintf(stdout, "benchmark:     %s (%s)\n", w.Name, w.Domain)
+	fmt.Fprintf(stdout, "configuration: %s, scale %d\n", cfg.Name, *scale)
+	fmt.Fprintf(stdout, "baseline:      %d cycles, %d insns, %.3g pJ\n", base.Cycles, base.Insns, base.EnergyPJ)
+	fmt.Fprintf(stdout, "memoized:      %d cycles, %d insns (%d memo), %.3g pJ\n",
 		res.Cycles, res.Insns, res.MemoInsns, res.EnergyPJ)
-	fmt.Printf("speedup:       %.2fx\n", float64(base.Cycles)/float64(res.Cycles))
-	fmt.Printf("energy saving: %.2fx\n", base.EnergyPJ/res.EnergyPJ)
-	fmt.Printf("LUT hit rate:  %.1f%%\n", 100*res.HitRate)
+	fmt.Fprintf(stdout, "speedup:       %.2fx\n", float64(base.Cycles)/float64(res.Cycles))
+	fmt.Fprintf(stdout, "energy saving: %.2fx\n", base.EnergyPJ/res.EnergyPJ)
+	fmt.Fprintf(stdout, "LUT hit rate:  %.1f%%\n", 100*res.HitRate)
 	qname := "output error (E_r)"
 	if w.Misclass {
 		qname = "misclassification"
 	}
-	fmt.Printf("%s: %.4f%%\n", qname, 100*res.Quality)
+	fmt.Fprintf(stdout, "%s: %.4f%%\n", qname, 100*res.Quality)
 	if res.Monitor.Samples > 0 {
-		fmt.Printf("quality monitor: %d samples, mean rel err %.4f, disabled=%v\n",
+		fmt.Fprintf(stdout, "quality monitor: %d samples, mean rel err %.4f, disabled=%v\n",
 			res.Monitor.Samples, res.Monitor.MeanError, res.Monitor.Disabled)
 	}
 	if res.Monitor.GuardDisables > 0 || res.Monitor.GuardBypassed > 0 {
-		fmt.Printf("quality guard:   %d trips, %d re-enables, %d lookups bypassed, %d permanent\n",
+		fmt.Fprintf(stdout, "quality guard:   %d trips, %d re-enables, %d lookups bypassed, %d permanent\n",
 			res.Monitor.GuardDisables, res.Monitor.GuardReenables,
 			res.Monitor.GuardBypassed, res.Monitor.GuardPermanent)
 	}
 	if n := res.Faults.Total(); n > 0 {
-		fmt.Printf("injected faults: %d\n", n)
+		fmt.Fprintf(stdout, "injected faults: %d\n", n)
 	}
+	return writeArtifacts()
 }
 
 // runFigures renders the requested evaluation figures, prewarming their
 // deduplicated sweep cells on the scheduler's worker pool.
-func runFigures(ids string, scale, parallel int) {
+func runFigures(stdout io.Writer, sink *obs.Sink, ids string, scale, parallel int) error {
 	known := harness.FigureIDs()
 	var sel []string
 	if !strings.EqualFold(ids, "all") {
@@ -204,41 +246,44 @@ func runFigures(ids string, scale, parallel int) {
 	}
 	s := harness.NewSuite(scale)
 	s.Parallel = parallel
+	s.Obs = sink
 	figs, err := s.GenerateAll(sel...)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	for _, fig := range figs {
-		fmt.Println(fig.String())
+		fmt.Fprintln(stdout, fig.String())
 	}
+	return nil
 }
 
 // runFaultSweep prints one table row per flip rate: injected-fault
 // counts, LUT hit rate and mean relative output error, with a second
 // column group when the quality guard is armed.
-func runFaultSweep(w *workloads.Workload, cfg harness.FaultSweepConfig) {
+func runFaultSweep(stdout io.Writer, w *workloads.Workload, cfg harness.FaultSweepConfig) error {
 	pts, err := harness.FaultSweep(w, cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("benchmark:     %s (%s)\n", w.Name, w.Domain)
-	fmt.Printf("configuration: %s, fault seed %d\n", cfg.Base.Name, cfg.Seed)
+	fmt.Fprintf(stdout, "benchmark:     %s (%s)\n", w.Name, w.Domain)
+	fmt.Fprintf(stdout, "configuration: %s, fault seed %d\n", cfg.Base.Name, cfg.Seed)
 	guarded := cfg.GuardBudget > 0
 	if guarded {
-		fmt.Printf("guard budget:  %.2f%% mean relative error\n", 100*cfg.GuardBudget)
-		fmt.Printf("%-10s %8s %8s %10s | %8s %10s %6s\n",
+		fmt.Fprintf(stdout, "guard budget:  %.2f%% mean relative error\n", 100*cfg.GuardBudget)
+		fmt.Fprintf(stdout, "%-10s %8s %8s %10s | %8s %10s %6s\n",
 			"flip rate", "faults", "hit rate", "mean err", "hit rate", "mean err", "trips")
 	} else {
-		fmt.Printf("%-10s %8s %8s %10s\n", "flip rate", "faults", "hit rate", "mean err")
+		fmt.Fprintf(stdout, "%-10s %8s %8s %10s\n", "flip rate", "faults", "hit rate", "mean err")
 	}
 	for _, pt := range pts {
 		r := pt.Result
-		fmt.Printf("%-10.0e %8d %7.1f%% %9.4f%%", pt.Rate, r.Faults.Total(), 100*r.HitRate, 100*r.MeanError)
+		fmt.Fprintf(stdout, "%-10.0e %8d %7.1f%% %9.4f%%", pt.Rate, r.Faults.Total(), 100*r.HitRate, 100*r.MeanError)
 		if g := pt.Guarded; g != nil {
-			fmt.Printf(" | %7.1f%% %9.4f%% %6d", 100*g.HitRate, 100*g.MeanError, g.Monitor.GuardDisables)
+			fmt.Fprintf(stdout, " | %7.1f%% %9.4f%% %6d", 100*g.HitRate, 100*g.MeanError, g.Monitor.GuardDisables)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return nil
 }
 
 // parseRates parses a comma-separated list of flip rates.
@@ -247,14 +292,9 @@ func parseRates(s string) ([]float64, error) {
 	for _, f := range strings.Split(s, ",") {
 		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad fault rate %q: %w", f, err)
+			return nil, cli.Usagef("bad fault rate %q: %v", f, err)
 		}
 		rates = append(rates, r)
 	}
 	return rates, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "axmemo:", err)
-	os.Exit(1)
 }

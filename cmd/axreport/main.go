@@ -5,28 +5,41 @@
 // Usage:
 //
 //	axreport [-scale 1] [-parallel 4] [-only Fig7a,Fig9] [-o report.txt]
+//	axreport -only Fig7a -metrics-out metrics.json -trace-out trace.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"axmemo/internal/cli"
 	"axmemo/internal/harness"
+	"axmemo/internal/obs"
 )
 
-func main() {
+func main() { cli.Main("axreport", run) }
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("axreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		scale    = flag.Int("scale", 1, "input scale for all experiments")
-		parallel = flag.Int("parallel", 0, "sweep worker pool size (0 = one worker per CPU, 1 = serial)")
-		only     = flag.String("only", "", "comma-separated subset of artifact IDs (e.g. Fig7a,Fig9,Table1)")
-		out      = flag.String("o", "", "also write the report to this file")
-		asJSON   = flag.Bool("json", false, "emit the figures as JSON instead of text tables")
-		withBars = flag.Bool("bars", false, "append an ASCII bar chart of each figure's last data column")
+		scale    = fs.Int("scale", 1, "input scale for all experiments")
+		parallel = fs.Int("parallel", 0, "sweep worker pool size (0 = one worker per CPU, 1 = serial)")
+		only     = fs.String("only", "", "comma-separated subset of artifact IDs (e.g. Fig7a,Fig9,Table1)")
+		out      = fs.String("o", "", "also write the report to this file")
+		asJSON   = fs.Bool("json", false, "emit the figures as JSON instead of text tables")
+		withBars = fs.Bool("bars", false, "append an ASCII bar chart of each figure's last data column")
+
+		metricsOut = fs.String("metrics-out", "", "write the sweep's deterministic metrics snapshot (JSON) to this file")
+		traceOut   = fs.String("trace-out", "", "write the sweep's Chrome trace-event timeline (JSON) to this file")
 	)
-	flag.Parse()
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -40,6 +53,9 @@ func main() {
 
 	s := harness.NewSuite(*scale)
 	s.Parallel = *parallel
+	if *metricsOut != "" || *traceOut != "" {
+		s.Obs = obs.NewSink()
+	}
 
 	// Prewarm the selected figures' deduplicated sweep cells on the
 	// worker pool; the generators below then only read cached results, so
@@ -52,8 +68,7 @@ func main() {
 	}
 	if len(sweepIDs) > 0 {
 		if err := s.Prewarm(0, sweepIDs...); err != nil {
-			fmt.Fprintln(os.Stderr, "axreport:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 
@@ -92,8 +107,7 @@ func main() {
 		}
 		fig, err := g.fn()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "axreport: %s: %v\n", g.id, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", g.id, err)
 		}
 		if *asJSON {
 			figures = append(figures, fig)
@@ -112,18 +126,17 @@ func main() {
 	if *asJSON {
 		enc, err := json.MarshalIndent(figures, "", "  ")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "axreport:", err)
-			os.Exit(1)
+			return err
 		}
 		b.Write(enc)
 		b.WriteByte('\n')
 	}
 
-	fmt.Print(b.String())
+	fmt.Fprint(stdout, b.String())
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "axreport:", err)
-			os.Exit(1)
+			return err
 		}
 	}
+	return s.Obs.WriteFiles(*metricsOut, *traceOut, "")
 }

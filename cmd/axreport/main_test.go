@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"axmemo/internal/cli"
+)
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return cli.ExitCode(err), out.String(), errb.String()
+}
+
+func TestFlagHandling(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantOut  string
+		wantErr  string
+	}{
+		{name: "help", args: []string{"-h"}, wantCode: 0, wantErr: "-only"},
+		{name: "bad flag", args: []string{"-definitely-not-a-flag"}, wantCode: 2, wantErr: "definitely-not-a-flag"},
+		{name: "static tables", args: []string{"-only", "Table2,Table4,Table5"}, wantCode: 0, wantOut: "Table4"},
+		{name: "json output", args: []string{"-only", "Table2", "-json"}, wantCode: 0, wantOut: `"ID": "Table2"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, errOut := runCmd(t, tc.args...)
+			if code != tc.wantCode {
+				t.Fatalf("exit code = %d, want %d (stderr: %s)", code, tc.wantCode, errOut)
+			}
+			if tc.wantOut != "" && !strings.Contains(out, tc.wantOut) {
+				t.Errorf("stdout missing %q:\n%s", tc.wantOut, out)
+			}
+			if tc.wantErr != "" && !strings.Contains(errOut, tc.wantErr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantErr, errOut)
+			}
+		})
+	}
+}
+
+func TestReportFileAndArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	report := filepath.Join(dir, "report.txt")
+	metrics := filepath.Join(dir, "m.json")
+	trace := filepath.Join(dir, "t.json")
+
+	code, out, errOut := runCmd(t, "-only", "ABL-RATE", "-o", report,
+		"-metrics-out", metrics, "-trace-out", trace)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errOut)
+	}
+	written, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(written) != out {
+		t.Error("-o file does not match stdout")
+	}
+	if !strings.Contains(out, "ABL-RATE") {
+		t.Errorf("report missing figure:\n%s", out)
+	}
+
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Schema int `json:"schema"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics snapshot is not valid JSON: %v", err)
+	}
+	if snap.Schema != 1 {
+		t.Errorf("metrics schema = %d, want 1", snap.Schema)
+	}
+	if !strings.Contains(string(raw), "harness_sweep_cells_total") {
+		t.Error("metrics snapshot missing scheduler telemetry")
+	}
+	if strings.Contains(string(raw), "harness_cell_wall_seconds") {
+		t.Error("volatile wall-time family leaked into the deterministic snapshot")
+	}
+
+	var tr struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	traw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(traw, &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Error("trace has no events")
+	}
+}

@@ -1,0 +1,71 @@
+// Package cli is the shared command-line scaffolding of the cmd/
+// binaries.  Every command implements
+//
+//	run(args []string, stdout, stderr io.Writer) error
+//
+// and hands it to Main, which maps the error to the conventional exit
+// status: 0 for success (including -h), 2 for command-line mistakes, 1
+// for everything else.  Keeping main() a one-liner makes the whole
+// command testable in-process (see the cmd/ *_test.go files).
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// UsageError marks a command-line mistake; ExitCode maps it to 2.
+type UsageError struct {
+	Err error
+	// Printed records that the flag package already reported the error
+	// on stderr, so Main must not repeat it.
+	Printed bool
+}
+
+func (e *UsageError) Error() string { return e.Err.Error() }
+func (e *UsageError) Unwrap() error { return e.Err }
+
+// Usagef builds a UsageError, for a command's own argument validation.
+func Usagef(format string, args ...any) error {
+	return &UsageError{Err: fmt.Errorf(format, args...)}
+}
+
+// Parse runs fs on args.  -h/-help surfaces as flag.ErrHelp (exit 0,
+// usage already printed); any other parse failure becomes a UsageError
+// that the flag package has already reported.
+func Parse(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return flag.ErrHelp
+		}
+		return &UsageError{Err: err, Printed: true}
+	}
+	return nil
+}
+
+// ExitCode maps a run error to the command's exit status.
+func ExitCode(err error) int {
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		return 0
+	case errors.As(err, new(*UsageError)):
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Main executes a command body against the process streams and exits
+// with the conventional status, reporting the error as "name: err"
+// unless it was already printed during flag parsing.
+func Main(name string, run func(args []string, stdout, stderr io.Writer) error) {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	var ue *UsageError
+	if err != nil && !errors.Is(err, flag.ErrHelp) && !(errors.As(err, &ue) && ue.Printed) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	}
+	os.Exit(ExitCode(err))
+}

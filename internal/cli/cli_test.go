@@ -1,0 +1,62 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, 0},
+		{"help", flag.ErrHelp, 0},
+		{"wrapped help", fmt.Errorf("x: %w", flag.ErrHelp), 0},
+		{"usage", Usagef("bad -x"), 2},
+		{"wrapped usage", fmt.Errorf("x: %w", Usagef("bad")), 2},
+		{"other", errors.New("boom"), 1},
+	}
+	for _, tc := range cases {
+		if got := ExitCode(tc.err); got != tc.want {
+			t.Errorf("%s: ExitCode = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	newFS := func(w io.Writer) *flag.FlagSet {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		fs.SetOutput(w)
+		fs.Int("n", 1, "a number")
+		return fs
+	}
+
+	var buf strings.Builder
+	if err := Parse(newFS(&buf), []string{"-n", "3"}); err != nil {
+		t.Fatalf("good args: %v", err)
+	}
+
+	buf.Reset()
+	if err := Parse(newFS(&buf), []string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h: got %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(buf.String(), "-n") {
+		t.Fatalf("-h did not print usage: %q", buf.String())
+	}
+
+	buf.Reset()
+	err := Parse(newFS(&buf), []string{"-bogus"})
+	var ue *UsageError
+	if !errors.As(err, &ue) || !ue.Printed {
+		t.Fatalf("bad flag: got %#v, want printed UsageError", err)
+	}
+	if ExitCode(err) != 2 {
+		t.Fatalf("bad flag exit code = %d, want 2", ExitCode(err))
+	}
+}

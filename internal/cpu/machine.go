@@ -16,6 +16,7 @@ import (
 	"axmemo/internal/ir"
 	"axmemo/internal/mem"
 	"axmemo/internal/memo"
+	"axmemo/internal/obs"
 	"axmemo/internal/softmemo"
 )
 
@@ -54,6 +55,17 @@ type Config struct {
 	// Hook, if set, is invoked after every executed instruction; the
 	// tracer uses it to build dynamic traces.
 	Hook Hook
+	// Obs, if non-nil, receives live metrics from the interpreter hot
+	// path (dynamic instructions by class, memo lookup latency).  A nil
+	// sink keeps the hot path allocation-free and costs one nil check
+	// per instruction.
+	Obs *obs.Sink
+	// ObsPID is the trace process lane for this machine's events (a
+	// sweep assigns one lane per cell).
+	ObsPID int
+	// ObsRun is the label value identifying this run in metric series
+	// (e.g. "sobel/L1 (8KB)").
+	ObsRun string
 }
 
 // DefaultConfig returns the Table 3 core with no memoization unit.
@@ -117,6 +129,16 @@ type Stats struct {
 	Monitor memo.MonitorStats
 	// Soft reports software-LUT activity (zero-valued without one).
 	Soft softmemo.Stats
+	// Pipeline stall cycles by cause, accumulated across threads:
+	// operand dependencies (scoreboard), structural hazards (all
+	// instances of a functional unit busy), and issue-slot pressure
+	// (the shared issue width exhausted this cycle).
+	StallOperandCycles    uint64
+	StallStructuralCycles uint64
+	StallIssueCycles      uint64
+	// IssueSlots is Cycles × IssueWidth, the issue capacity of the run;
+	// Insns/IssueSlots is the issue-width utilization.
+	IssueSlots uint64
 	// Cache statistics.
 	L1D  mem.Stats
 	L2   mem.Stats
@@ -132,6 +154,14 @@ func (s Stats) IPC() float64 {
 		return 0
 	}
 	return float64(s.Insns) / float64(s.Cycles)
+}
+
+// IssueUtilization returns the fraction of issue slots filled.
+func (s Stats) IssueUtilization() float64 {
+	if s.IssueSlots == 0 {
+		return 0
+	}
+	return float64(s.Insns) / float64(s.IssueSlots)
 }
 
 // Result is the outcome of Machine.Run.
@@ -163,6 +193,16 @@ type Machine struct {
 	memoInsns uint64
 	ecounts   energy.Counts
 	frameSeq  uint64
+
+	// Stall-cycle attribution (always on: three compares and adds per
+	// issue, reported through Stats).
+	stallOperand    uint64
+	stallStructural uint64
+	stallIssue      uint64
+	// hot holds the live metric handles of an attached observability
+	// sink; nil when disabled, so the per-instruction cost of a
+	// disabled sink is a single nil check.
+	hot *hotObs
 
 	// Allocation-free interpreter scratch: retired activations are
 	// recycled through framePool, and operand-use lists are gathered
@@ -211,6 +251,9 @@ func newMachine(prog *ir.Program, image *Memory, cfg Config, mkHier func() (*mem
 		m.memo = u
 	}
 	m.soft = cfg.Soft
+	if reg := cfg.Obs.Reg(); reg != nil {
+		m.hot = newHotObs(reg, cfg.ObsRun)
+	}
 	for fu := range m.fuFree {
 		m.fuFree[fu] = make([]uint64, fuCount[fu])
 	}
@@ -319,6 +362,11 @@ func (m *Machine) finishStats() (Stats, error) {
 		L1D:       m.hier.L1D().Stats(),
 		L2:        m.hier.L2().Stats(),
 		DRAM:      m.hier.DRAMAccesses(),
+
+		StallOperandCycles:    m.stallOperand,
+		StallStructuralCycles: m.stallStructural,
+		StallIssueCycles:      m.stallIssue,
+		IssueSlots:            m.cycle * uint64(m.cfg.IssueWidth),
 	}
 	st.Faults = sumFaults(st.Faults, m.hier.L1D().FaultStats())
 	st.Faults = sumFaults(st.Faults, m.hier.L2().FaultStats())

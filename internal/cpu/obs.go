@@ -1,0 +1,70 @@
+package cpu
+
+import (
+	"axmemo/internal/energy"
+	"axmemo/internal/obs"
+)
+
+// hotObs caches the metric handles the interpreter's step loop updates
+// live.  Handles are resolved once at machine construction so the
+// per-instruction cost with a sink attached is one array index and one
+// atomic add; without one, a single nil check (see
+// BenchmarkStepHotPath / BenchmarkStepHotPathObs).
+type hotObs struct {
+	// insns counts retired dynamic instructions per energy class.
+	insns [energy.NumClasses]*obs.Counter
+	// lookupLat is the memo LOOKUP latency distribution in cycles,
+	// including any stall waiting for the CRC input queue to drain.
+	lookupLat *obs.Histogram
+}
+
+// newHotObs resolves the hot-path handles for one run label.
+func newHotObs(reg *obs.Registry, run string) *hotObs {
+	h := &hotObs{}
+	cv := reg.NewCounterVec("cpu_insns_total",
+		obs.Opts{Help: "retired dynamic instructions by energy class"}, "run", "class")
+	for c := energy.Class(0); c < energy.NumClasses; c++ {
+		h.insns[c] = cv.With(run, c.String())
+	}
+	h.lookupLat = reg.NewHistogramVec("cpu_memo_lookup_cycles",
+		obs.Opts{Help: "memo LOOKUP latency in cycles, CRC drain stall included",
+			Buckets: []float64{2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128}}, "run").
+		With(run)
+	return h
+}
+
+// publishStats batch-publishes one finished run's counters into the
+// registry under the run label.  Counter publication is additive and
+// therefore commutative: concurrent sweep cells publishing into one
+// shared registry yield a deterministic snapshot.
+func publishStats(reg *obs.Registry, run string, st *Stats) {
+	if reg == nil {
+		return
+	}
+	stall := reg.NewCounterVec("cpu_stall_cycles_total",
+		obs.Opts{Help: "pipeline stall cycles by cause"}, "run", "cause")
+	stall.With(run, "operand").Add(st.StallOperandCycles)
+	stall.With(run, "structural").Add(st.StallStructuralCycles)
+	stall.With(run, "issue_width").Add(st.StallIssueCycles)
+	reg.NewCounterVec("cpu_cycles_total",
+		obs.Opts{Help: "simulated cycles"}, "run").With(run).Add(st.Cycles)
+	reg.NewCounterVec("cpu_issue_slots_total",
+		obs.Opts{Help: "issue capacity (cycles x issue width)"}, "run").With(run).Add(st.IssueSlots)
+	reg.NewGaugeVec("cpu_issue_utilization",
+		obs.Opts{Help: "fraction of issue slots filled"}, "run").With(run).Set(st.IssueUtilization())
+	reg.NewGaugeVec("cpu_ipc",
+		obs.Opts{Help: "retired instructions per cycle"}, "run").With(run).Set(st.IPC())
+}
+
+// PublishStats publishes a finished run's CPU, cache and fault
+// counters into reg under the run label (no-op for a nil registry).
+// Hot-path metrics (instruction classes, lookup latency) are streamed
+// live instead — see hotObs.
+func (st *Stats) PublishStats(reg *obs.Registry, run string) {
+	publishStats(reg, run, st)
+	st.L1D.Publish(reg, run, "L1D")
+	st.L2.Publish(reg, run, "L2")
+	reg.NewCounterVec("mem_dram_accesses_total",
+		obs.Opts{Help: "accesses reaching DRAM"}, "run").With(run).Add(st.DRAM)
+	st.Faults.Publish(reg, run)
+}

@@ -87,6 +87,7 @@ func (m *Machine) freeFrame(f *frame) {
 func (m *Machine) issueAt(t *threadState, opsReady uint64, fu FU, pipelined bool, lat int) (issue uint64) {
 	tt := t.nextIssue
 	if opsReady > tt {
+		m.stallOperand += opsReady - tt
 		tt = opsReady
 	}
 	// Structural hazard: pick the earliest-free instance of the unit.
@@ -97,12 +98,14 @@ func (m *Machine) issueAt(t *threadState, opsReady uint64, fu FU, pipelined bool
 		}
 	}
 	if m.fuFree[fu][best] > tt {
+		m.stallStructural += m.fuFree[fu][best] - tt
 		tt = m.fuFree[fu][best]
 	}
 	// Issue-slot accounting (shared across threads).
 	if tt == m.lastIssue {
 		if m.slots >= m.cfg.IssueWidth {
 			tt++
+			m.stallIssue++
 			m.lastIssue = tt
 			m.slots = 1
 		} else {
@@ -117,6 +120,7 @@ func (m *Machine) issueAt(t *threadState, opsReady uint64, fu FU, pipelined bool
 		tt = m.lastIssue
 		if m.slots >= m.cfg.IssueWidth {
 			tt++
+			m.stallIssue++
 			m.lastIssue = tt
 			m.slots = 1
 		} else {
@@ -138,7 +142,11 @@ func (m *Machine) retire(done uint64, in *ir.Instr) {
 		m.cycle = done
 	}
 	m.insns++
-	m.ecounts.Insns[opTable[in.Op].class]++
+	class := opTable[in.Op].class
+	m.ecounts.Insns[class]++
+	if h := m.hot; h != nil {
+		h.insns[class].Inc()
+	}
 	if in.Op.IsMemo() && in.Op != ir.LdCRC || in.Aux {
 		m.memoInsns++
 	}
@@ -367,6 +375,9 @@ func (m *Machine) step(t *threadState) error {
 			f.regs[in.B] = boolToRaw(res.Hit)
 			f.ready[in.Dst] = res.DoneAt
 			f.ready[in.B] = res.DoneAt
+			if h := m.hot; h != nil {
+				h.lookupLat.Observe(float64(res.DoneAt - tt))
+			}
 			m.retire(res.DoneAt, in)
 			m.hook(t, f, in, 0, false, res.Hit)
 		case m.soft != nil:

@@ -1,0 +1,33 @@
+package fault
+
+import "axmemo/internal/obs"
+
+// kindCounts enumerates the delivered-fault counters by kind label.
+func (s Stats) kindCounts() [](struct {
+	Kind string
+	N    uint64
+}) {
+	return []struct {
+		Kind string
+		N    uint64
+	}{
+		{"lut_bit_flip", s.LUTBitFlips},
+		{"hvr_bit_flip", s.HVRBitFlips},
+		{"dropped_update", s.DroppedUpdates},
+		{"stuck_entry", s.StuckEntries},
+		{"cache_tag_flip", s.CacheTagFlips},
+	}
+}
+
+// Publish batch-publishes the delivered-fault counters into the
+// registry, labeled by run and fault kind.  A nil registry is a no-op.
+func (s Stats) Publish(reg *obs.Registry, run string) {
+	if reg == nil {
+		return
+	}
+	cv := reg.NewCounterVec("fault_delivered_total",
+		obs.Opts{Help: "injected-fault events delivered, by kind"}, "run", "kind")
+	for _, k := range s.kindCounts() {
+		cv.With(run, k.Kind).Add(k.N)
+	}
+}

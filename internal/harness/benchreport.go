@@ -1,0 +1,37 @@
+package harness
+
+import "encoding/json"
+
+// BenchReportSchema versions BENCH_harness.json; bump it whenever a
+// field is renamed, removed, or changes meaning.
+const BenchReportSchema = 1
+
+// BenchReport is the machine-readable summary cmd/axbench writes
+// (BENCH_harness.json): the evidence file for the parallel sweep
+// scheduler's wall-clock claim.  Consumers should check Schema before
+// reading further fields.
+type BenchReport struct {
+	Schema          int      `json:"schema"`
+	Generated       string   `json:"generated"`
+	GoVersion       string   `json:"go_version"`
+	CPUs            int      `json:"cpus"`
+	Scale           int      `json:"scale"`
+	Figures         []string `json:"figures"`
+	Cells           int      `json:"cells"`
+	Workers         int      `json:"workers"`
+	SerialSeconds   float64  `json:"serial_seconds"`
+	ParallelSeconds float64  `json:"parallel_seconds"`
+	Speedup         float64  `json:"speedup"`
+	IdenticalOutput bool     `json:"identical_output"`
+}
+
+// Encode renders the report as indented JSON with a trailing newline,
+// stamping the current schema version.
+func (r BenchReport) Encode() ([]byte, error) {
+	r.Schema = BenchReportSchema
+	enc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(enc, '\n'), nil
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"axmemo/internal/memo"
+	"axmemo/internal/obs"
 	"axmemo/internal/quality"
 	"axmemo/internal/workloads"
 )
@@ -117,9 +118,17 @@ type Suite struct {
 	// simulation carries all of its state (RNG seeds, fault plans, memo
 	// units) per Run, so only wall-clock changes.
 	Parallel int
+	// Obs, if non-nil, collects every cell's metrics and timeline
+	// events.  Deterministic families stay byte-identical between serial
+	// and parallel sweeps: counters are additive, per-run gauges have one
+	// writer, trace process lanes are pre-assigned in enumeration order
+	// (pidFor), and the racy scheduler telemetry is Volatile.
+	Obs *obs.Sink
 
-	mu    sync.Mutex
-	cells map[cellKey]*cell
+	mu      sync.Mutex
+	cells   map[cellKey]*cell
+	cellPID map[cellKey]int
+	nextPID int
 }
 
 // cellKey addresses one cached simulation: figures share baselines and
@@ -145,9 +154,27 @@ func NewSuite(scale int) *Suite {
 		scale = 1
 	}
 	return &Suite{
-		Scale: scale,
-		cells: make(map[cellKey]*cell),
+		Scale:   scale,
+		cells:   make(map[cellKey]*cell),
+		cellPID: make(map[cellKey]int),
+		nextPID: 1, // lane 0 is the harness/scheduler itself
 	}
+}
+
+// pidFor returns the cell's stable trace process lane, assigning the
+// next one on first request.  Prewarm pre-assigns every enumerated cell
+// before its workers start, so lanes are identical between serial and
+// parallel sweeps.
+func (s *Suite) pidFor(key cellKey) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pid, ok := s.cellPID[key]; ok {
+		return pid
+	}
+	pid := s.nextPID
+	s.nextPID++
+	s.cellPID[key] = pid
+	return pid
 }
 
 // getCell returns the cache cell for key, creating it if needed.
@@ -165,7 +192,12 @@ func (s *Suite) getCell(key cellKey, baseline bool) *cell {
 // runCell executes (or waits for) the cached simulation of w under cfg.
 func (s *Suite) runCell(w *workloads.Workload, cfg Config, baseline bool) (*Result, error) {
 	cfg.Scale = s.Scale
-	c := s.getCell(cellKey{workload: w.Name, config: cfg.Name}, baseline)
+	key := cellKey{workload: w.Name, config: cfg.Name}
+	if s.Obs != nil {
+		cfg.Obs = s.Obs
+		cfg.ObsPID = s.pidFor(key)
+	}
+	c := s.getCell(key, baseline)
 	c.once.Do(func() { c.res, c.err = Run(w, cfg) })
 	return c.res, c.err
 }

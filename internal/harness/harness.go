@@ -15,6 +15,7 @@ import (
 	"axmemo/internal/energy"
 	"axmemo/internal/fault"
 	"axmemo/internal/memo"
+	"axmemo/internal/obs"
 	"axmemo/internal/quality"
 	"axmemo/internal/softmemo"
 	"axmemo/internal/workloads"
@@ -83,6 +84,14 @@ type Config struct {
 	// MaxCycles caps simulated time; the run fails with
 	// cpu.ErrCycleBudget beyond it (0 = unlimited).
 	MaxCycles uint64
+	// Obs, if non-nil, collects the run's metrics and timeline events
+	// under the "workload/config" run label.  Counter publication is
+	// additive, so many runs may share one sink.  Excluded from the
+	// suite-cache key: it never changes simulation results.
+	Obs *obs.Sink
+	// ObsPID is the trace process lane for this run's events (the Suite
+	// assigns stable lanes per sweep cell).
+	ObsPID int
 }
 
 // Baseline returns the no-memoization configuration.
@@ -145,8 +154,12 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 1
 	}
+	obsRun := w.Name + "/" + cfg.Name
 	prog := w.Build()
 	ccfg := cpu.DefaultConfig()
+	ccfg.Obs = cfg.Obs
+	ccfg.ObsPID = cfg.ObsPID
+	ccfg.ObsRun = obsRun
 	if cfg.TotalL2CacheKB > 0 {
 		ccfg.Hierarchy.L2.SizeBytes = cfg.TotalL2CacheKB << 10
 	}
@@ -201,6 +214,8 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 				base.CRCBytesPerCycle = cfg.CRCBytesPerCycle
 			}
 			base.Faults = cfg.Faults
+			base.Obs = cfg.Obs
+			base.ObsPID = cfg.ObsPID
 			if cfg.GuardBudget > 0 {
 				base.Monitor.Enabled = true // the guard samples through the monitor
 				base.Monitor.Guard = memo.DefaultGuard(cfg.GuardBudget)
@@ -248,6 +263,21 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("harness: %s/%s: %w", w.Name, cfg.Name, err)
 	}
 	st := run.Stats
+	if reg := cfg.Obs.Reg(); reg != nil {
+		st.PublishStats(reg, obsRun)
+		if cfg.Mode == ModeHW {
+			st.Memo.Publish(reg, obsRun)
+			st.Monitor.Publish(reg, obsRun)
+		}
+	}
+	if tr := cfg.Obs.Tracer(); tr != nil {
+		// One span per simulation on its own process lane; timestamps
+		// are simulated cycles, so the timeline is deterministic.
+		tr.NameProcess(cfg.ObsPID, obsRun)
+		tr.Span("run", "sim", cfg.ObsPID, 0, 0, st.Cycles,
+			"workload", w.Name, "config", cfg.Name,
+			"insns", fmt.Sprintf("%d", st.Insns))
+	}
 
 	model := energy.Default().ForL1LUT(l1Bytes)
 	breakdown := model.Price(st.Energy)
@@ -303,6 +333,8 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 	if err := img.Err(); err != nil {
 		return nil, fmt.Errorf("harness: %s/%s: reading outputs: %w", w.Name, cfg.Name, err)
 	}
+	cfg.Obs.Tracer().Instant("quality.scored", "sim", cfg.ObsPID, 0, st.Cycles,
+		"quality", fmt.Sprintf("%.6g", res.Quality))
 	return res, nil
 }
 

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"axmemo/internal/obs"
 	"axmemo/internal/workloads"
 )
 
@@ -179,6 +181,15 @@ func (s *Suite) Prewarm(n int, figIDs ...string) error {
 	if err != nil {
 		return err
 	}
+	// Pre-assign every cell's trace process lane in enumeration order,
+	// before any worker races for them: parallel and serial sweeps then
+	// emit identical timelines.
+	if s.Obs != nil {
+		for _, c := range cells {
+			s.pidFor(c.key())
+		}
+	}
+	tele := s.newSweepTelemetry(len(cells))
 	n = s.workers(n)
 	if n > len(cells) {
 		n = len(cells)
@@ -186,7 +197,7 @@ func (s *Suite) Prewarm(n int, figIDs ...string) error {
 	if n <= 1 {
 		var firstErr error
 		for _, c := range cells {
-			if err := s.runSweepCell(c); err != nil && firstErr == nil {
+			if err := tele.run(s, c); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
@@ -203,7 +214,7 @@ func (s *Suite) Prewarm(n int, figIDs ...string) error {
 		go func() {
 			defer wg.Done()
 			for c := range jobs {
-				if err := s.runSweepCell(c); err != nil {
+				if err := tele.run(s, c); err != nil {
 					errMu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -219,6 +230,40 @@ func (s *Suite) Prewarm(n int, figIDs ...string) error {
 	close(jobs)
 	wg.Wait()
 	return firstErr
+}
+
+// sweepTelemetry is the scheduler's own instrumentation: scheduled-cell
+// counts are deterministic, while wall time and queue depth depend on
+// host load and pool size and therefore live in Volatile families that
+// the deterministic snapshot excludes.
+type sweepTelemetry struct {
+	wall  *obs.Histogram
+	depth *obs.Gauge
+}
+
+func (s *Suite) newSweepTelemetry(cells int) *sweepTelemetry {
+	t := &sweepTelemetry{}
+	if reg := s.Obs.Reg(); reg != nil {
+		reg.NewCounter("harness_sweep_cells_total",
+			obs.Opts{Help: "sweep cells scheduled by Prewarm"}).Add(uint64(cells))
+		t.wall = reg.NewHistogram("harness_cell_wall_seconds",
+			obs.Opts{Help: "per-cell wall time", Volatile: true,
+				Buckets: []float64{0.001, 0.01, 0.1, 0.5, 1, 2, 5, 10, 30, 60}})
+		t.depth = reg.NewGauge("harness_queue_depth",
+			obs.Opts{Help: "sweep cells not yet completed", Volatile: true})
+		t.depth.Set(float64(cells))
+	}
+	return t
+}
+
+// run executes one cell and records the scheduler telemetry around it
+// (all metric methods are nil-safe, so a sink-less suite pays nothing).
+func (t *sweepTelemetry) run(s *Suite, c SweepCell) error {
+	start := time.Now()
+	err := s.runSweepCell(c)
+	t.wall.Observe(time.Since(start).Seconds())
+	t.depth.Add(-1)
+	return err
 }
 
 // runSweepCell executes one cell through the suite cache.  The workload

@@ -1,0 +1,21 @@
+package mem
+
+import "axmemo/internal/obs"
+
+// Publish batch-publishes one run's per-level cache counters into the
+// registry, labeled by run and cache level ("L1D", "L2").  Additive
+// publication keeps a shared sweep registry deterministic; a nil
+// registry is a no-op.
+func (s Stats) Publish(reg *obs.Registry, run, level string) {
+	if reg == nil {
+		return
+	}
+	ev := reg.NewCounterVec("mem_cache_events_total",
+		obs.Opts{Help: "cache hits/misses/evictions/writes by level"}, "run", "level", "event")
+	ev.With(run, level, "hit").Add(s.Hits)
+	ev.With(run, level, "miss").Add(s.Misses)
+	ev.With(run, level, "evict").Add(s.Evictions)
+	ev.With(run, level, "write").Add(s.Writes)
+	reg.NewGaugeVec("mem_cache_hit_rate",
+		obs.Opts{Help: "per-level hit rate"}, "run", "level").With(run, level).Set(s.HitRate())
+}

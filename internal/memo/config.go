@@ -15,6 +15,7 @@ import (
 
 	"axmemo/internal/crc"
 	"axmemo/internal/fault"
+	"axmemo/internal/obs"
 )
 
 // LUT set geometry (§3.3): one set of LUT entries fits exactly one 64-byte
@@ -177,6 +178,13 @@ type Config struct {
 	// unit: bit flips in LUT reads and HVR feeds, stuck-at entries and
 	// dropped updates (see internal/fault).
 	Faults *fault.Plan
+	// Obs, if non-nil, receives trace instants for guard trips,
+	// monitor kill-switch events and delivered faults, stamped with
+	// the simulated cycle at which they occurred.  Nil disables
+	// collection at the cost of one nil check per event.
+	Obs *obs.Sink
+	// ObsPID is the trace process lane for the unit's events.
+	ObsPID int
 }
 
 // MaxLUTs is the number of logical LUTs addressable by the 3-bit LUT_ID.

@@ -28,8 +28,15 @@ type monitor struct {
 	// error (the adaptive-truncation controller subscribes here).
 	onWindow func(meanErr float64)
 	// onGuardDisable, if set, is invoked when the quality guard trips
-	// for one logical LUT (the unit flushes that LUT's entries here).
-	onGuardDisable func(lut uint8)
+	// for one logical LUT at cycle now (the unit flushes that LUT's
+	// entries and emits a trace instant here).
+	onGuardDisable func(lut uint8, now uint64)
+	// onGuardReenable, if set, is invoked when a cooldown expires and
+	// the LUT is re-armed at cycle now.
+	onGuardReenable func(lut uint8, now uint64)
+	// onDisable, if set, is invoked when the global kill switch trips
+	// at cycle now.
+	onDisable func(now uint64)
 }
 
 // lutGuard is the per-LUT quality-guard state machine: active →
@@ -71,7 +78,7 @@ func newMonitor(cfg MonitorConfig) *monitor {
 // reports a miss so the program recomputes exactly (graceful degradation
 // to baseline execution).  After the cooldown the LUT is re-enabled to
 // probe whether quality recovered.
-func (m *monitor) guardBypass(lut uint8) bool {
+func (m *monitor) guardBypass(lut uint8, now uint64) bool {
 	if !m.cfg.Guard.Enabled {
 		return false
 	}
@@ -84,6 +91,9 @@ func (m *monitor) guardBypass(lut uint8) bool {
 		g.disabled = false
 		g.reenables++
 		g.sum, g.n = 0, 0
+		if m.onGuardReenable != nil {
+			m.onGuardReenable(lut, now)
+		}
 		return false
 	}
 	m.guardBypassed++
@@ -100,7 +110,7 @@ func (m *monitor) budgetFor(lut uint8) float64 {
 
 // observeGuard feeds one sampled comparison into the LUT's estimate and
 // trips the guard when a completed window exceeds the region budget.
-func (m *monitor) observeGuard(lut uint8, rel float64) {
+func (m *monitor) observeGuard(lut uint8, rel float64, now uint64) {
 	if !m.cfg.Guard.Enabled {
 		return
 	}
@@ -135,7 +145,7 @@ func (m *monitor) observeGuard(lut uint8, rel float64) {
 		g.permanent = true
 	}
 	if m.onGuardDisable != nil {
-		m.onGuardDisable(lut)
+		m.onGuardDisable(lut, now)
 	}
 }
 
@@ -151,10 +161,10 @@ func (m *monitor) shouldSample() bool {
 }
 
 // observe records one comparison between the memoized output and the
-// freshly computed one.
-func (m *monitor) observe(lut uint8, memoized, computed uint64, kind OutputKind) {
+// freshly computed one, at cycle now.
+func (m *monitor) observe(lut uint8, memoized, computed uint64, kind OutputKind, now uint64) {
 	rel := relativeError(memoized, computed, kind)
-	m.observeGuard(lut, rel)
+	m.observeGuard(lut, rel, now)
 	m.samples++
 	m.sumRelErr += rel
 	if rel > m.maxRelErr {
@@ -168,6 +178,9 @@ func (m *monitor) observe(lut uint8, memoized, computed uint64, kind OutputKind)
 	if m.windowCount >= m.cfg.WindowSize {
 		if float64(m.windowBad) > m.cfg.BadFraction*float64(m.windowCount) {
 			m.disabled = true
+			if m.onDisable != nil {
+				m.onDisable(now)
+			}
 		}
 		if m.onWindow != nil {
 			m.onWindow(m.windowSum / float64(m.windowCount))

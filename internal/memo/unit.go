@@ -6,6 +6,7 @@ import (
 
 	"axmemo/internal/approx"
 	"axmemo/internal/fault"
+	"axmemo/internal/obs"
 )
 
 // Typed errors returned by the unit's operational interface.  They
@@ -35,6 +36,23 @@ type Stats struct {
 	L2Evictions uint64
 	Collisions  uint64 // true hash collisions (TrackCollisions only)
 	StrayOps    uint64 // updates with no pending allocation
+	// PerLUT splits lookup/hit/miss/update activity by logical LUT for
+	// the observability layer's labeled families (sampled hits count as
+	// hits, as in HitRate).
+	PerLUT [MaxLUTs]LUTCounters
+	// HVRContexts and HVRContextsUsed report the {LUT, TID} hash
+	// contexts provisioned and the subset that ever absorbed input —
+	// the HVR file occupancy.
+	HVRContexts     int
+	HVRContextsUsed int
+}
+
+// LUTCounters is the per-logical-LUT activity split.
+type LUTCounters struct {
+	Lookups uint64
+	Hits    uint64
+	Misses  uint64
+	Updates uint64
 }
 
 // HitRate returns the total hit rate across both LUT levels (Fig. 9
@@ -99,9 +117,16 @@ type Unit struct {
 	// so the lookup/update hot path never allocates.
 	pend   []pending
 	shadow map[shadowKey]string
-	adapt   *adaptive
-	inj     *fault.Injector // nil without fault injection
-	stats   Stats
+	adapt  *adaptive
+	inj    *fault.Injector // nil without fault injection
+	stats  Stats
+	// ctxUsed marks the {LUT, TID} HVR contexts that ever absorbed
+	// input (indexed like pend), for the occupancy gauge.
+	ctxUsed []bool
+	// tr mirrors guard transitions and delivered faults onto the
+	// timeline tracer (nil disables: one nil check per rare event).
+	tr     *obs.Tracer
+	obsPID int
 	// lastLookupHit records whether the in-flight lookup found an
 	// entry (sampled hits count), for the adaptive explorer.
 	lastLookupHit bool
@@ -113,12 +138,15 @@ func New(cfg Config) (*Unit, error) {
 		return nil, err
 	}
 	u := &Unit{
-		cfg:  cfg,
-		hvrs: newHVRFile(cfg.CRC, cfg.Threads, cfg.TrackCollisions, cfg.CRCBytesPerCycle),
-		l1:   newLUT(cfg.L1),
-		mon:  newMonitor(cfg.Monitor),
-		pend: make([]pending, MaxLUTs*cfg.Threads),
+		cfg:     cfg,
+		hvrs:    newHVRFile(cfg.CRC, cfg.Threads, cfg.TrackCollisions, cfg.CRCBytesPerCycle),
+		l1:      newLUT(cfg.L1),
+		mon:     newMonitor(cfg.Monitor),
+		pend:    make([]pending, MaxLUTs*cfg.Threads),
+		ctxUsed: make([]bool, MaxLUTs*cfg.Threads),
 	}
+	u.tr = cfg.Obs.Tracer()
+	u.obsPID = cfg.ObsPID
 	if cfg.L2 != nil {
 		u.l2 = newLUT(*cfg.L2)
 	}
@@ -144,8 +172,19 @@ func New(cfg Config) (*Unit, error) {
 		}
 	}
 	// Quality guard: on a trip, flush the offending LUT so corrupt
-	// entries cannot outlive the disable window.
-	u.mon.onGuardDisable = func(lut uint8) { u.flushLUT(lut) }
+	// entries cannot outlive the disable window.  Guard transitions and
+	// the global kill switch are mirrored onto the timeline tracer.
+	u.mon.onGuardDisable = func(lut uint8, now uint64) {
+		u.flushLUT(lut)
+		u.tr.Instant("guard.disable", "memo", u.obsPID, 0, now,
+			"lut", lutName(lut), "estimate", fmt.Sprintf("%.4f", u.mon.guards[lut].estimate))
+	}
+	u.mon.onGuardReenable = func(lut uint8, now uint64) {
+		u.tr.Instant("guard.reenable", "memo", u.obsPID, 0, now, "lut", lutName(lut))
+	}
+	u.mon.onDisable = func(now uint64) {
+		u.tr.Instant("monitor.kill_switch", "memo", u.obsPID, 0, now)
+	}
 	if cfg.Faults != nil && cfg.Faults.Enabled() {
 		u.inj = fault.NewInjector(*cfg.Faults, fault.SaltMemoUnit)
 		if cfg.Faults.StuckEntryRate > 0 {
@@ -191,7 +230,16 @@ func (u *Unit) AdaptiveStats() AdaptiveStats {
 func (u *Unit) Config() Config { return u.cfg }
 
 // Stats returns a copy of the accumulated statistics.
-func (u *Unit) Stats() Stats { return u.stats }
+func (u *Unit) Stats() Stats {
+	s := u.stats
+	s.HVRContexts = len(u.ctxUsed)
+	for _, used := range u.ctxUsed {
+		if used {
+			s.HVRContextsUsed++
+		}
+	}
+	return s
+}
 
 // MonitorStats returns the quality-monitor summary.
 func (u *Unit) MonitorStats() MonitorStats { return u.mon.stats() }
@@ -259,8 +307,12 @@ func (u *Unit) Feed(lutID uint8, tid int, data uint64, sizeBytes int, truncBits 
 	if u.inj != nil {
 		// Bit flips on the way into the hash unit corrupt the key, so
 		// they surface as spurious misses rather than wrong outputs.
-		truncated = u.inj.CorruptHVRFeed(truncated, sizeBytes*8)
+		if corrupted := u.inj.CorruptHVRFeed(truncated, sizeBytes*8); corrupted != truncated {
+			truncated = corrupted
+			u.tr.Instant("fault.hvr_bit_flip", "fault", u.obsPID, 0, now, "lut", lutName(lutID))
+		}
 	}
+	u.ctxUsed[int(lutID)*u.cfg.Threads+tid] = true
 	u.stats.FedBytes += uint64(sizeBytes)
 	u.stats.FedOps++
 	return u.hvrs.feed(lutID, tid, truncated, sizeBytes, now), nil
@@ -285,6 +337,7 @@ func (u *Unit) Lookup(lutID uint8, tid int, now uint64) (LookupResult, error) {
 	}
 	u.hvrs.reset(lutID, tid)
 	u.stats.Lookups++
+	u.stats.PerLUT[lutID].Lookups++
 	u.lastLookupHit = false
 	defer func() {
 		if u.adapt != nil {
@@ -295,14 +348,16 @@ func (u *Unit) Lookup(lutID uint8, tid int, now uint64) (LookupResult, error) {
 	res := LookupResult{DoneAt: start + uint64(u.cfg.L1.HitLatency)}
 	if u.mon.disabled {
 		u.stats.Misses++
+		u.stats.PerLUT[lutID].Misses++
 		u.allocPending(lutID, tid, crcVal, inputKey)
 		return res, nil
 	}
-	if u.mon.guardBypass(lutID) {
+	if u.mon.guardBypass(lutID, start) {
 		// The quality guard holds this LUT disabled: report a miss so
 		// the program computes exactly; the matching update is
 		// consumed without refilling the LUT.
 		u.stats.Misses++
+		u.stats.PerLUT[lutID].Misses++
 		p := u.allocPending(lutID, tid, crcVal, inputKey)
 		p.bypass = true
 		return res, nil
@@ -324,6 +379,7 @@ func (u *Unit) Lookup(lutID uint8, tid int, now uint64) (LookupResult, error) {
 		}
 	}
 	u.stats.Misses++
+	u.stats.PerLUT[lutID].Misses++
 	u.allocPending(lutID, tid, crcVal, inputKey)
 	return res, nil
 }
@@ -341,12 +397,14 @@ func (u *Unit) finishHit(lutID uint8, tid int, crcVal, data uint64, level int, r
 			if u.l2 != nil {
 				u.l2.corrupt(lutID, crcVal, data)
 			}
+			u.tr.Instant("fault.lut_bit_flip", "fault", u.obsPID, 0, res.DoneAt, "lut", lutName(lutID))
 		}
 	}
 	if u.mon.shouldSample() {
 		// Quality monitoring: report a miss; remember the memoized
 		// data for comparison against the update (§6).
 		u.stats.SampledHits++
+		u.stats.PerLUT[lutID].Hits++
 		p := u.allocPending(lutID, tid, crcVal, inputKey)
 		p.sampled = true
 		p.sampledData = data
@@ -359,6 +417,7 @@ func (u *Unit) finishHit(lutID uint8, tid int, crcVal, data uint64, level int, r
 	} else {
 		u.stats.L2Hits++
 	}
+	u.stats.PerLUT[lutID].Hits++
 	res.Hit = true
 	res.Data = data
 	res.Level = level
@@ -398,19 +457,21 @@ func (u *Unit) Update(lutID uint8, tid int, data uint64, now uint64) (uint64, er
 	p := *slot
 	*slot = pending{}
 	u.stats.Updates++
+	u.stats.PerLUT[lutID].Updates++
 	if p.bypass {
 		// Allocated while the quality guard bypassed this LUT: consume
 		// the update without refilling the table.
 		return done, nil
 	}
 	if p.sampled {
-		u.mon.observe(lutID, p.sampledData, data, u.outKind[lutID])
+		u.mon.observe(lutID, p.sampledData, data, u.outKind[lutID], done)
 	}
 	if u.mon.disabled {
 		return done, nil
 	}
 	if u.inj != nil && u.inj.DropUpdate() {
 		// The LUT write is silently lost.
+		u.tr.Instant("fault.dropped_update", "fault", u.obsPID, 0, done, "lut", lutName(lutID))
 		return done, nil
 	}
 	if victim, ev := u.l1.insert(lutID, p.crc, data); ev {

@@ -1,0 +1,416 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricType discriminates the families of a registry.
+type MetricType string
+
+// Metric types.
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// Opts carries per-family registration options.
+type Opts struct {
+	// Help is a one-line description included in snapshots.
+	Help string
+	// Volatile marks a family whose values are inherently
+	// nondeterministic (wall-clock durations, live queue depths).
+	// Volatile families are collected and served on the live debug
+	// view but excluded from deterministic snapshots, which must be
+	// byte-identical for a fixed seed.
+	Volatile bool
+	// Buckets are a histogram family's fixed upper bounds, in
+	// ascending order; an implicit +Inf bucket is appended.  Ignored
+	// for counters and gauges.  Defaults to DefaultBuckets.
+	Buckets []float64
+}
+
+// DefaultBuckets is the default histogram geometry: powers of two, a
+// good fit for cycle-count latencies.
+var DefaultBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// Registry holds named metric families.  All methods are safe for
+// concurrent use and nil-safe: a nil registry hands out nil families
+// whose updates are no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one named metric with a fixed label-key schema and one
+// child series per label-value tuple.
+type family struct {
+	name      string
+	typ       MetricType
+	opts      Opts
+	labelKeys []string
+
+	mu     sync.Mutex
+	series map[string]any // joined label values -> *Counter/*Gauge/*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup registers (or fetches) a family, enforcing a consistent type
+// and label schema per name.
+func (r *Registry) lookup(name string, typ MetricType, opts Opts, labelKeys []string) *family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, typ: typ, opts: opts, labelKeys: labelKeys,
+			series: make(map[string]any)}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ || len(f.labelKeys) != len(labelKeys) {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s(%d labels), was %s(%d labels)",
+			name, typ, len(labelKeys), f.typ, len(f.labelKeys)))
+	}
+	return f
+}
+
+// child fetches or creates the series for one label-value tuple.
+func (f *family) child(values []string, mk func() any) any {
+	if f == nil {
+		return nil
+	}
+	if len(values) != len(f.labelKeys) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
+			f.name, len(f.labelKeys), len(values)))
+	}
+	key := strings.Join(values, "\x1f")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.series[key]
+	if !ok {
+		c = mk()
+		f.series[key] = c
+	}
+	return c
+}
+
+// Counter is a monotonically increasing value with atomic updates.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.  No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.  No-op on a nil counter.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins value.  Gauges are only deterministic
+// when each series is written by exactly one logical producer (e.g.
+// one sweep cell); anything racier belongs in a Volatile family.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.  No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds d.  No-op on a nil gauge.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + d
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution with atomic updates.  For
+// deterministic export the observed values must be integral (cycle
+// counts, byte counts): integer sums in float64 are exact up to 2^53,
+// so the accumulation order cannot leak into the snapshot.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	n      atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.  No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		s := math.Float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of observations (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// NewCounter registers (or fetches) an unlabeled counter.
+func (r *Registry) NewCounter(name string, opts Opts) *Counter {
+	return r.NewCounterVec(name, opts).With()
+}
+
+// NewCounterVec registers (or fetches) a counter family keyed by
+// labelKeys.  Nil-safe: a nil registry returns a nil vec.
+func (r *Registry) NewCounterVec(name string, opts Opts, labelKeys ...string) *CounterVec {
+	f := r.lookup(name, TypeCounter, opts, labelKeys)
+	if f == nil {
+		return nil
+	}
+	return &CounterVec{f: f}
+}
+
+// With returns the series for one label-value tuple.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	c, _ := v.f.child(values, func() any { return &Counter{} }).(*Counter)
+	return c
+}
+
+// NewGauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) NewGauge(name string, opts Opts) *Gauge {
+	return r.NewGaugeVec(name, opts).With()
+}
+
+// NewGaugeVec registers (or fetches) a gauge family.
+func (r *Registry) NewGaugeVec(name string, opts Opts, labelKeys ...string) *GaugeVec {
+	f := r.lookup(name, TypeGauge, opts, labelKeys)
+	if f == nil {
+		return nil
+	}
+	return &GaugeVec{f: f}
+}
+
+// With returns the series for one label-value tuple.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	g, _ := v.f.child(values, func() any { return &Gauge{} }).(*Gauge)
+	return g
+}
+
+// NewHistogram registers (or fetches) an unlabeled histogram.
+func (r *Registry) NewHistogram(name string, opts Opts) *Histogram {
+	return r.NewHistogramVec(name, opts).With()
+}
+
+// NewHistogramVec registers (or fetches) a histogram family.
+func (r *Registry) NewHistogramVec(name string, opts Opts, labelKeys ...string) *HistogramVec {
+	f := r.lookup(name, TypeHistogram, opts, labelKeys)
+	if f == nil {
+		return nil
+	}
+	return &HistogramVec{f: f}
+}
+
+// With returns the series for one label-value tuple.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	h, _ := v.f.child(values, func() any { return newHistogram(v.f.opts.Buckets) }).(*Histogram)
+	return h
+}
+
+// SnapshotMode selects which families a snapshot includes.
+type SnapshotMode int
+
+// Snapshot modes.
+const (
+	// Deterministic excludes Volatile families: the result is
+	// byte-identical for a fixed seed and safe to golden-test.
+	Deterministic SnapshotMode = iota
+	// Everything includes Volatile families (live debug views).
+	Everything
+)
+
+// MetricsSchema versions the metrics snapshot format.
+const MetricsSchema = 1
+
+// SnapshotJSON renders the registry as deterministic, indented JSON:
+// families sorted by name, series sorted by label values, float values
+// formatted with strconv (shortest round-trip form).  A nil registry
+// renders an empty snapshot.
+func (r *Registry) SnapshotJSON(mode SnapshotMode) []byte {
+	var b strings.Builder
+	b.WriteString("{\n")
+	fmt.Fprintf(&b, "  %q: %d,\n", "schema", MetricsSchema)
+	fmt.Fprintf(&b, "  %q: [", "metrics")
+
+	var fams []*family
+	if r != nil {
+		r.mu.Lock()
+		for _, f := range r.families {
+			if mode == Deterministic && f.opts.Volatile {
+				continue
+			}
+			fams = append(fams, f)
+		}
+		r.mu.Unlock()
+		sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	}
+	for fi, f := range fams {
+		if fi > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString("\n    {")
+		fmt.Fprintf(&b, "%q: %q, %q: %q", "name", f.name, "type", f.typ)
+		if f.opts.Help != "" {
+			fmt.Fprintf(&b, ", %q: %q", "help", f.opts.Help)
+		}
+		if f.opts.Volatile {
+			fmt.Fprintf(&b, ", %q: true", "volatile")
+		}
+		fmt.Fprintf(&b, ", %q: [", "series")
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for si, k := range keys {
+			if si > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString("\n      {")
+			writeLabels(&b, f.labelKeys, k)
+			switch m := f.series[k].(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%q: %d", "value", m.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%q: %s", "value", fnum(m.Value()))
+			case *Histogram:
+				fmt.Fprintf(&b, "%q: %d, %q: %s, %q: [", "count", m.Count(), "sum", fnum(m.Sum()), "buckets")
+				for bi := range m.counts {
+					if bi > 0 {
+						b.WriteString(", ")
+					}
+					bound := "\"+Inf\""
+					if bi < len(m.bounds) {
+						bound = fnum(m.bounds[bi])
+					}
+					fmt.Fprintf(&b, "{%q: %s, %q: %d}", "le", bound, "n", m.counts[bi].Load())
+				}
+				b.WriteByte(']')
+			}
+			b.WriteByte('}')
+		}
+		f.mu.Unlock()
+		if len(keys) > 0 {
+			b.WriteString("\n    ")
+		}
+		b.WriteString("]}")
+	}
+	if len(fams) > 0 {
+		b.WriteString("\n  ")
+	}
+	b.WriteString("]\n}\n")
+	return []byte(b.String())
+}
+
+// writeLabels emits the "labels" member for one series key.
+func writeLabels(b *strings.Builder, keys []string, joined string) {
+	if len(keys) == 0 {
+		return
+	}
+	values := strings.Split(joined, "\x1f")
+	fmt.Fprintf(b, "%q: {", "labels")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%q: %q", k, values[i])
+	}
+	b.WriteString("}, ")
+}
+
+// fnum formats a float deterministically; JSON has no NaN/Inf, so those
+// are quoted.
+func fnum(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return strconv.Quote(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,80 @@
+// Package obs is the zero-dependency observability layer: a typed
+// metrics registry (counters, gauges, fixed-bucket histograms with
+// labeled families and atomic hot-path updates) and a deterministic
+// timeline tracer (spans and instants exported as Chrome trace-event
+// JSON and a flat JSONL event log).
+//
+// Two properties shape every API in this package:
+//
+//   - Pay for what you use.  Every type is nil-safe: a nil *Registry
+//     hands out nil families, a nil *Counter's Inc is a no-op, a nil
+//     *Tracer drops events.  Instrumented code therefore needs no
+//     conditionals and a disabled sink costs one nil check per event —
+//     the interpreter's hot path stays allocation-free (see
+//     BenchmarkStepHotPath / BenchmarkStepHotPathObs in internal/cpu).
+//
+//   - Determinism.  Exported artifacts are byte-identical for a fixed
+//     seed, across runs and across serial/parallel sweeps, so they can
+//     be golden-tested.  Counter and histogram updates are commutative
+//     (integral observations sum exactly in float64 up to 2^53), series
+//     and trace events are sorted on export, and anything inherently
+//     nondeterministic (wall-clock time, live queue depths) must be
+//     registered as Volatile, which excludes it from deterministic
+//     snapshots while keeping it visible on the live /debug/vars view.
+package obs
+
+import "os"
+
+// Sink bundles the two halves of the observability layer.  A nil Sink
+// (or nil fields) disables collection with no further configuration.
+type Sink struct {
+	Metrics *Registry
+	Trace   *Tracer
+}
+
+// NewSink returns a sink with a fresh registry and tracer.
+func NewSink() *Sink {
+	return &Sink{Metrics: NewRegistry(), Trace: NewTracer()}
+}
+
+// Reg returns the sink's registry, or nil for a nil sink.
+func (s *Sink) Reg() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics
+}
+
+// Tracer returns the sink's tracer, or nil for a nil sink.
+func (s *Sink) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.Trace
+}
+
+// WriteFiles writes the sink's deterministic artifacts: the metrics
+// snapshot (Deterministic mode — Volatile families excluded), the
+// Chrome trace-event JSON, and the flat JSONL event log.  Empty paths
+// are skipped; a nil sink writes nothing.
+func (s *Sink) WriteFiles(metricsPath, tracePath, eventsPath string) error {
+	if s == nil {
+		return nil
+	}
+	if metricsPath != "" {
+		if err := os.WriteFile(metricsPath, s.Reg().SnapshotJSON(Deterministic), 0o644); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" {
+		if err := os.WriteFile(tracePath, s.Tracer().ChromeTraceJSON(), 0o644); err != nil {
+			return err
+		}
+	}
+	if eventsPath != "" {
+		if err := os.WriteFile(eventsPath, s.Tracer().JSONL(), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
