@@ -21,6 +21,7 @@ import (
 	"axmemo/internal/cli"
 	"axmemo/internal/harness"
 	"axmemo/internal/obs"
+	"axmemo/internal/store"
 )
 
 func main() { cli.Main("axbench", run) }
@@ -35,6 +36,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		out        = fs.String("out", "BENCH_harness.json", "output file ('-' for stdout only)")
 		metricsOut = fs.String("metrics-out", "", "write the parallel sweep's deterministic metrics snapshot (JSON) to this file")
 		traceOut   = fs.String("trace-out", "", "write the parallel sweep's Chrome trace-event timeline (JSON) to this file")
+
+		storeDir      = fs.String("store-dir", "", "attach this content-addressed store directory to the parallel sweep and report its hit/miss counts")
+		storeMaxBytes = fs.Int64("store-max-bytes", 0, "store size budget; least-recently-used cells are evicted past it (0 = unlimited)")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
@@ -58,10 +62,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 
-	render := func(pool int, sink *obs.Sink) (string, time.Duration, error) {
+	render := func(pool int, sink *obs.Sink, st *store.Store) (string, time.Duration, error) {
 		s := harness.NewSuite(*scale)
 		s.Parallel = pool
 		s.Obs = sink
+		s.Store = st
 		start := time.Now()
 		figs, err := s.GenerateAll(ids...)
 		if err != nil {
@@ -82,11 +87,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *metricsOut != "" || *traceOut != "" {
 		sink = obs.NewSink()
 	}
-	serialOut, serialT, err := render(1, nil)
+	// The store rides on the timed parallel sweep only, so the serial
+	// leg stays an honest all-simulated reference and the report's
+	// hit/miss counts describe exactly one sweep.
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir, *storeMaxBytes); err != nil {
+			return err
+		}
+		defer st.Close()
+		st.Attach(sink)
+	}
+	serialOut, serialT, err := render(1, nil, nil)
 	if err != nil {
 		return err
 	}
-	parallelOut, parallelT, err := render(*workers, sink)
+	parallelOut, parallelT, err := render(*workers, sink, st)
 	if err != nil {
 		return err
 	}
@@ -103,6 +120,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ParallelSeconds: parallelT.Seconds(),
 		Speedup:         serialT.Seconds() / parallelT.Seconds(),
 		IdenticalOutput: serialOut == parallelOut,
+	}
+	if st != nil {
+		stats := st.Stats()
+		r.StoreDir = *storeDir
+		r.StoreHits = stats.Hits
+		r.StoreMisses = stats.Misses
+		r.StoreEvictions = stats.Evictions
 	}
 
 	enc, err := r.Encode()

@@ -86,3 +86,55 @@ func TestBenchEndToEnd(t *testing.T) {
 		}
 	}
 }
+
+// TestBenchStoreReport: with -store-dir the schema-2 report records the
+// parallel sweep's store effectiveness — all misses on a cold store,
+// all hits when rerun against the warm one.
+func TestBenchStoreReport(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "store")
+	report := filepath.Join(dir, "bench.json")
+
+	cells, err := harness.SweepCells("ABL-RATE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode := func() harness.BenchReport {
+		t.Helper()
+		data, err := os.ReadFile(report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := harness.DecodeBenchReport(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	code, _, errOut := runCmd(t, "-figures", "ABL-RATE", "-workers", "2", "-out", report, "-store-dir", storeDir)
+	if code != 0 {
+		t.Fatalf("cold bench exit %d: %s", code, errOut)
+	}
+	cold := decode()
+	if cold.Schema != harness.BenchReportSchema || cold.StoreDir != storeDir {
+		t.Fatalf("cold report schema/dir = %d/%q", cold.Schema, cold.StoreDir)
+	}
+	if cold.StoreMisses != uint64(len(cells)) || cold.StoreHits != 0 {
+		t.Fatalf("cold report store counts = %d hits/%d misses, want 0/%d",
+			cold.StoreHits, cold.StoreMisses, len(cells))
+	}
+
+	code, _, errOut = runCmd(t, "-figures", "ABL-RATE", "-workers", "2", "-out", report, "-store-dir", storeDir)
+	if code != 0 {
+		t.Fatalf("warm bench exit %d: %s", code, errOut)
+	}
+	warm := decode()
+	if warm.StoreHits != uint64(len(cells)) || warm.StoreMisses != 0 {
+		t.Fatalf("warm report store counts = %d hits/%d misses, want %d/0",
+			warm.StoreHits, warm.StoreMisses, len(cells))
+	}
+	if !warm.IdenticalOutput {
+		t.Fatal("warm sweep output differed from serial")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"axmemo/internal/compiler"
 	"axmemo/internal/harness"
 	"axmemo/internal/obs"
+	"axmemo/internal/store"
 	"axmemo/internal/workloads"
 )
 
@@ -57,6 +58,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		parallel   = fs.Int("parallel", 0, "sweep worker pool size for -figures (0 = one worker per CPU, 1 = serial)")
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+
+		storeDir      = fs.String("store-dir", "", "reuse simulation results from this content-addressed store directory (shared with axmemod)")
+		storeMaxBytes = fs.Int64("store-max-bytes", 0, "store size budget; least-recently-used cells are evicted past it (0 = unlimited)")
 
 		metricsOut = fs.String("metrics-out", "", "write the deterministic metrics snapshot (JSON) to this file")
 		traceOut   = fs.String("trace-out", "", "write the Chrome trace-event timeline (JSON) to this file")
@@ -108,8 +112,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	writeArtifacts := func() error { return sink.WriteFiles(*metricsOut, *traceOut, *eventsOut) }
 
+	// An attached result store turns repeated invocations (and runs that
+	// share a directory with an axmemod daemon) into cache hits.
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir, *storeMaxBytes); err != nil {
+			return err
+		}
+		defer st.Close()
+		st.Attach(sink)
+	}
+
 	if *figures != "" {
-		if err := runFigures(stdout, sink, *figures, *scale, *parallel); err != nil {
+		if err := runFigures(stdout, sink, st, *figures, *scale, *parallel); err != nil {
 			return err
 		}
 		return writeArtifacts()
@@ -182,18 +198,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return writeArtifacts()
 	}
 
-	baseCfg := harness.Baseline()
-	baseCfg.Scale = *scale
-	baseCfg.Obs = sink
-	baseCfg.ObsPID = 1
-	base, err := harness.Run(w, baseCfg)
-	if err != nil {
-		return err
-	}
-	cfg.ObsPID = 2
-	res, err := harness.Run(w, cfg)
-	if err != nil {
-		return err
+	var base, res *harness.Result
+	if st != nil {
+		// Route through a suite so both cells go through (and land in)
+		// the result store; the store key ignores the obs fields, so
+		// these cells are interchangeable with daemon-computed ones.
+		s := harness.NewSuite(*scale)
+		s.Obs = sink
+		s.Store = st
+		if base, err = s.Baseline(w); err != nil {
+			return err
+		}
+		if res, err = s.Under(w, cfg); err != nil {
+			return err
+		}
+	} else {
+		baseCfg := harness.Baseline()
+		baseCfg.Scale = *scale
+		baseCfg.Obs = sink
+		baseCfg.ObsPID = 1
+		if base, err = harness.Run(w, baseCfg); err != nil {
+			return err
+		}
+		cfg.ObsPID = 2
+		if res, err = harness.Run(w, cfg); err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(stdout, "benchmark:     %s (%s)\n", w.Name, w.Domain)
@@ -225,8 +255,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 // runFigures renders the requested evaluation figures, prewarming their
-// deduplicated sweep cells on the scheduler's worker pool.
-func runFigures(stdout io.Writer, sink *obs.Sink, ids string, scale, parallel int) error {
+// deduplicated sweep cells on the scheduler's worker pool; cells present
+// in st are served from disk instead of simulated.
+func runFigures(stdout io.Writer, sink *obs.Sink, st *store.Store, ids string, scale, parallel int) error {
 	known := harness.FigureIDs()
 	var sel []string
 	if !strings.EqualFold(ids, "all") {
@@ -247,6 +278,7 @@ func runFigures(stdout io.Writer, sink *obs.Sink, ids string, scale, parallel in
 	s := harness.NewSuite(scale)
 	s.Parallel = parallel
 	s.Obs = sink
+	s.Store = st
 	figs, err := s.GenerateAll(sel...)
 	if err != nil {
 		return err

@@ -183,3 +183,66 @@ func TestFiguresSerialParallelIdentical(t *testing.T) {
 		t.Error("trace differs between serial and parallel sweep")
 	}
 }
+
+// TestFiguresStoreReuse is the CLI face of the result store: a second
+// -figures invocation against the same -store-dir must render the
+// identical bytes without executing a single simulation (no
+// harness_cell_exec_total family in its metrics snapshot), served
+// entirely as store hits.
+func TestFiguresStoreReuse(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "store")
+	m1 := filepath.Join(dir, "m1.json")
+	m2 := filepath.Join(dir, "m2.json")
+
+	code, out1, errOut := runCmd(t, "-figures", "ABL-RATE", "-store-dir", storeDir, "-metrics-out", m1)
+	if code != 0 {
+		t.Fatalf("cold run exit %d: %s", code, errOut)
+	}
+	code, out2, errOut := runCmd(t, "-figures", "ABL-RATE", "-store-dir", storeDir, "-metrics-out", m2)
+	if code != 0 {
+		t.Fatalf("warm run exit %d: %s", code, errOut)
+	}
+	if out1 != out2 {
+		t.Fatalf("store-served figures differ:\n--- cold ---\n%s--- warm ---\n%s", out1, out2)
+	}
+
+	cold, err := os.ReadFile(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := os.ReadFile(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(cold), "harness_cell_exec_total") ||
+		!strings.Contains(string(cold), "store_misses_total") {
+		t.Fatalf("cold metrics missing exec/miss families:\n%s", cold)
+	}
+	if strings.Contains(string(warm), "harness_cell_exec_total") {
+		t.Fatalf("warm run executed simulations:\n%s", warm)
+	}
+	if !strings.Contains(string(warm), "store_hits_total") {
+		t.Fatalf("warm metrics missing store hits:\n%s", warm)
+	}
+}
+
+// TestSingleRunStoreReuse: the one-shot path shares cells through the
+// same store, so a repeated invocation prints identical measurements.
+func TestSingleRunStoreReuse(t *testing.T) {
+	storeDir := t.TempDir()
+	code, out1, errOut := runCmd(t, "-bench", "sobel", "-store-dir", storeDir)
+	if code != 0 {
+		t.Fatalf("cold run exit %d: %s", code, errOut)
+	}
+	code, out2, errOut := runCmd(t, "-bench", "sobel", "-store-dir", storeDir)
+	if code != 0 {
+		t.Fatalf("warm run exit %d: %s", code, errOut)
+	}
+	if out1 != out2 {
+		t.Fatalf("store-served run differs:\n--- cold ---\n%s--- warm ---\n%s", out1, out2)
+	}
+	if !strings.Contains(out1, "speedup:") {
+		t.Fatalf("missing summary line:\n%s", out1)
+	}
+}

@@ -1,0 +1,121 @@
+// Command axmemod is the long-running AxMemo simulation service: an
+// HTTP/JSON daemon that executes simulation and sweep requests on a
+// shared harness suite and memoizes every finished cell in a
+// disk-backed content-addressed result store, so repeated requests —
+// and later CLI runs pointed at the same -store-dir — are served
+// without recomputation.
+//
+// Usage:
+//
+//	axmemod -addr localhost:8080 -store-dir /var/lib/axmemo [-store-max-bytes 1073741824]
+//	axmemod -workers 8 -queue-depth 128 -request-timeout 2m -scale 2
+//
+// Endpoints: POST /v1/simulate, POST /v1/sweep (async; poll GET
+// /v1/jobs/{id}), GET /v1/figures[/{name}], GET /healthz, GET
+// /metrics.  SIGINT/SIGTERM stop the listener, drain in-flight jobs
+// (bounded by -drain-timeout), flush the store and exit 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"axmemo/internal/cli"
+	"axmemo/internal/harness"
+	"axmemo/internal/obs"
+	"axmemo/internal/server"
+	"axmemo/internal/store"
+)
+
+func main() { cli.Main("axmemod", run) }
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("axmemod", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr          = fs.String("addr", "localhost:8080", "listen address (host:port; port 0 picks one)")
+		storeDir      = fs.String("store-dir", "", "content-addressed result store directory (empty = in-memory caching only)")
+		storeMaxBytes = fs.Int64("store-max-bytes", 0, "store size budget; least-recently-used cells are evicted past it (0 = unlimited)")
+		workers       = fs.Int("workers", 0, "concurrent request executions (0 = one per CPU)")
+		queueDepth    = fs.Int("queue-depth", 0, "requests allowed to wait for a worker before 429 (0 = 64)")
+		reqTimeout    = fs.Duration("request-timeout", 0, "synchronous request deadline; expired requests get 504 while the work finishes into the cache (0 = 5m)")
+		maxJobs       = fs.Int("max-jobs", 0, "active sweep jobs before 429 (0 = 64)")
+		scale         = fs.Int("scale", 1, "input scale for every simulation (part of the store key)")
+		parallel      = fs.Int("parallel", 0, "sweep scheduler pool size (0 = one worker per CPU)")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "shutdown budget for in-flight work after SIGINT/SIGTERM")
+		metricsOut    = fs.String("metrics-out", "", "write the deterministic metrics snapshot (JSON) to this file on exit")
+	)
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
+
+	sink := obs.NewSink() // always on: /metrics serves it live
+	suite := harness.NewSuite(*scale)
+	suite.Parallel = *parallel
+	suite.Obs = sink
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir, *storeMaxBytes); err != nil {
+			return err
+		}
+		suite.Store = st
+		st.Attach(sink)
+		fmt.Fprintf(stderr, "axmemod: store %s (%d cells)\n", st.Dir(), st.Stats().Entries)
+	}
+
+	srv := server.New(server.Config{
+		Suite:          suite,
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *reqTimeout,
+		MaxJobs:        *maxJobs,
+	})
+
+	// Bind before Serve so "port 0" invocations (tests, ephemeral
+	// deployments) can read the real address from this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "axmemod: serving on http://%s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	err = cli.Serve(func(ctx context.Context) error {
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- httpSrv.Serve(ln) }()
+		select {
+		case err := <-serveErr:
+			return err // listener died on its own
+		case <-ctx.Done():
+		}
+		// Signal: stop accepting, then drain what was accepted.
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			return err
+		}
+		return srv.Drain(shutCtx)
+	})
+
+	// Flush state even on the signal path, so a drained daemon leaves a
+	// consistent store and a final snapshot behind.
+	if st != nil {
+		if cerr := st.Close(); cerr != nil && (err == nil || errors.Is(err, cli.ErrSignaled)) {
+			return cerr
+		}
+	}
+	if *metricsOut != "" {
+		if werr := sink.WriteFiles(*metricsOut, "", ""); werr != nil && (err == nil || errors.Is(err, cli.ErrSignaled)) {
+			return werr
+		}
+	}
+	return err
+}

@@ -19,6 +19,7 @@ import (
 	"axmemo/internal/cli"
 	"axmemo/internal/harness"
 	"axmemo/internal/obs"
+	"axmemo/internal/store"
 )
 
 func main() { cli.Main("axreport", run) }
@@ -36,6 +37,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 		metricsOut = fs.String("metrics-out", "", "write the sweep's deterministic metrics snapshot (JSON) to this file")
 		traceOut   = fs.String("trace-out", "", "write the sweep's Chrome trace-event timeline (JSON) to this file")
+
+		storeDir      = fs.String("store-dir", "", "reuse simulation results from this content-addressed store directory (shared with axmemod)")
+		storeMaxBytes = fs.Int64("store-max-bytes", 0, "store size budget; least-recently-used cells are evicted past it (0 = unlimited)")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
@@ -55,6 +59,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	s.Parallel = *parallel
 	if *metricsOut != "" || *traceOut != "" {
 		s.Obs = obs.NewSink()
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, *storeMaxBytes)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		s.Store = st
+		st.Attach(s.Obs)
 	}
 
 	// Prewarm the selected figures' deduplicated sweep cells on the

@@ -10,11 +10,14 @@
 package cli
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 )
 
 // UsageError marks a command-line mistake; ExitCode maps it to 2.
@@ -46,10 +49,35 @@ func Parse(fs *flag.FlagSet, args []string) error {
 	return nil
 }
 
+// ErrSignaled marks the clean, signal-triggered shutdown of a
+// long-running command (SIGINT/SIGTERM against a daemon).  ExitCode
+// maps it to 0: asking a server to stop is not a failure.
+var ErrSignaled = errors.New("shut down by signal")
+
+// Serve runs a long-running command body under a context that is
+// canceled when a shutdown signal arrives (SIGINT and SIGTERM by
+// default; tests pass their own).  The body should drain its work when
+// the context ends and return nil; a nil or context.Canceled result
+// after a signal becomes ErrSignaled, so Main exits 0 on a clean
+// drain.  Any other error — and any error without a signal — passes
+// through unchanged.
+func Serve(body func(ctx context.Context) error, sigs ...os.Signal) error {
+	if len(sigs) == 0 {
+		sigs = []os.Signal{os.Interrupt, syscall.SIGTERM}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), sigs...)
+	defer stop()
+	err := body(ctx)
+	if ctx.Err() != nil && (err == nil || errors.Is(err, context.Canceled)) {
+		return ErrSignaled
+	}
+	return err
+}
+
 // ExitCode maps a run error to the command's exit status.
 func ExitCode(err error) int {
 	switch {
-	case err == nil, errors.Is(err, flag.ErrHelp):
+	case err == nil, errors.Is(err, flag.ErrHelp), errors.Is(err, ErrSignaled):
 		return 0
 	case errors.As(err, new(*UsageError)):
 		return 2
@@ -64,7 +92,8 @@ func ExitCode(err error) int {
 func Main(name string, run func(args []string, stdout, stderr io.Writer) error) {
 	err := run(os.Args[1:], os.Stdout, os.Stderr)
 	var ue *UsageError
-	if err != nil && !errors.Is(err, flag.ErrHelp) && !(errors.As(err, &ue) && ue.Printed) {
+	if err != nil && !errors.Is(err, flag.ErrHelp) && !errors.Is(err, ErrSignaled) &&
+		!(errors.As(err, &ue) && ue.Printed) {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 	}
 	os.Exit(ExitCode(err))

@@ -1,12 +1,16 @@
 package cli
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func TestExitCode(t *testing.T) {
@@ -18,6 +22,8 @@ func TestExitCode(t *testing.T) {
 		{"nil", nil, 0},
 		{"help", flag.ErrHelp, 0},
 		{"wrapped help", fmt.Errorf("x: %w", flag.ErrHelp), 0},
+		{"signaled", ErrSignaled, 0},
+		{"wrapped signaled", fmt.Errorf("x: %w", ErrSignaled), 0},
 		{"usage", Usagef("bad -x"), 2},
 		{"wrapped usage", fmt.Errorf("x: %w", Usagef("bad")), 2},
 		{"other", errors.New("boom"), 1},
@@ -58,5 +64,97 @@ func TestParse(t *testing.T) {
 	}
 	if ExitCode(err) != 2 {
 		t.Fatalf("bad flag exit code = %d, want 2", ExitCode(err))
+	}
+}
+
+// TestServe drives the long-running-command helper through its exit
+// paths.  Signal cases raise SIGUSR1 at this process from inside the
+// body, so delivery is ordered after Serve's handler is installed.
+func TestServe(t *testing.T) {
+	raise := func() error { return syscall.Kill(os.Getpid(), syscall.SIGUSR1) }
+	boom := errors.New("boom")
+	cases := []struct {
+		name     string
+		body     func(ctx context.Context) error
+		wantErr  error // sentinel matched with errors.Is (nil = want nil)
+		wantCode int
+	}{
+		{
+			name:     "clean exit without signal",
+			body:     func(ctx context.Context) error { return nil },
+			wantCode: 0,
+		},
+		{
+			name:     "error without signal",
+			body:     func(ctx context.Context) error { return boom },
+			wantErr:  boom,
+			wantCode: 1,
+		},
+		{
+			name: "canceled without signal stays an error",
+			body: func(ctx context.Context) error { return context.Canceled },
+			// No signal fired, so a Canceled return is the body's own
+			// failure, not a clean shutdown.
+			wantErr:  context.Canceled,
+			wantCode: 1,
+		},
+		{
+			name: "signal then nil drain",
+			body: func(ctx context.Context) error {
+				if err := raise(); err != nil {
+					return err
+				}
+				<-ctx.Done()
+				return nil
+			},
+			wantErr:  ErrSignaled,
+			wantCode: 0,
+		},
+		{
+			name: "signal then context error",
+			body: func(ctx context.Context) error {
+				if err := raise(); err != nil {
+					return err
+				}
+				<-ctx.Done()
+				return ctx.Err()
+			},
+			wantErr:  ErrSignaled,
+			wantCode: 0,
+		},
+		{
+			name: "signal but drain fails",
+			body: func(ctx context.Context) error {
+				if err := raise(); err != nil {
+					return err
+				}
+				<-ctx.Done()
+				return boom
+			},
+			wantErr:  boom,
+			wantCode: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			done := make(chan error, 1)
+			go func() { done <- Serve(tc.body, syscall.SIGUSR1) }()
+			var err error
+			select {
+			case err = <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("Serve did not return")
+			}
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("err = %v, want nil", err)
+				}
+			} else if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+			if got := ExitCode(err); got != tc.wantCode {
+				t.Fatalf("exit code = %d, want %d", got, tc.wantCode)
+			}
+		})
 	}
 }

@@ -1,15 +1,23 @@
 package harness
 
-import "encoding/json"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // BenchReportSchema versions BENCH_harness.json; bump it whenever a
-// field is renamed, removed, or changes meaning.
-const BenchReportSchema = 1
+// field is renamed, removed, or changes meaning.  Schema history:
+//
+//	1  initial report (sweep wall-clock evidence)
+//	2  adds result-store effectiveness (store_dir, store_hits,
+//	   store_misses, store_evictions) — zero-valued without a store
+const BenchReportSchema = 2
 
 // BenchReport is the machine-readable summary cmd/axbench writes
 // (BENCH_harness.json): the evidence file for the parallel sweep
-// scheduler's wall-clock claim.  Consumers should check Schema before
-// reading further fields.
+// scheduler's wall-clock claim and, when a result store is attached,
+// for its cache effectiveness.  Consumers should decode through
+// DecodeBenchReport, which accepts every schema up to the current one.
 type BenchReport struct {
 	Schema          int      `json:"schema"`
 	Generated       string   `json:"generated"`
@@ -23,6 +31,13 @@ type BenchReport struct {
 	ParallelSeconds float64  `json:"parallel_seconds"`
 	Speedup         float64  `json:"speedup"`
 	IdenticalOutput bool     `json:"identical_output"`
+
+	// Result-store effectiveness (schema >= 2); zero-valued when no
+	// store was attached to the sweep.
+	StoreDir       string `json:"store_dir,omitempty"`
+	StoreHits      uint64 `json:"store_hits"`
+	StoreMisses    uint64 `json:"store_misses"`
+	StoreEvictions uint64 `json:"store_evictions"`
 }
 
 // Encode renders the report as indented JSON with a trailing newline,
@@ -34,4 +49,20 @@ func (r BenchReport) Encode() ([]byte, error) {
 		return nil, err
 	}
 	return append(enc, '\n'), nil
+}
+
+// DecodeBenchReport parses a BENCH_harness.json of any supported
+// schema.  Fields introduced by later schemas decode as zero values
+// from older reports, so schema-1 files keep working; files from a
+// future schema are rejected rather than silently misread.
+func DecodeBenchReport(data []byte) (BenchReport, error) {
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return BenchReport{}, fmt.Errorf("harness: decoding bench report: %w", err)
+	}
+	if r.Schema < 1 || r.Schema > BenchReportSchema {
+		return BenchReport{}, fmt.Errorf("harness: bench report schema %d unsupported (have 1..%d)",
+			r.Schema, BenchReportSchema)
+	}
+	return r, nil
 }

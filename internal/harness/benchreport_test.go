@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBenchReportEncodeStampsSchema(t *testing.T) {
+	enc, err := BenchReport{Cells: 3, StoreHits: 2, StoreMisses: 1}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := DecodeBenchReport(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema != BenchReportSchema {
+		t.Fatalf("schema = %d, want %d", r.Schema, BenchReportSchema)
+	}
+	if r.Cells != 3 || r.StoreHits != 2 || r.StoreMisses != 1 {
+		t.Fatalf("round trip mangled report: %+v", r)
+	}
+}
+
+func TestDecodeBenchReportSchemas(t *testing.T) {
+	cases := []struct {
+		name    string
+		data    string
+		wantErr string // substring; empty = ok
+		check   func(t *testing.T, r BenchReport)
+	}{
+		{
+			name: "schema 1 backward compatible",
+			data: `{"schema":1,"cells":42,"workers":4,"identical_output":true}`,
+			check: func(t *testing.T, r BenchReport) {
+				if r.Cells != 42 || !r.IdenticalOutput {
+					t.Fatalf("schema-1 fields lost: %+v", r)
+				}
+				if r.StoreHits != 0 || r.StoreMisses != 0 || r.StoreDir != "" {
+					t.Fatalf("schema-2 fields nonzero from schema-1 input: %+v", r)
+				}
+			},
+		},
+		{
+			name: "schema 2 with store fields",
+			data: `{"schema":2,"cells":6,"store_dir":"/tmp/s","store_hits":6,"store_misses":0}`,
+			check: func(t *testing.T, r BenchReport) {
+				if r.StoreHits != 6 || r.StoreDir != "/tmp/s" {
+					t.Fatalf("store fields lost: %+v", r)
+				}
+			},
+		},
+		{name: "future schema rejected", data: `{"schema":99}`, wantErr: "schema 99"},
+		{name: "missing schema rejected", data: `{"cells":1}`, wantErr: "schema 0"},
+		{name: "not json", data: `schema: 1`, wantErr: "decoding"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := DecodeBenchReport([]byte(tc.data))
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, r)
+		})
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"axmemo/internal/memo"
 	"axmemo/internal/obs"
 	"axmemo/internal/quality"
+	"axmemo/internal/store"
 	"axmemo/internal/workloads"
 )
 
@@ -124,6 +125,11 @@ type Suite struct {
 	// writer, trace process lanes are pre-assigned in enumeration order
 	// (pidFor), and the racy scheduler telemetry is Volatile.
 	Obs *obs.Sink
+	// Store, if non-nil, backs the in-memory cell cache with the
+	// disk-backed content-addressed result store, so cells computed by
+	// other processes (the axmemod daemon, earlier CLI runs) are reused
+	// byte-identically instead of recomputed.
+	Store *store.Store
 
 	mu      sync.Mutex
 	cells   map[cellKey]*cell
@@ -191,6 +197,14 @@ func (s *Suite) getCell(key cellKey, baseline bool) *cell {
 
 // runCell executes (or waits for) the cached simulation of w under cfg.
 func (s *Suite) runCell(w *workloads.Workload, cfg Config, baseline bool) (*Result, error) {
+	res, _, err := s.runCellDetail(w, cfg, baseline)
+	return res, err
+}
+
+// runCellDetail additionally reports whether THIS call executed the
+// simulation (false = served from the in-memory cell, the disk store,
+// or another caller already in flight).
+func (s *Suite) runCellDetail(w *workloads.Workload, cfg Config, baseline bool) (*Result, bool, error) {
 	cfg.Scale = s.Scale
 	key := cellKey{workload: w.Name, config: cfg.Name}
 	if s.Obs != nil {
@@ -198,8 +212,9 @@ func (s *Suite) runCell(w *workloads.Workload, cfg Config, baseline bool) (*Resu
 		cfg.ObsPID = s.pidFor(key)
 	}
 	c := s.getCell(key, baseline)
-	c.once.Do(func() { c.res, c.err = Run(w, cfg) })
-	return c.res, c.err
+	executed := false
+	c.once.Do(func() { c.res, executed, c.err = s.loadOrRun(w, cfg) })
+	return c.res, executed, c.err
 }
 
 // Baseline runs (and caches) the unmemoized configuration.

@@ -266,20 +266,12 @@ func (t *sweepTelemetry) run(s *Suite, c SweepCell) error {
 	return err
 }
 
-// runSweepCell executes one cell through the suite cache.  The workload
-// is resolved fresh here rather than shared across cells: a Workload's
-// closures may keep per-instance state, so two concurrent simulations
-// must never run off the same instance.
+// runSweepCell executes one cell through the suite cache.  RunCell
+// resolves the workload fresh rather than sharing it across cells: a
+// Workload's closures may keep per-instance state, so two concurrent
+// simulations must never run off the same instance.
 func (s *Suite) runSweepCell(c SweepCell) error {
-	w, err := workloads.ByName(c.Workload)
-	if err != nil {
-		return err
-	}
-	if c.Baseline {
-		_, err = s.Baseline(w)
-	} else {
-		_, err = s.Under(w, c.Config)
-	}
+	_, _, err := s.RunCell(c)
 	return err
 }
 

@@ -1,0 +1,94 @@
+package harness
+
+// This file backs the suite's in-memory cell cache with the disk-backed
+// content-addressed result store (internal/store): every process that
+// derives the same cell key — the axmemod daemon, axmemo -figures,
+// axreport, axbench — reuses previously computed cells byte-identically
+// instead of recomputing them.  The store is a cache, not a dependency:
+// a corrupt or missing blob is a miss that recomputes and repairs the
+// entry, and a failed write never fails the run.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"axmemo/internal/obs"
+	"axmemo/internal/store"
+	"axmemo/internal/workloads"
+)
+
+// ResultsVersion is the code-version component of every result-store
+// key.  Bump it whenever the simulator, the workloads, or the Result
+// schema change meaning: stale blobs then miss and are recomputed
+// instead of serving a different model's physics.
+const ResultsVersion = 1
+
+// CellStoreKey derives the content address of one sweep cell: a
+// SHA-256 over (code version, workload, full configuration).  The
+// configuration is serialized with its observability fields cleared —
+// metrics collection never changes simulation results — so instrumented
+// and bare runs share cells.  Seeds (fault plans) and the input scale
+// ride inside the Config and therefore inside the key.
+func CellStoreKey(workload string, cfg Config) store.Key {
+	cfg.Obs = nil
+	cfg.ObsPID = 0
+	spec, err := json.Marshal(struct {
+		Version  int    `json:"version"`
+		Workload string `json:"workload"`
+		Config   Config `json:"config"`
+	}{ResultsVersion, workload, cfg})
+	if err != nil {
+		// Config is a plain value struct; encoding cannot fail.
+		panic(fmt.Sprintf("harness: encoding store key spec: %v", err))
+	}
+	return store.KeyOf("axmemo/result", string(spec))
+}
+
+// loadOrRun serves one cell from the attached result store, falling
+// back to executing the simulation on a miss (and writing the result
+// back, which also repairs corrupted entries).  The executed flag
+// reports whether this call ran the simulation.
+func (s *Suite) loadOrRun(w *workloads.Workload, cfg Config) (res *Result, executed bool, err error) {
+	if s.Store == nil {
+		res, err = s.execCell(w, cfg)
+		return res, true, err
+	}
+	key := CellStoreKey(w.Name, cfg)
+	res = new(Result)
+	if s.Store.Get(key, res) {
+		return res, false, nil
+	}
+	res, err = s.execCell(w, cfg)
+	if err != nil {
+		return nil, true, err
+	}
+	// Best-effort write-back: failures are counted by the store's own
+	// put-error telemetry and must not fail a successful simulation.
+	_ = s.Store.Put(key, res)
+	return res, true, nil
+}
+
+// execCell runs the simulation, counting actual executions so cache
+// effectiveness is checkable next to the store's hit/miss counters
+// (the e2e tests assert a warm sweep leaves this counter flat).
+func (s *Suite) execCell(w *workloads.Workload, cfg Config) (*Result, error) {
+	s.Obs.Reg().NewCounter("harness_cell_exec_total",
+		obs.Opts{Help: "sweep cells actually simulated (not served from the result store)"}).Inc()
+	return Run(w, cfg)
+}
+
+// RunCell executes (or serves from cache) one enumerated sweep cell.
+// The executed flag is false when the result came from the in-memory
+// cell cache, the disk store, or another in-flight caller — the serving
+// layer's "cached" signal.
+func (s *Suite) RunCell(c SweepCell) (res *Result, executed bool, err error) {
+	w, err := workloads.ByName(c.Workload)
+	if err != nil {
+		return nil, false, err
+	}
+	cfg := c.Config
+	if c.Baseline {
+		cfg = Baseline()
+	}
+	return s.runCellDetail(w, cfg, c.Baseline)
+}

@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"axmemo/internal/obs"
+	"axmemo/internal/store"
+	"axmemo/internal/workloads"
+)
+
+// execCount reads the suite's executed-simulation counter.
+func execCount(s *Suite) uint64 {
+	return s.Obs.Reg().NewCounter("harness_cell_exec_total", obs.Opts{}).Value()
+}
+
+func storeSuite(t *testing.T, dir string) *Suite {
+	t.Helper()
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSuite(1)
+	s.Parallel = 2
+	s.Obs = obs.NewSink()
+	s.Store = st
+	st.Attach(s.Obs)
+	return s
+}
+
+func TestCellStoreKeyStability(t *testing.T) {
+	a := CellStoreKey("sobel", BestConfig())
+	if a != CellStoreKey("sobel", BestConfig()) {
+		t.Fatal("key not deterministic")
+	}
+	if a == CellStoreKey("srad", BestConfig()) {
+		t.Fatal("workload not in key")
+	}
+	if a == CellStoreKey("sobel", HW("L1 (4KB)", 4, 0)) {
+		t.Fatal("config not in key")
+	}
+	// Observability settings must NOT change the key: instrumented and
+	// bare runs share cells.
+	cfg := BestConfig()
+	cfg.Obs = obs.NewSink()
+	cfg.ObsPID = 7
+	if a != CellStoreKey("sobel", cfg) {
+		t.Fatal("obs fields leaked into the key")
+	}
+	scaled := BestConfig()
+	scaled.Scale = 2
+	if a == CellStoreKey("sobel", scaled) {
+		t.Fatal("scale not in key")
+	}
+}
+
+// TestSuiteStoreReuse is the cross-process cache contract: a fresh
+// suite pointed at a store directory populated by an earlier suite must
+// render the same bytes with zero simulations executed.
+func TestSuiteStoreReuse(t *testing.T) {
+	dir := t.TempDir()
+
+	cold := storeSuite(t, dir)
+	fig1, err := cold.Generate("ABL-RATE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := SweepCells("ABL-RATE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := execCount(cold); got != uint64(len(cells)) {
+		t.Fatalf("cold sweep executed %d cells, want %d", got, len(cells))
+	}
+	if st := cold.Store.Stats(); st.Misses != uint64(len(cells)) || st.Entries != len(cells) {
+		t.Fatalf("cold store stats = %+v, want %d misses/entries", st, len(cells))
+	}
+	if err := cold.Store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := storeSuite(t, dir)
+	fig2, err := warm.Generate("ABL-RATE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig1.String() != fig2.String() {
+		t.Fatalf("store-served figure differs:\n--- cold ---\n%s--- warm ---\n%s", fig1, fig2)
+	}
+	if got := execCount(warm); got != 0 {
+		t.Fatalf("warm sweep executed %d cells, want 0", got)
+	}
+	if st := warm.Store.Stats(); st.Hits != uint64(len(cells)) {
+		t.Fatalf("warm store stats = %+v, want %d hits", st, len(cells))
+	}
+}
+
+// TestSuiteStoreCorruptionRecovers: a truncated blob must read as a
+// miss, recompute (one execution), repair the entry on disk, and still
+// produce the identical result.
+func TestSuiteStoreCorruptionRecovers(t *testing.T) {
+	dir := t.TempDir()
+	cell := SweepCell{Workload: "sobel", Config: BestConfig()}
+
+	cold := storeSuite(t, dir)
+	want, executed, err := cold.RunCell(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !executed {
+		t.Fatal("cold cell not executed")
+	}
+	if err := cold.Store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate the blob mid-payload, as a crash during a non-atomic
+	// write would have.
+	cfg := BestConfig()
+	cfg.Scale = 1
+	blob := filepath.Join(dir, CellStoreKey("sobel", cfg).String()+".json")
+	data, err := os.ReadFile(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(blob, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	repair := storeSuite(t, dir)
+	got, executed, err := repair.RunCell(cell)
+	if err != nil {
+		t.Fatalf("corrupt store entry surfaced as an error: %v", err)
+	}
+	if !executed {
+		t.Fatal("corrupt entry served without recompute")
+	}
+	if got.Cycles != want.Cycles || got.Quality != want.Quality || got.EnergyPJ != want.EnergyPJ {
+		t.Fatalf("recomputed result differs: %+v vs %+v", got, want)
+	}
+	if st := repair.Store.Stats(); st.Corrupt != 1 || st.Misses != 1 {
+		t.Fatalf("store stats after corruption = %+v", st)
+	}
+
+	// The recompute repaired the blob: a third suite hits cleanly.
+	third := storeSuite(t, dir)
+	res, executed, err := third.RunCell(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed {
+		t.Fatal("repaired entry not served from store")
+	}
+	if res.Cycles != want.Cycles {
+		t.Fatalf("repaired result differs: %d cycles, want %d", res.Cycles, want.Cycles)
+	}
+}
+
+// TestStoreResultRoundTripExact checks the JSON round trip preserves
+// every field the figures format, including float64s bit-for-bit.
+func TestStoreResultRoundTripExact(t *testing.T) {
+	dir := t.TempDir()
+	w, err := workloads.ByName("sobel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := BestConfig()
+	cfg.CollectElemErrors = true
+
+	cold := storeSuite(t, dir)
+	want, err := cold.Under(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := storeSuite(t, dir)
+	got, err := warm.Under(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Quality != want.Quality || got.MeanError != want.MeanError ||
+		got.HitRate != want.HitRate || got.EnergyPJ != want.EnergyPJ ||
+		got.Cycles != want.Cycles || got.Insns != want.Insns {
+		t.Fatalf("round trip drifted:\n got %+v\nwant %+v", got, want)
+	}
+	if len(got.ElemErrors) != len(want.ElemErrors) {
+		t.Fatalf("ElemErrors length %d, want %d", len(got.ElemErrors), len(want.ElemErrors))
+	}
+	for i := range got.ElemErrors {
+		if got.ElemErrors[i] != want.ElemErrors[i] {
+			t.Fatalf("ElemErrors[%d] = %v, want %v", i, got.ElemErrors[i], want.ElemErrors[i])
+		}
+	}
+	if got.Energy != want.Energy || got.Monitor != want.Monitor {
+		t.Fatal("energy breakdown or monitor stats drifted through the store")
+	}
+}

@@ -1,0 +1,557 @@
+// Package server is the HTTP/JSON serving layer of the axmemod daemon
+// (stdlib net/http only): simulation requests and asynchronous sweep
+// jobs executed against a harness.Suite, which carries the in-memory
+// cell cache, the scheduler worker pool, and optionally the disk-backed
+// content-addressed result store — so repeated requests are served from
+// cache instead of recomputed.
+//
+// Endpoints:
+//
+//	POST /v1/simulate         run (or serve from cache) one cell
+//	POST /v1/sweep            start an async figure sweep -> job ID
+//	GET  /v1/jobs/{id}        poll a sweep job
+//	GET  /v1/figures          list figure IDs
+//	GET  /v1/figures/{name}   render one figure (synchronous)
+//	GET  /healthz             liveness
+//	GET  /metrics             live obs snapshot (volatile included)
+//
+// Load rules: identical concurrent work is deduplicated
+// singleflight-style (in-flight sweep jobs by figure set, simulations
+// by the suite's per-cell once semantics); execution slots are bounded
+// and requests beyond the waiting budget get 429 instead of an
+// unbounded queue; every synchronous request carries a timeout and
+// returns 504 when it expires — the underlying simulation keeps
+// running and lands in the cache for the retry.  Drain waits for
+// in-flight work, so SIGTERM shuts the daemon down without abandoning
+// accepted jobs.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"axmemo/internal/harness"
+	"axmemo/internal/obs"
+	"axmemo/internal/workloads"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Suite executes and caches the cells.  Attach Obs and Store to it
+	// before constructing the server.  Required.
+	Suite *harness.Suite
+	// Workers bounds concurrently executing requests (0 = GOMAXPROCS).
+	// Sweep jobs additionally use the suite's own scheduler pool
+	// (Suite.Parallel) for their cells.
+	Workers int
+	// QueueDepth bounds requests waiting for a slot before new ones are
+	// rejected with 429 (0 = 64).
+	QueueDepth int
+	// RequestTimeout bounds synchronous requests (0 = 5m); expired
+	// requests return 504 while the simulation continues into the cache.
+	RequestTimeout time.Duration
+	// MaxJobs bounds active sweep jobs and retained finished ones
+	// (0 = 64).
+	MaxJobs int
+}
+
+// Server is the HTTP serving layer.  Construct with New, expose with
+// Handler, stop with Drain after http.Server.Shutdown.
+type Server struct {
+	suite   *harness.Suite
+	timeout time.Duration
+	queue   int
+
+	sem     chan struct{}
+	waiting atomic.Int64
+	jobs    *jobSet
+	wg      sync.WaitGroup
+	mux     *http.ServeMux
+	m       metrics
+}
+
+// metrics are the server's obs families (all nil-safe; wall-clock
+// latency is Volatile to preserve the deterministic-snapshot rule).
+type metrics struct {
+	requests   *obs.CounterVec // route, code
+	queueDepth *obs.Gauge
+	jobSecs    *obs.Histogram
+	jobsTotal  *obs.CounterVec // state
+}
+
+// New builds a server over the suite.
+func New(cfg Config) *Server {
+	if cfg.Suite == nil {
+		panic("server: Config.Suite is required")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	queue := cfg.QueueDepth
+	if queue <= 0 {
+		queue = 64
+	}
+	timeout := cfg.RequestTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Minute
+	}
+	s := &Server{
+		suite:   cfg.Suite,
+		timeout: timeout,
+		queue:   queue,
+		sem:     make(chan struct{}, workers),
+		jobs:    newJobSet(cfg.MaxJobs),
+		mux:     http.NewServeMux(),
+	}
+	if reg := cfg.Suite.Obs.Reg(); reg != nil {
+		s.m = metrics{
+			requests: reg.NewCounterVec("server_requests_total",
+				obs.Opts{Help: "HTTP requests by route and status code"}, "route", "code"),
+			queueDepth: reg.NewGauge("server_queue_depth",
+				obs.Opts{Help: "requests waiting for an execution slot", Volatile: true}),
+			jobSecs: reg.NewHistogram("server_job_seconds",
+				obs.Opts{Help: "sweep job wall time", Volatile: true,
+					Buckets: []float64{0.01, 0.1, 0.5, 1, 5, 15, 60, 300, 1800}}),
+			jobsTotal: reg.NewCounterVec("server_jobs_total",
+				obs.Opts{Help: "sweep jobs by final state"}, "state"),
+		}
+	}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/figures", s.handleFigureList)
+	s.mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
+}
+
+// Handler returns the server's root handler, wrapped with per-route
+// status-code accounting.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		s.mux.ServeHTTP(rec, r)
+		s.m.requests.With(routeLabel(r.URL.Path), strconv.Itoa(rec.code)).Inc()
+	})
+}
+
+// Drain blocks until in-flight work (sweep jobs, simulations that
+// outlived their request) finishes, or ctx expires.  Call after
+// http.Server.Shutdown has stopped new requests.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+}
+
+// statusRecorder captures the response code for the request counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// routeLabel folds request paths onto a bounded label set, so path
+// parameters (job IDs) cannot explode the metric's cardinality.
+func routeLabel(path string) string {
+	switch {
+	case path == "/healthz":
+		return "healthz"
+	case path == "/metrics":
+		return "metrics"
+	case path == "/v1/simulate":
+		return "simulate"
+	case path == "/v1/sweep":
+		return "sweep"
+	case strings.HasPrefix(path, "/v1/jobs/"):
+		return "jobs"
+	case strings.HasPrefix(path, "/v1/figures"):
+		return "figures"
+	default:
+		return "other"
+	}
+}
+
+// errBusy reports queue overflow (429 upstream).
+var errBusy = errors.New("server at capacity")
+
+// acquire claims an execution slot, waiting in the bounded queue.  The
+// returned release must be called exactly once.
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	default:
+	}
+	if n := s.waiting.Add(1); n > int64(s.queue) {
+		s.waiting.Add(-1)
+		return nil, errBusy
+	}
+	s.m.queueDepth.Set(float64(s.waiting.Load()))
+	defer func() {
+		s.waiting.Add(-1)
+		s.m.queueDepth.Set(float64(s.waiting.Load()))
+	}()
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves the live snapshot (Everything mode: volatile
+// families included), mirroring the /debug/vars view.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(s.suite.Obs.Reg().SnapshotJSON(obs.Everything))
+}
+
+// simulateRequest mirrors cmd/axmemo's single-run flags.
+type simulateRequest struct {
+	Benchmark   string  `json:"benchmark"`
+	Mode        string  `json:"mode"` // "hw" (default), "soft", "atm", "baseline"
+	L1KB        int     `json:"l1_kb"`
+	L2KB        int     `json:"l2_kb"`
+	TruncOff    bool    `json:"trunc_off"`
+	GuardBudget float64 `json:"guard_budget"`
+	MaxCycles   uint64  `json:"max_cycles"`
+}
+
+// cell translates the request into a sweep cell, defaulting the
+// hardware geometry like the CLI (L1 8KB + L2 512KB).
+func (q *simulateRequest) cell() (harness.SweepCell, error) {
+	if _, err := workloads.ByName(q.Benchmark); err != nil {
+		return harness.SweepCell{}, err
+	}
+	var cfg harness.Config
+	switch q.Mode {
+	case "baseline":
+		return harness.SweepCell{Workload: q.Benchmark, Baseline: true}, nil
+	case "hw", "":
+		l1, l2 := q.L1KB, q.L2KB
+		if l1 <= 0 && l2 <= 0 {
+			l1, l2 = 8, 512
+		}
+		cfg = harness.HW(fmt.Sprintf("L1 (%dKB)", l1), l1, 0)
+		if l2 > 0 {
+			cfg = harness.HW(fmt.Sprintf("L1 (%dKB)+L2 (%dKB)", l1, l2), l1, l2)
+		}
+	case "soft":
+		cfg = harness.Config{Name: "Software LUT", Mode: harness.ModeSoftLUT, Scale: 1}
+	case "atm":
+		cfg = harness.Config{Name: "ATM", Mode: harness.ModeATM, Scale: 1}
+	default:
+		return harness.SweepCell{}, fmt.Errorf("unknown mode %q (want hw, soft, atm or baseline)", q.Mode)
+	}
+	if q.TruncOff {
+		w, _ := workloads.ByName(q.Benchmark)
+		cfg.Trunc = make([]uint8, len(w.TruncBits))
+		cfg.Name += " no-approx"
+	}
+	cfg.GuardBudget = q.GuardBudget
+	cfg.MaxCycles = q.MaxCycles
+	return harness.SweepCell{Workload: q.Benchmark, Config: cfg}, nil
+}
+
+// simulateResponse reports one cell's result and where it came from.
+type simulateResponse struct {
+	Workload string          `json:"workload"`
+	Config   string          `json:"config"`
+	Key      string          `json:"key"`
+	Cached   bool            `json:"cached"`
+	Result   *harness.Result `json:"result"`
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cell, err := req.cell()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	release, err := s.acquire(ctx)
+	if err != nil {
+		writeLoadError(w, err)
+		return
+	}
+
+	type outcome struct {
+		res      *harness.Result
+		executed bool
+		err      error
+	}
+	out := make(chan outcome, 1)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer release()
+		res, executed, err := s.suite.RunCell(cell)
+		out <- outcome{res, executed, err}
+	}()
+	select {
+	case o := <-out:
+		if o.err != nil {
+			writeError(w, http.StatusInternalServerError, o.err)
+			return
+		}
+		cfg := cell.Config
+		if cell.Baseline {
+			cfg = harness.Baseline()
+		}
+		cfg.Scale = s.suite.Scale
+		writeJSON(w, http.StatusOK, simulateResponse{
+			Workload: cell.Workload,
+			Config:   cfg.Name,
+			Key:      harness.CellStoreKey(cell.Workload, cfg).String(),
+			Cached:   !o.executed,
+			Result:   o.res,
+		})
+	case <-ctx.Done():
+		// The simulation keeps running into the suite/store cache; the
+		// client's retry picks it up as a hit.
+		writeError(w, http.StatusGatewayTimeout,
+			errors.New("simulation still running; retry to pick up the cached result"))
+	}
+}
+
+// sweepRequest starts an asynchronous figure sweep.
+type sweepRequest struct {
+	// Figures are scheduler figure IDs; empty or ["all"] sweeps all.
+	Figures []string `json:"figures"`
+}
+
+type sweepResponse struct {
+	Job       string `json:"job"`
+	State     string `json:"state"`
+	StatusURL string `json:"status_url"`
+	// Deduplicated is true when an identical in-flight sweep was
+	// returned instead of starting a new one.
+	Deduplicated bool `json:"deduplicated,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ids, err := normalizeFigureIDs(req.Figures)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, created, err := s.jobs.getOrCreate(strings.Join(ids, ","), ids)
+	if err != nil {
+		writeLoadError(w, err)
+		return
+	}
+	if created {
+		s.wg.Add(1)
+		go s.runJob(j)
+	}
+	code := http.StatusAccepted
+	if !created {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, sweepResponse{
+		Job: j.id, State: j.view().State,
+		StatusURL: "/v1/jobs/" + j.id, Deduplicated: !created,
+	})
+}
+
+// runJob executes one sweep job on the suite's scheduler pool and
+// renders its figures from the warm cache.
+func (s *Server) runJob(j *job) {
+	defer s.wg.Done()
+	defer s.jobs.release(j)
+	start := time.Now()
+
+	cells, err := harness.SweepCells(j.figures...)
+	if err != nil {
+		s.finishJob(j, nil, err, start)
+		return
+	}
+	j.setRunning(len(cells))
+	if err := s.suite.Prewarm(0, j.figures...); err != nil {
+		s.finishJob(j, nil, err, start)
+		return
+	}
+	results := make([]JobFigure, 0, len(j.figures))
+	for _, id := range j.figures {
+		fig, err := s.suite.Figure(id)
+		if err != nil {
+			s.finishJob(j, nil, err, start)
+			return
+		}
+		results = append(results, JobFigure{ID: fig.ID, Title: fig.Title, Text: fig.String()})
+	}
+	s.finishJob(j, results, nil, start)
+}
+
+func (s *Server) finishJob(j *job, results []JobFigure, err error, start time.Time) {
+	state := j.finish(results, err)
+	s.m.jobsTotal.With(state).Inc()
+	s.m.jobSecs.Observe(time.Since(start).Seconds())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleFigureList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"figures": harness.FigureIDs()})
+}
+
+// figureResponse carries one rendered figure, structured and as text.
+type figureResponse struct {
+	Figure *harness.Figure `json:"figure"`
+	Text   string          `json:"text"`
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	ids, err := normalizeFigureIDs([]string{r.PathValue("name")})
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	release, err := s.acquire(ctx)
+	if err != nil {
+		writeLoadError(w, err)
+		return
+	}
+	type outcome struct {
+		fig *harness.Figure
+		err error
+	}
+	out := make(chan outcome, 1)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer release()
+		fig, err := s.suite.Generate(ids[0])
+		out <- outcome{fig, err}
+	}()
+	select {
+	case o := <-out:
+		if o.err != nil {
+			writeError(w, http.StatusInternalServerError, o.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, figureResponse{Figure: o.fig, Text: o.fig.String()})
+	case <-ctx.Done():
+		writeError(w, http.StatusGatewayTimeout,
+			errors.New("figure still rendering; retry to pick up the cached result"))
+	}
+}
+
+// normalizeFigureIDs resolves requested IDs case-insensitively against
+// the scheduler's known set; empty or "all" selects everything.
+func normalizeFigureIDs(in []string) ([]string, error) {
+	known := harness.FigureIDs()
+	if len(in) == 0 || (len(in) == 1 && strings.EqualFold(in[0], "all")) {
+		return known, nil
+	}
+	var ids []string
+	for _, id := range in {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		found := false
+		for _, k := range known {
+			if strings.EqualFold(id, k) {
+				ids = append(ids, k)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown figure %q (have %v)", id, known)
+		}
+	}
+	if len(ids) == 0 {
+		return known, nil
+	}
+	return ids, nil
+}
+
+// decodeBody parses a bounded JSON request body.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// writeLoadError maps backpressure and timeout conditions to their
+// status codes.
+func writeLoadError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errBusy), errors.Is(err, errJobsFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone mid-write is its problem
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

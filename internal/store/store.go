@@ -1,0 +1,475 @@
+// Package store is the disk-backed, content-addressed result store
+// behind the axmemod daemon and the offline CLIs: every simulation
+// result is a JSON blob keyed by a SHA-256 of what determined it
+// (benchmark, configuration, seeds, code version), so any process that
+// derives the same key reuses the cell instead of recomputing it.
+//
+// Three rules govern the on-disk state:
+//
+//   - Atomicity.  Blobs and the index are written to a temp file in the
+//     store directory and renamed into place, so a crash never leaves a
+//     half-written entry visible under its final name.
+//
+//   - Self-verification.  Every blob embeds its own key and a SHA-256
+//     of its payload.  A truncated, tampered or otherwise corrupted
+//     blob is detected on read, deleted, and reported as a miss — the
+//     caller transparently recomputes and the next Put repairs the
+//     entry.  The store never errors on bad cached state.
+//
+//   - Bounded size.  With a MaxBytes budget, the least recently used
+//     entries are evicted (files deleted) until the store fits.  The
+//     entry being written always survives its own Put.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"axmemo/internal/obs"
+)
+
+// On-disk format versions; bump on any incompatible change.  Blobs or
+// indexes with an unknown schema are treated as corrupt (miss/rebuild),
+// never as errors.
+const (
+	BlobSchema  = 1
+	IndexSchema = 1
+)
+
+// indexName is the store directory's index file.
+const indexName = "index.json"
+
+// Key is a content address: the SHA-256 of whatever determines the
+// stored value.
+type Key [sha256.Size]byte
+
+// String returns the lower-case hex form (the blob's file stem).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey parses the hex form produced by String.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return Key{}, fmt.Errorf("store: bad key %q", s)
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// KeyOf derives a content address from its parts.  Parts are
+// length-framed before hashing, so ("ab","c") and ("a","bc") produce
+// different keys.
+func KeyOf(parts ...string) Key {
+	h := sha256.New()
+	var frame [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(frame[:], uint64(len(p)))
+		h.Write(frame[:])
+		h.Write([]byte(p))
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// blob is the on-disk envelope around one stored payload.
+type blob struct {
+	Schema  int             `json:"schema"`
+	Key     string          `json:"key"`
+	SHA256  string          `json:"payload_sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// indexFile persists the entry table and the LRU clock.
+type indexFile struct {
+	Schema  int          `json:"schema"`
+	Seq     uint64       `json:"seq"`
+	Entries []indexEntry `json:"entries"`
+}
+
+type indexEntry struct {
+	Key      string `json:"key"`
+	Size     int64  `json:"size"`
+	LastUsed uint64 `json:"last_used"`
+}
+
+// entry is the in-memory record of one blob.
+type entry struct {
+	size     int64
+	lastUsed uint64
+}
+
+// Stats is a point-in-time snapshot of the store's activity since Open.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Corrupt   uint64 // blobs dropped after failing validation (subset of Misses)
+	Evictions uint64
+	PutErrors uint64
+	Entries   int
+	Bytes     int64
+}
+
+// Store is a content-addressed blob store rooted at one directory.
+// All methods are safe for concurrent use.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	seq     uint64
+	bytes   int64
+	entries map[Key]*entry
+	stats   Stats
+
+	m metrics
+}
+
+// metrics are the store's obs families (nil until Attach; every obs
+// method is nil-safe).
+type metrics struct {
+	hits, misses, corrupt, evictions, putErrors *obs.Counter
+	bytes, entries                              *obs.Gauge
+}
+
+// Open loads (or creates) the store at dir.  maxBytes <= 0 disables the
+// size budget.  A missing or corrupt index is rebuilt by scanning the
+// directory; stale temp files from interrupted writes are removed.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, maxBytes: maxBytes, entries: make(map[Key]*entry)}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Attach registers the store's metric families on the sink: lookup
+// hits/misses/corruptions, evictions, put errors, and the current
+// entry/byte gauges.  All families are deterministic for a fixed store
+// state and access order (nothing here reads the wall clock).
+func (s *Store) Attach(sink *obs.Sink) {
+	reg := sink.Reg()
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = metrics{
+		hits:      reg.NewCounter("store_hits_total", obs.Opts{Help: "result-store lookups served from disk"}),
+		misses:    reg.NewCounter("store_misses_total", obs.Opts{Help: "result-store lookups that fell through to recompute"}),
+		corrupt:   reg.NewCounter("store_corrupt_total", obs.Opts{Help: "blobs dropped after failing validation (repaired by recompute)"}),
+		evictions: reg.NewCounter("store_evictions_total", obs.Opts{Help: "entries evicted to fit the byte budget"}),
+		putErrors: reg.NewCounter("store_put_errors_total", obs.Opts{Help: "failed blob writes (the run still succeeds)"}),
+		bytes:     reg.NewGauge("store_bytes", obs.Opts{Help: "bytes of blobs on disk"}),
+		entries:   reg.NewGauge("store_entries", obs.Opts{Help: "blobs on disk"}),
+	}
+	s.m.bytes.Set(float64(s.bytes))
+	s.m.entries.Set(float64(len(s.entries)))
+}
+
+// Stats returns a snapshot of activity since Open.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	st.Bytes = s.bytes
+	return st
+}
+
+// Get loads the payload stored under k into v (via encoding/json) and
+// reports whether it was found.  Any validation failure — unreadable
+// file, bad envelope, checksum or key mismatch, undecodable payload —
+// deletes the blob and reports a miss, so the caller recomputes and
+// repairs the entry instead of failing.
+func (s *Store) Get(k Key, v any) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[k]
+	if !ok {
+		s.stats.Misses++
+		s.m.misses.Inc()
+		return false
+	}
+	data, err := os.ReadFile(s.blobPath(k))
+	if err != nil {
+		s.dropLocked(k, e)
+		return false
+	}
+	payload, err := decodeBlob(k, data)
+	if err != nil {
+		s.dropLocked(k, e)
+		return false
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		s.dropLocked(k, e)
+		return false
+	}
+	s.seq++
+	e.lastUsed = s.seq
+	s.stats.Hits++
+	s.m.hits.Inc()
+	return true
+}
+
+// Put stores v under k, replacing any previous payload, and evicts LRU
+// entries if the byte budget is exceeded.  The write is atomic: readers
+// either see the old complete blob or the new one.
+func (s *Store) Put(k Key, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return s.putFailed(fmt.Errorf("store: encoding payload: %w", err))
+	}
+	sum := sha256.Sum256(payload)
+	env, err := json.Marshal(blob{
+		Schema:  BlobSchema,
+		Key:     k.String(),
+		SHA256:  hex.EncodeToString(sum[:]),
+		Payload: payload,
+	})
+	if err != nil {
+		return s.putFailed(fmt.Errorf("store: encoding blob: %w", err))
+	}
+	env = append(env, '\n')
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writeAtomic(s.blobPath(k), env); err != nil {
+		s.stats.PutErrors++
+		s.m.putErrors.Inc()
+		return err
+	}
+	s.seq++
+	if old, ok := s.entries[k]; ok {
+		s.bytes -= old.size
+	}
+	s.entries[k] = &entry{size: int64(len(env)), lastUsed: s.seq}
+	s.bytes += int64(len(env))
+	s.evictLocked()
+	if err := s.persistIndexLocked(); err != nil {
+		s.stats.PutErrors++
+		s.m.putErrors.Inc()
+		return err
+	}
+	s.publishSizeLocked()
+	return nil
+}
+
+// Close persists the index (LRU recency accumulated by Gets is only
+// durable after a Put or a Close).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.persistIndexLocked()
+}
+
+func (s *Store) putFailed(err error) error {
+	s.mu.Lock()
+	s.stats.PutErrors++
+	s.mu.Unlock()
+	s.m.putErrors.Inc()
+	return err
+}
+
+func (s *Store) blobPath(k Key) string {
+	return filepath.Join(s.dir, k.String()+".json")
+}
+
+// dropLocked removes a missing or corrupt blob and counts the lookup as
+// a miss.  The index is not rewritten here — load() tolerates entries
+// whose file is gone, and the next Put persists the repaired table.
+func (s *Store) dropLocked(k Key, e *entry) {
+	os.Remove(s.blobPath(k))
+	delete(s.entries, k)
+	s.bytes -= e.size
+	s.stats.Corrupt++
+	s.stats.Misses++
+	s.m.corrupt.Inc()
+	s.m.misses.Inc()
+	s.publishSizeLocked()
+}
+
+// evictLocked deletes least-recently-used entries until the store fits
+// the budget.  The newest entry (highest lastUsed) is never evicted, so
+// a Put always leaves its own blob behind even when it alone exceeds
+// the budget.
+func (s *Store) evictLocked() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.bytes > s.maxBytes && len(s.entries) > 1 {
+		var victim Key
+		var oldest uint64 = ^uint64(0)
+		for k, e := range s.entries {
+			if e.lastUsed < oldest {
+				oldest = e.lastUsed
+				victim = k
+			}
+		}
+		e := s.entries[victim]
+		os.Remove(s.blobPath(victim))
+		delete(s.entries, victim)
+		s.bytes -= e.size
+		s.stats.Evictions++
+		s.m.evictions.Inc()
+	}
+}
+
+func (s *Store) publishSizeLocked() {
+	s.m.bytes.Set(float64(s.bytes))
+	s.m.entries.Set(float64(len(s.entries)))
+}
+
+// writeAtomic writes data to path via a temp file in the store
+// directory and an atomic rename.
+func (s *Store) writeAtomic(path string, data []byte) error {
+	f, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing %s: %w", filepath.Base(path), werr)
+	}
+	return nil
+}
+
+// persistIndexLocked atomically rewrites index.json with entries sorted
+// by key, so the file is deterministic for a given table state.
+func (s *Store) persistIndexLocked() error {
+	idx := indexFile{Schema: IndexSchema, Seq: s.seq}
+	for k, e := range s.entries {
+		idx.Entries = append(idx.Entries, indexEntry{Key: k.String(), Size: e.size, LastUsed: e.lastUsed})
+	}
+	sort.Slice(idx.Entries, func(i, j int) bool { return idx.Entries[i].Key < idx.Entries[j].Key })
+	data, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding index: %w", err)
+	}
+	return s.writeAtomic(filepath.Join(s.dir, indexName), append(data, '\n'))
+}
+
+// load populates the entry table from index.json, falling back to a
+// directory scan when the index is missing or unusable, and removes
+// temp files left by interrupted writes.
+func (s *Store) load() error {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, d := range names {
+		if strings.HasPrefix(d.Name(), ".tmp-") {
+			os.Remove(filepath.Join(s.dir, d.Name()))
+		}
+	}
+
+	if s.loadIndex() {
+		return nil
+	}
+	// Rebuild: every well-named blob file becomes an entry; recency is
+	// assigned in sorted key order (content is still checksum-verified
+	// on first Get, so a misnamed or stale file costs one miss at most).
+	s.entries = make(map[Key]*entry)
+	s.bytes, s.seq = 0, 0
+	var keys []Key
+	for _, d := range names {
+		stem, ok := strings.CutSuffix(d.Name(), ".json")
+		if !ok || d.Name() == indexName {
+			continue
+		}
+		k, err := ParseKey(stem)
+		if err != nil {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	for _, k := range keys {
+		fi, err := os.Stat(s.blobPath(k))
+		if err != nil {
+			continue
+		}
+		s.seq++
+		s.entries[k] = &entry{size: fi.Size(), lastUsed: s.seq}
+		s.bytes += fi.Size()
+	}
+	return s.persistIndexLocked()
+}
+
+// loadIndex reads index.json; false means rebuild from the directory.
+func (s *Store) loadIndex() bool {
+	data, err := os.ReadFile(filepath.Join(s.dir, indexName))
+	if err != nil {
+		return false
+	}
+	var idx indexFile
+	if json.Unmarshal(data, &idx) != nil || idx.Schema != IndexSchema {
+		return false
+	}
+	s.entries = make(map[Key]*entry, len(idx.Entries))
+	s.bytes = 0
+	s.seq = idx.Seq
+	for _, e := range idx.Entries {
+		k, err := ParseKey(e.Key)
+		if err != nil {
+			return false
+		}
+		fi, err := os.Stat(s.blobPath(k))
+		if err != nil {
+			continue // blob gone: drop the entry, not the store
+		}
+		s.entries[k] = &entry{size: fi.Size(), lastUsed: e.LastUsed}
+		s.bytes += fi.Size()
+		if e.LastUsed > s.seq {
+			s.seq = e.LastUsed
+		}
+	}
+	return true
+}
+
+// decodeBlob validates the envelope around one payload: schema, stored
+// key, and payload checksum must all match.
+func decodeBlob(k Key, data []byte) (json.RawMessage, error) {
+	var b blob
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("store: bad blob: %w", err)
+	}
+	if b.Schema != BlobSchema {
+		return nil, fmt.Errorf("store: blob schema %d, want %d", b.Schema, BlobSchema)
+	}
+	if b.Key != k.String() {
+		return nil, fmt.Errorf("store: blob key %s under file %s", b.Key, k)
+	}
+	sum := sha256.Sum256(b.Payload)
+	if hex.EncodeToString(sum[:]) != b.SHA256 {
+		return nil, fmt.Errorf("store: payload checksum mismatch for %s", k)
+	}
+	return b.Payload, nil
+}
