@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"axmemo/internal/cli"
+	"axmemo/internal/cluster"
+	"axmemo/internal/harness"
+)
+
+// TestMain doubles this test binary as the axmemod executable: cluster
+// mode spawns shards via os.Executable(), which under `go test` IS the
+// test binary, so when the shard marker is set we run the real daemon
+// instead of the test suite.
+func TestMain(m *testing.M) {
+	if os.Getenv("AXMEMOD_SHARD") != "" {
+		cli.Main("axmemod", run)
+	}
+	os.Exit(m.Run())
+}
+
+var shardPidRE = regexp.MustCompile(`shard-0 pid (\d+) up at`)
+
+// TestClusterLifecycle boots a coordinator with two spawned shards,
+// checks membership surfaces on /healthz, simulates through the
+// cluster (second request cached), SIGKILLs a shard and verifies the
+// coordinator degrades but keeps answering, then drains cleanly with a
+// dead child still on the books.
+func TestClusterLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	base, done, errOut := startDaemon(t,
+		"-cluster", "2", "-store-dir", dir,
+		"-probe-interval", "100ms", "-peer-fail-threshold", "1")
+
+	healthz := func() cluster.HealthStatus {
+		t.Helper()
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz: %d", resp.StatusCode)
+		}
+		var hs cluster.HealthStatus
+		if err := json.NewDecoder(resp.Body).Decode(&hs); err != nil {
+			t.Fatal(err)
+		}
+		return hs
+	}
+
+	hs := healthz()
+	if hs.ResultsVersion != harness.ResultsVersion || hs.Cluster == nil {
+		t.Fatalf("coordinator healthz = %+v, want cluster section at version %d",
+			hs, harness.ResultsVersion)
+	}
+	if len(hs.Cluster.Peers) != 2 || hs.Cluster.Degraded != 0 {
+		t.Fatalf("cluster membership = %+v, want 2 alive peers", hs.Cluster)
+	}
+
+	// Work flows through the shards; the rerun is a cache hit.
+	if simulateAt(t, base) {
+		t.Fatal("first simulate claimed a cache hit on a fresh cluster")
+	}
+	if !simulateAt(t, base) {
+		t.Fatal("repeat simulate not served from cache")
+	}
+
+	// Kill shard-0 the hard way and wait for the probes to notice.
+	m := shardPidRE.FindStringSubmatch(errOut.String())
+	if m == nil {
+		t.Fatalf("shard-0 pid not announced on stderr:\n%s", errOut)
+	}
+	pid, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		hs = healthz()
+		if hs.Cluster.Degraded == 1 && hs.Status == "degraded" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never noticed the dead shard: %+v", hs.Cluster)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	dead := 0
+	for _, p := range hs.Cluster.Peers {
+		if p.State == cluster.StateDead {
+			dead++
+		}
+	}
+	if dead != 1 {
+		t.Fatalf("peer states = %+v, want exactly one dead", hs.Cluster.Peers)
+	}
+
+	// Degraded, not down: new work still answers (owner-dead cells fall
+	// back to local recompute).
+	resp, err := http.Post(base+"/v1/simulate", "application/json",
+		bytes.NewReader([]byte(`{"benchmark":"jmeint"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate on degraded cluster: %d, want 200", resp.StatusCode)
+	}
+
+	// Clean drain with one child already SIGKILLed.
+	sigterm(t, done)
+}
+
+// TestClusterFlagValidation: -cluster and -peers contradict each other
+// (spawned shards vs an external peer list) and must be a usage error.
+func TestClusterFlagValidation(t *testing.T) {
+	var errBuf bytes.Buffer
+	err := run([]string{"-cluster", "2", "-peers", "10.0.0.1:1"}, io.Discard, &errBuf)
+	if cli.ExitCode(err) != 2 {
+		t.Fatalf("-cluster with -peers: exit %d (err %v), want 2", cli.ExitCode(err), err)
+	}
+	err = run([]string{"-peers", " , ,"}, io.Discard, &errBuf)
+	if cli.ExitCode(err) != 2 {
+		t.Fatalf("empty -peers list: exit %d (err %v), want 2", cli.ExitCode(err), err)
+	}
+}

@@ -9,14 +9,29 @@
 //
 //	axmemod -addr localhost:8080 -store-dir /var/lib/axmemo [-store-max-bytes 1073741824]
 //	axmemod -workers 8 -queue-depth 128 -request-timeout 2m -scale 2
+//	axmemod -cluster 3 -store-dir /var/lib/axmemo    # coordinator + 3 local shards
+//	axmemod -peers 10.0.0.2:8080,10.0.0.3:8080      # coordinator over existing daemons
 //
-// Endpoints: POST /v1/simulate, POST /v1/sweep (async; poll GET
-// /v1/jobs/{id}), GET /v1/figures[/{name}], GET /healthz, GET
-// /metrics.  SIGINT/SIGTERM stop the listener, drain in-flight jobs
-// (bounded by -drain-timeout), flush the store and exit 0.
+// Endpoints: POST /v1/simulate, POST /v1/cells (shard protocol), POST
+// /v1/sweep (async; poll GET /v1/jobs/{id}), GET /v1/figures[/{name}],
+// GET /healthz, GET /metrics.  SIGINT/SIGTERM stop the listener, drain
+// in-flight jobs (bounded by -drain-timeout), stop any spawned shards,
+// flush the store and exit 0.
+//
+// Cluster mode: -cluster=N spawns N shard daemons as child processes
+// on ephemeral ports (each with its own store under
+// -store-dir/shard-i), consistent-hashes every cell's content address
+// onto its owning shard, and forwards work there with a retrying,
+// hedging client.  A shard that dies degrades its key range to local
+// recompute — the cluster stays correct, just slower — and /healthz
+// reports per-peer state.  -peers joins externally managed daemons
+// instead of spawning; peer identity is positional ("peer-0", ...), so
+// keep the list order stable across restarts to keep key ownership
+// stable.
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -24,9 +39,16 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
 	"time"
 
 	"axmemo/internal/cli"
+	"axmemo/internal/cluster"
 	"axmemo/internal/harness"
 	"axmemo/internal/obs"
 	"axmemo/internal/server"
@@ -50,9 +72,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		parallel      = fs.Int("parallel", 0, "sweep scheduler pool size (0 = one worker per CPU)")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "shutdown budget for in-flight work after SIGINT/SIGTERM")
 		metricsOut    = fs.String("metrics-out", "", "write the deterministic metrics snapshot (JSON) to this file on exit")
+		clusterN      = fs.Int("cluster", 0, "spawn this many local shard daemons and coordinate cells across them (0 = single node)")
+		peerList      = fs.String("peers", "", "comma-separated host:port list of existing shard daemons to coordinate (alternative to -cluster)")
+		probeEvery    = fs.Duration("probe-interval", time.Second, "peer /healthz probe interval in cluster mode")
+		failThreshold = fs.Int("peer-fail-threshold", 0, "consecutive probe/request failures before a peer is considered dead (0 = 3)")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
+	}
+	if *clusterN > 0 && *peerList != "" {
+		return cli.Usagef("-cluster and -peers are mutually exclusive")
 	}
 
 	sink := obs.NewSink() // always on: /metrics serves it live
@@ -61,14 +90,62 @@ func run(args []string, stdout, stderr io.Writer) error {
 	suite.Obs = sink
 
 	var st *store.Store
-	if *storeDir != "" {
+	if *storeDir != "" && *clusterN == 0 {
+		// In spawn mode the shards own the store shards; the coordinator
+		// keeps only its in-memory cell cache (plus local recompute when
+		// degraded), so every persisted cell lives exactly once.
 		var err error
 		if st, err = store.Open(*storeDir, *storeMaxBytes); err != nil {
 			return err
 		}
+		st.Logf = func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
 		suite.Store = st
 		st.Attach(sink)
 		fmt.Fprintf(stderr, "axmemod: store %s (%d cells)\n", st.Dir(), st.Stats().Entries)
+	}
+
+	// Cluster mode: assemble the peer set (spawned children or an
+	// explicit list) and install the coordinator as the suite's remote
+	// tier.
+	var (
+		co     *cluster.Coordinator
+		shards []*shardProc
+	)
+	if *clusterN > 0 || *peerList != "" {
+		var peers []cluster.Peer
+		if *clusterN > 0 {
+			var err error
+			shards, peers, err = spawnShards(*clusterN, *storeDir, *storeMaxBytes, *scale, *parallel, stderr)
+			if err != nil {
+				stopShards(shards, *drainTimeout)
+				return err
+			}
+			defer stopShards(shards, *drainTimeout)
+		} else {
+			for i, a := range strings.Split(*peerList, ",") {
+				a = strings.TrimSpace(a)
+				if a == "" {
+					continue
+				}
+				peers = append(peers, cluster.Peer{ID: "peer-" + strconv.Itoa(i), Addr: a})
+			}
+			if len(peers) == 0 {
+				return cli.Usagef("-peers: no usable addresses in %q", *peerList)
+			}
+		}
+		var err error
+		co, err = cluster.NewCoordinator(cluster.Config{
+			Peers:         peers,
+			FailThreshold: *failThreshold,
+			CellTimeout:   *reqTimeout,
+			Logf:          func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) },
+		})
+		if err != nil {
+			return err
+		}
+		co.Attach(sink)
+		suite.Remote = co.RunCell
+		fmt.Fprintf(stderr, "axmemod: coordinating %d peers (%s)\n", len(peers), co.Members())
 	}
 
 	srv := server.New(server.Config{
@@ -77,6 +154,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		QueueDepth:     *queueDepth,
 		RequestTimeout: *reqTimeout,
 		MaxJobs:        *maxJobs,
+		Cluster:        co,
 	})
 
 	// Bind before Serve so "port 0" invocations (tests, ephemeral
@@ -89,6 +167,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	err = cli.Serve(func(ctx context.Context) error {
+		if co != nil {
+			go co.Run(ctx, *probeEvery)
+		}
 		serveErr := make(chan error, 1)
 		go func() { serveErr <- httpSrv.Serve(ln) }()
 		select {
@@ -118,4 +199,118 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return err
+}
+
+// shardProc is one spawned shard daemon.
+type shardProc struct {
+	id   string
+	cmd  *exec.Cmd
+	addr string
+}
+
+var shardServingRE = regexp.MustCompile(`serving on http://(\S+)`)
+
+// spawnShards launches n copies of this binary as shard daemons on
+// ephemeral ports, each with its own store shard under storeDir, and
+// waits until every one reports its bound address.  Shard stderr is
+// forwarded with an [id] prefix; the "serving on" line is consumed and
+// re-announced with the child's pid so operators (and the CI chaos
+// job) can target individual shards.
+func spawnShards(n int, storeDir string, storeMaxBytes int64, scale, parallel int, stderr io.Writer) ([]*shardProc, []cluster.Peer, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, nil, fmt.Errorf("axmemod: resolving own binary for shard spawn: %w", err)
+	}
+	var shards []*shardProc
+	var peers []cluster.Peer
+	for i := 0; i < n; i++ {
+		id := "shard-" + strconv.Itoa(i)
+		args := []string{
+			"-addr", "127.0.0.1:0",
+			"-scale", strconv.Itoa(scale),
+			"-parallel", strconv.Itoa(parallel),
+		}
+		if storeDir != "" {
+			args = append(args, "-store-dir", filepath.Join(storeDir, id),
+				"-store-max-bytes", strconv.FormatInt(storeMaxBytes, 10))
+		}
+		cmd := exec.Command(exe, args...)
+		// The marker lets a test binary standing in for axmemod (see
+		// cmd/axmemod TestMain) recognize it should run the daemon, and
+		// makes shards identifiable in process listings.
+		cmd.Env = append(os.Environ(), "AXMEMOD_SHARD="+id)
+		pipe, err := cmd.StderrPipe()
+		if err != nil {
+			return shards, nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return shards, nil, fmt.Errorf("axmemod: spawning %s: %w", id, err)
+		}
+		sp := &shardProc{id: id, cmd: cmd}
+		shards = append(shards, sp)
+
+		addrCh := make(chan string, 1)
+		go func() {
+			sc := bufio.NewScanner(pipe)
+			for sc.Scan() {
+				line := sc.Text()
+				if m := shardServingRE.FindStringSubmatch(line); m != nil {
+					select {
+					case addrCh <- m[1]:
+						continue // announced below; don't forward the raw line
+					default:
+					}
+				}
+				fmt.Fprintf(stderr, "axmemod[%s]: %s\n", sp.id, line)
+			}
+		}()
+		select {
+		case addr := <-addrCh:
+			sp.addr = addr
+			peers = append(peers, cluster.Peer{ID: id, Addr: addr})
+			fmt.Fprintf(stderr, "axmemod: %s pid %d up at http://%s\n", id, cmd.Process.Pid, addr)
+		case <-time.After(30 * time.Second):
+			return shards, nil, fmt.Errorf("axmemod: %s never reported its address", id)
+		case <-waitDone(cmd):
+			return shards, nil, fmt.Errorf("axmemod: %s exited before serving", id)
+		}
+	}
+	return shards, peers, nil
+}
+
+// waitDone adapts cmd.Wait to a channel without reaping the process
+// twice (stopShards re-Waits; exec.Cmd serializes that internally).
+func waitDone(cmd *exec.Cmd) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		cmd.Process.Wait() //nolint:errcheck // liveness signal only
+		close(ch)
+	}()
+	return ch
+}
+
+// stopShards SIGTERMs every spawned shard and waits (bounded) for the
+// clean drain; stragglers are killed.  Already-dead shards (a chaos
+// test's SIGKILL) are fine — the error is theirs, not ours.
+func stopShards(shards []*shardProc, timeout time.Duration) {
+	for _, sp := range shards {
+		if sp.cmd.Process != nil {
+			sp.cmd.Process.Signal(os.Interrupt) //nolint:errcheck // may already be gone
+		}
+	}
+	deadline := time.After(timeout)
+	for _, sp := range shards {
+		done := make(chan struct{})
+		go func(sp *shardProc) {
+			sp.cmd.Wait() //nolint:errcheck // shard exit status is advisory
+			close(done)
+		}(sp)
+		select {
+		case <-done:
+		case <-deadline:
+			if sp.cmd.Process != nil {
+				sp.cmd.Process.Kill() //nolint:errcheck
+			}
+		}
+	}
 }

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+)
+
+// okTransport answers every request 200 with a fixed body.
+func okTransport(body string) http.RoundTripper {
+	return rtFunc(func(r *http.Request) (*http.Response, error) {
+		return resp(200, body, nil), nil
+	})
+}
+
+// chaosGet runs one identified request through the transport and
+// classifies the outcome.
+func chaosGet(t *testing.T, rt http.RoundTripper, host, key string, attempt int) (body string, err error) {
+	t.Helper()
+	req, rerr := http.NewRequest("GET", "http://"+host+"/v1/cells", nil)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	req.Header.Set(HeaderKey, key)
+	req.Header.Set(HeaderAttempt, strconv.Itoa(attempt))
+	resp, err := rt.RoundTrip(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, rerr := io.ReadAll(resp.Body)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	return string(b), nil
+}
+
+// TestChaosDeterministicDecisions: two transports built from the same
+// plan deliver the identical fault trace for the same traffic,
+// regardless of the order requests are replayed in; a different seed
+// produces a different trace.
+func TestChaosDeterministicDecisions(t *testing.T) {
+	plan := ChaosPlan{Seed: 42, DropRate: 0.4, CorruptRate: 0.3}
+	trace := func(seed int64, reverse bool) []string {
+		p := plan
+		p.Seed = seed
+		c := NewChaos(p, okTransport(`{"payload":"0123456789abcdef"}`))
+		var out []string
+		n := 40
+		for i := 0; i < n; i++ {
+			idx := i
+			if reverse {
+				idx = n - 1 - i
+			}
+			host := fmt.Sprintf("shard-%d.test:80", idx%3)
+			key := fmt.Sprintf("key-%d", idx)
+			body, err := chaosGet(t, c, host, key, idx%4)
+			switch {
+			case err != nil:
+				out = append(out, fmt.Sprintf("%s/%s drop", host, key))
+			case body != `{"payload":"0123456789abcdef"}`:
+				out = append(out, fmt.Sprintf("%s/%s corrupt", host, key))
+			default:
+				out = append(out, fmt.Sprintf("%s/%s ok", host, key))
+			}
+		}
+		if reverse {
+			for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+		return out
+	}
+
+	a, b := trace(42, false), trace(42, true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay order changed verdict %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	drops, oks := 0, 0
+	for _, v := range a {
+		if bytes.HasSuffix([]byte(v), []byte("drop")) {
+			drops++
+		}
+		if bytes.HasSuffix([]byte(v), []byte("ok")) {
+			oks++
+		}
+	}
+	if drops == 0 || oks == 0 {
+		t.Fatalf("degenerate plan: %d drops, %d oks of %d", drops, oks, len(a))
+	}
+	c := trace(43, false)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("changing the seed changed nothing")
+	}
+}
+
+func TestChaosKillReviveAndFuse(t *testing.T) {
+	c := NewChaos(ChaosPlan{Seed: 1}, okTransport("ok"))
+	host := "shard-0.test:80"
+	if _, err := chaosGet(t, c, host, "k", 0); err != nil {
+		t.Fatalf("healthy peer errored: %v", err)
+	}
+	c.Kill(host)
+	if _, err := chaosGet(t, c, host, "k", 1); err == nil {
+		t.Fatal("killed peer answered")
+	}
+	c.Revive(host)
+	if _, err := chaosGet(t, c, host, "k", 2); err != nil {
+		t.Fatalf("revived peer errored: %v", err)
+	}
+
+	// The fuse burns after exactly n more served requests.
+	c.KillAfter(host, 2)
+	for i := 0; i < 2; i++ {
+		if _, err := chaosGet(t, c, host, "k", 10+i); err != nil {
+			t.Fatalf("request %d before the fuse burnt: %v", i, err)
+		}
+	}
+	if _, err := chaosGet(t, c, host, "k", 12); err == nil {
+		t.Fatal("fuse did not burn")
+	}
+	if got := c.Requests(host); got != 6 {
+		t.Fatalf("Requests = %d, want 6", got)
+	}
+}
+
+func TestChaosCorruptIsDetectableAndDeterministic(t *testing.T) {
+	body := []byte(`{"result":"payload-payload-payload"}`)
+	a, b := corrupt(body), corrupt(body)
+	if !bytes.Equal(a, b) {
+		t.Fatal("corrupt is not deterministic")
+	}
+	if bytes.Equal(a, body) {
+		t.Fatal("corrupt changed nothing")
+	}
+	if len(a) != len(body) {
+		t.Fatalf("corrupt changed length %d -> %d", len(body), len(a))
+	}
+	if got := corrupt(nil); len(got) == 0 {
+		t.Fatal("corrupting an empty body produced an empty body")
+	}
+}

@@ -1,0 +1,143 @@
+// Package cluster federates axmemod daemons into a fault-tolerant
+// sharded result cluster.  A coordinator consistent-hashes every sweep
+// cell's content address onto one of N peer daemons (rendezvous
+// hashing, so ownership is a pure function of the peer set and the
+// key), forwards the cell to its owner over HTTP, and merges the
+// results into its own suite cache.  Because a cell is a pure function
+// of its key — PR 4's content-addressed store contract — recomputation
+// is always a safe fallback: a dead, unreachable, or corrupted peer
+// degrades the cluster to local recompute for that peer's key range,
+// it never fails a request.
+//
+// The package's parts:
+//
+//   - Client (client.go): a resilient HTTP/JSON client with
+//     per-attempt timeouts, capped exponential backoff with seeded
+//     jitter, 429 Retry-After honoring, and hedged reads for hot keys.
+//
+//   - Membership (membership.go): health-checked peer tracking.
+//     Periodic /healthz probes with a consecutive-failure threshold
+//     demote peers to dead; a rejoining peer is re-admitted only if
+//     its ResultsVersion matches the coordinator's, otherwise it is
+//     parked as incompatible.
+//
+//   - Coordinator (coordinator.go): the Suite.Remote delegate that
+//     owns the ring, forwards cells, verifies response checksums, and
+//     falls back to local recompute when the owner cannot answer.
+//
+//   - Chaos (chaos.go): a seeded, deterministic fault-injection
+//     transport (in the spirit of internal/fault) that drops requests,
+//     delays responses, corrupts payloads, and kills peers, keyed by a
+//     hash of (seed, peer, request key, attempt) so decisions are
+//     independent of goroutine scheduling and a fixed seed yields
+//     deterministic retry/degradation telemetry.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+
+	"axmemo/internal/harness"
+	"axmemo/internal/store"
+)
+
+// Peer identifies one shard daemon of the cluster.
+type Peer struct {
+	// ID is the stable name used in metrics, health reports, and the
+	// rendezvous hash (e.g. "shard-0").
+	ID string `json:"id"`
+	// Addr is the peer's base URL host:port (no scheme).
+	Addr string `json:"addr"`
+}
+
+// URL returns the peer's base URL.
+func (p Peer) URL() string { return "http://" + p.Addr }
+
+// Owner rendezvous-hashes a store key onto the peer list: every peer
+// scores hash(peerID, key) and the highest score owns the key.  The
+// mapping is a pure function of the full peer set and the key — it
+// ignores liveness on purpose, so a dead peer's key range is NOT
+// re-sharded onto survivors (which would silently shift load and cold
+// caches); instead the coordinator recomputes those keys locally until
+// the owner rejoins.  Returns -1 for an empty peer list.
+func Owner(peers []Peer, key store.Key) int {
+	best, bestScore := -1, uint64(0)
+	for i, p := range peers {
+		h := sha256.New()
+		h.Write([]byte(p.ID))
+		h.Write(key[:])
+		var sum [sha256.Size]byte
+		h.Sum(sum[:0])
+		score := binary.BigEndian.Uint64(sum[:8])
+		// Ties (astronomically unlikely) break toward the lower index so
+		// the choice stays deterministic regardless of enumeration order.
+		if best < 0 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// Wire types of the peer-to-peer protocol.  Shards expose POST
+// /v1/cells (internal/server.handleCell); coordinators call it through
+// Client.  Everything is plain JSON over HTTP — no new dependencies.
+
+// CellRequest asks a peer to execute (or serve from its store) one
+// fully resolved sweep cell.  Version and Scale pin the compatibility
+// contract: a peer whose ResultsVersion or input scale differs answers
+// 409 and the coordinator recomputes locally rather than mixing
+// results from different physics.
+type CellRequest struct {
+	Version int               `json:"results_version"`
+	Scale   int               `json:"scale"`
+	Cell    harness.SweepCell `json:"cell"`
+}
+
+// CellResponse carries one cell's result back.  SHA256 covers the raw
+// Result bytes, so a payload corrupted in flight (or by a chaotic
+// transport) is detected by the client and retried instead of being
+// merged into figures.
+type CellResponse struct {
+	Key    string          `json:"key"`
+	Cached bool            `json:"cached"`
+	SHA256 string          `json:"result_sha256"`
+	Result json.RawMessage `json:"result"`
+}
+
+// HealthStatus is the /healthz response body.  Peers and operators use
+// ResultsVersion to detect version skew before exchanging cells, and
+// the store counts to see cache population at a glance.  A clustered
+// coordinator additionally reports per-peer membership state.
+type HealthStatus struct {
+	// Status is "ok", or "degraded" when any peer is down or the store
+	// has dropped to its memory-only tier.  The endpoint still answers
+	// 200: degraded is an operating mode, not an outage.
+	Status         string  `json:"status"`
+	ResultsVersion int     `json:"results_version"`
+	StoreEntries   int     `json:"store_entries"`
+	StoreBytes     int64   `json:"store_bytes"`
+	StoreDegraded  bool    `json:"store_degraded,omitempty"`
+	Cluster        *Health `json:"cluster,omitempty"`
+}
+
+// Health is the coordinator's view of its peers.
+type Health struct {
+	// Degraded counts peers not currently alive.
+	Degraded int          `json:"degraded"`
+	Peers    []PeerHealth `json:"peers"`
+}
+
+// PeerHealth is one peer's membership record.
+type PeerHealth struct {
+	ID    string `json:"id"`
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+	// Failures is the current consecutive probe/request failure count.
+	Failures int `json:"failures,omitempty"`
+	// ResultsVersion, StoreEntries and StoreBytes mirror the peer's last
+	// successful /healthz body.
+	ResultsVersion int   `json:"results_version,omitempty"`
+	StoreEntries   int   `json:"store_entries,omitempty"`
+	StoreBytes     int64 `json:"store_bytes,omitempty"`
+}

@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"axmemo/internal/harness"
+	"axmemo/internal/obs"
+)
+
+// Config assembles a Coordinator.
+type Config struct {
+	// Peers are the shard daemons the ring hashes over.  Required
+	// non-empty.
+	Peers []Peer
+	// Version is the ResultsVersion peers must match (0 =
+	// harness.ResultsVersion).
+	Version int
+	// FailThreshold demotes a peer after this many consecutive failures
+	// (0 = 3).
+	FailThreshold int
+	// Client forwards cells (nil = a default resilient client).  Supply
+	// one to tune retries/backoff/hedging or to splice in a chaos
+	// transport.
+	Client *Client
+	// Probe checks /healthz (nil = a single-attempt client sharing
+	// Client's transport).
+	Probe *Client
+	// CellTimeout bounds one cell's whole forward, retries included
+	// (0 = 5m); past it the cell is recomputed locally.
+	CellTimeout time.Duration
+	// Logf, if non-nil, receives membership transitions and degrade
+	// warnings.
+	Logf func(format string, args ...any)
+}
+
+// Coordinator owns the cluster's data path: it rendezvous-hashes every
+// cell's store key onto its owning peer, forwards the cell with the
+// resilient client, verifies the response checksum, and reports
+// ok=false — falling back to the suite's local tiers — whenever the
+// owner cannot answer.  Install RunCell as harness.Suite.Remote.
+type Coordinator struct {
+	members *Membership
+	client  *Client
+	timeout time.Duration
+
+	forwards   *obs.CounterVec // peer
+	fallbacks  *obs.CounterVec // reason
+	badPayload *obs.Counter
+}
+
+// NewCoordinator builds the coordinator and its membership tracker.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: no peers")
+	}
+	version := cfg.Version
+	if version == 0 {
+		version = harness.ResultsVersion
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &Client{}
+	}
+	probe := cfg.Probe
+	if probe == nil {
+		probe = &Client{Transport: client.Transport, AttemptTimeout: 10 * time.Second}
+	}
+	timeout := cfg.CellTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Minute
+	}
+	members := NewMembership(cfg.Peers, version, probe)
+	members.FailThreshold = cfg.FailThreshold
+	members.Logf = cfg.Logf
+	return &Coordinator{members: members, client: client, timeout: timeout}, nil
+}
+
+// Attach registers the coordinator's obs families.  Forward, retry and
+// fallback counts depend only on the key set and the (possibly
+// chaotic) transport verdicts, so they are deterministic for a fixed
+// seed under a serial sweep; hedge launches are wall-clock racing and
+// live in a Volatile family.
+func (co *Coordinator) Attach(sink *obs.Sink) {
+	reg := sink.Reg()
+	if reg == nil {
+		return
+	}
+	co.forwards = reg.NewCounterVec("cluster_forward_total",
+		obs.Opts{Help: "cells served by their owning peer"}, "peer")
+	co.fallbacks = reg.NewCounterVec("cluster_fallback_total",
+		obs.Opts{Help: "cells recomputed locally instead of forwarded, by reason"}, "reason")
+	co.badPayload = reg.NewCounter("cluster_bad_payload_total",
+		obs.Opts{Help: "forwarded responses rejected by checksum or decode validation"})
+	co.client.Retries = reg.NewCounter("cluster_retries_total",
+		obs.Opts{Help: "forward attempts beyond the first"})
+	co.client.Hedges = reg.NewCounter("cluster_hedges_total",
+		obs.Opts{Help: "hedged attempts launched for slow forwards", Volatile: true})
+	co.members.Attach(sink)
+}
+
+// Members exposes the membership tracker (probing, health reporting).
+func (co *Coordinator) Members() *Membership { return co.members }
+
+// Run starts the background probe loop until ctx ends.
+func (co *Coordinator) Run(ctx context.Context, probeInterval time.Duration) {
+	co.members.ProbeAll(ctx) // correct the optimistic initial state immediately
+	co.members.Run(ctx, probeInterval)
+}
+
+// Health reports the cluster's membership view for /healthz.
+func (co *Coordinator) Health() *Health { return co.members.Health() }
+
+// RunCell is the harness.Suite.Remote delegate: forward the cell to
+// its owner, or report ok=false so the suite recomputes locally.  The
+// executed flag relays whether the owner actually ran the simulation
+// (as opposed to answering from its own cache).
+func (co *Coordinator) RunCell(c harness.SweepCell) (res *harness.Result, executed, ok bool) {
+	// Resolve exactly as the suite's local path would, then strip the
+	// process-local observability wiring: it never affects results and
+	// must not ride the wire (CellStoreKey ignores it too).
+	cfg := c.Config
+	if c.Baseline {
+		scale := cfg.Scale
+		cfg = harness.Baseline()
+		cfg.Scale = scale
+	}
+	cfg.Obs = nil
+	cfg.ObsPID = 0
+
+	key := harness.CellStoreKey(c.Workload, cfg)
+	peers := co.members.Peers()
+	owner := Owner(peers, key)
+	if owner < 0 {
+		co.fallbacks.With("no_peers").Inc()
+		return nil, false, false
+	}
+	if !co.members.Alive(owner) {
+		co.fallbacks.With("dead").Inc()
+		return nil, false, false
+	}
+
+	req := CellRequest{Version: co.members.Version, Scale: cfg.Scale,
+		Cell: harness.SweepCell{Workload: c.Workload, Config: cfg, Baseline: c.Baseline}}
+	var resp CellResponse
+	ctx, cancel := context.WithTimeout(context.Background(), co.timeout)
+	defer cancel()
+	err := co.client.Do(ctx, Request{
+		Method: http.MethodPost,
+		URL:    peers[owner].URL() + "/v1/cells",
+		Body:   req,
+		Out:    &resp,
+		Key:    key.String(),
+		Hedge:  true,
+		Check: func() error {
+			sum := sha256.Sum256(resp.Result)
+			if hex.EncodeToString(sum[:]) != resp.SHA256 {
+				co.badPayload.Inc()
+				return Retryable(fmt.Errorf("cluster: result checksum mismatch from %s", peers[owner].ID))
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		co.members.ReportFailure(owner)
+		co.fallbacks.With("error").Inc()
+		return nil, false, false
+	}
+	co.members.ReportSuccess(owner)
+	var out harness.Result
+	if err := json.Unmarshal(resp.Result, &out); err != nil {
+		co.badPayload.Inc()
+		co.fallbacks.With("error").Inc()
+		return nil, false, false
+	}
+	co.forwards.With(peers[owner].ID).Inc()
+	return &out, !resp.Cached, true
+}

@@ -1,0 +1,350 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"axmemo/internal/cluster"
+	"axmemo/internal/harness"
+	"axmemo/internal/obs"
+	"axmemo/internal/server"
+)
+
+// shard is one in-process peer daemon: a suite with its own sink behind
+// a real HTTP server.
+type shard struct {
+	suite *harness.Suite
+	ts    *httptest.Server
+}
+
+func newShard(t *testing.T) *shard {
+	t.Helper()
+	s := harness.NewSuite(1)
+	s.Parallel = 2
+	s.Obs = obs.NewSink()
+	srv := server.New(server.Config{Suite: s})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return &shard{suite: s, ts: ts}
+}
+
+func (s *shard) addr() string { return strings.TrimPrefix(s.ts.URL, "http://") }
+
+func execCount(s *harness.Suite) uint64 {
+	return s.Obs.Reg().NewCounter("harness_cell_exec_total", obs.Opts{}).Value()
+}
+
+// noSleep skips retry backoff so chaotic tests stay fast and free of
+// wall-clock effects.
+func noSleep(ctx context.Context, d time.Duration) error { return nil }
+
+// reference figures are computed once per test binary: a serial
+// single-node sweep that every cluster variant must match byte for
+// byte.
+var (
+	refOnce  sync.Once
+	refTexts map[string]string
+	refExecs map[string]uint64
+)
+
+func reference(t *testing.T, figIDs ...string) (text string, execs uint64) {
+	t.Helper()
+	refOnce.Do(func() {
+		refTexts = make(map[string]string)
+		refExecs = make(map[string]uint64)
+		for _, id := range []string{"ABL-RATE", "ABL-ADAPT"} {
+			s := harness.NewSuite(1)
+			s.Parallel = 1
+			s.Obs = obs.NewSink()
+			fig, err := s.Generate(id)
+			if err != nil {
+				t.Fatalf("reference %s: %v", id, err)
+			}
+			refTexts[id] = fig.String()
+			refExecs[id] = execCount(s)
+		}
+	})
+	for _, id := range figIDs {
+		txt, ok := refTexts[id]
+		if !ok {
+			t.Fatalf("no reference for %s", id)
+		}
+		text += txt
+		execs += refExecs[id]
+	}
+	return text, execs
+}
+
+// coordSuite wires a coordinator suite over the given peers and returns
+// its sink for metric assertions.
+func coordSuite(t *testing.T, co *cluster.Coordinator, parallel int) (*harness.Suite, *obs.Sink) {
+	t.Helper()
+	sink := obs.NewSink()
+	co.Attach(sink)
+	s := harness.NewSuite(1)
+	s.Parallel = parallel
+	s.Obs = sink
+	s.Remote = co.RunCell
+	return s, sink
+}
+
+func forwardSum(sink *obs.Sink, peers []cluster.Peer) uint64 {
+	vec := sink.Reg().NewCounterVec("cluster_forward_total", obs.Opts{}, "peer")
+	var n uint64
+	for _, p := range peers {
+		n += vec.With(p.ID).Value()
+	}
+	return n
+}
+
+// TestClusterMatchesSingleNode: a 3-shard cluster renders the exact
+// bytes a single node renders, the coordinator itself simulates
+// nothing, and a second (cold-cache) coordinator over the same warm
+// shards gets the whole figure with zero simulations anywhere.
+func TestClusterMatchesSingleNode(t *testing.T) {
+	refText, refExec := reference(t, "ABL-RATE")
+
+	shards := []*shard{newShard(t), newShard(t), newShard(t)}
+	peers := make([]cluster.Peer, len(shards))
+	for i, sh := range shards {
+		peers[i] = cluster.Peer{ID: "shard-" + string(rune('0'+i)), Addr: sh.addr()}
+	}
+	co, err := cluster.NewCoordinator(cluster.Config{Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, sink := coordSuite(t, co, 2)
+
+	fig, err := suite.Generate("ABL-RATE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.String() != refText {
+		t.Fatalf("cluster figure differs from single node:\n--- single ---\n%s--- cluster ---\n%s",
+			refText, fig.String())
+	}
+	if got := execCount(suite); got != 0 {
+		t.Fatalf("coordinator simulated %d cells itself, want 0 (all forwarded)", got)
+	}
+	var shardExec uint64
+	for _, sh := range shards {
+		shardExec += execCount(sh.suite)
+	}
+	if shardExec != refExec {
+		t.Fatalf("shards executed %d cells, want %d", shardExec, refExec)
+	}
+	if got := forwardSum(sink, peers); got != refExec {
+		t.Fatalf("cluster_forward_total = %d, want %d", got, refExec)
+	}
+	if co.Members().Degraded() != 0 {
+		t.Fatal("healthy cluster reports degraded peers")
+	}
+
+	// Warm cluster: a brand-new coordinator (empty local cache) must
+	// answer the same figure without a single simulation anywhere.
+	co2, err := cluster.NewCoordinator(cluster.Config{Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite2, _ := coordSuite(t, co2, 2)
+	fig2, err := suite2.Generate("ABL-RATE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig2.String() != refText {
+		t.Fatal("warm cluster rendered different bytes")
+	}
+	if got := execCount(suite2); got != 0 {
+		t.Fatalf("warm sweep simulated %d cells on the coordinator", got)
+	}
+	var shardExec2 uint64
+	for _, sh := range shards {
+		shardExec2 += execCount(sh.suite)
+	}
+	if shardExec2 != shardExec {
+		t.Fatalf("warm sweep re-executed cells on shards: %d -> %d", shardExec, shardExec2)
+	}
+}
+
+// TestClusterMissingPeer: with one of three peers unreachable, the
+// sweep still completes byte-identical — the dead peer's key range is
+// recomputed locally — and membership reports the cluster degraded.
+func TestClusterMissingPeer(t *testing.T) {
+	refText, _ := reference(t, "ABL-RATE")
+
+	alive := []*shard{newShard(t), newShard(t)}
+	// A peer that is listed but not listening: its httptest server is
+	// closed before the sweep, so connections are refused.
+	dead := newShard(t)
+	deadAddr := dead.addr()
+	dead.ts.Close()
+
+	peers := []cluster.Peer{
+		{ID: "shard-0", Addr: alive[0].addr()},
+		{ID: "shard-1", Addr: deadAddr},
+		{ID: "shard-2", Addr: alive[1].addr()},
+	}
+	co, err := cluster.NewCoordinator(cluster.Config{
+		Peers:         peers,
+		FailThreshold: 1,
+		Client:        &cluster.Client{Attempts: 2, Sleep: noSleep},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, sink := coordSuite(t, co, 1)
+
+	fig, err := suite.Generate("ABL-RATE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.String() != refText {
+		t.Fatalf("degraded cluster rendered different bytes:\n--- single ---\n%s--- cluster ---\n%s",
+			refText, fig.String())
+	}
+	if co.Members().Degraded() != 1 {
+		t.Fatalf("Degraded = %d, want 1", co.Members().Degraded())
+	}
+	if st := co.Health().Peers[1].State; st != cluster.StateDead {
+		t.Fatalf("dead peer state = %s", st)
+	}
+	fallbacks := sink.Reg().NewCounterVec("cluster_fallback_total", obs.Opts{}, "reason")
+	if fallbacks.With("error").Value() == 0 {
+		t.Fatal("no error fallback recorded for the dead peer's first key")
+	}
+	if execCount(suite) == 0 {
+		t.Fatal("coordinator never recomputed the dead peer's range locally")
+	}
+	// The probe loop sees the same thing the data path saw.
+	co.Members().ProbeAll(context.Background())
+	if co.Members().Degraded() != 1 {
+		t.Fatal("probe round resurrected an unreachable peer")
+	}
+}
+
+// hostRewriter gives peers stable fake hostnames so chaos decisions —
+// keyed on the host — do not depend on the ephemeral ports httptest
+// picked, making whole runs reproducible.
+type hostRewriter struct{ real map[string]string }
+
+func (h hostRewriter) RoundTrip(r *http.Request) (*http.Response, error) {
+	r2 := r.Clone(r.Context())
+	if real, ok := h.real[r2.URL.Host]; ok {
+		r2.URL.Host = real
+	}
+	return http.DefaultTransport.RoundTrip(r2)
+}
+
+// chaosRun is one full chaotic cluster sweep and everything observable
+// about it.
+type chaosRun struct {
+	text     string
+	snapshot []byte
+	retries  uint64
+	degraded float64
+	health   *cluster.Health
+}
+
+// runChaoticSweep builds a fresh 3-shard cluster behind a seeded chaos
+// transport (drops + corruption, plus a request-count fuse that kills
+// one shard mid-sweep) and runs a serial sweep over two figures.
+func runChaoticSweep(t *testing.T, seed int64) chaosRun {
+	t.Helper()
+	shards := []*shard{newShard(t), newShard(t), newShard(t)}
+	hosts := hostRewriter{real: make(map[string]string)}
+	peers := make([]cluster.Peer, len(shards))
+	for i, sh := range shards {
+		stable := "shard-" + string(rune('0'+i)) + ".chaos"
+		hosts.real[stable] = sh.addr()
+		peers[i] = cluster.Peer{ID: "shard-" + string(rune('0'+i)), Addr: stable}
+	}
+
+	chaos := cluster.NewChaos(cluster.ChaosPlan{
+		Seed:        seed,
+		DropRate:    0.25,
+		CorruptRate: 0.25,
+	}, hosts)
+	// One more request to shard-1, then it is gone: a crash mid-sweep.
+	chaos.KillAfter("shard-1.chaos", 1)
+
+	co, err := cluster.NewCoordinator(cluster.Config{
+		Peers:         peers,
+		FailThreshold: 1,
+		Client:        &cluster.Client{Transport: chaos, Sleep: noSleep, Seed: seed},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, sink := coordSuite(t, co, 1) // serial: request order is the cell order
+	chaos.Attach(sink)
+
+	var text string
+	figs := []string{"ABL-RATE", "ABL-ADAPT"}
+	if err := suite.Prewarm(1, figs...); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range figs {
+		fig, err := suite.Figure(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text += fig.String()
+	}
+	return chaosRun{
+		text:     text,
+		snapshot: sink.Reg().SnapshotJSON(obs.Deterministic),
+		retries:  sink.Reg().NewCounter("cluster_retries_total", obs.Opts{}).Value(),
+		degraded: sink.Reg().NewGauge("cluster_degraded", obs.Opts{}).Value(),
+		health:   co.Health(),
+	}
+}
+
+// TestClusterChaosDeterministicSweep is the acceptance test: under a
+// seeded chaos plan that drops requests, corrupts payloads, and kills a
+// peer mid-sweep, the sweep still completes byte-identical to a single
+// node, and the entire deterministic telemetry — retries, degradation,
+// forwards, fallbacks, injected faults — is byte-identical between two
+// fresh runs with the same seed.
+func TestClusterChaosDeterministicSweep(t *testing.T) {
+	refText, _ := reference(t, "ABL-RATE", "ABL-ADAPT")
+
+	run1 := runChaoticSweep(t, 7)
+	run2 := runChaoticSweep(t, 7)
+
+	if run1.text != refText {
+		t.Fatalf("chaotic sweep rendered different bytes than a single node:\n--- single ---\n%s--- chaos ---\n%s",
+			refText, run1.text)
+	}
+	if run2.text != run1.text {
+		t.Fatal("two identically seeded chaotic sweeps rendered different bytes")
+	}
+	if !bytes.Equal(run1.snapshot, run2.snapshot) {
+		t.Fatalf("deterministic metric snapshots differ between identically seeded runs:\n--- run1 ---\n%s\n--- run2 ---\n%s",
+			run1.snapshot, run2.snapshot)
+	}
+	if run1.retries == 0 {
+		t.Fatal("chaos plan injected nothing: zero retries")
+	}
+	if run1.degraded < 1 {
+		t.Fatalf("cluster_degraded = %v, want >= 1 (shard-1 was killed)", run1.degraded)
+	}
+	if st := run1.health.Peers[1].State; st != cluster.StateDead {
+		t.Fatalf("killed shard state = %s, want dead", st)
+	}
+
+	// A different seed must observe different faults (while still
+	// producing the same figure bytes).
+	run3 := runChaoticSweep(t, 8)
+	if run3.text != refText {
+		t.Fatal("reseeded chaotic sweep broke byte-identity")
+	}
+	if bytes.Equal(run3.snapshot, run1.snapshot) {
+		t.Fatal("different seeds produced identical fault telemetry")
+	}
+}

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"axmemo/internal/obs"
+	"axmemo/internal/store"
+)
+
+// healthzServer is a fake peer whose /healthz behavior is switchable.
+type healthzServer struct {
+	ts      *httptest.Server
+	version atomic.Int64
+	fail    atomic.Bool
+}
+
+func newHealthzServer(t *testing.T, version int) *healthzServer {
+	t.Helper()
+	h := &healthzServer{}
+	h.version.Store(int64(version))
+	h.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h.fail.Load() {
+			http.Error(w, "on fire", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, `{"status":"ok","results_version":%d,"store_entries":5,"store_bytes":512}`,
+			h.version.Load())
+	}))
+	t.Cleanup(h.ts.Close)
+	return h
+}
+
+func (h *healthzServer) peer(id string) Peer {
+	return Peer{ID: id, Addr: strings.TrimPrefix(h.ts.URL, "http://")}
+}
+
+func TestMembershipProbeLifecycle(t *testing.T) {
+	healthy := newHealthzServer(t, 1)
+	flaky := newHealthzServer(t, 1)
+	skewed := newHealthzServer(t, 99)
+
+	peers := []Peer{healthy.peer("p-healthy"), flaky.peer("p-flaky"), skewed.peer("p-skewed")}
+	m := NewMembership(peers, 1, nil)
+	m.FailThreshold = 2
+	sink := obs.NewSink()
+	m.Attach(sink)
+	gauge := sink.Reg().NewGauge("cluster_degraded", obs.Opts{})
+
+	ctx := context.Background()
+	m.ProbeAll(ctx)
+	if !m.Alive(0) || !m.Alive(1) {
+		t.Fatal("healthy peers not alive after first probe")
+	}
+	if m.Alive(2) {
+		t.Fatal("version-skewed peer admitted")
+	}
+	h := m.Health()
+	if h.Degraded != 1 || h.Peers[2].State != StateIncompatible {
+		t.Fatalf("health after skew probe = %+v", h)
+	}
+	if h.Peers[0].StoreEntries != 5 || h.Peers[0].ResultsVersion != 1 {
+		t.Fatalf("probe did not cache peer health: %+v", h.Peers[0])
+	}
+
+	// The flaky peer fails probes; FailThreshold=2 demotes it on the
+	// second consecutive failure.
+	flaky.fail.Store(true)
+	m.ProbeAll(ctx)
+	if !m.Alive(1) {
+		t.Fatal("one failed probe already demoted the peer")
+	}
+	m.ProbeAll(ctx)
+	if m.Alive(1) {
+		t.Fatal("peer alive past the failure threshold")
+	}
+	if got := m.Degraded(); got != 2 {
+		t.Fatalf("Degraded = %d, want 2", got)
+	}
+	if gauge.Value() != 2 {
+		t.Fatalf("cluster_degraded gauge = %v, want 2", gauge.Value())
+	}
+
+	// Recovery: a matching-version peer is re-admitted by one good probe.
+	flaky.fail.Store(false)
+	m.ProbeAll(ctx)
+	if !m.Alive(1) {
+		t.Fatal("recovered peer not re-admitted")
+	}
+
+	// A rejoining peer with the wrong ResultsVersion is NOT re-admitted:
+	// it parks in incompatible even though its probe succeeds.
+	flaky.version.Store(2)
+	m.ProbeAll(ctx)
+	if m.Alive(1) {
+		t.Fatal("version-skewed rejoin was admitted")
+	}
+	if st := m.Health().Peers[1].State; st != StateIncompatible {
+		t.Fatalf("rejoined skewed peer state = %s, want incompatible", st)
+	}
+	// ... and upgrading it back heals the cluster.
+	flaky.version.Store(1)
+	skewed.version.Store(1)
+	m.ProbeAll(ctx)
+	if m.Degraded() != 0 || gauge.Value() != 0 {
+		t.Fatalf("cluster not healed: degraded=%d gauge=%v", m.Degraded(), gauge.Value())
+	}
+	if got := m.String(); got != "3/3 alive" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestMembershipDataPathFailures(t *testing.T) {
+	peers := []Peer{{ID: "a", Addr: "127.0.0.1:1"}, {ID: "b", Addr: "127.0.0.1:2"}}
+	m := NewMembership(peers, 1, nil)
+	m.FailThreshold = 3
+	m.Attach(obs.NewSink())
+
+	m.ReportFailure(0)
+	m.ReportFailure(0)
+	m.ReportSuccess(0) // reset: the peer answered in between
+	m.ReportFailure(0)
+	m.ReportFailure(0)
+	if !m.Alive(0) {
+		t.Fatal("peer demoted before 3 consecutive failures")
+	}
+	m.ReportFailure(0)
+	if m.Alive(0) {
+		t.Fatal("peer alive after 3 consecutive failures")
+	}
+	if m.Alive(1) != true || m.Degraded() != 1 {
+		t.Fatalf("unrelated peer affected: degraded=%d", m.Degraded())
+	}
+	// Out-of-range reports are ignored, not panics.
+	m.ReportFailure(-1)
+	m.ReportFailure(99)
+	m.ReportSuccess(99)
+}
+
+// TestOwnerRendezvous: ownership is deterministic, reasonably balanced,
+// and — the property failover relies on — removing one peer only moves
+// that peer's keys (minimal disruption).
+func TestOwnerRendezvous(t *testing.T) {
+	peers := []Peer{{ID: "shard-0"}, {ID: "shard-1"}, {ID: "shard-2"}}
+	counts := make([]int, len(peers))
+	owners := make(map[store.Key]int)
+	for i := 0; i < 300; i++ {
+		k := store.KeyOf("cell", fmt.Sprint(i))
+		o := Owner(peers, k)
+		if o != Owner(peers, k) {
+			t.Fatal("Owner is not deterministic")
+		}
+		owners[k] = o
+		counts[o]++
+	}
+	for i, n := range counts {
+		if n < 50 {
+			t.Fatalf("peer %d owns only %d/300 keys: %v", i, n, counts)
+		}
+	}
+	// Drop shard-1: its keys move, everyone else's stay put.
+	reduced := []Peer{peers[0], peers[2]}
+	for k, o := range owners {
+		ro := Owner(reduced, k)
+		if o == 1 {
+			continue // the removed peer's range may land anywhere
+		}
+		want := 0
+		if o == 2 {
+			want = 1 // same peer, new index in the reduced slice
+		}
+		if ro != want {
+			t.Fatalf("key of surviving peer %d moved to reduced index %d", o, ro)
+		}
+	}
+	if Owner(nil, store.KeyOf("x")) != -1 {
+		t.Fatal("empty peer set must report -1")
+	}
+}

@@ -130,6 +130,19 @@ type Suite struct {
 	// other processes (the axmemod daemon, earlier CLI runs) are reused
 	// byte-identically instead of recomputed.
 	Store *store.Store
+	// Remote, if non-nil, is consulted after the in-memory cell cache
+	// but before the store/execute tiers: a cluster coordinator forwards
+	// the cell to its owning peer here.  ok=false means "not handled"
+	// (no owner, owner dead, retries exhausted) and the cell falls back
+	// to the local tiers — degraded, never down.  Because every cell is
+	// a pure function of its content-addressed key, a remote result is
+	// byte-identical to a local recompute.  The delegate receives the
+	// fully resolved cell (baseline expanded, Scale set, obs cleared
+	// from the wire by the caller's own serialization).  executed
+	// reports whether the remote peer ran the simulation for this call
+	// (false = it answered from its cache), keeping the API's cached
+	// flag truthful across the cluster.
+	Remote func(c SweepCell) (res *Result, executed, ok bool)
 
 	mu      sync.Mutex
 	cells   map[cellKey]*cell
@@ -213,7 +226,16 @@ func (s *Suite) runCellDetail(w *workloads.Workload, cfg Config, baseline bool) 
 	}
 	c := s.getCell(key, baseline)
 	executed := false
-	c.once.Do(func() { c.res, executed, c.err = s.loadOrRun(w, cfg) })
+	c.once.Do(func() {
+		if s.Remote != nil {
+			if res, rexec, ok := s.Remote(SweepCell{Workload: w.Name, Config: cfg, Baseline: baseline}); ok {
+				c.res = res
+				executed = rexec
+				return
+			}
+		}
+		c.res, executed, c.err = s.loadOrRun(w, cfg)
+	})
 	return c.res, executed, c.err
 }
 

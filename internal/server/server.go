@@ -28,6 +28,8 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"axmemo/internal/cluster"
 	"axmemo/internal/harness"
 	"axmemo/internal/obs"
 	"axmemo/internal/workloads"
@@ -62,12 +65,16 @@ type Config struct {
 	// MaxJobs bounds active sweep jobs and retained finished ones
 	// (0 = 64).
 	MaxJobs int
+	// Cluster, if non-nil, is the coordinator whose membership view
+	// /healthz reports (coordinator daemons only; shards leave it nil).
+	Cluster *cluster.Coordinator
 }
 
 // Server is the HTTP serving layer.  Construct with New, expose with
 // Handler, stop with Drain after http.Server.Shutdown.
 type Server struct {
 	suite   *harness.Suite
+	cluster *cluster.Coordinator
 	timeout time.Duration
 	queue   int
 
@@ -107,6 +114,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		suite:   cfg.Suite,
+		cluster: cfg.Cluster,
 		timeout: timeout,
 		queue:   queue,
 		sem:     make(chan struct{}, workers),
@@ -134,6 +142,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/cells", s.handleCell)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/figures", s.handleFigureList)
@@ -188,6 +197,8 @@ func routeLabel(path string) string {
 		return "metrics"
 	case path == "/v1/simulate":
 		return "simulate"
+	case path == "/v1/cells":
+		return "cells"
 	case path == "/v1/sweep":
 		return "sweep"
 	case strings.HasPrefix(path, "/v1/jobs/"):
@@ -227,8 +238,101 @@ func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 	}
 }
 
+// handleHealthz answers liveness plus the compatibility facts peers
+// need before exchanging cells: the ResultsVersion every store key is
+// derived from (version skew = keys that can never match) and the
+// store's population.  A degraded store or cluster flips the status
+// string but never the 200 — degraded is an operating mode, not an
+// outage.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	hs := cluster.HealthStatus{Status: "ok", ResultsVersion: harness.ResultsVersion}
+	if st := s.suite.Store; st != nil {
+		stats := st.Stats()
+		hs.StoreEntries = stats.Entries
+		hs.StoreBytes = stats.Bytes
+		hs.StoreDegraded = stats.Degraded
+		if stats.Degraded {
+			hs.Status = "degraded"
+		}
+	}
+	if s.cluster != nil {
+		hs.Cluster = s.cluster.Health()
+		if hs.Cluster.Degraded > 0 {
+			hs.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, hs)
+}
+
+// handleCell is the shard side of the cluster protocol: execute (or
+// serve from cache) one fully resolved sweep cell for a coordinator.
+// Version or scale skew answers 409 — the coordinator then recomputes
+// locally instead of merging results from different physics.  The
+// response embeds a checksum of the result bytes so a payload mangled
+// in flight is detected and retried by the caller.
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	var req cluster.CellRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Version != harness.ResultsVersion {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("results version %d, want %d", req.Version, harness.ResultsVersion))
+		return
+	}
+	if req.Scale != s.suite.Scale {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("input scale %d, want %d", req.Scale, s.suite.Scale))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	release, err := s.acquire(ctx)
+	if err != nil {
+		writeLoadError(w, err)
+		return
+	}
+	type outcome struct {
+		res      *harness.Result
+		executed bool
+		err      error
+	}
+	out := make(chan outcome, 1)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer release()
+		res, executed, err := s.suite.RunCell(req.Cell)
+		out <- outcome{res, executed, err}
+	}()
+	select {
+	case o := <-out:
+		if o.err != nil {
+			writeError(w, http.StatusInternalServerError, o.err)
+			return
+		}
+		payload, err := json.Marshal(o.res)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		sum := sha256.Sum256(payload)
+		cfg := req.Cell.Config
+		if req.Cell.Baseline {
+			cfg = harness.Baseline()
+		}
+		cfg.Scale = s.suite.Scale
+		writeJSONCompact(w, http.StatusOK, cluster.CellResponse{
+			Key:    harness.CellStoreKey(req.Cell.Workload, cfg).String(),
+			Cached: !o.executed,
+			SHA256: hex.EncodeToString(sum[:]),
+			Result: payload,
+		})
+	case <-ctx.Done():
+		writeError(w, http.StatusGatewayTimeout,
+			errors.New("cell still running; retry to pick up the cached result"))
+	}
 }
 
 // handleMetrics serves the live snapshot (Everything mode: volatile
@@ -542,6 +646,15 @@ func writeLoadError(w http.ResponseWriter, err error) {
 	default:
 		writeError(w, http.StatusInternalServerError, err)
 	}
+}
+
+// writeJSONCompact writes v without re-indentation: the cell protocol
+// checksums the embedded raw result bytes, which the pretty-printing
+// encoder below would reformat and thereby invalidate.
+func writeJSONCompact(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone mid-write is its problem
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -102,10 +102,13 @@ type indexEntry struct {
 	LastUsed uint64 `json:"last_used"`
 }
 
-// entry is the in-memory record of one blob.
+// entry is the in-memory record of one blob.  data is nil for
+// disk-backed entries; the degraded (memory-only) tier keeps the whole
+// envelope here instead.
 type entry struct {
 	size     int64
 	lastUsed uint64
+	data     []byte
 }
 
 // Stats is a point-in-time snapshot of the store's activity since Open.
@@ -117,6 +120,10 @@ type Stats struct {
 	PutErrors uint64
 	Entries   int
 	Bytes     int64
+	// Degraded reports the memory-only tier is active: disk writes kept
+	// failing (disk full, permissions, dying media) and new results are
+	// held in memory instead of failing requests.
+	Degraded bool
 }
 
 // Store is a content-addressed blob store rooted at one directory.
@@ -125,11 +132,22 @@ type Store struct {
 	dir      string
 	maxBytes int64
 
-	mu      sync.Mutex
-	seq     uint64
-	bytes   int64
-	entries map[Key]*entry
-	stats   Stats
+	// DegradeAfter is the consecutive-disk-failure threshold past which
+	// the store drops to its memory-only tier instead of failing Puts
+	// (0 = 3).  Set before first use.
+	DegradeAfter int
+	// Logf, if non-nil, receives degrade warnings (a daemon points it
+	// at stderr; the zero value stays silent).
+	Logf func(format string, args ...any)
+
+	mu            sync.Mutex
+	seq           uint64
+	bytes         int64
+	entries       map[Key]*entry
+	stats         Stats
+	consecPutErrs int
+	degraded      bool
+	writeFault    error // injected disk failure (SetWriteFault)
 
 	m metrics
 }
@@ -138,7 +156,7 @@ type Store struct {
 // method is nil-safe).
 type metrics struct {
 	hits, misses, corrupt, evictions, putErrors *obs.Counter
-	bytes, entries                              *obs.Gauge
+	bytes, entries, degraded                    *obs.Gauge
 }
 
 // Open loads (or creates) the store at dir.  maxBytes <= 0 disables the
@@ -180,9 +198,13 @@ func (s *Store) Attach(sink *obs.Sink) {
 		putErrors: reg.NewCounter("store_put_errors_total", obs.Opts{Help: "failed blob writes (the run still succeeds)"}),
 		bytes:     reg.NewGauge("store_bytes", obs.Opts{Help: "bytes of blobs on disk"}),
 		entries:   reg.NewGauge("store_entries", obs.Opts{Help: "blobs on disk"}),
+		degraded:  reg.NewGauge("store_degraded", obs.Opts{Help: "1 while the memory-only tier is active (disk writes kept failing)"}),
 	}
 	s.m.bytes.Set(float64(s.bytes))
 	s.m.entries.Set(float64(len(s.entries)))
+	if s.degraded {
+		s.m.degraded.Set(1)
+	}
 }
 
 // Stats returns a snapshot of activity since Open.
@@ -192,7 +214,19 @@ func (s *Store) Stats() Stats {
 	st := s.stats
 	st.Entries = len(s.entries)
 	st.Bytes = s.bytes
+	st.Degraded = s.degraded
 	return st
+}
+
+// SetWriteFault injects a disk-write failure into every subsequent
+// blob/index write (nil restores health) — the chaos seam the degrade
+// tests use, in the spirit of internal/fault.  It does not clear the
+// degraded state: like a real full disk, recovery requires reopening
+// the store.
+func (s *Store) SetWriteFault(err error) {
+	s.mu.Lock()
+	s.writeFault = err
+	s.mu.Unlock()
 }
 
 // Get loads the payload stored under k into v (via encoding/json) and
@@ -209,10 +243,14 @@ func (s *Store) Get(k Key, v any) bool {
 		s.m.misses.Inc()
 		return false
 	}
-	data, err := os.ReadFile(s.blobPath(k))
-	if err != nil {
-		s.dropLocked(k, e)
-		return false
+	data := e.data
+	if data == nil {
+		var err error
+		data, err = os.ReadFile(s.blobPath(k))
+		if err != nil {
+			s.dropLocked(k, e)
+			return false
+		}
 	}
 	payload, err := decodeBlob(k, data)
 	if err != nil {
@@ -252,9 +290,17 @@ func (s *Store) Put(k Key, v any) error {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.degraded {
+		s.storeMemoryLocked(k, env)
+		return nil
+	}
 	if err := s.writeAtomic(s.blobPath(k), env); err != nil {
-		s.stats.PutErrors++
-		s.m.putErrors.Inc()
+		s.diskPutErrorLocked()
+		if s.degraded {
+			// This Put crossed the threshold: keep its result anyway.
+			s.storeMemoryLocked(k, env)
+			return nil
+		}
 		return err
 	}
 	s.seq++
@@ -265,20 +311,68 @@ func (s *Store) Put(k Key, v any) error {
 	s.bytes += int64(len(env))
 	s.evictLocked()
 	if err := s.persistIndexLocked(); err != nil {
-		s.stats.PutErrors++
-		s.m.putErrors.Inc()
+		s.diskPutErrorLocked()
+		if s.degraded {
+			return nil // the blob itself landed; the next healthy Put repairs the index
+		}
 		return err
 	}
+	s.consecPutErrs = 0
 	s.publishSizeLocked()
 	return nil
 }
 
+// diskPutErrorLocked counts one failed disk write; after DegradeAfter
+// consecutive failures the store drops to its memory-only tier — new
+// results are kept in memory, Gets keep serving, and callers stop
+// seeing errors for a disk that will not heal on its own.
+func (s *Store) diskPutErrorLocked() {
+	s.stats.PutErrors++
+	s.m.putErrors.Inc()
+	s.consecPutErrs++
+	threshold := s.DegradeAfter
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if !s.degraded && s.consecPutErrs >= threshold {
+		s.degraded = true
+		s.m.degraded.Set(1)
+		if s.Logf != nil {
+			s.Logf("store: %d consecutive failed disk writes in %s; degrading to memory-only tier (results are no longer persisted)",
+				s.consecPutErrs, s.dir)
+		}
+	}
+}
+
+// storeMemoryLocked records an envelope in the memory-only tier: it
+// hits like a disk entry but dies with the process.
+func (s *Store) storeMemoryLocked(k Key, env []byte) {
+	s.seq++
+	if old, ok := s.entries[k]; ok {
+		s.bytes -= old.size
+	}
+	s.entries[k] = &entry{size: int64(len(env)), lastUsed: s.seq, data: env}
+	s.bytes += int64(len(env))
+	s.evictLocked()
+	s.publishSizeLocked()
+}
+
 // Close persists the index (LRU recency accumulated by Gets is only
-// durable after a Put or a Close).
+// durable after a Put or a Close).  A degraded store closes
+// best-effort: the index write is attempted but its failure is not an
+// error — the disk already proved itself, and reopen rebuilds from the
+// surviving blobs.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.persistIndexLocked()
+	err := s.persistIndexLocked()
+	if err != nil && s.degraded {
+		if s.Logf != nil {
+			s.Logf("store: close on degraded store: %v", err)
+		}
+		return nil
+	}
+	return err
 }
 
 func (s *Store) putFailed(err error) error {
@@ -341,6 +435,9 @@ func (s *Store) publishSizeLocked() {
 // writeAtomic writes data to path via a temp file in the store
 // directory and an atomic rename.
 func (s *Store) writeAtomic(path string, data []byte) error {
+	if s.writeFault != nil {
+		return fmt.Errorf("store: writing %s: %w", filepath.Base(path), s.writeFault)
+	}
 	f, err := os.CreateTemp(s.dir, ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -366,6 +463,9 @@ func (s *Store) writeAtomic(path string, data []byte) error {
 func (s *Store) persistIndexLocked() error {
 	idx := indexFile{Schema: IndexSchema, Seq: s.seq}
 	for k, e := range s.entries {
+		if e.data != nil {
+			continue // memory-only tier: no blob on disk to reopen
+		}
 		idx.Entries = append(idx.Entries, indexEntry{Key: k.String(), Size: e.size, LastUsed: e.lastUsed})
 	}
 	sort.Slice(idx.Entries, func(i, j int) bool { return idx.Entries[i].Key < idx.Entries[j].Key })
