@@ -1,12 +1,14 @@
 // Command axbench times the experiment harness serially and on the
 // parallel sweep scheduler, checks the two render byte-identical
-// figures, and writes a machine-readable summary (BENCH_harness.json,
-// schema harness.BenchReportSchema) — the evidence file for the
-// scheduler's wall-clock claim.
+// figures, measures interpreter throughput on both execution engines,
+// and writes a machine-readable summary (BENCH_harness.json, schema
+// harness.BenchReportSchema) — the evidence file for the scheduler's
+// wall-clock claim and the bytecode engine's speedup claim.
 //
 // Usage:
 //
-//	axbench [-figures Fig7a,Fig7b,Fig8,Fig9,Fig10a] [-workers 0] [-scale 1] [-out BENCH_harness.json]
+//	axbench [-figures Fig7a,Fig7b,Fig8,Fig9,Fig10a] [-workers 0] [-scale 1]
+//	        [-engine tree|bytecode] [-interp-insns 2000000] [-out BENCH_harness.json]
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"time"
 
 	"axmemo/internal/cli"
+	"axmemo/internal/cpu"
 	"axmemo/internal/harness"
 	"axmemo/internal/obs"
 	"axmemo/internal/store"
@@ -39,6 +42,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 		storeDir      = fs.String("store-dir", "", "attach this content-addressed store directory to the parallel sweep and report its hit/miss counts")
 		storeMaxBytes = fs.Int64("store-max-bytes", 0, "store size budget; least-recently-used cells are evicted past it (0 = unlimited)")
+
+		engine     = fs.String("engine", "", "simulator execution engine for the sweeps: tree or bytecode (default bytecode)")
+		interpInsn = fs.Uint64("interp-insns", 2_000_000, "retired instructions per engine for the interpreter throughput measurement (0 skips it)")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
@@ -58,6 +64,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if _, err := cpu.ParseEngine(*engine); err != nil {
+		return err
+	}
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
@@ -67,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		s.Parallel = pool
 		s.Obs = sink
 		s.Store = st
+		s.Engine = *engine
 		start := time.Now()
 		figs, err := s.GenerateAll(ids...)
 		if err != nil {
@@ -112,6 +122,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Generated:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:       runtime.Version(),
 		CPUs:            runtime.NumCPU(),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
 		Scale:           *scale,
 		Figures:         ids,
 		Cells:           len(cells),
@@ -121,12 +132,35 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Speedup:         serialT.Seconds() / parallelT.Seconds(),
 		IdenticalOutput: serialOut == parallelOut,
 	}
+	if r.GoMaxProcs == 1 {
+		fmt.Fprintln(stderr, "warning: GOMAXPROCS=1 — the parallel speedup figure is meaningless on a single CPU")
+	}
 	if st != nil {
 		stats := st.Stats()
 		r.StoreDir = *storeDir
 		r.StoreHits = stats.Hits
 		r.StoreMisses = stats.Misses
 		r.StoreEvictions = stats.Evictions
+	}
+
+	// Interpreter throughput: both engines on the same hot-loop program,
+	// so the report carries the engine comparison next to the sweep
+	// timings (the claim `go test -bench BenchmarkStepHotPath` makes,
+	// reproducible without the test harness).
+	if *interpInsn > 0 {
+		treeNs, err := cpu.MeasureHotLoop(cpu.EngineTree, *interpInsn)
+		if err != nil {
+			return err
+		}
+		bcNs, err := cpu.MeasureHotLoop(cpu.EngineBytecode, *interpInsn)
+		if err != nil {
+			return err
+		}
+		r.TreeNsPerInsn = treeNs
+		r.BytecodeNsPerInsn = bcNs
+		r.InterpSpeedup = treeNs / bcNs
+		fmt.Fprintf(stdout, "interpreter: tree %.1f ns/insn, bytecode %.1f ns/insn (%.2fx)\n",
+			treeNs, bcNs, r.InterpSpeedup)
 	}
 
 	enc, err := r.Encode()

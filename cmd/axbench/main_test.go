@@ -29,6 +29,7 @@ func TestFlagHandling(t *testing.T) {
 		{name: "help", args: []string{"-h"}, wantCode: 0, wantErr: "-figures"},
 		{name: "bad flag", args: []string{"-definitely-not-a-flag"}, wantCode: 2, wantErr: "definitely-not-a-flag"},
 		{name: "unknown figure", args: []string{"-figures", "Fig99"}, wantCode: 1},
+		{name: "unknown engine", args: []string{"-engine", "llvm"}, wantCode: 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -50,12 +51,15 @@ func TestBenchEndToEnd(t *testing.T) {
 	trace := filepath.Join(dir, "t.json")
 
 	code, out, errOut := runCmd(t, "-figures", "ABL-RATE", "-workers", "2", "-out", report,
-		"-metrics-out", metrics, "-trace-out", trace)
+		"-interp-insns", "200000", "-metrics-out", metrics, "-trace-out", trace)
 	if code != 0 {
 		t.Fatalf("exit code = %d, stderr: %s", code, errOut)
 	}
 	if !strings.Contains(out, "identical=true") {
 		t.Errorf("stdout missing identical=true:\n%s", out)
+	}
+	if !strings.Contains(out, "interpreter:") {
+		t.Errorf("stdout missing interpreter throughput line:\n%s", out)
 	}
 
 	raw, err := os.ReadFile(report)
@@ -75,6 +79,12 @@ func TestBenchEndToEnd(t *testing.T) {
 	if r.Cells == 0 || r.Workers != 2 {
 		t.Errorf("report cells/workers = %d/%d", r.Cells, r.Workers)
 	}
+	if r.GoMaxProcs < 1 {
+		t.Errorf("gomaxprocs = %d, want >= 1", r.GoMaxProcs)
+	}
+	if r.TreeNsPerInsn <= 0 || r.BytecodeNsPerInsn <= 0 || r.InterpSpeedup <= 0 {
+		t.Errorf("interpreter throughput fields not populated: %+v", r)
+	}
 
 	for _, p := range []string{metrics, trace} {
 		raw, err := os.ReadFile(p)
@@ -84,6 +94,20 @@ func TestBenchEndToEnd(t *testing.T) {
 		if !json.Valid(raw) {
 			t.Errorf("%s is not valid JSON", p)
 		}
+	}
+}
+
+// TestBenchEngineFlag: a -engine tree sweep must succeed and render
+// identical serial/parallel output, same as the default bytecode one.
+func TestBenchEngineFlag(t *testing.T) {
+	report := filepath.Join(t.TempDir(), "bench.json")
+	code, out, errOut := runCmd(t, "-figures", "ABL-RATE", "-workers", "2",
+		"-engine", "tree", "-interp-insns", "0", "-out", report)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "identical=true") {
+		t.Errorf("stdout missing identical=true:\n%s", out)
 	}
 }
 
@@ -112,7 +136,8 @@ func TestBenchStoreReport(t *testing.T) {
 		return r
 	}
 
-	code, _, errOut := runCmd(t, "-figures", "ABL-RATE", "-workers", "2", "-out", report, "-store-dir", storeDir)
+	code, _, errOut := runCmd(t, "-figures", "ABL-RATE", "-workers", "2", "-out", report,
+		"-interp-insns", "0", "-store-dir", storeDir)
 	if code != 0 {
 		t.Fatalf("cold bench exit %d: %s", code, errOut)
 	}
@@ -120,12 +145,17 @@ func TestBenchStoreReport(t *testing.T) {
 	if cold.Schema != harness.BenchReportSchema || cold.StoreDir != storeDir {
 		t.Fatalf("cold report schema/dir = %d/%q", cold.Schema, cold.StoreDir)
 	}
+	// -interp-insns 0 skips the engine measurement: fields stay zero.
+	if cold.TreeNsPerInsn != 0 || cold.BytecodeNsPerInsn != 0 || cold.InterpSpeedup != 0 {
+		t.Fatalf("skipped interpreter benchmark still populated fields: %+v", cold)
+	}
 	if cold.StoreMisses != uint64(len(cells)) || cold.StoreHits != 0 {
 		t.Fatalf("cold report store counts = %d hits/%d misses, want 0/%d",
 			cold.StoreHits, cold.StoreMisses, len(cells))
 	}
 
-	code, _, errOut = runCmd(t, "-figures", "ABL-RATE", "-workers", "2", "-out", report, "-store-dir", storeDir)
+	code, _, errOut = runCmd(t, "-figures", "ABL-RATE", "-workers", "2", "-out", report,
+		"-interp-insns", "0", "-store-dir", storeDir)
 	if code != 0 {
 		t.Fatalf("warm bench exit %d: %s", code, errOut)
 	}

@@ -4,9 +4,15 @@
 // candidate subgraphs, and prints the Table 1 metrics plus the suggested
 // kernel functions.
 //
+// With -disasm it instead lowers the benchmark's memoized program
+// through the bytecode compiler (internal/bytecode) and prints the flat
+// instruction stream: pc, fused opcode, resolved operand indices and
+// the source IR instruction each slot was lowered from.
+//
 // Usage:
 //
 //	axcompile -bench blackscholes [-max-entries 120000]
+//	axcompile -bench sobel -disasm
 //	axcompile -table1
 package main
 
@@ -15,7 +21,9 @@ import (
 	"fmt"
 	"io"
 
+	"axmemo/internal/bytecode"
 	"axmemo/internal/cli"
+	"axmemo/internal/compiler"
 	"axmemo/internal/core"
 	"axmemo/internal/harness"
 	"axmemo/internal/workloads"
@@ -30,12 +38,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 		benchName  = fs.String("bench", "", "analyze one benchmark")
 		table1     = fs.Bool("table1", false, "print the full Table 1 analysis for all benchmarks")
 		maxEntries = fs.Int("max-entries", 120_000, "dynamic trace cap")
+		disasm     = fs.Bool("disasm", false, "print the benchmark's memoized program as a bytecode listing instead of analyzing it")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 
 	switch {
+	case *disasm:
+		if *benchName == "" {
+			return cli.Usagef("-disasm needs -bench")
+		}
+		w, err := workloads.ByName(*benchName)
+		if err != nil {
+			return err
+		}
+		prog := w.Build()
+		if err := compiler.Transform(prog, w.Regions(nil)); err != nil {
+			return err
+		}
+		bp, err := bytecode.Compile(prog, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, bp.Disassemble())
 	case *table1:
 		fig, err := harness.Table1(*maxEntries)
 		if err != nil {

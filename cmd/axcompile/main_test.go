@@ -2,11 +2,19 @@ package main
 
 import (
 	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"axmemo/internal/cli"
 )
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./cmd/axcompile -run TestDisasm -update
+var update = flag.Bool("update", false, "rewrite the golden files under testdata")
 
 func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
 	t.Helper()
@@ -41,6 +49,55 @@ func TestFlagHandling(t *testing.T) {
 				t.Errorf("stderr missing %q:\n%s", tc.wantErr, errOut)
 			}
 		})
+	}
+}
+
+// TestDisasmGolden pins the complete disassembly of one memoized
+// workload: pcs, fused opcodes, resolved operand indices and source IR
+// references must all stay stable (regenerate with -update if the
+// bytecode format intentionally changes).
+func TestDisasmGolden(t *testing.T) {
+	code, out, errOut := runCmd(t, "-bench", "sobel", "-disasm")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errOut)
+	}
+	path := filepath.Join("testdata", "disasm_sobel.txt")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if out != string(want) {
+		t.Errorf("disassembly drifted from the golden file (regenerate with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+			out, want)
+	}
+}
+
+// TestDisasmShowsFusion spot-checks the listing carries the features the
+// golden file exists to pin: fused pairs, branch targets, IR back-refs.
+func TestDisasmShowsFusion(t *testing.T) {
+	code, out, errOut := runCmd(t, "-bench", "sobel", "-disasm")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"func main:", "+br", "; ir=", "@", "lut"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDisasmNeedsBench(t *testing.T) {
+	if code, _, errOut := runCmd(t, "-disasm"); code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, errOut)
 	}
 }
 

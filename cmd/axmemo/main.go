@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	axmemo -bench sobel -l1 8 -l2 512 [-scale 2] [-trunc off] [-mode hw|soft|atm]
+//	axmemo -bench sobel -l1 8 -l2 512 [-scale 2] [-trunc off] [-mode hw|soft|atm] [-engine tree|bytecode]
 //	axmemo -bench sobel -fault-sweep 0,1e-4,1e-2 -guard-budget 0.05
 //	axmemo -figures Fig7a,Fig9 -parallel 4
 //	axmemo -list
@@ -28,6 +28,7 @@ import (
 
 	"axmemo/internal/cli"
 	"axmemo/internal/compiler"
+	"axmemo/internal/cpu"
 	"axmemo/internal/harness"
 	"axmemo/internal/obs"
 	"axmemo/internal/store"
@@ -48,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		truncOff  = fs.Bool("trunc-off", false, "disable input truncation (Fig. 11's no-approximation case)")
 		list      = fs.Bool("list", false, "list benchmarks and exit")
 		dump      = fs.Bool("dump", false, "print the benchmark's memoized program in textual IR and exit")
+		engine    = fs.String("engine", "", "simulator execution engine: tree or bytecode (default bytecode; results are identical, only speed differs)")
 
 		faultRates  = fs.String("fault-sweep", "", "comma-separated LUT bit-flip rates; runs a fault sweep instead of a single run (e.g. 0,1e-4,1e-2)")
 		faultSeed   = fs.Int64("fault-seed", 1, "fault-injection seed (deterministic pattern per seed)")
@@ -69,6 +71,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
+	}
+	if _, err := cpu.ParseEngine(*engine); err != nil {
+		return cli.Usagef("%v", err)
 	}
 
 	if *cpuProfile != "" {
@@ -125,7 +130,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *figures != "" {
-		if err := runFigures(stdout, sink, st, *figures, *scale, *parallel); err != nil {
+		if err := runFigures(stdout, sink, st, *figures, *engine, *scale, *parallel); err != nil {
 			return err
 		}
 		return writeArtifacts()
@@ -153,7 +158,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
-	cfg := harness.Config{Scale: *scale, Obs: sink}
+	cfg := harness.Config{Scale: *scale, Obs: sink, Engine: *engine}
 	switch *mode {
 	case "hw":
 		cfg.Mode = harness.ModeHW
@@ -206,6 +211,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		s := harness.NewSuite(*scale)
 		s.Obs = sink
 		s.Store = st
+		s.Engine = *engine
 		if base, err = s.Baseline(w); err != nil {
 			return err
 		}
@@ -217,6 +223,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		baseCfg.Scale = *scale
 		baseCfg.Obs = sink
 		baseCfg.ObsPID = 1
+		baseCfg.Engine = *engine
 		if base, err = harness.Run(w, baseCfg); err != nil {
 			return err
 		}
@@ -257,7 +264,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 // runFigures renders the requested evaluation figures, prewarming their
 // deduplicated sweep cells on the scheduler's worker pool; cells present
 // in st are served from disk instead of simulated.
-func runFigures(stdout io.Writer, sink *obs.Sink, st *store.Store, ids string, scale, parallel int) error {
+func runFigures(stdout io.Writer, sink *obs.Sink, st *store.Store, ids, engine string, scale, parallel int) error {
 	known := harness.FigureIDs()
 	var sel []string
 	if !strings.EqualFold(ids, "all") {
@@ -279,6 +286,7 @@ func runFigures(stdout io.Writer, sink *obs.Sink, st *store.Store, ids string, s
 	s.Parallel = parallel
 	s.Obs = sink
 	s.Store = st
+	s.Engine = engine
 	figs, err := s.GenerateAll(sel...)
 	if err != nil {
 		return err

@@ -49,6 +49,7 @@ import (
 
 	"axmemo/internal/cli"
 	"axmemo/internal/cluster"
+	"axmemo/internal/cpu"
 	"axmemo/internal/harness"
 	"axmemo/internal/obs"
 	"axmemo/internal/server"
@@ -76,6 +77,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		peerList      = fs.String("peers", "", "comma-separated host:port list of existing shard daemons to coordinate (alternative to -cluster)")
 		probeEvery    = fs.Duration("probe-interval", time.Second, "peer /healthz probe interval in cluster mode")
 		failThreshold = fs.Int("peer-fail-threshold", 0, "consecutive probe/request failures before a peer is considered dead (0 = 3)")
+		engine        = fs.String("engine", "", "simulator execution engine: tree or bytecode (default bytecode; results are identical, only speed differs)")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
@@ -83,11 +85,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *clusterN > 0 && *peerList != "" {
 		return cli.Usagef("-cluster and -peers are mutually exclusive")
 	}
+	if _, err := cpu.ParseEngine(*engine); err != nil {
+		return cli.Usagef("%v", err)
+	}
 
 	sink := obs.NewSink() // always on: /metrics serves it live
 	suite := harness.NewSuite(*scale)
 	suite.Parallel = *parallel
 	suite.Obs = sink
+	suite.Engine = *engine
 
 	var st *store.Store
 	if *storeDir != "" && *clusterN == 0 {
@@ -115,7 +121,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		var peers []cluster.Peer
 		if *clusterN > 0 {
 			var err error
-			shards, peers, err = spawnShards(*clusterN, *storeDir, *storeMaxBytes, *scale, *parallel, stderr)
+			shards, peers, err = spawnShards(*clusterN, *storeDir, *storeMaxBytes, *scale, *parallel, *engine, stderr)
 			if err != nil {
 				stopShards(shards, *drainTimeout)
 				return err
@@ -216,7 +222,7 @@ var shardServingRE = regexp.MustCompile(`serving on http://(\S+)`)
 // forwarded with an [id] prefix; the "serving on" line is consumed and
 // re-announced with the child's pid so operators (and the CI chaos
 // job) can target individual shards.
-func spawnShards(n int, storeDir string, storeMaxBytes int64, scale, parallel int, stderr io.Writer) ([]*shardProc, []cluster.Peer, error) {
+func spawnShards(n int, storeDir string, storeMaxBytes int64, scale, parallel int, engine string, stderr io.Writer) ([]*shardProc, []cluster.Peer, error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return nil, nil, fmt.Errorf("axmemod: resolving own binary for shard spawn: %w", err)
@@ -229,6 +235,9 @@ func spawnShards(n int, storeDir string, storeMaxBytes int64, scale, parallel in
 			"-addr", "127.0.0.1:0",
 			"-scale", strconv.Itoa(scale),
 			"-parallel", strconv.Itoa(parallel),
+		}
+		if engine != "" {
+			args = append(args, "-engine", engine)
 		}
 		if storeDir != "" {
 			args = append(args, "-store-dir", filepath.Join(storeDir, id),

@@ -1,0 +1,389 @@
+// Package bytecode lowers a validated ir.Program into a flat,
+// pre-resolved instruction stream for the timing simulator's compiled
+// execution engine (internal/cpu's default), in the style of
+// starlark-go's internal/compile → interp.go pipeline.
+//
+// The lowering is a one-shot compile at machine construction:
+//
+//   - Blocks flatten into one instruction array per function; branch
+//     targets become instruction indices (no per-step block/pc pair).
+//   - Operand registers are pre-resolved to raw int32 indices into the
+//     frame's register file.
+//   - Type classes are pre-split: add.i32 and fadd.f32 are distinct
+//     opcodes, so the executor never branches on t.IsFloat() per step.
+//   - Common pairs fuse into one instruction: compare+branch,
+//     load+convert, and lookup+copy.  A fused instruction still retires
+//     both components with their exact tree-interpreter timing, energy
+//     class, trace hooks, and budget checks — fusion only removes
+//     dispatch overhead, never simulation events.
+//   - Static timing metadata (latency, functional unit, energy class)
+//     is resolved through a CostModel and stored on the instruction,
+//     replacing the executor's per-step opTable lookups.
+//
+// Opcode/type combinations with no pre-split opcode (e.g. sqrt.i32,
+// which the validator admits and the tree interpreter rejects at run
+// time) lower to FallbackOp: the executor replays them through the tree
+// evaluation path so both engines fail with byte-identical errors.
+package bytecode
+
+import "axmemo/internal/ir"
+
+// Op is a bytecode opcode.  Type-split families are contiguous so the
+// executor dispatches hot compute with two range compares, and the
+// fused compare+branch family mirrors the compare family's layout so
+// the compare component is recovered by a constant offset.
+type Op uint8
+
+// Opcodes.  The groupings (and their order) are load-bearing: see the
+// First*/Last* markers below.
+const (
+	Invalid Op = iota
+
+	Nop
+	Const // Dst = Imm
+	Mov   // Dst = regs[A]
+
+	// Binary compute, FirstBin..LastBin: integer ALU by width, float
+	// arithmetic by width, then compares by type.  All write Dst from
+	// regs[A] op regs[B].
+	AddI32
+	SubI32
+	MulI32
+	SDivI32
+	SRemI32
+	AndI32
+	OrI32
+	XorI32
+	ShlI32
+	ShrI32
+
+	AddI64
+	SubI64
+	MulI64
+	SDivI64
+	SRemI64
+	AndI64
+	OrI64
+	XorI64
+	ShlI64
+	ShrI64
+
+	FAddF32
+	FSubF32
+	FMulF32
+	FDivF32
+	FMinF32
+	FMaxF32
+	Atan2F32
+	PowF32
+
+	FAddF64
+	FSubF64
+	FMulF64
+	FDivF64
+	FMinF64
+	FMaxF64
+	Atan2F64
+	PowF64
+
+	CmpEQI32
+	CmpNEI32
+	CmpLTI32
+	CmpLEI32
+	CmpGTI32
+	CmpGEI32
+
+	CmpEQI64
+	CmpNEI64
+	CmpLTI64
+	CmpLEI64
+	CmpGTI64
+	CmpGEI64
+
+	CmpEQF32
+	CmpNEF32
+	CmpLTF32
+	CmpLEF32
+	CmpGTF32
+	CmpGEF32
+
+	CmpEQF64
+	CmpNEF64
+	CmpLTF64
+	CmpLEF64
+	CmpGTF64
+	CmpGEF64
+
+	// Unary float compute, FirstUn..LastUn.
+	FNegF32
+	FAbsF32
+	SqrtF32
+	ExpF32
+	LogF32
+	SinF32
+	CosF32
+	TanF32
+	AsinF32
+	AcosF32
+	AtanF32
+	FloorF32
+
+	FNegF64
+	FAbsF64
+	SqrtF64
+	ExpF64
+	LogF64
+	SinF64
+	CosF64
+	TanF64
+	AsinF64
+	AcosF64
+	AtanF64
+	FloorF64
+
+	// Conversions, FirstCvt..LastCvt, laid out FirstCvt + from*4 + to
+	// in ir.Type order (i32, i64, f32, f64).
+	CvtI32I32
+	CvtI32I64
+	CvtI32F32
+	CvtI32F64
+	CvtI64I32
+	CvtI64I64
+	CvtI64F32
+	CvtI64F64
+	CvtF32I32
+	CvtF32I64
+	CvtF32F32
+	CvtF32F64
+	CvtF64I32
+	CvtF64I64
+	CvtF64F32
+	CvtF64F64
+
+	// Memory, control flow, and the AxMemo ISA extensions.
+	Load  // Dst = mem[regs[A]+Imm] at Type
+	Store // mem[regs[A]+Imm] = regs[B] at Type
+	Jmp   // goto pc T0
+	Br    // if regs[A] != 0 goto pc T0 else pc T1
+	Ret   // return Args...
+	Call  // Rets... = Callee(Args...)
+	LdCRC
+	RegCRC
+	Lookup
+	Update
+	Invalidate
+
+	// Fused pairs.  CmpBr* mirrors the compare block's layout: the
+	// compare component of CmpBrLTF32 is CmpBrLTF32 - FirstCmpBr +
+	// FirstCmp = CmpLTF32.
+	CmpBrEQI32
+	CmpBrNEI32
+	CmpBrLTI32
+	CmpBrLEI32
+	CmpBrGTI32
+	CmpBrGEI32
+
+	CmpBrEQI64
+	CmpBrNEI64
+	CmpBrLTI64
+	CmpBrLEI64
+	CmpBrGTI64
+	CmpBrGEI64
+
+	CmpBrEQF32
+	CmpBrNEF32
+	CmpBrLTF32
+	CmpBrLEF32
+	CmpBrGTF32
+	CmpBrGEF32
+
+	CmpBrEQF64
+	CmpBrNEF64
+	CmpBrLTF64
+	CmpBrLEF64
+	CmpBrGTF64
+	CmpBrGEF64
+
+	LoadCvt   // Dst = mem[regs[A]+Imm] at Type; Dst2 = convert(Dst) per Sub
+	LookupMov // Dst, B = lookup LUT; Dst2 = Dst
+
+	// FallbackOp replays the source ir.Instr through the tree
+	// interpreter's evaluation path (opcode/type combinations with no
+	// split opcode; they all fail at run time exactly as the tree does).
+	FallbackOp
+
+	opCount
+)
+
+// Family range markers.
+const (
+	FirstBin   = AddI32
+	LastBin    = CmpGEF64
+	FirstCmp   = CmpEQI32
+	FirstUn    = FNegF32
+	LastUn     = FloorF64
+	FirstCvt   = CvtI32I32
+	LastCvt    = CvtF64F64
+	FirstCmpBr = CmpBrEQI32
+	LastCmpBr  = CmpBrGEF64
+)
+
+// NumOps is the opcode count (for dispatch-table sizing).
+const NumOps = int(opCount)
+
+// Cost is the static timing/energy metadata of one source opcode, as
+// resolved by the executor's cost model.
+type Cost struct {
+	// Lat is the result latency in cycles (0 = resolved dynamically,
+	// e.g. loads from the cache hierarchy).
+	Lat uint8
+	// FU identifies the functional unit (internal/cpu's FU enum).
+	FU uint8
+	// Pipelined reports whether the unit accepts a new op next cycle.
+	Pipelined bool
+	// Class is the energy accounting class (internal/energy's Class).
+	Class uint8
+}
+
+// CostModel resolves the static metadata of a source opcode.  The cpu
+// package passes an adapter over its private latency table; a nil model
+// (disassembly-only use) yields zero costs.
+type CostModel func(op ir.Op) Cost
+
+// Insn is one flat bytecode instruction.  Which fields are meaningful
+// depends on Op; *2 fields describe the second component of a fused
+// pair.
+type Insn struct {
+	Op Op
+	// Sub is LoadCvt's conversion opcode (a FirstCvt..LastCvt value).
+	Sub Op
+
+	// Pre-resolved cost metadata (see Cost).  For control, memory, and
+	// memo opcodes the executor hardcodes the tree interpreter's issue
+	// shape and uses only FU (and Lat for Call's retire).
+	Lat, Lat2     uint8
+	FU, FU2       uint8
+	Pipe, Pipe2   bool
+	Class, Class2 uint8
+	// MemoTag* reports whether the component counts toward
+	// Stats.MemoInsns ((IsMemo && != LdCRC) || Aux, the Fig. 8 rule).
+	MemoTag, MemoTag2 bool
+
+	// Backward marks a Br (or fused compare+branch) whose taken target
+	// does not lie forward of its source block — the BTFN predictor's
+	// predict-taken case.
+	Backward bool
+
+	LUT, Trunc uint8
+	Type       ir.Type // Load/Store/LdCRC/RegCRC element type
+
+	// Register operands as raw indices into the frame register file.
+	Dst, A, B int32
+	// Dst2 is the fused second destination (LoadCvt's converted value,
+	// LookupMov's copy).
+	Dst2 int32
+	// T0 and T1 are resolved branch-target pcs (Jmp: T0; Br and fused
+	// compare+branch: taken → T0, not taken → T1).
+	T0, T1 int32
+
+	Imm uint64
+
+	// Args and Rets alias the source instruction's register lists
+	// (Call arguments / Ret values, Call results).
+	Args, Rets []ir.Reg
+	// Callee is the resolved Call target.
+	Callee *Func
+
+	// Src (and Src2 for fused pairs) are the source instructions:
+	// trace hooks, error messages, and the disassembler's source IR
+	// index all refer to them.
+	Src, Src2 *ir.Instr
+}
+
+// Func is one compiled function.
+type Func struct {
+	// IR is the source function (register file size, params).
+	IR *ir.Function
+	// Insns is the flat instruction stream.
+	Insns []Insn
+	// BlockPC maps each source block index to the pc of its first
+	// instruction.
+	BlockPC []int32
+}
+
+// Program is a compiled program.
+type Program struct {
+	// IR is the source program.
+	IR *ir.Program
+	// Funcs maps function names to their compiled bodies.
+	Funcs map[string]*Func
+	// Entry is the compiled entry function (nil if the program has
+	// none).
+	Entry *Func
+}
+
+// opNames is the disassembly mnemonic table, composed in init from the
+// component names so fused and type-split families stay consistent.
+var opNames [opCount]string
+
+func init() {
+	opNames[Invalid] = "invalid"
+	opNames[Nop] = "nop"
+	opNames[Const] = "const"
+	opNames[Mov] = "mov"
+	intBin := []string{"add", "sub", "mul", "sdiv", "srem", "and", "or", "xor", "shl", "shr"}
+	for i, n := range intBin {
+		opNames[AddI32+Op(i)] = n + ".i32"
+		opNames[AddI64+Op(i)] = n + ".i64"
+	}
+	fBin := []string{"fadd", "fsub", "fmul", "fdiv", "fmin", "fmax", "atan2", "pow"}
+	for i, n := range fBin {
+		opNames[FAddF32+Op(i)] = n + ".f32"
+		opNames[FAddF64+Op(i)] = n + ".f64"
+	}
+	cmps := []string{"cmpeq", "cmpne", "cmplt", "cmple", "cmpgt", "cmpge"}
+	types := []string{"i32", "i64", "f32", "f64"}
+	for ti, tn := range types {
+		for ci, cn := range cmps {
+			opNames[FirstCmp+Op(ti*6+ci)] = cn + "." + tn
+			opNames[FirstCmpBr+Op(ti*6+ci)] = cn + "." + tn + "+br"
+		}
+	}
+	un := []string{"fneg", "fabs", "sqrt", "exp", "log", "sin", "cos", "tan", "asin", "acos", "atan", "floor"}
+	for i, n := range un {
+		opNames[FNegF32+Op(i)] = n + ".f32"
+		opNames[FNegF64+Op(i)] = n + ".f64"
+	}
+	for fi, fn := range types {
+		for ti, tn := range types {
+			opNames[FirstCvt+Op(fi*4+ti)] = "cvt." + fn + "." + tn
+		}
+	}
+	opNames[Load] = "load"
+	opNames[Store] = "store"
+	opNames[Jmp] = "jmp"
+	opNames[Br] = "br"
+	opNames[Ret] = "ret"
+	opNames[Call] = "call"
+	opNames[LdCRC] = "ld_crc"
+	opNames[RegCRC] = "reg_crc"
+	opNames[Lookup] = "lookup"
+	opNames[Update] = "update"
+	opNames[Invalidate] = "invalidate"
+	opNames[LoadCvt] = "load+cvt"
+	opNames[LookupMov] = "lookup+mov"
+	opNames[FallbackOp] = "fallback"
+}
+
+// String returns the disassembly mnemonic.
+func (o Op) String() string {
+	if o < opCount && opNames[o] != "" {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// Fused reports whether the opcode retires two source instructions.
+func (o Op) Fused() bool {
+	return o >= FirstCmpBr && o <= LastCmpBr || o == LoadCvt || o == LookupMov
+}

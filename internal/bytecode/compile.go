@@ -1,0 +1,273 @@
+package bytecode
+
+import (
+	"fmt"
+
+	"axmemo/internal/ir"
+)
+
+// Compile lowers a program into flat bytecode.  The program is
+// (re-)validated first: the lowering trusts the same field bounds the
+// interpreter does.  costs resolves static timing metadata; nil yields
+// zero costs (sufficient for disassembly, not for execution).
+func Compile(p *ir.Program, costs CostModel) (*Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if costs == nil {
+		costs = func(ir.Op) Cost { return Cost{} }
+	}
+	bp := &Program{IR: p, Funcs: make(map[string]*Func, len(p.Funcs))}
+	for name, f := range p.Funcs {
+		bp.Funcs[name] = compileFunc(f, costs)
+	}
+	// Second pass: resolve call targets across functions.
+	for _, bf := range bp.Funcs {
+		for i := range bf.Insns {
+			bi := &bf.Insns[i]
+			if bi.Op == Call {
+				callee, ok := bp.Funcs[bi.Src.Callee]
+				if !ok {
+					// The validator guarantees callees exist.
+					return nil, fmt.Errorf("bytecode: call to undefined function %q", bi.Src.Callee)
+				}
+				bi.Callee = callee
+			}
+		}
+	}
+	if ef := p.EntryFunc(); ef != nil {
+		bp.Entry = bp.Funcs[ef.Name]
+	}
+	return bp, nil
+}
+
+// compileFunc flattens one function: emit (with fusion) recording each
+// block's start pc, then patch branch targets from block indices to pcs.
+func compileFunc(f *ir.Function, costs CostModel) *Func {
+	bf := &Func{IR: f, BlockPC: make([]int32, len(f.Blocks))}
+	for _, b := range f.Blocks {
+		bf.BlockPC[b.Index] = int32(len(bf.Insns))
+		for i := 0; i < len(b.Instrs); i++ {
+			in := &b.Instrs[i]
+			if i+1 < len(b.Instrs) {
+				if fused, ok := fuse(in, &b.Instrs[i+1], b.Index, costs); ok {
+					bf.Insns = append(bf.Insns, fused)
+					i++
+					continue
+				}
+			}
+			bf.Insns = append(bf.Insns, lower(in, b.Index, costs))
+		}
+	}
+	for i := range bf.Insns {
+		bi := &bf.Insns[i]
+		switch {
+		case bi.Op == Jmp:
+			bi.T0 = bf.BlockPC[bi.T0]
+		case bi.Op == Br, bi.Op >= FirstCmpBr && bi.Op <= LastCmpBr:
+			bi.T0 = bf.BlockPC[bi.T0]
+			bi.T1 = bf.BlockPC[bi.T1]
+		}
+	}
+	return bf
+}
+
+// fuse tries to combine in with its successor next (both in the block
+// with index blockIdx).  Fusion is safe because branches only target
+// block starts: control can never enter at next.  The fused instruction
+// preserves both components' architectural effects in full.
+func fuse(in, next *ir.Instr, blockIdx int, costs CostModel) (Insn, bool) {
+	switch {
+	case next.Op == ir.Br && in.Op >= ir.CmpEQ && in.Op <= ir.CmpGE && next.A == in.Dst:
+		cmp := splitOp(in)
+		if cmp == FallbackOp {
+			return Insn{}, false // compares split at every type; defensive
+		}
+		bi := lowered(in, costs)
+		bi.Op = FirstCmpBr + (cmp - FirstCmp)
+		bi.Dst, bi.A, bi.B = int32(in.Dst), int32(in.A), int32(in.B)
+		bi.T0, bi.T1 = int32(next.Blk0), int32(next.Blk1)
+		bi.Backward = next.Blk0 <= blockIdx
+		second(&bi, next, costs)
+		return bi, true
+
+	case in.Op == ir.Load && next.Op == ir.Cvt && next.A == in.Dst:
+		bi := lowered(in, costs)
+		bi.Op = LoadCvt
+		bi.Dst, bi.A = int32(in.Dst), int32(in.A)
+		bi.Imm, bi.Type = in.Imm, in.Type
+		bi.Sub = FirstCvt + Op(next.SrcType)*4 + Op(next.Type)
+		bi.Dst2 = int32(next.Dst)
+		second(&bi, next, costs)
+		return bi, true
+
+	case in.Op == ir.Lookup && next.Op == ir.Mov && next.A == in.Dst:
+		bi := lowered(in, costs)
+		bi.Op = LookupMov
+		bi.Dst, bi.B = int32(in.Dst), int32(in.B)
+		bi.LUT = in.LUT
+		bi.Dst2 = int32(next.Dst)
+		second(&bi, next, costs)
+		return bi, true
+	}
+	return Insn{}, false
+}
+
+// lowered seeds an Insn with the first component's source, cost, and
+// memo-accounting metadata.
+func lowered(in *ir.Instr, costs CostModel) Insn {
+	c := costs(in.Op)
+	return Insn{
+		Src:     in,
+		Lat:     c.Lat,
+		FU:      c.FU,
+		Pipe:    c.Pipelined,
+		Class:   c.Class,
+		MemoTag: memoTag(in),
+	}
+}
+
+// second fills the fused second component's metadata.
+func second(bi *Insn, next *ir.Instr, costs CostModel) {
+	c := costs(next.Op)
+	bi.Src2 = next
+	bi.Lat2 = c.Lat
+	bi.FU2 = c.FU
+	bi.Pipe2 = c.Pipelined
+	bi.Class2 = c.Class
+	bi.MemoTag2 = memoTag(next)
+}
+
+// memoTag is the Stats.MemoInsns accounting rule (Fig. 8): AxMemo
+// instructions except ld_crc, plus compiler-inserted auxiliaries.
+func memoTag(in *ir.Instr) bool {
+	return in.Op.IsMemo() && in.Op != ir.LdCRC || in.Aux
+}
+
+// lower translates one unfused instruction.
+func lower(in *ir.Instr, blockIdx int, costs CostModel) Insn {
+	bi := lowered(in, costs)
+	switch in.Op {
+	case ir.Nop:
+		bi.Op = Nop
+	case ir.Const:
+		bi.Op = Const
+		bi.Dst, bi.Imm = int32(in.Dst), in.Imm
+	case ir.Mov:
+		bi.Op = Mov
+		bi.Dst, bi.A = int32(in.Dst), int32(in.A)
+	case ir.Cvt:
+		bi.Op = FirstCvt + Op(in.SrcType)*4 + Op(in.Type)
+		bi.Dst, bi.A = int32(in.Dst), int32(in.A)
+	case ir.Load:
+		bi.Op = Load
+		bi.Dst, bi.A = int32(in.Dst), int32(in.A)
+		bi.Imm, bi.Type = in.Imm, in.Type
+	case ir.Store:
+		bi.Op = Store
+		bi.A, bi.B = int32(in.A), int32(in.B)
+		bi.Imm, bi.Type = in.Imm, in.Type
+	case ir.Jmp:
+		bi.Op = Jmp
+		bi.T0 = int32(in.Blk0)
+	case ir.Br:
+		bi.Op = Br
+		bi.A = int32(in.A)
+		bi.T0, bi.T1 = int32(in.Blk0), int32(in.Blk1)
+		bi.Backward = in.Blk0 <= blockIdx
+	case ir.Ret:
+		bi.Op = Ret
+		bi.Args = in.Args
+	case ir.Call:
+		bi.Op = Call
+		bi.Args, bi.Rets = in.Args, in.Rets
+	case ir.LdCRC:
+		bi.Op = LdCRC
+		bi.Dst, bi.A = int32(in.Dst), int32(in.A)
+		bi.Imm, bi.Type = in.Imm, in.Type
+		bi.LUT, bi.Trunc = in.LUT, in.Trunc
+	case ir.RegCRC:
+		bi.Op = RegCRC
+		bi.A = int32(in.A)
+		bi.Type = in.Type
+		bi.LUT, bi.Trunc = in.LUT, in.Trunc
+	case ir.Lookup:
+		bi.Op = Lookup
+		bi.Dst, bi.B = int32(in.Dst), int32(in.B)
+		bi.LUT = in.LUT
+	case ir.Update:
+		bi.Op = Update
+		bi.A = int32(in.A)
+		bi.LUT = in.LUT
+	case ir.Invalidate:
+		bi.Op = Invalidate
+		bi.LUT = in.LUT
+	default:
+		bi.Op = splitOp(in)
+		if bi.Op != FallbackOp {
+			bi.Dst, bi.A, bi.B = int32(in.Dst), int32(in.A), int32(in.B)
+		}
+	}
+	return bi
+}
+
+// splitOp maps a compute (op, type) pair to its pre-split opcode, or
+// FallbackOp when the combination has none (the tree interpreter
+// rejects it at run time; FallbackOp reproduces that exactly).
+func splitOp(in *ir.Instr) Op {
+	op, t := in.Op, in.Type
+	switch {
+	case op >= ir.Add && op <= ir.Shr:
+		switch t {
+		case ir.I32:
+			return AddI32 + Op(op-ir.Add)
+		case ir.I64:
+			return AddI64 + Op(op-ir.Add)
+		}
+	case op >= ir.CmpEQ && op <= ir.CmpGE:
+		return FirstCmp + Op(t)*6 + Op(op-ir.CmpEQ)
+	case op >= ir.FAdd && op <= ir.FDiv:
+		if t.IsFloat() {
+			return fFamily(t) + Op(op-ir.FAdd)
+		}
+	case op == ir.FMin, op == ir.FMax:
+		if t.IsFloat() {
+			return fFamily(t) + 4 + Op(op-ir.FMin)
+		}
+	case op == ir.Atan2:
+		if t.IsFloat() {
+			return fFamily(t) + 6
+		}
+	case op == ir.Pow:
+		if t.IsFloat() {
+			return fFamily(t) + 7
+		}
+	case op == ir.FNeg, op == ir.FAbs:
+		if t.IsFloat() {
+			return unFamily(t) + Op(op-ir.FNeg)
+		}
+	case op >= ir.Sqrt && op <= ir.Atan:
+		if t.IsFloat() {
+			return unFamily(t) + 2 + Op(op-ir.Sqrt)
+		}
+	case op == ir.Floor:
+		if t.IsFloat() {
+			return unFamily(t) + 11
+		}
+	}
+	return FallbackOp
+}
+
+func fFamily(t ir.Type) Op {
+	if t == ir.F32 {
+		return FAddF32
+	}
+	return FAddF64
+}
+
+func unFamily(t ir.Type) Op {
+	if t == ir.F32 {
+		return FNegF32
+	}
+	return FNegF64
+}

@@ -1,0 +1,239 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+
+	"axmemo/internal/ir"
+)
+
+// buildLoop builds a two-function program with a fusable compare+branch
+// back-edge, a load+convert pair, and a call.
+func buildLoop() *ir.Program {
+	p := ir.NewProgram("loop")
+
+	k := p.NewFunc("widen", []ir.Type{ir.I64}, []ir.Type{ir.F64})
+	kb := k.NewBlock("entry")
+	bu := ir.At(k, kb)
+	v := bu.Load(ir.F32, k.Params[0], 0)
+	w := bu.Cvt(ir.F32, ir.F64, v)
+	bu.Ret(w)
+
+	f := p.NewFunc("loop", []ir.Type{ir.I32}, []ir.Type{ir.I32})
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	body := f.NewBlock("body")
+	done := f.NewBlock("done")
+
+	bu = ir.At(f, entry)
+	i := bu.ConstI32(0)
+	one := bu.ConstI32(1)
+	addr := bu.ConstI64(0)
+	bu.Jmp(loop)
+
+	bu.SetBlock(loop)
+	c := bu.Bin(ir.CmpLT, ir.I32, i, f.Params[0])
+	bu.Br(c, body, done)
+
+	bu.SetBlock(body)
+	bu.Call("widen", 1, addr)
+	i2 := bu.Bin(ir.Add, ir.I32, i, one)
+	bu.MovTo(ir.I32, i, i2)
+	bu.Jmp(loop)
+
+	bu.SetBlock(done)
+	bu.Ret(i)
+	if err := p.Finalize(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestCompileFusesAndResolves(t *testing.T) {
+	bp, err := Compile(buildLoop(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.Entry == nil || bp.Entry.IR.Name != "loop" {
+		t.Fatalf("entry = %+v", bp.Entry)
+	}
+	lf := bp.Funcs["loop"]
+
+	var cmpBr, call *Insn
+	for i := range lf.Insns {
+		bi := &lf.Insns[i]
+		switch {
+		case bi.Op >= FirstCmpBr && bi.Op <= LastCmpBr:
+			cmpBr = bi
+		case bi.Op == Call:
+			call = bi
+		}
+	}
+	if cmpBr == nil {
+		t.Fatal("compare+branch did not fuse")
+	}
+	if cmpBr.Op != CmpBrLTI32 {
+		t.Errorf("fused op = %s, want cmplt.i32+br", cmpBr.Op)
+	}
+	if cmpBr.Src == nil || cmpBr.Src2 == nil {
+		t.Error("fused pair missing source instructions")
+	}
+	// Taken target (body) lies forward of the loop header: not a
+	// BTFN-predicted backward branch.
+	if cmpBr.Backward {
+		t.Error("forward conditional marked backward")
+	}
+	// Targets must be pcs into the flat stream, bounded by the stream.
+	for _, pc := range []int32{cmpBr.T0, cmpBr.T1} {
+		if pc < 0 || int(pc) >= len(lf.Insns) {
+			t.Errorf("branch target pc %d out of range", pc)
+		}
+	}
+	if call == nil || call.Callee == nil || call.Callee.IR.Name != "widen" {
+		t.Fatalf("call not resolved: %+v", call)
+	}
+
+	// The widen kernel's load+convert pair must fuse.
+	wf := bp.Funcs["widen"]
+	found := false
+	for i := range wf.Insns {
+		if wf.Insns[i].Op == LoadCvt {
+			found = true
+			if wf.Insns[i].Sub != CvtF32F64 {
+				t.Errorf("LoadCvt sub-op = %s, want cvt.f32.f64", wf.Insns[i].Sub)
+			}
+		}
+	}
+	if !found {
+		t.Error("load+convert did not fuse")
+	}
+
+	// BlockPC maps every source block to a valid pc.
+	for idx, pc := range lf.BlockPC {
+		if pc < 0 || int(pc) > len(lf.Insns) {
+			t.Errorf("block %d pc %d out of range", idx, pc)
+		}
+	}
+}
+
+func TestBackwardBranchMarked(t *testing.T) {
+	// do-while shape: the conditional back-edge branches to its own
+	// block, which BTFN predicts taken.
+	p := ir.NewProgram("spin")
+	f := p.NewFunc("spin", []ir.Type{ir.I32}, []ir.Type{ir.I32})
+	body := f.NewBlock("body")
+	done := f.NewBlock("done")
+	bu := ir.At(f, body)
+	one := bu.ConstI32(1)
+	n2 := bu.Bin(ir.Sub, ir.I32, f.Params[0], one)
+	bu.MovTo(ir.I32, f.Params[0], n2)
+	c := bu.Bin(ir.CmpGT, ir.I32, n2, one)
+	bu.Br(c, body, done)
+	bu.SetBlock(done)
+	bu.Ret(n2)
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	bp, err := Compile(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen bool
+	for i := range bp.Entry.Insns {
+		bi := &bp.Entry.Insns[i]
+		if bi.Op >= FirstCmpBr && bi.Op <= LastCmpBr {
+			seen = true
+			if !bi.Backward {
+				t.Error("loop back-edge not marked backward")
+			}
+		}
+	}
+	if !seen {
+		t.Fatal("back-edge compare+branch did not fuse")
+	}
+}
+
+func TestSplitOpFallback(t *testing.T) {
+	for _, tc := range []struct {
+		op   ir.Op
+		t    ir.Type
+		want Op
+	}{
+		{ir.Add, ir.I32, AddI32},
+		{ir.Shr, ir.I64, ShrI64},
+		{ir.Add, ir.F32, FallbackOp}, // int op at float type: runtime error
+		{ir.FAdd, ir.F64, FAddF64},
+		{ir.FAdd, ir.I32, FallbackOp}, // float op at int type
+		{ir.FMax, ir.F32, FMaxF32},
+		{ir.Pow, ir.F64, PowF64},
+		{ir.CmpGE, ir.F32, CmpGEF32},
+		{ir.CmpEQ, ir.I64, CmpEQI64},
+		{ir.Sqrt, ir.F64, SqrtF64},
+		{ir.Sqrt, ir.I32, FallbackOp}, // the classic validator-admitted trap
+		{ir.Floor, ir.F32, FloorF32},
+		{ir.FNeg, ir.F64, FNegF64},
+		{ir.Atan, ir.F32, AtanF32},
+	} {
+		if got := splitOp(&ir.Instr{Op: tc.op, Type: tc.t}); got != tc.want {
+			t.Errorf("splitOp(%s.%s) = %s, want %s", tc.op, tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestOpNamesComplete(t *testing.T) {
+	for o := Op(0); o < opCount; o++ {
+		if o.String() == "op?" || o.String() == "" {
+			t.Errorf("opcode %d has no name", o)
+		}
+	}
+	if opCount.String() != "op?" {
+		t.Error("out-of-range opcode should render op?")
+	}
+	// Layout invariants the executor's constant-offset recovery relies on.
+	if CmpBrLTF32-FirstCmpBr+FirstCmp != CmpLTF32 {
+		t.Error("CmpBr block does not mirror the compare block layout")
+	}
+	if FirstCvt+Op(ir.F32)*4+Op(ir.F64) != CvtF32F64 {
+		t.Error("Cvt block layout broken")
+	}
+}
+
+func TestFused(t *testing.T) {
+	for _, o := range []Op{CmpBrEQI32, CmpBrGEF64, LoadCvt, LookupMov} {
+		if !o.Fused() {
+			t.Errorf("%s not reported fused", o)
+		}
+	}
+	for _, o := range []Op{AddI32, Br, Lookup, FallbackOp} {
+		if o.Fused() {
+			t.Errorf("%s reported fused", o)
+		}
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	bp, err := Compile(buildLoop(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listing := bp.Disassemble()
+	for _, want := range []string{
+		"func loop:",
+		"func widen:",
+		"cmplt.i32+br",
+		"load+cvt",
+		"cvt.f32.f64",
+		"widen(",
+		"; ir=",
+		"b2:",
+		"@",
+	} {
+		if !strings.Contains(listing, want) {
+			t.Errorf("listing missing %q:\n%s", want, listing)
+		}
+	}
+	// The entry function leads the listing.
+	if !strings.HasPrefix(listing, "func loop:") {
+		t.Errorf("entry function not first:\n%s", listing)
+	}
+}

@@ -3,65 +3,25 @@ package cpu
 import (
 	"testing"
 
-	"axmemo/internal/ir"
 	"axmemo/internal/obs"
 )
 
-// buildHotLoop builds a call-heavy steady-state program: an effectively
-// unbounded driver loop that calls a small float kernel each iteration.
-// It exercises the full per-instruction path — scoreboarding, ALU and
-// branch issue, call/return frame churn — without ever terminating
-// within a benchmark run.
-func buildHotLoop() *ir.Program {
-	p := ir.NewProgram("hot")
-
-	k := p.NewFunc("kernel", []ir.Type{ir.F32}, []ir.Type{ir.F32})
-	kb := k.NewBlock("entry")
-	bu := ir.At(k, kb)
-	c := bu.ConstF32(1.0001)
-	v := bu.Bin(ir.FMul, ir.F32, k.Params[0], c)
-	v = bu.Bin(ir.FAdd, ir.F32, v, c)
-	v = bu.Un(ir.FAbs, ir.F32, v)
-	bu.Ret(v)
-
-	f := p.NewFunc("hot", []ir.Type{ir.I32}, []ir.Type{ir.F32})
-	entry := f.NewBlock("entry")
-	loop := f.NewBlock("loop")
-	body := f.NewBlock("body")
-	done := f.NewBlock("done")
-
-	bu = ir.At(f, entry)
-	acc := bu.ConstF32(0.5)
-	i := bu.ConstI32(0)
-	one := bu.ConstI32(1)
-	bu.Jmp(loop)
-
-	bu.SetBlock(loop)
-	cnd := bu.Bin(ir.CmpLT, ir.I32, i, f.Params[0])
-	bu.Br(cnd, body, done)
-
-	bu.SetBlock(body)
-	r := bu.Call("kernel", 1, acc)[0]
-	bu.MovTo(ir.F32, acc, r)
-	i2 := bu.Bin(ir.Add, ir.I32, i, one)
-	bu.MovTo(ir.I32, i, i2)
-	bu.Jmp(loop)
-
-	bu.SetBlock(done)
-	bu.Ret(acc)
-	if err := p.Finalize(); err != nil {
-		panic(err)
-	}
-	return p
-}
-
-// BenchmarkStepHotPath measures the per-instruction cost of the
-// interpreter's step loop on a call-heavy program.  The acceptance bar
-// is 0 allocs/op: frame recycling and the machine-held operand scratch
-// must keep the steady-state path off the heap entirely.
-func BenchmarkStepHotPath(b *testing.B) {
-	prog := buildHotLoop()
+// benchStepHotPath measures the per-retired-instruction cost of the
+// step loop on a call-heavy program (BuildHotLoop).  One benchmark op
+// is one retired instruction — not one step call — so ns/op compares
+// fairly across engines even though the bytecode engine retires fused
+// pairs in a single step.  The acceptance bar is 0 allocs/op for both
+// engines: frame recycling and the machine-held operand scratch must
+// keep the steady-state path off the heap entirely.
+func benchStepHotPath(b *testing.B, eng Engine, sink *obs.Sink) {
+	prog := BuildHotLoop()
 	cfg := DefaultConfig()
+	cfg.Engine = eng
+	cfg.MaxInsns = 1 << 62
+	if sink != nil {
+		cfg.Obs = sink
+		cfg.ObsRun = "bench"
+	}
 	m, err := New(prog, NewMemory(1<<12), cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -70,12 +30,14 @@ func BenchmarkStepHotPath(b *testing.B) {
 	newThread := func() *threadState {
 		f := m.newFrame(entry)
 		f.regs[entry.Params[0]] = 1 << 30 // effectively unbounded loop
+		m.bindBytecode(f)
 		return &threadState{cur: f}
 	}
 	t := newThread()
 	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	target := m.insns + uint64(b.N)
+	for m.insns < target {
 		if err := m.step(t); err != nil {
 			b.Fatal(err)
 		}
@@ -84,6 +46,16 @@ func BenchmarkStepHotPath(b *testing.B) {
 			t = newThread()
 			b.StartTimer()
 		}
+	}
+}
+
+// BenchmarkStepHotPath runs the hot path on both engines; CI gates on
+// the bytecode engine being faster at 0 allocs/op.
+func BenchmarkStepHotPath(b *testing.B) {
+	for _, eng := range []Engine{EngineTree, EngineBytecode} {
+		b.Run(eng.String(), func(b *testing.B) {
+			benchStepHotPath(b, eng, nil)
+		})
 	}
 }
 
@@ -93,56 +65,42 @@ func BenchmarkStepHotPath(b *testing.B) {
 // allocs/op.  Comparing the two ns/op figures is the documented cost of
 // enabling metrics collection.
 func BenchmarkStepHotPathObs(b *testing.B) {
-	prog := buildHotLoop()
-	cfg := DefaultConfig()
-	cfg.Obs = obs.NewSink()
-	cfg.ObsRun = "bench"
-	m, err := New(prog, NewMemory(1<<12), cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	entry := prog.EntryFunc()
-	newThread := func() *threadState {
-		f := m.newFrame(entry)
-		f.regs[entry.Params[0]] = 1 << 30 // effectively unbounded loop
-		return &threadState{cur: f}
-	}
-	t := newThread()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := m.step(t); err != nil {
-			b.Fatal(err)
-		}
-		if t.done {
-			b.StopTimer()
-			t = newThread()
-			b.StartTimer()
-		}
+	for _, eng := range []Engine{EngineTree, EngineBytecode} {
+		b.Run(eng.String(), func(b *testing.B) {
+			benchStepHotPath(b, eng, obs.NewSink())
+		})
 	}
 }
 
 // BenchmarkRunSumLoop measures a whole Machine.Run of a tight load/add
-// loop, the simplest end-to-end figure for interpreter throughput.
+// loop, the simplest end-to-end figure for interpreter throughput
+// (machine construction, including the bytecode compile, is inside the
+// measured loop).
 func BenchmarkRunSumLoop(b *testing.B) {
-	prog := buildSumLoop()
-	const n = 1024
-	img := NewMemory(1 << 16)
-	for i := 0; i < n; i++ {
-		img.SetF32(uint64(4*i), 1.0)
-	}
-	if err := img.Err(); err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m, err := New(prog, img, DefaultConfig())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := m.Run(0, n); err != nil {
-			b.Fatal(err)
-		}
+	for _, eng := range []Engine{EngineTree, EngineBytecode} {
+		b.Run(eng.String(), func(b *testing.B) {
+			prog := buildSumLoop()
+			const n = 1024
+			img := NewMemory(1 << 16)
+			for i := 0; i < n; i++ {
+				img.SetF32(uint64(4*i), 1.0)
+			}
+			if err := img.Err(); err != nil {
+				b.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.Engine = eng
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := New(prog, img, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := m.Run(0, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

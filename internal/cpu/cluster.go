@@ -88,6 +88,11 @@ func (c *Cluster) Run(argSets ...[]uint64) (res *ClusterResult, err error) {
 		}
 		threads[i] = &threadState{id: 0, cur: f}
 	}
+	if len(c.Cores) == 1 {
+		// A single core has no cross-core interleaving to preserve;
+		// multi-core runs stay on the tree engine (see bindBytecode).
+		c.Cores[0].bindBytecode(threads[0].cur)
+	}
 	remaining := len(c.Cores)
 	var haltErr error
 halted:

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 
+	"axmemo/internal/bytecode"
 	"axmemo/internal/energy"
 	"axmemo/internal/fault"
 	"axmemo/internal/ir"
@@ -22,6 +23,11 @@ import (
 
 // Config parametrizes the core model.
 type Config struct {
+	// Engine selects the execution engine: EngineBytecode (default)
+	// compiles the program to a flat instruction stream at machine
+	// construction; EngineTree interprets the IR directly.  Both
+	// produce identical results, statistics, and trace events.
+	Engine Engine
 	// IssueWidth is the in-order issue width (Table 3: two).
 	IssueWidth int
 	// BranchPenalty is the redirect bubble of a mispredicted
@@ -175,6 +181,11 @@ type Result struct {
 type Machine struct {
 	cfg  Config
 	prog *ir.Program
+	// bc is the bytecode-compiled program (nil under EngineTree).
+	// Single-thread runs bind their entry frame to it; SMT and
+	// shared-L2 cluster runs always execute on the tree engine so the
+	// per-instruction round-robin interleaving is engine-independent.
+	bc   *bytecode.Program
 	mem  *Memory
 	hier *mem.Hierarchy
 	memo *memo.Unit // nil if not configured
@@ -260,6 +271,13 @@ func newMachine(prog *ir.Program, image *Memory, cfg Config, mkHier func() (*mem
 	if m.cfg.MaxInsns == 0 {
 		m.cfg.MaxInsns = 2_000_000_000
 	}
+	if cfg.Engine == EngineBytecode {
+		bc, err := bytecode.Compile(prog, bcCost)
+		if err != nil {
+			return nil, err
+		}
+		m.bc = bc
+	}
 	return m, nil
 }
 
@@ -323,6 +341,9 @@ func (m *Machine) RunSMT(argSets ...[]uint64) (res *SMTResult, err error) {
 			f.regs[p] = args[pi]
 		}
 		threads[i] = &threadState{id: i, cur: f}
+	}
+	if len(threads) == 1 {
+		m.bindBytecode(threads[0].cur)
 	}
 	defer func() {
 		if r := recover(); r != nil {

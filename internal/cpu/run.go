@@ -3,6 +3,7 @@ package cpu
 import (
 	"fmt"
 
+	"axmemo/internal/bytecode"
 	"axmemo/internal/ir"
 )
 
@@ -17,6 +18,12 @@ type frame struct {
 
 	block int
 	pc    int
+
+	// bf/bpc bind the frame to the bytecode engine: when bf is non-nil
+	// the frame executes bf.Insns[bpc] instead of walking the IR blocks
+	// (block/pc above are then unused).
+	bf  *bytecode.Func
+	bpc int32
 
 	caller *frame
 	retTo  []ir.Reg // caller registers receiving the results
@@ -60,6 +67,7 @@ func (m *Machine) newFrame(fn *ir.Function) *frame {
 		f.fn = fn
 		f.id = m.frameSeq
 		f.block, f.pc = 0, 0
+		f.bf, f.bpc = nil, 0
 		f.caller, f.retTo = nil, nil
 		return f
 	}
@@ -74,6 +82,7 @@ func (m *Machine) newFrame(fn *ir.Function) *frame {
 // freeFrame retires a returned activation to the free list.
 func (m *Machine) freeFrame(f *frame) {
 	f.fn = nil
+	f.bf = nil
 	f.caller = nil
 	f.retTo = nil
 	m.framePool = append(m.framePool, f)
@@ -179,9 +188,11 @@ func (m *Machine) errLimitf() error {
 	return fmt.Errorf("%w (%d)", ErrInsnBudget, m.cfg.MaxInsns)
 }
 
-// step executes one instruction of thread t.  It returns an error on
-// functional faults; thread completion is flagged in t.done.
-func (m *Machine) step(t *threadState) error {
+// stepTree executes one instruction of thread t by walking the IR block
+// structure.  It returns an error on functional faults; thread
+// completion is flagged in t.done.  stepTree is the differential oracle
+// for the bytecode engine (stepBC): the two must match event for event.
+func (m *Machine) stepTree(t *threadState) error {
 	if m.insns >= m.cfg.MaxInsns {
 		return m.errLimitf()
 	}

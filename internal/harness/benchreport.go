@@ -11,7 +11,10 @@ import (
 //	1  initial report (sweep wall-clock evidence)
 //	2  adds result-store effectiveness (store_dir, store_hits,
 //	   store_misses, store_evictions) — zero-valued without a store
-const BenchReportSchema = 2
+//	3  adds gomaxprocs and interpreter throughput (tree_ns_per_insn,
+//	   bytecode_ns_per_insn, interp_speedup) — the engine-comparison
+//	   evidence; zero-valued when the interpreter benchmark is skipped
+const BenchReportSchema = 3
 
 // BenchReport is the machine-readable summary cmd/axbench writes
 // (BENCH_harness.json): the evidence file for the parallel sweep
@@ -38,6 +41,19 @@ type BenchReport struct {
 	StoreHits      uint64 `json:"store_hits"`
 	StoreMisses    uint64 `json:"store_misses"`
 	StoreEvictions uint64 `json:"store_evictions"`
+
+	// Interpreter throughput (schema >= 3).  GoMaxProcs is the effective
+	// GOMAXPROCS of the run — when it is 1 (as on a single-CPU container)
+	// the parallel-sweep Speedup above is meaningless, so consumers
+	// should gate on it.  TreeNsPerInsn and BytecodeNsPerInsn are
+	// wall-clock nanoseconds per retired instruction on the hot-loop
+	// program (cpu.MeasureHotLoop) for each engine; InterpSpeedup is
+	// their ratio (tree/bytecode, >1 means the bytecode engine is
+	// faster).  Zero-valued when the interpreter benchmark is skipped.
+	GoMaxProcs        int     `json:"gomaxprocs"`
+	TreeNsPerInsn     float64 `json:"tree_ns_per_insn"`
+	BytecodeNsPerInsn float64 `json:"bytecode_ns_per_insn"`
+	InterpSpeedup     float64 `json:"interp_speedup"`
 }
 
 // Encode renders the report as indented JSON with a trailing newline,

@@ -50,6 +50,25 @@ func TestDecodeBenchReportSchemas(t *testing.T) {
 				}
 			},
 		},
+		{
+			name: "schema 3 with interpreter throughput",
+			data: `{"schema":3,"gomaxprocs":8,"tree_ns_per_insn":44.9,"bytecode_ns_per_insn":24.9,"interp_speedup":1.8}`,
+			check: func(t *testing.T, r BenchReport) {
+				if r.GoMaxProcs != 8 || r.TreeNsPerInsn != 44.9 ||
+					r.BytecodeNsPerInsn != 24.9 || r.InterpSpeedup != 1.8 {
+					t.Fatalf("interpreter fields lost: %+v", r)
+				}
+			},
+		},
+		{
+			name: "schema 2 lacks interpreter fields",
+			data: `{"schema":2,"cells":6,"gomaxprocs":0}`,
+			check: func(t *testing.T, r BenchReport) {
+				if r.GoMaxProcs != 0 || r.InterpSpeedup != 0 {
+					t.Fatalf("schema-3 fields nonzero from schema-2 input: %+v", r)
+				}
+			},
+		},
 		{name: "future schema rejected", data: `{"schema":99}`, wantErr: "schema 99"},
 		{name: "missing schema rejected", data: `{"cells":1}`, wantErr: "schema 0"},
 		{name: "not json", data: `schema: 1`, wantErr: "decoding"},

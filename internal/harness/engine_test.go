@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"axmemo/internal/obs"
+	"axmemo/internal/workloads"
+)
+
+// These tests extend the cpu package's differential contract to the
+// whole experiment pipeline: a harness run — compiler transformation,
+// memo unit, quality scoring, energy model — must produce an identical
+// Result and an identical deterministic observability snapshot on the
+// bytecode engine and its tree oracle.
+
+// TestRunEngineParity runs full workloads under representative
+// configurations on both engines and requires Result equality field for
+// field, plus byte-identical deterministic metrics snapshots.
+func TestRunEngineParity(t *testing.T) {
+	configs := []Config{
+		Baseline(),
+		BestConfig(),
+		{Name: "Software LUT", Mode: ModeSoftLUT, Scale: 1},
+		{Name: "ATM", Mode: ModeATM, Scale: 1},
+	}
+	for _, wname := range []string{"sobel", "jmeint"} {
+		w, err := workloads.ByName(wname)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, base := range configs {
+			run := func(engine string) (*Result, []byte) {
+				cfg := base
+				cfg.Scale = 1
+				cfg.Engine = engine
+				sink := obs.NewSink()
+				cfg.Obs = sink
+				cfg.ObsPID = 1
+				res, err := Run(w, cfg)
+				if err != nil {
+					t.Fatalf("%s/%s engine=%s: %v", wname, cfg.Name, engine, err)
+				}
+				return res, sink.Reg().SnapshotJSON(obs.Deterministic)
+			}
+			bcRes, bcSnap := run("bytecode")
+			trRes, trSnap := run("tree")
+			if !reflect.DeepEqual(bcRes, trRes) {
+				t.Errorf("%s/%s: result divergence:\n  bytecode: %+v\n  tree:     %+v",
+					wname, base.Name, bcRes, trRes)
+			}
+			if !bytes.Equal(bcSnap, trSnap) {
+				t.Errorf("%s/%s: deterministic obs snapshot differs between engines", wname, base.Name)
+			}
+		}
+	}
+}
+
+// TestRunEngineUnknown pins the error path for a bad engine selector.
+func TestRunEngineUnknown(t *testing.T) {
+	w, err := workloads.ByName("sobel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := BestConfig()
+	cfg.Engine = "llvm"
+	if _, err := Run(w, cfg); err == nil || !strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("want unknown-engine error, got %v", err)
+	}
+}
+
+// TestSuiteEngineFigureParity renders the figure suite's standard sweep
+// on the tree engine and compares it byte for byte against the golden
+// files — which the default (bytecode) suite is also held to in
+// golden_test.go.  Together the two pin the acceptance claim: the full
+// figure output is byte-identical between engines.
+func TestSuiteEngineFigureParity(t *testing.T) {
+	s := NewSuite(1)
+	s.Engine = "tree"
+	for _, tc := range []struct {
+		file string
+		gen  func() (*Figure, error)
+	}{
+		{"fig7a.txt", s.Fig7a},
+		{"fig9.txt", s.Fig9},
+	} {
+		fig, err := tc.gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden(t, tc.file, []byte(fig.String()))
+	}
+}

@@ -130,6 +130,12 @@ type Suite struct {
 	// other processes (the axmemod daemon, earlier CLI runs) are reused
 	// byte-identically instead of recomputed.
 	Store *store.Store
+	// Engine, if non-empty, selects the simulator execution engine for
+	// every cell ("tree" or "bytecode"; see cpu.ParseEngine).  The
+	// engines are result-identical by contract, so this changes
+	// wall-clock only — cell keys, figures and obs snapshots are
+	// byte-identical either way.
+	Engine string
 	// Remote, if non-nil, is consulted after the in-memory cell cache
 	// but before the store/execute tiers: a cluster coordinator forwards
 	// the cell to its owning peer here.  ok=false means "not handled"
@@ -219,6 +225,9 @@ func (s *Suite) runCell(w *workloads.Workload, cfg Config, baseline bool) (*Resu
 // or another caller already in flight).
 func (s *Suite) runCellDetail(w *workloads.Workload, cfg Config, baseline bool) (*Result, bool, error) {
 	cfg.Scale = s.Scale
+	if s.Engine != "" {
+		cfg.Engine = s.Engine
+	}
 	key := cellKey{workload: w.Name, config: cfg.Name}
 	if s.Obs != nil {
 		cfg.Obs = s.Obs

@@ -92,6 +92,12 @@ type Config struct {
 	// ObsPID is the trace process lane for this run's events (the Suite
 	// assigns stable lanes per sweep cell).
 	ObsPID int
+	// Engine selects the simulator's execution engine ("" or "bytecode"
+	// for the default flat-dispatch engine, "tree" for the reference
+	// tree-walking interpreter).  The two are differentially tested to
+	// produce identical results, so — like Obs — it is excluded from the
+	// suite-cache key.
+	Engine string
 }
 
 // Baseline returns the no-memoization configuration.
@@ -157,6 +163,11 @@ func Run(w *workloads.Workload, cfg Config) (*Result, error) {
 	obsRun := w.Name + "/" + cfg.Name
 	prog := w.Build()
 	ccfg := cpu.DefaultConfig()
+	eng, err := cpu.ParseEngine(cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s/%s: %w", w.Name, cfg.Name, err)
+	}
+	ccfg.Engine = eng
 	ccfg.Obs = cfg.Obs
 	ccfg.ObsPID = cfg.ObsPID
 	ccfg.ObsRun = obsRun
