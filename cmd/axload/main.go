@@ -1,0 +1,160 @@
+// Command axload is the open-loop SLO capacity harness for axmemod: it
+// offers a configurable request mix at a target RPS schedule (warmup,
+// step ramp, sustained full rate), measures client-side latency per
+// route, detects the saturation knee, and writes the evidence as a
+// versioned BENCH_server.json (harness.ServerBenchReport, schema 1).
+//
+// Usage:
+//
+//	axload -target http://localhost:8080 -rps 200 -duration 10s -mix hotkey
+//	axload -rps 400 -duration 30s -warmup 5s -steps 5 -mix mixed -out BENCH_server.json
+//	axload -validate BENCH_server.json    # decode + sanity-gate an existing report
+//
+// Open-loop means arrivals follow the schedule regardless of response
+// times — a saturating server shows up as an offered/achieved RPS gap
+// and rising 429/504 rates instead of silently slowing the client
+// down (the closed-loop coordinated-omission trap).  One seed yields
+// one request sequence, so runs are replayable.
+//
+// -validate mode (used by the CI load-smoke gate) decodes the report —
+// rejecting unknown future schemas — and fails unless some step
+// achieved a nonzero served RPS.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"axmemo/internal/cli"
+	"axmemo/internal/harness"
+	"axmemo/internal/loadgen"
+)
+
+func main() { cli.Main("axload", run) }
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("axload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		target      = fs.String("target", "http://localhost:8080", "axmemod base URL")
+		mix         = fs.String("mix", "hotkey", fmt.Sprintf("request mix: %v", loadgen.Mixes()))
+		rps         = fs.Float64("rps", 200, "full-rate arrival target the ramp climbs to")
+		duration    = fs.Duration("duration", 10*time.Second, "measured window, split evenly across -steps")
+		warmup      = fs.Duration("warmup", 2*time.Second, "cache-warming phase before measurement (excluded from stats)")
+		steps       = fs.Int("steps", 0, "ramp steps up to -rps; the last step is the sustained phase (0 = 4)")
+		seed        = fs.Int64("seed", 1, "request-sequence seed (one seed = one sequence)")
+		maxInFlight = fs.Int("max-inflight", 0, "outstanding-request cap; arrivals past it are counted as dropped (0 = 512)")
+		reqTimeout  = fs.Duration("request-timeout", 0, "per-request client deadline (0 = 10s)")
+		out         = fs.String("out", "BENCH_server.json", "report path")
+		validate    = fs.String("validate", "", "decode and sanity-gate this existing report instead of running")
+	)
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
+	if *validate != "" {
+		return validateReport(*validate, stdout)
+	}
+
+	report, err := loadgen.Run(context.Background(), loadgen.Config{
+		Target:      *target,
+		Mix:         *mix,
+		RPS:         *rps,
+		Duration:    *duration,
+		Warmup:      *warmup,
+		Steps:       *steps,
+		Seed:        *seed,
+		MaxInFlight: *maxInFlight,
+		Timeout:     *reqTimeout,
+		Logf:        func(format string, a ...any) { fmt.Fprintf(stderr, "axload: "+format+"\n", a...) },
+	})
+	if err != nil {
+		if errors.As(err, new(*cli.UsageError)) {
+			return err
+		}
+		if isConfigError(err) {
+			return cli.Usagef("%v", err)
+		}
+		return err
+	}
+	report.Generated = time.Now().UTC().Format(time.RFC3339)
+
+	data, err := report.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	printSummary(stdout, report, *out)
+	return nil
+}
+
+// isConfigError distinguishes argument mistakes (exit 2) from run
+// failures (exit 1): loadgen validates its Config before any request.
+func isConfigError(err error) bool {
+	msg := err.Error()
+	for _, s := range []string{"unknown mix", "empty target", "must be positive"} {
+		if strings.Contains(msg, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func printSummary(w io.Writer, r harness.ServerBenchReport, path string) {
+	fmt.Fprintf(w, "axload: %s mix against %s (seed %d)\n", r.Mix, r.Target, r.Seed)
+	for i, st := range r.Steps {
+		fmt.Fprintf(w, "  step %d: offered %.0f rps, achieved %.0f rps, reject rate %.1f%%\n",
+			i+1, st.OfferedRPS, st.AchievedRPS, 100*st.RejectRate)
+	}
+	if r.Saturated {
+		fmt.Fprintf(w, "  saturation knee: %.0f rps\n", r.SaturationRPS)
+	} else {
+		fmt.Fprintf(w, "  no saturation observed; capacity >= %.0f rps\n", r.SaturationRPS)
+	}
+	for _, rt := range r.Routes {
+		fmt.Fprintf(w, "  %-8s %6d reqs  p50 %.2fms  p99 %.2fms  p99.9 %.2fms  429 %.1f%%  504 %.1f%%\n",
+			rt.Route, rt.Requests, rt.P50Ms, rt.P99Ms, rt.P999Ms, 100*rt.Rate429, 100*rt.Rate504)
+	}
+	if r.StoreHitRatio >= 0 {
+		fmt.Fprintf(w, "  store hit ratio: %.1f%%\n", 100*r.StoreHitRatio)
+	}
+	if r.DroppedArrivals > 0 {
+		fmt.Fprintf(w, "  WARNING: %d arrivals dropped at the in-flight cap; the run under-offered\n", r.DroppedArrivals)
+	}
+	fmt.Fprintf(w, "  report: %s (schema %d)\n", path, harness.ServerBenchSchema)
+}
+
+// validateReport is the CI gate: decode (forward schemas rejected) and
+// require evidence that the run actually served traffic.
+func validateReport(path string, stdout io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	r, err := harness.DecodeServerBenchReport(data)
+	if err != nil {
+		return err
+	}
+	achieved := 0.0
+	for _, st := range r.Steps {
+		if st.AchievedRPS > achieved {
+			achieved = st.AchievedRPS
+		}
+	}
+	if achieved <= 0 {
+		return fmt.Errorf("axload: report %s shows zero achieved RPS in every step", path)
+	}
+	if len(r.Routes) == 0 {
+		return fmt.Errorf("axload: report %s has no route stats", path)
+	}
+	fmt.Fprintf(stdout, "axload: %s valid (schema %d, mix %s, peak achieved %.0f rps)\n",
+		path, r.Schema, r.Mix, achieved)
+	return nil
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"net/http/httptest"
+
+	"axmemo/internal/cli"
+	"axmemo/internal/harness"
+	"axmemo/internal/obs"
+	"axmemo/internal/server"
+)
+
+// run invokes the command in-process, capturing its streams.
+func runCmd(t *testing.T, args ...string) (stdout, stderr string, err error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err = run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+// TestEndToEndReport is the acceptance path: a short burst against an
+// in-process daemon writes a decodable schema-1 BENCH_server.json with
+// per-route quantiles and a knee verdict.
+func TestEndToEndReport(t *testing.T) {
+	suite := harness.NewSuite(1)
+	suite.Parallel = 2
+	suite.Obs = obs.NewSink()
+	srv := server.New(server.Config{Suite: suite, RequestTimeout: 30 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "BENCH_server.json")
+	stdout, _, err := runCmd(t,
+		"-target", ts.URL, "-mix", "hotkey",
+		"-rps", "100", "-duration", "1s", "-warmup", "300ms",
+		"-steps", "2", "-seed", "7", "-out", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "report: "+out) {
+		t.Fatalf("summary missing report path:\n%s", stdout)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := harness.DecodeServerBenchReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema != harness.ServerBenchSchema || r.Mix != "hotkey" || r.Seed != 7 {
+		t.Fatalf("report header: %+v", r)
+	}
+	if r.Generated == "" {
+		t.Fatal("report missing generation timestamp")
+	}
+	if len(r.Steps) != 2 {
+		t.Fatalf("%d steps, want 2", len(r.Steps))
+	}
+	if len(r.Routes) == 0 {
+		t.Fatal("no route stats")
+	}
+
+	// The report it just wrote passes its own gate.
+	stdout, _, err = runCmd(t, "-validate", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "valid") {
+		t.Fatalf("validate output: %s", stdout)
+	}
+}
+
+// TestValidateRejects: the CI gate refuses future schemas, zero-RPS
+// runs, and garbage.
+func TestValidateRejects(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	future := write("future.json", `{"schema": 99, "mix": "hotkey"}`)
+	if _, _, err := runCmd(t, "-validate", future); err == nil ||
+		!strings.Contains(err.Error(), "unsupported") {
+		t.Fatalf("future schema accepted (err=%v)", err)
+	}
+
+	zero := write("zero.json",
+		`{"schema": 1, "mix": "hotkey", "steps": [{"offered_rps": 10, "achieved_rps": 0, "reject_rate": 1}], "routes": [{"route": "simulate"}]}`)
+	if _, _, err := runCmd(t, "-validate", zero); err == nil ||
+		!strings.Contains(err.Error(), "zero achieved RPS") {
+		t.Fatalf("zero-RPS report accepted (err=%v)", err)
+	}
+
+	noRoutes := write("noroutes.json",
+		`{"schema": 1, "mix": "hotkey", "steps": [{"offered_rps": 10, "achieved_rps": 9}]}`)
+	if _, _, err := runCmd(t, "-validate", noRoutes); err == nil ||
+		!strings.Contains(err.Error(), "no route stats") {
+		t.Fatalf("routeless report accepted (err=%v)", err)
+	}
+
+	garbage := write("garbage.json", `nope`)
+	if _, _, err := runCmd(t, "-validate", garbage); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, _, err := runCmd(t, "-validate", filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestUsageErrors: bad flags exit as usage mistakes, not run failures.
+func TestUsageErrors(t *testing.T) {
+	if _, _, err := runCmd(t, "-mix", "nope", "-target", "http://127.0.0.1:1",
+		"-rps", "1", "-duration", "100ms"); err == nil {
+		t.Fatal("unknown mix accepted")
+	} else if code := cli.ExitCode(err); code != 2 {
+		t.Fatalf("unknown mix exit code %d, want 2", code)
+	}
+	if _, _, err := runCmd(t, "-not-a-flag"); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -65,8 +65,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		addr          = fs.String("addr", "localhost:8080", "listen address (host:port; port 0 picks one)")
 		storeDir      = fs.String("store-dir", "", "content-addressed result store directory (empty = in-memory caching only)")
 		storeMaxBytes = fs.Int64("store-max-bytes", 0, "store size budget; least-recently-used cells are evicted past it (0 = unlimited)")
-		workers       = fs.Int("workers", 0, "concurrent request executions (0 = one per CPU)")
-		queueDepth    = fs.Int("queue-depth", 0, "requests allowed to wait for a worker before 429 (0 = 64)")
+		workers       = fs.Int("workers", 0, "concurrent read-class request executions (simulate/cells; 0 = one per CPU)")
+		queueDepth    = fs.Int("queue-depth", 0, "read-class requests allowed to wait for a worker before 429 (0 = 64)")
+		sweepWorkers  = fs.Int("sweep-workers", 0, "concurrent sweep-class executions (figure renders, sweep jobs; 0 = -workers), a separate budget so sweeps cannot starve reads")
+		sweepQueue    = fs.Int("sweep-queue-depth", 0, "sweep-class requests allowed to wait before 429 (0 = -queue-depth)")
 		reqTimeout    = fs.Duration("request-timeout", 0, "synchronous request deadline; expired requests get 504 while the work finishes into the cache (0 = 5m)")
 		maxJobs       = fs.Int("max-jobs", 0, "active sweep jobs before 429 (0 = 64)")
 		scale         = fs.Int("scale", 1, "input scale for every simulation (part of the store key)")
@@ -155,12 +157,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	srv := server.New(server.Config{
-		Suite:          suite,
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		RequestTimeout: *reqTimeout,
-		MaxJobs:        *maxJobs,
-		Cluster:        co,
+		Suite:           suite,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		SweepWorkers:    *sweepWorkers,
+		SweepQueueDepth: *sweepQueue,
+		RequestTimeout:  *reqTimeout,
+		MaxJobs:         *maxJobs,
+		Cluster:         co,
 	})
 
 	// Bind before Serve so "port 0" invocations (tests, ephemeral
@@ -183,7 +187,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err // listener died on its own
 		case <-ctx.Done():
 		}
-		// Signal: stop accepting, then drain what was accepted.
+		// Signal: flip /healthz to draining first — Shutdown keeps
+		// serving keep-alive connections, and cluster probes must see the
+		// peer demote itself before the listener closes — then stop
+		// accepting and drain what was accepted.
+		srv.StartDrain()
 		shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {

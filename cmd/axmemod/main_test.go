@@ -130,8 +130,9 @@ func TestDaemonLifecycle(t *testing.T) {
 	}
 	sigterm(t, done)
 
-	if _, err := os.Stat(filepath.Join(storeDir, "index.json")); err != nil {
-		t.Fatalf("store index not persisted: %v", err)
+	segs, err := filepath.Glob(filepath.Join(storeDir, "index", "seg-*.jsonl"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("store index segments not persisted: %v (%v)", segs, err)
 	}
 	snap, err := os.ReadFile(metrics)
 	if err != nil {

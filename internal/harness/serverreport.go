@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ServerBenchSchema versions BENCH_server.json; bump it whenever a
+// field is renamed, removed, or changes meaning.  Schema history:
+//
+//	1  initial report: open-loop capacity evidence (per-route latency
+//	   quantiles, offered vs. achieved RPS per ramp step, the detected
+//	   saturation knee, shed/timeout rates, store hit ratio)
+const ServerBenchSchema = 1
+
+// ServerRouteStats is one route's client-side view of a capacity run:
+// latency quantiles over every completed request plus the shed (429)
+// and timeout (504) rates.
+type ServerRouteStats struct {
+	Route    string  `json:"route"`
+	Requests uint64  `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	P999Ms   float64 `json:"p999_ms"`
+	// Rate429 and Rate504 are fractions of all issued requests for the
+	// route (0..1).
+	Rate429 float64 `json:"rate_429"`
+	Rate504 float64 `json:"rate_504"`
+	Errors  uint64  `json:"errors"`
+}
+
+// ServerBenchStep is one step of the RPS ramp: the arrival rate the
+// generator offered (open-loop, independent of responses) against what
+// the server actually completed.
+type ServerBenchStep struct {
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	// RejectRate is the fraction of the step's requests answered 429 or
+	// 504 — the server shedding or timing out under the offered load.
+	RejectRate float64 `json:"reject_rate"`
+}
+
+// ServerBenchReport is the machine-readable summary cmd/axload writes
+// (BENCH_server.json): the serving layer's capacity evidence — what
+// RPS the daemon sustains before its latency and shed rates blow up,
+// measured open-loop so queueing delay cannot throttle the offered
+// load and flatter the server.  Consumers should decode through
+// DecodeServerBenchReport, which accepts every schema up to the
+// current one.
+type ServerBenchReport struct {
+	Schema    int    `json:"schema"`
+	Generated string `json:"generated"`
+	Target    string `json:"target"`
+	Mix       string `json:"mix"`
+	Seed      int64  `json:"seed"`
+	// DurationSec and WarmupSec describe the measured window (warmup
+	// requests are issued but excluded from every statistic).
+	DurationSec float64 `json:"duration_sec"`
+	WarmupSec   float64 `json:"warmup_sec"`
+
+	Steps []ServerBenchStep `json:"steps"`
+	// SaturationRPS is the detected knee: the highest offered rate the
+	// server still served at >= 95% achievement with < 5% rejects; 0
+	// when even the first step saturated.
+	SaturationRPS float64 `json:"saturation_rps"`
+	// Saturated reports whether the run actually drove the server past
+	// its knee (false means SaturationRPS is only a lower bound).
+	Saturated bool `json:"saturated"`
+
+	Routes []ServerRouteStats `json:"routes"`
+	// DroppedArrivals counts open-loop arrivals skipped because the
+	// in-flight cap was reached — nonzero means the client, not the
+	// server, was the bottleneck and the run under-offered.
+	DroppedArrivals uint64 `json:"dropped_arrivals"`
+	// StoreHitRatio is hits/(hits+misses) scraped from the daemon's
+	// /metrics after the run; -1 when no store was attached.
+	StoreHitRatio float64 `json:"store_hit_ratio"`
+}
+
+// Encode renders the report as indented JSON with a trailing newline,
+// stamping the current schema version.
+func (r ServerBenchReport) Encode() ([]byte, error) {
+	r.Schema = ServerBenchSchema
+	enc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(enc, '\n'), nil
+}
+
+// DecodeServerBenchReport parses a BENCH_server.json of any supported
+// schema; files from a future schema are rejected rather than
+// silently misread.
+func DecodeServerBenchReport(data []byte) (ServerBenchReport, error) {
+	var r ServerBenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return ServerBenchReport{}, fmt.Errorf("harness: decoding server bench report: %w", err)
+	}
+	if r.Schema < 1 || r.Schema > ServerBenchSchema {
+		return ServerBenchReport{}, fmt.Errorf("harness: server bench report schema %d unsupported (have 1..%d)",
+			r.Schema, ServerBenchSchema)
+	}
+	return r, nil
+}

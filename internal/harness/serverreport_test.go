@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServerBenchReportRoundTrip: Encode stamps the current schema and
+// Decode returns the same report.
+func TestServerBenchReportRoundTrip(t *testing.T) {
+	in := ServerBenchReport{
+		Target: "http://127.0.0.1:1", Mix: "hotkey", Seed: 7,
+		DurationSec: 10, WarmupSec: 2,
+		Steps:         []ServerBenchStep{{OfferedRPS: 100, AchievedRPS: 99, RejectRate: 0.01}},
+		SaturationRPS: 100, Saturated: true,
+		Routes: []ServerRouteStats{{Route: "simulate", Requests: 990,
+			P50Ms: 1.5, P99Ms: 9.75, P999Ms: 20, Rate429: 0.005, Rate504: 0}},
+		DroppedArrivals: 0, StoreHitRatio: 0.93,
+	}
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeServerBenchReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema != ServerBenchSchema {
+		t.Fatalf("schema = %d, want %d", out.Schema, ServerBenchSchema)
+	}
+	out.Schema = 0
+	in.Schema = 0
+	if len(out.Steps) != 1 || out.Steps[0] != in.Steps[0] {
+		t.Fatalf("steps mangled: %+v", out.Steps)
+	}
+	if len(out.Routes) != 1 || out.Routes[0] != in.Routes[0] {
+		t.Fatalf("routes mangled: %+v", out.Routes)
+	}
+	if out.Mix != in.Mix || out.Seed != in.Seed || out.SaturationRPS != in.SaturationRPS ||
+		out.Saturated != in.Saturated || out.StoreHitRatio != in.StoreHitRatio {
+		t.Fatalf("round trip mangled: %+v vs %+v", out, in)
+	}
+}
+
+// TestServerBenchReportForwardRejection: a report from a future schema
+// must be refused, not silently misread; garbage likewise.
+func TestServerBenchReportForwardRejection(t *testing.T) {
+	future := `{"schema": ` + "99" + `, "mix": "hotkey"}`
+	if _, err := DecodeServerBenchReport([]byte(future)); err == nil ||
+		!strings.Contains(err.Error(), "unsupported") {
+		t.Fatalf("future schema accepted (err=%v)", err)
+	}
+	if _, err := DecodeServerBenchReport([]byte(`{"schema": 0}`)); err == nil {
+		t.Fatal("schema 0 accepted")
+	}
+	if _, err := DecodeServerBenchReport([]byte(`nope`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,405 @@
+// Package loadgen is the open-loop load generator behind cmd/axload:
+// it replays a configurable request mix against a running axmemod at a
+// target arrival-rate schedule and condenses the run into a
+// harness.ServerBenchReport (BENCH_server.json).
+//
+// Open-loop means arrivals follow the configured rate, full stop — a
+// slow server does not slow the generator down.  A closed-loop client
+// (fixed concurrency, next request after the previous response) gets
+// throttled by the very queueing delay it is trying to measure and
+// reports flattering latencies right up to collapse; the open-loop
+// schedule keeps offering load, so saturation shows up honestly as the
+// gap between offered and achieved RPS and as shed (429) and timeout
+// (504) responses.  The one concession is MaxInFlight: a hard cap on
+// outstanding requests so a dead server cannot accumulate unbounded
+// goroutines — arrivals dropped by the cap are counted and reported,
+// never silently skipped.
+//
+// The schedule is warmup (issued, excluded from every statistic), then
+// a step ramp to the target RPS; the final step at full rate is the
+// sustained phase.  Request generation is serial in the dispatcher and
+// seeded, so one seed always yields one request sequence regardless of
+// response timing.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"axmemo/internal/harness"
+	"axmemo/internal/obs"
+)
+
+// Mixes.
+const (
+	MixHotkey    = "hotkey"    // zipfian simulate requests over a small config population
+	MixColdsweep = "coldsweep" // figure renders and sweep jobs: expensive, cold work
+	MixMixed     = "mixed"     // ~80% hotkey reads, ~20% figure renders
+)
+
+// Mixes lists the valid -mix values.
+func Mixes() []string { return []string{MixHotkey, MixColdsweep, MixMixed} }
+
+// Config drives one capacity run.
+type Config struct {
+	// Target is the daemon's base URL (e.g. http://127.0.0.1:8080).
+	Target string
+	// Mix selects the request mix (MixHotkey, MixColdsweep, MixMixed).
+	Mix string
+	// RPS is the full-rate arrival target the ramp climbs to.
+	RPS float64
+	// Duration is the measured window, split evenly across Steps.
+	Duration time.Duration
+	// Warmup runs before measurement at the first step's rate; its
+	// requests warm the daemon's caches and are excluded from stats.
+	Warmup time.Duration
+	// Steps is the number of ramp steps (0 = 4); step i runs at
+	// RPS*(i+1)/Steps, so the last step is the sustained full rate.
+	Steps int
+	// Seed fixes the request sequence.
+	Seed int64
+	// MaxInFlight caps outstanding requests (0 = 512); arrivals past it
+	// are counted as DroppedArrivals.
+	MaxInFlight int
+	// Timeout bounds each request (0 = 10s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests); nil uses a fresh one.
+	Client *http.Client
+	// Logf, if non-nil, receives per-step progress lines.
+	Logf func(format string, args ...any)
+}
+
+// spec is one generated request.
+type spec struct {
+	route string // bounded label: simulate, figures, sweep
+	verb  string
+	path  string
+	body  []byte
+}
+
+// generator produces the seeded request sequence for a mix.  All
+// randomness lives here, and Run calls it serially from the dispatch
+// loop, so the sequence depends only on the seed.
+type generator struct {
+	mix  string
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	pop  []spec // hot-key population, rank-ordered
+	figs []string
+	n    int
+}
+
+// hotBenchmarks is the simulate population: every workload at a few
+// cache geometries.  Order matters — it is the zipf rank order.
+var hotBenchmarks = []string{
+	"sobel", "fft", "kmeans", "blackscholes", "jpeg",
+	"inversek2j", "jmeint", "hotspot", "srad", "lavamd",
+}
+
+func newGenerator(mix string, seed int64) (*generator, error) {
+	g := &generator{mix: mix, rng: rand.New(rand.NewSource(seed))}
+	for _, l1 := range []int{4, 8, 16} {
+		for _, b := range hotBenchmarks {
+			g.pop = append(g.pop, spec{
+				route: "simulate", verb: http.MethodPost, path: "/v1/simulate",
+				body: []byte(fmt.Sprintf(`{"benchmark":%q,"l1_kb":%d}`, b, l1)),
+			})
+		}
+	}
+	// s=1.3 over the population: the head few configs dominate, the
+	// tail still appears — a hot-key cache workload.
+	g.zipf = rand.NewZipf(g.rng, 1.3, 2, uint64(len(g.pop)-1))
+	g.figs = []string{"ABL-RATE", "ABL-CRC", "ABL-ADAPT"}
+	switch mix {
+	case MixHotkey, MixColdsweep, MixMixed:
+		return g, nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown mix %q (have %v)", mix, Mixes())
+	}
+}
+
+// next yields the next request of the sequence.
+func (g *generator) next() spec {
+	g.n++
+	switch g.mix {
+	case MixHotkey:
+		return g.pop[g.zipf.Uint64()]
+	case MixColdsweep:
+		// Mostly synchronous figure renders; every eighth arrival posts
+		// an async sweep job instead.
+		if g.n%8 == 0 {
+			fig := g.figs[g.rng.Intn(len(g.figs))]
+			return spec{route: "sweep", verb: http.MethodPost, path: "/v1/sweep",
+				body: []byte(fmt.Sprintf(`{"figures":[%q]}`, fig))}
+		}
+		fig := g.figs[g.rng.Intn(len(g.figs))]
+		return spec{route: "figures", verb: http.MethodGet, path: "/v1/figures/" + fig}
+	default: // MixMixed
+		if g.rng.Float64() < 0.8 {
+			return g.pop[g.zipf.Uint64()]
+		}
+		fig := g.figs[g.rng.Intn(len(g.figs))]
+		return spec{route: "figures", verb: http.MethodGet, path: "/v1/figures/" + fig}
+	}
+}
+
+// stepAgg accumulates one ramp step's outcome.
+type stepAgg struct {
+	offered  float64
+	duration time.Duration
+	issued   atomic.Uint64
+	served   atomic.Uint64 // 2xx
+	rejected atomic.Uint64 // 429 + 504
+}
+
+// Run executes the configured capacity run and returns the report
+// (Generated is left for the caller to stamp).
+func Run(ctx context.Context, cfg Config) (harness.ServerBenchReport, error) {
+	if cfg.Target == "" {
+		return harness.ServerBenchReport{}, fmt.Errorf("loadgen: empty target")
+	}
+	if cfg.RPS <= 0 || cfg.Duration <= 0 {
+		return harness.ServerBenchReport{}, fmt.Errorf("loadgen: RPS and Duration must be positive")
+	}
+	steps := cfg.Steps
+	if steps <= 0 {
+		steps = 4
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 512
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: maxInFlight}}
+	}
+	gen, err := newGenerator(cfg.Mix, cfg.Seed)
+	if err != nil {
+		return harness.ServerBenchReport{}, err
+	}
+
+	// Client-side latency histograms (ms), per route, via internal/obs.
+	reg := obs.NewRegistry()
+	lat := reg.NewHistogramVec("axload_latency_ms",
+		obs.Opts{Help: "client-observed request latency", Volatile: true,
+			Buckets: []float64{0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}},
+		"route")
+	responses := reg.NewCounterVec("axload_responses_total",
+		obs.Opts{Help: "responses by route and class"}, "route", "code")
+
+	aggs := make([]*stepAgg, steps)
+	stepDur := cfg.Duration / time.Duration(steps)
+	for i := range aggs {
+		aggs[i] = &stepAgg{offered: cfg.RPS * float64(i+1) / float64(steps), duration: stepDur}
+	}
+
+	var (
+		inFlight atomic.Int64
+		dropped  atomic.Uint64
+		wg       sync.WaitGroup
+	)
+	fire := func(sp spec, agg *stepAgg) {
+		if agg != nil {
+			agg.issued.Add(1)
+		}
+		if inFlight.Load() >= int64(maxInFlight) {
+			dropped.Add(1)
+			return
+		}
+		inFlight.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer inFlight.Add(-1)
+			reqCtx, cancel := context.WithTimeout(context.Background(), timeout)
+			defer cancel()
+			var body io.Reader
+			if sp.body != nil {
+				body = bytes.NewReader(sp.body)
+			}
+			req, err := http.NewRequestWithContext(reqCtx, sp.verb, cfg.Target+sp.path, body)
+			if err != nil {
+				responses.With(sp.route, "error").Inc()
+				return
+			}
+			if sp.body != nil {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			start := time.Now()
+			resp, err := client.Do(req)
+			ms := float64(time.Since(start)) / float64(time.Millisecond)
+			if err != nil {
+				responses.With(sp.route, "error").Inc()
+				return
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // latency includes the full body
+			resp.Body.Close()
+			if agg != nil {
+				lat.With(sp.route).Observe(ms)
+			}
+			switch {
+			case resp.StatusCode < 300:
+				responses.With(sp.route, strconv.Itoa(resp.StatusCode)).Inc()
+				if agg != nil {
+					agg.served.Add(1)
+				}
+			case resp.StatusCode == http.StatusTooManyRequests, resp.StatusCode == http.StatusGatewayTimeout:
+				responses.With(sp.route, strconv.Itoa(resp.StatusCode)).Inc()
+				if agg != nil {
+					agg.rejected.Add(1)
+				}
+			default:
+				responses.With(sp.route, "other").Inc()
+			}
+		}()
+	}
+
+	// dispatch offers arrivals at rate for the phase duration; the spec
+	// sequence advances serially here, so it is deterministic.
+	dispatch := func(rate float64, dur time.Duration, agg *stepAgg) error {
+		interval := time.Duration(float64(time.Second) / rate)
+		end := time.Now().Add(dur)
+		next := time.Now()
+		for next.Before(end) {
+			if d := time.Until(next); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			} else if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			fire(gen.next(), agg)
+			next = next.Add(interval)
+		}
+		return nil
+	}
+
+	if cfg.Warmup > 0 {
+		if cfg.Logf != nil {
+			cfg.Logf("warmup: %.0f rps for %s", aggs[0].offered, cfg.Warmup)
+		}
+		if err := dispatch(aggs[0].offered, cfg.Warmup, nil); err != nil {
+			return harness.ServerBenchReport{}, err
+		}
+	}
+	for i, agg := range aggs {
+		if cfg.Logf != nil {
+			cfg.Logf("step %d/%d: offering %.0f rps for %s", i+1, steps, agg.offered, stepDur)
+		}
+		if err := dispatch(agg.offered, stepDur, agg); err != nil {
+			return harness.ServerBenchReport{}, err
+		}
+	}
+
+	// Let stragglers land (bounded; an unresponsive server cannot hang
+	// the run past the per-request timeout).
+	settled := make(chan struct{})
+	go func() { wg.Wait(); close(settled) }()
+	select {
+	case <-settled:
+	case <-time.After(timeout + 2*time.Second):
+	case <-ctx.Done():
+	}
+
+	report := harness.ServerBenchReport{
+		Target:          cfg.Target,
+		Mix:             cfg.Mix,
+		Seed:            cfg.Seed,
+		DurationSec:     cfg.Duration.Seconds(),
+		WarmupSec:       cfg.Warmup.Seconds(),
+		DroppedArrivals: dropped.Load(),
+		StoreHitRatio:   scrapeHitRatio(client, cfg.Target),
+	}
+	for _, agg := range aggs {
+		st := harness.ServerBenchStep{
+			OfferedRPS:  agg.offered,
+			AchievedRPS: float64(agg.served.Load()) / agg.duration.Seconds(),
+		}
+		if n := agg.issued.Load(); n > 0 {
+			st.RejectRate = float64(agg.rejected.Load()) / float64(n)
+		}
+		report.Steps = append(report.Steps, st)
+	}
+	report.SaturationRPS, report.Saturated = DetectKnee(report.Steps)
+	for _, route := range []string{"simulate", "figures", "sweep"} {
+		h := lat.With(route)
+		issued := responses.With(route, "200").Value() +
+			responses.With(route, "202").Value() +
+			responses.With(route, "429").Value() +
+			responses.With(route, "504").Value() +
+			responses.With(route, "other").Value() +
+			responses.With(route, "error").Value()
+		if issued == 0 {
+			continue
+		}
+		rs := harness.ServerRouteStats{
+			Route:    route,
+			Requests: issued,
+			P50Ms:    h.Quantile(0.50),
+			P99Ms:    h.Quantile(0.99),
+			P999Ms:   h.Quantile(0.999),
+			Rate429:  float64(responses.With(route, "429").Value()) / float64(issued),
+			Rate504:  float64(responses.With(route, "504").Value()) / float64(issued),
+			Errors:   responses.With(route, "error").Value() + responses.With(route, "other").Value(),
+		}
+		report.Routes = append(report.Routes, rs)
+	}
+	return report, nil
+}
+
+// DetectKnee scans the ramp for the saturation knee: the highest
+// offered rate still served healthily (achieved >= 95% of offered,
+// reject rate < 5%).  saturated reports whether any step actually blew
+// past the knee — false means the returned rate is only a lower bound
+// on capacity.
+func DetectKnee(steps []harness.ServerBenchStep) (rps float64, saturated bool) {
+	for _, st := range steps {
+		healthy := st.AchievedRPS >= 0.95*st.OfferedRPS && st.RejectRate < 0.05
+		if healthy {
+			if st.OfferedRPS > rps {
+				rps = st.OfferedRPS
+			}
+		} else {
+			saturated = true
+		}
+	}
+	return rps, saturated
+}
+
+// scrapeHitRatio reads the daemon's /metrics for the store hit ratio;
+// -1 when the store families are absent or the scrape fails.
+func scrapeHitRatio(client *http.Client, target string) float64 {
+	resp, err := client.Get(target + "/metrics")
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return -1
+	}
+	snap, err := obs.ParseSnapshot(data)
+	if err != nil {
+		return -1
+	}
+	hits := snap.Family("store_hits_total").SumValues(nil)
+	misses := snap.Family("store_misses_total").SumValues(nil)
+	if snap.Family("store_hits_total") == nil || hits+misses == 0 {
+		return -1
+	}
+	return hits / (hits + misses)
+}

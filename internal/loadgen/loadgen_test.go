@@ -1,0 +1,316 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"axmemo/internal/harness"
+	"axmemo/internal/obs"
+	"axmemo/internal/server"
+	"axmemo/internal/store"
+)
+
+// TestGeneratorDeterministic: one seed, one request sequence — the
+// property that makes capacity runs replayable.
+func TestGeneratorDeterministic(t *testing.T) {
+	for _, mix := range Mixes() {
+		a, err := newGenerator(mix, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := newGenerator(mix, 42)
+		c, _ := newGenerator(mix, 43)
+		diverged := false
+		for i := 0; i < 500; i++ {
+			sa, sb, sc := a.next(), b.next(), c.next()
+			if sa.path != sb.path || string(sa.body) != string(sb.body) {
+				t.Fatalf("mix %s: same seed diverged at request %d", mix, i)
+			}
+			if sa.path != sc.path || string(sa.body) != string(sc.body) {
+				diverged = true
+			}
+		}
+		if !diverged {
+			t.Fatalf("mix %s: different seeds produced identical sequences", mix)
+		}
+	}
+	if _, err := newGenerator("nope", 1); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}
+
+// TestGeneratorMixShape: hotkey is all simulate; coldsweep is all
+// sweep-class; mixed is mostly simulate with a figures tail; and the
+// hotkey distribution is actually skewed (zipf head dominates).
+func TestGeneratorMixShape(t *testing.T) {
+	g, _ := newGenerator(MixHotkey, 1)
+	byBody := map[string]int{}
+	for i := 0; i < 2000; i++ {
+		sp := g.next()
+		if sp.route != "simulate" {
+			t.Fatalf("hotkey produced route %q", sp.route)
+		}
+		byBody[string(sp.body)]++
+	}
+	max := 0
+	for _, n := range byBody {
+		if n > max {
+			max = n
+		}
+	}
+	// Uniform would put ~67 requests on each of the 30 configs; the
+	// zipf head must carry several times that.
+	if max < 300 {
+		t.Fatalf("hotkey head only %d/2000 requests; distribution not skewed", max)
+	}
+
+	g, _ = newGenerator(MixColdsweep, 1)
+	sweeps := 0
+	for i := 0; i < 400; i++ {
+		sp := g.next()
+		switch sp.route {
+		case "figures":
+		case "sweep":
+			sweeps++
+		default:
+			t.Fatalf("coldsweep produced route %q", sp.route)
+		}
+	}
+	if sweeps == 0 {
+		t.Fatal("coldsweep never posted a sweep job")
+	}
+
+	g, _ = newGenerator(MixMixed, 1)
+	counts := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		counts[g.next().route]++
+	}
+	if counts["simulate"] < 600 || counts["figures"] == 0 {
+		t.Fatalf("mixed shape off: %v", counts)
+	}
+}
+
+// TestDetectKnee locks the knee rule down on synthetic ramps.
+func TestDetectKnee(t *testing.T) {
+	mk := func(offered, achieved, reject float64) harness.ServerBenchStep {
+		return harness.ServerBenchStep{OfferedRPS: offered, AchievedRPS: achieved, RejectRate: reject}
+	}
+	// Clean ramp, saturating at the last step.
+	rps, sat := DetectKnee([]harness.ServerBenchStep{
+		mk(50, 50, 0), mk(100, 99, 0.01), mk(150, 110, 0.2),
+	})
+	if rps != 100 || !sat {
+		t.Fatalf("knee = %v/%v, want 100/true", rps, sat)
+	}
+	// Never saturated: the top rate is only a lower bound.
+	rps, sat = DetectKnee([]harness.ServerBenchStep{mk(50, 50, 0), mk(100, 100, 0)})
+	if rps != 100 || sat {
+		t.Fatalf("unsaturated knee = %v/%v, want 100/false", rps, sat)
+	}
+	// Saturated from the first step.
+	rps, sat = DetectKnee([]harness.ServerBenchStep{mk(50, 10, 0.8)})
+	if rps != 0 || !sat {
+		t.Fatalf("overloaded knee = %v/%v, want 0/true", rps, sat)
+	}
+	// A step can fail on reject rate alone.
+	_, sat = DetectKnee([]harness.ServerBenchStep{mk(50, 49, 0.3)})
+	if !sat {
+		t.Fatal("30% rejects not flagged as saturation")
+	}
+}
+
+// newDaemon boots an in-process axmemod-equivalent: suite + obs +
+// optional store behind the real server handler.
+func newDaemon(t *testing.T, storeDir string, cfg server.Config) (*httptest.Server, *server.Server) {
+	t.Helper()
+	suite := harness.NewSuite(1)
+	suite.Parallel = 2
+	suite.Obs = obs.NewSink()
+	if storeDir != "" {
+		st, err := store.Open(storeDir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		suite.Store = st
+		st.Attach(suite.Obs)
+	}
+	cfg.Suite = suite
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+// TestRunHotkeyEndToEnd drives a short hotkey burst against a live
+// server and checks the report holds together: steps populated,
+// achieved RPS nonzero, per-route quantiles ordered, hit ratio real.
+// The daemon is restarted over a prewarmed store first — within one
+// process the suite's memory cache absorbs repeats, so disk hits only
+// show up across a reopen, exactly like production restarts.
+func TestRunHotkeyEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	{
+		st, err := store.Open(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suite := harness.NewSuite(1)
+		suite.Parallel = 2
+		suite.Obs = obs.NewSink()
+		suite.Store = st
+		warm := httptest.NewServer(server.New(server.Config{Suite: suite}).Handler())
+		if _, err := Run(t.Context(), Config{
+			Target: warm.URL, Mix: MixHotkey, RPS: 80,
+			Duration: 500 * time.Millisecond, Steps: 1, Seed: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		warm.Close()
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ts, _ := newDaemon(t, dir, server.Config{RequestTimeout: 30 * time.Second})
+	report, err := Run(t.Context(), Config{
+		Target:   ts.URL,
+		Mix:      MixHotkey,
+		RPS:      120,
+		Duration: 1200 * time.Millisecond,
+		Warmup:   300 * time.Millisecond,
+		Steps:    3,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Steps) != 3 {
+		t.Fatalf("%d steps, want 3", len(report.Steps))
+	}
+	total := 0.0
+	for i, st := range report.Steps {
+		if st.OfferedRPS <= 0 {
+			t.Fatalf("step %d offered %v", i, st.OfferedRPS)
+		}
+		total += st.AchievedRPS
+	}
+	if total == 0 {
+		t.Fatal("no achieved RPS across the whole run")
+	}
+	if len(report.Routes) == 0 {
+		t.Fatal("no route stats")
+	}
+	var sim *harness.ServerRouteStats
+	for i := range report.Routes {
+		if report.Routes[i].Route == "simulate" {
+			sim = &report.Routes[i]
+		}
+	}
+	if sim == nil || sim.Requests == 0 {
+		t.Fatalf("hotkey run recorded no simulate traffic: %+v", report.Routes)
+	}
+	if sim.P50Ms <= 0 || sim.P50Ms > sim.P99Ms || sim.P99Ms > sim.P999Ms {
+		t.Fatalf("quantiles disordered: p50=%v p99=%v p999=%v", sim.P50Ms, sim.P99Ms, sim.P999Ms)
+	}
+	if report.StoreHitRatio < 0 || report.StoreHitRatio > 1 {
+		t.Fatalf("store hit ratio = %v, want [0,1] with a store attached", report.StoreHitRatio)
+	}
+	// A hot-key mix against a warm store mostly hits.
+	if report.StoreHitRatio == 0 {
+		t.Fatal("hot-key mix never hit the store")
+	}
+
+	// The report encodes and decodes as schema 1.
+	data, err := report.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := harness.DecodeServerBenchReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != harness.ServerBenchSchema || back.Mix != MixHotkey {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+// TestRunRespectsAdmissionBudgets is the sweep-heavy acceptance check
+// at the loadgen level: with a starved sweep budget, the mixed run's
+// simulate traffic must never be rejected by admission — its 429 rate
+// stays zero while figures sheds — proven on the server's
+// deterministic snapshot.
+func TestRunRespectsAdmissionBudgets(t *testing.T) {
+	// The read queue must exceed the run's total arrival count (150):
+	// under -race simulations run slowly enough that a small read queue
+	// overflows on its own, which is capacity, not the isolation this
+	// test is about.
+	ts, _ := newDaemon(t, "", server.Config{
+		Workers: 4, QueueDepth: 512,
+		SweepWorkers: 1, SweepQueueDepth: 1,
+		RequestTimeout: 30 * time.Second,
+	})
+
+	// Hold the sweep class's only slot with a slow synchronous render
+	// so every figures arrival contends for one queue position.
+	block := make(chan struct{})
+	blocked := make(chan struct{})
+	go func() {
+		defer close(blocked)
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/figures/ABL-RATE", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		<-block
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	report, err := Run(t.Context(), Config{
+		Target:   ts.URL,
+		Mix:      MixMixed,
+		RPS:      150,
+		Duration: 1 * time.Second,
+		Steps:    2,
+		Seed:     2,
+	})
+	close(block)
+	<-blocked
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sim, figs *harness.ServerRouteStats
+	for i := range report.Routes {
+		switch report.Routes[i].Route {
+		case "simulate":
+			sim = &report.Routes[i]
+		case "figures":
+			figs = &report.Routes[i]
+		}
+	}
+	if sim == nil || figs == nil {
+		t.Fatalf("mixed run missing routes: %+v", report.Routes)
+	}
+	if sim.Rate429 != 0 {
+		t.Fatalf("simulate 429 rate = %v under sweep pressure, want 0", sim.Rate429)
+	}
+	if report.StoreHitRatio != -1 {
+		t.Fatalf("hit ratio = %v without a store, want -1", report.StoreHitRatio)
+	}
+}
+
+// TestRunRejectsBadConfig: the argument contract.
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(t.Context(), Config{Mix: MixHotkey, RPS: 10, Duration: time.Second}); err == nil {
+		t.Fatal("empty target accepted")
+	}
+	if _, err := Run(t.Context(), Config{Target: "http://x", Mix: MixHotkey}); err == nil {
+		t.Fatal("zero RPS/duration accepted")
+	}
+	if _, err := Run(t.Context(), Config{Target: "http://x", Mix: "nope", RPS: 1, Duration: time.Second}); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}

@@ -199,6 +199,43 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// Quantile estimates the q-th quantile (0 < q < 1) of the observed
+// distribution by linear interpolation inside the bucket that holds it,
+// the standard fixed-bucket estimate.  Values in the +Inf bucket are
+// reported as the highest finite bound (the histogram cannot see past
+// its geometry).  Returns 0 for a nil or empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.n.Load()
+	if total == 0 || q <= 0 || q >= 1 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) {
+				// +Inf bucket: clamp to the last finite bound.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			return lo + (hi-lo)*((rank-float64(cum))/float64(n))
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Count returns the number of observations (0 for nil).
 func (h *Histogram) Count() uint64 {
 	if h == nil {

@@ -1,0 +1,158 @@
+package obs
+
+// This file is the read side of SnapshotJSON: a typed parser for the
+// metrics snapshot, so consumers outside the process — the axload
+// capacity harness scraping a daemon's /metrics, tests asserting on a
+// written snapshot file — can look up families and series without
+// string-grepping the JSON.  The parser accepts exactly what
+// SnapshotJSON emits (schema 1) and is round-trip tested against it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is a parsed metrics snapshot.
+type Snapshot struct {
+	Schema  int              `json:"schema"`
+	Metrics []FamilySnapshot `json:"metrics"`
+}
+
+// FamilySnapshot is one parsed metric family.
+type FamilySnapshot struct {
+	Name     string           `json:"name"`
+	Type     MetricType       `json:"type"`
+	Help     string           `json:"help,omitempty"`
+	Volatile bool             `json:"volatile,omitempty"`
+	Series   []SeriesSnapshot `json:"series"`
+}
+
+// SeriesSnapshot is one parsed series of a family.  Value carries
+// counter/gauge readings; Count, Sum and Buckets carry histograms.
+type SeriesSnapshot struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   SnapNumber        `json:"value"`
+	Count   uint64            `json:"count"`
+	Sum     SnapNumber        `json:"sum"`
+	Buckets []BucketSnapshot  `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one cumulative-free histogram bucket: N events with
+// values <= LE (math.Inf(1) for the overflow bucket).
+type BucketSnapshot struct {
+	LE SnapNumber `json:"le"`
+	N  uint64     `json:"n"`
+}
+
+// SnapNumber decodes the snapshot's float encoding, which quotes the
+// values JSON cannot carry ("+Inf", "NaN").
+type SnapNumber float64
+
+// UnmarshalJSON accepts both a bare number and fnum's quoted forms.
+func (n *SnapNumber) UnmarshalJSON(data []byte) error {
+	s := strings.TrimSpace(string(data))
+	if len(s) >= 2 && s[0] == '"' {
+		var quoted string
+		if err := json.Unmarshal(data, &quoted); err != nil {
+			return err
+		}
+		switch quoted {
+		case "+Inf":
+			*n = SnapNumber(math.Inf(1))
+			return nil
+		case "-Inf":
+			*n = SnapNumber(math.Inf(-1))
+			return nil
+		case "NaN":
+			*n = SnapNumber(math.NaN())
+			return nil
+		}
+		v, err := strconv.ParseFloat(quoted, 64)
+		if err != nil {
+			return fmt.Errorf("obs: bad quoted number %q", quoted)
+		}
+		*n = SnapNumber(v)
+		return nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("obs: bad number %q", s)
+	}
+	*n = SnapNumber(v)
+	return nil
+}
+
+// ParseSnapshot decodes a SnapshotJSON artifact (a /metrics body, a
+// -metrics-out file).  Snapshots from a future schema are rejected
+// rather than silently misread.
+func ParseSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("obs: decoding snapshot: %w", err)
+	}
+	if s.Schema < 1 || s.Schema > MetricsSchema {
+		return nil, fmt.Errorf("obs: snapshot schema %d unsupported (have 1..%d)", s.Schema, MetricsSchema)
+	}
+	return &s, nil
+}
+
+// Family returns the named family, or nil when absent.
+func (s *Snapshot) Family(name string) *FamilySnapshot {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Metrics {
+		if s.Metrics[i].Name == name {
+			return &s.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// Value returns the value of the series whose labels all match want
+// (an unlabeled family matches an empty want), and whether it exists.
+func (f *FamilySnapshot) Value(want map[string]string) (float64, bool) {
+	if f == nil {
+		return 0, false
+	}
+	for _, se := range f.Series {
+		if labelsMatch(se.Labels, want) {
+			return float64(se.Value), true
+		}
+	}
+	return 0, false
+}
+
+// SumValues totals the values of every series whose labels include want
+// as a subset — e.g. all codes of one route.
+func (f *FamilySnapshot) SumValues(want map[string]string) float64 {
+	if f == nil {
+		return 0
+	}
+	total := 0.0
+	for _, se := range f.Series {
+		if labelsSubset(se.Labels, want) {
+			total += float64(se.Value)
+		}
+	}
+	return total
+}
+
+func labelsMatch(got, want map[string]string) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	return labelsSubset(got, want)
+}
+
+func labelsSubset(got, want map[string]string) bool {
+	for k, v := range want {
+		if got[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 40, 80})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 100 observations uniform in (0, 10]: every quantile lands in the
+	// first bucket and interpolates linearly.
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	if got := h.Quantile(0.5); got <= 0 || got > 10 {
+		t.Fatalf("p50 = %v, want within (0, 10]", got)
+	}
+	// Push the tail into the second bucket: p99 must move there.
+	for i := 0; i < 100; i++ {
+		h.Observe(15)
+	}
+	if got := h.Quantile(0.99); got <= 10 || got > 20 {
+		t.Fatalf("p99 = %v, want within (10, 20]", got)
+	}
+	// Overflow observations clamp to the last finite bound.
+	h2 := newHistogram([]float64{1, 2})
+	h2.Observe(100)
+	if got := h2.Quantile(0.5); got != 2 {
+		t.Fatalf("overflow quantile = %v, want last bound 2", got)
+	}
+	if got := (*Histogram)(nil).Quantile(0.5); got != 0 {
+		t.Fatalf("nil quantile = %v", got)
+	}
+}
+
+// TestParseSnapshotRoundTrip locks the parser to what SnapshotJSON
+// actually emits: registry -> JSON -> Snapshot must preserve every
+// value, label and bucket.
+func TestParseSnapshotRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounterVec("req_total", Opts{Help: "requests"}, "route", "code").
+		With("simulate", "200").Add(7)
+	reg.NewCounterVec("req_total", Opts{}, "route", "code").
+		With("sweep", "429").Add(3)
+	reg.NewGauge("depth", Opts{Volatile: true}).Set(2.5)
+	h := reg.NewHistogramVec("lat", Opts{Buckets: []float64{1, 10}}, "route").With("simulate")
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	snap, err := ParseSnapshot(reg.SnapshotJSON(Everything))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != MetricsSchema {
+		t.Fatalf("schema = %d", snap.Schema)
+	}
+	if v, ok := snap.Family("req_total").Value(map[string]string{"route": "simulate", "code": "200"}); !ok || v != 7 {
+		t.Fatalf("counter series = %v, %v", v, ok)
+	}
+	if got := snap.Family("req_total").SumValues(map[string]string{}); got != 10 {
+		t.Fatalf("summed counter = %v, want 10", got)
+	}
+	if got := snap.Family("req_total").SumValues(map[string]string{"route": "sweep"}); got != 3 {
+		t.Fatalf("route-filtered sum = %v, want 3", got)
+	}
+	fam := snap.Family("depth")
+	if fam == nil || !fam.Volatile {
+		t.Fatalf("gauge family = %+v", fam)
+	}
+	if v, ok := fam.Value(nil); !ok || v != 2.5 {
+		t.Fatalf("gauge = %v, %v", v, ok)
+	}
+	lat := snap.Family("lat")
+	if lat == nil || len(lat.Series) != 1 {
+		t.Fatalf("histogram family = %+v", lat)
+	}
+	se := lat.Series[0]
+	if se.Count != 3 || float64(se.Sum) != 55.5 {
+		t.Fatalf("histogram count/sum = %d/%v", se.Count, se.Sum)
+	}
+	if len(se.Buckets) != 3 || se.Buckets[0].N != 1 || se.Buckets[1].N != 1 || se.Buckets[2].N != 1 {
+		t.Fatalf("buckets = %+v", se.Buckets)
+	}
+	if !math.IsInf(float64(se.Buckets[2].LE), 1) {
+		t.Fatalf("overflow bound = %v, want +Inf", se.Buckets[2].LE)
+	}
+
+	// Missing families and series answer cleanly.
+	if snap.Family("nope") != nil {
+		t.Fatal("unknown family found")
+	}
+	if _, ok := snap.Family("req_total").Value(map[string]string{"route": "nope", "code": "200"}); ok {
+		t.Fatal("unknown series found")
+	}
+}
+
+func TestParseSnapshotRejectsFutureSchema(t *testing.T) {
+	if _, err := ParseSnapshot([]byte(`{"schema": 99, "metrics": []}`)); err == nil {
+		t.Fatal("future schema accepted")
+	}
+	if _, err := ParseSnapshot([]byte(`{nope`)); err == nil {
+		t.Fatal("malformed snapshot accepted")
+	}
+}

@@ -133,7 +133,7 @@ func TestRetryAfterAdmission(t *testing.T) {
 	defer ts.Close()
 
 	// Occupy the only slot out-of-band, queue one waiter, then overflow.
-	srv.sem <- struct{}{}
+	srv.sweepC.sem <- struct{}{}
 	waiter := make(chan int, 1)
 	go func() {
 		resp, err := http.Get(ts.URL + "/v1/figures/ABL-RATE")
@@ -144,7 +144,7 @@ func TestRetryAfterAdmission(t *testing.T) {
 		resp.Body.Close()
 		waiter <- resp.StatusCode
 	}()
-	for i := 0; srv.waiting.Load() == 0; i++ {
+	for i := 0; srv.sweepC.waiting.Load() == 0; i++ {
 		if i > 1000 {
 			t.Fatal("waiter never queued")
 		}
@@ -166,7 +166,7 @@ func TestRetryAfterAdmission(t *testing.T) {
 	}
 
 	// Let the queued request through and drain to idle.
-	<-srv.sem
+	<-srv.sweepC.sem
 	if code := <-waiter; code != http.StatusOK {
 		t.Fatalf("queued request finished with %d", code)
 	}

@@ -18,12 +18,16 @@
 // Load rules: identical concurrent work is deduplicated
 // singleflight-style (in-flight sweep jobs by figure set, simulations
 // by the suite's per-cell once semantics); execution slots are bounded
-// and requests beyond the waiting budget get 429 instead of an
-// unbounded queue; every synchronous request carries a timeout and
-// returns 504 when it expires — the underlying simulation keeps
-// running and lands in the cache for the retry.  Drain waits for
-// in-flight work, so SIGTERM shuts the daemon down without abandoning
-// accepted jobs.
+// per admission class — cheap reads (/v1/simulate, /v1/cells) and
+// expensive sweeps (figure renders, sweep jobs) each have their own
+// worker and queue budget (see admission.go), so a sweep storm cannot
+// starve reads — and requests beyond a class's waiting budget get 429
+// instead of an unbounded queue; every synchronous request carries a
+// timeout and returns 504 when it expires — the underlying simulation
+// keeps running and lands in the cache for the retry.  StartDrain
+// flips /healthz to 503 "draining" so cluster probes stop advertising
+// the peer, and Drain waits for in-flight work, so SIGTERM shuts the
+// daemon down without abandoning accepted jobs.
 package server
 
 import (
@@ -52,13 +56,19 @@ type Config struct {
 	// Suite executes and caches the cells.  Attach Obs and Store to it
 	// before constructing the server.  Required.
 	Suite *harness.Suite
-	// Workers bounds concurrently executing requests (0 = GOMAXPROCS).
-	// Sweep jobs additionally use the suite's own scheduler pool
-	// (Suite.Parallel) for their cells.
+	// Workers bounds concurrently executing read-class requests
+	// (/v1/simulate, /v1/cells; 0 = GOMAXPROCS).  Sweep jobs
+	// additionally use the suite's own scheduler pool (Suite.Parallel)
+	// for their cells.
 	Workers int
-	// QueueDepth bounds requests waiting for a slot before new ones are
-	// rejected with 429 (0 = 64).
+	// QueueDepth bounds read-class requests waiting for a slot before
+	// new ones are rejected with 429 (0 = 64).
 	QueueDepth int
+	// SweepWorkers and SweepQueueDepth are the same budgets for the
+	// sweep class (figure renders, sweep jobs), kept separate so a
+	// sweep storm cannot starve reads (0 = the read-class values).
+	SweepWorkers    int
+	SweepQueueDepth int
 	// RequestTimeout bounds synchronous requests (0 = 5m); expired
 	// requests return 504 while the simulation continues into the cache.
 	RequestTimeout time.Duration
@@ -76,20 +86,21 @@ type Server struct {
 	suite   *harness.Suite
 	cluster *cluster.Coordinator
 	timeout time.Duration
-	queue   int
 
-	sem     chan struct{}
-	waiting atomic.Int64
-	jobs    *jobSet
-	wg      sync.WaitGroup
-	mux     *http.ServeMux
-	m       metrics
+	readC    *admitClass
+	sweepC   *admitClass
+	draining atomic.Bool
+	jobs     *jobSet
+	wg       sync.WaitGroup
+	mux      *http.ServeMux
+	m        metrics
 }
 
 // metrics are the server's obs families (all nil-safe; wall-clock
 // latency is Volatile to preserve the deterministic-snapshot rule).
 type metrics struct {
 	requests   *obs.CounterVec // route, code
+	admission  *obs.CounterVec // route, verdict
 	queueDepth *obs.Gauge
 	jobSecs    *obs.Histogram
 	jobsTotal  *obs.CounterVec // state
@@ -112,12 +123,20 @@ func New(cfg Config) *Server {
 	if timeout <= 0 {
 		timeout = 5 * time.Minute
 	}
+	sweepWorkers := cfg.SweepWorkers
+	if sweepWorkers <= 0 {
+		sweepWorkers = workers
+	}
+	sweepQueue := cfg.SweepQueueDepth
+	if sweepQueue <= 0 {
+		sweepQueue = queue
+	}
 	s := &Server{
 		suite:   cfg.Suite,
 		cluster: cfg.Cluster,
 		timeout: timeout,
-		queue:   queue,
-		sem:     make(chan struct{}, workers),
+		readC:   newAdmitClass("read", workers, queue),
+		sweepC:  newAdmitClass("sweep", sweepWorkers, sweepQueue),
 		jobs:    newJobSet(cfg.MaxJobs),
 		mux:     http.NewServeMux(),
 	}
@@ -125,6 +144,8 @@ func New(cfg Config) *Server {
 		s.m = metrics{
 			requests: reg.NewCounterVec("server_requests_total",
 				obs.Opts{Help: "HTTP requests by route and status code"}, "route", "code"),
+			admission: reg.NewCounterVec("server_admission_total",
+				obs.Opts{Help: "admission decisions by route and verdict (accepted, rejected, timeout)"}, "route", "verdict"),
 			queueDepth: reg.NewGauge("server_queue_depth",
 				obs.Opts{Help: "requests waiting for an execution slot", Volatile: true}),
 			jobSecs: reg.NewHistogram("server_job_seconds",
@@ -159,10 +180,22 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
+// StartDrain marks the server as draining: /healthz answers 503 with
+// status "draining" from here on, so cluster probes demote the peer
+// and stop routing cells to it.  Call before http.Server.Shutdown —
+// keep-alive connections are still served during Shutdown, and until
+// the listener actually closes a probe would otherwise keep seeing a
+// healthy peer.  Idempotent.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Drain blocks until in-flight work (sweep jobs, simulations that
 // outlived their request) finishes, or ctx expires.  Call after
-// http.Server.Shutdown has stopped new requests.
+// http.Server.Shutdown has stopped new requests.  Implies StartDrain.
 func (s *Server) Drain(ctx context.Context) error {
+	s.StartDrain()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -210,40 +243,13 @@ func routeLabel(path string) string {
 	}
 }
 
-// errBusy reports queue overflow (429 upstream).
-var errBusy = errors.New("server at capacity")
-
-// acquire claims an execution slot, waiting in the bounded queue.  The
-// returned release must be called exactly once.
-func (s *Server) acquire(ctx context.Context) (release func(), err error) {
-	select {
-	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, nil
-	default:
-	}
-	if n := s.waiting.Add(1); n > int64(s.queue) {
-		s.waiting.Add(-1)
-		return nil, errBusy
-	}
-	s.m.queueDepth.Set(float64(s.waiting.Load()))
-	defer func() {
-		s.waiting.Add(-1)
-		s.m.queueDepth.Set(float64(s.waiting.Load()))
-	}()
-	select {
-	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
-}
-
 // handleHealthz answers liveness plus the compatibility facts peers
 // need before exchanging cells: the ResultsVersion every store key is
 // derived from (version skew = keys that can never match) and the
 // store's population.  A degraded store or cluster flips the status
 // string but never the 200 — degraded is an operating mode, not an
-// outage.
+// outage.  Draining is the exception: it answers 503 so membership
+// probes demote the peer before the listener closes.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	hs := cluster.HealthStatus{Status: "ok", ResultsVersion: harness.ResultsVersion}
 	if st := s.suite.Store; st != nil {
@@ -260,6 +266,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		if hs.Cluster.Degraded > 0 {
 			hs.Status = "degraded"
 		}
+	}
+	if s.draining.Load() {
+		hs.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, hs)
+		return
 	}
 	writeJSON(w, http.StatusOK, hs)
 }
@@ -288,7 +299,7 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
-	release, err := s.acquire(ctx)
+	release, err := s.acquire(ctx, s.readC, "cells")
 	if err != nil {
 		writeLoadError(w, err)
 		return
@@ -411,7 +422,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
-	release, err := s.acquire(ctx)
+	release, err := s.acquire(ctx, s.readC, "simulate")
 	if err != nil {
 		writeLoadError(w, err)
 		return
@@ -502,10 +513,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // runJob executes one sweep job on the suite's scheduler pool and
-// renders its figures from the warm cache.
+// renders its figures from the warm cache.  Jobs hold a sweep-class
+// admission slot for their whole run, so queued jobs and synchronous
+// figure renders share one concurrency budget.
 func (s *Server) runJob(j *job) {
 	defer s.wg.Done()
 	defer s.jobs.release(j)
+	release := s.acquireJob()
+	defer release()
 	start := time.Now()
 
 	cells, err := harness.SweepCells(j.figures...)
@@ -563,7 +578,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
-	release, err := s.acquire(ctx)
+	release, err := s.acquire(ctx, s.sweepC, "figures")
 	if err != nil {
 		writeLoadError(w, err)
 		return

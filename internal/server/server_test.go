@@ -419,7 +419,7 @@ func TestBackpressure(t *testing.T) {
 	defer ts.Close()
 
 	// Occupy the only slot out-of-band so no request can start.
-	srv.sem <- struct{}{}
+	srv.sweepC.sem <- struct{}{}
 
 	type result struct{ code int }
 	waiter := make(chan result, 1)
@@ -434,7 +434,7 @@ func TestBackpressure(t *testing.T) {
 	}()
 
 	// Wait until that request is queued, then overflow the queue.
-	for i := 0; srv.waiting.Load() == 0; i++ {
+	for i := 0; srv.sweepC.waiting.Load() == 0; i++ {
 		if i > 1000 {
 			t.Fatal("first request never queued")
 		}
@@ -461,7 +461,7 @@ func TestBackpressure(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("queued request never returned")
 	}
-	<-srv.sem // free the slot
+	<-srv.sweepC.sem // free the slot
 	if err := srv.Drain(t.Context()); err != nil {
 		t.Fatal(err)
 	}

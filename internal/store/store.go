@@ -19,6 +19,12 @@
 //   - Bounded size.  With a MaxBytes budget, the least recently used
 //     entries are evicted (files deleted) until the store fits.  The
 //     entry being written always survives its own Put.
+//
+// The entry table is persisted as a segmented, append-only index under
+// <dir>/index/ (see segment.go): Puts append one record instead of
+// rewriting the whole index, and a healthy boot replays the segments
+// without touching blob files.  The pre-segment index.json is still
+// read (and migrated) when found.
 package store
 
 import (
@@ -140,6 +146,13 @@ type Store struct {
 	// at stderr; the zero value stays silent).
 	Logf func(format string, args ...any)
 
+	// MaxSegmentRecords caps records per index segment before rolling to
+	// a new one (0 = 65536); CompactMinAppends is the floor of the
+	// appends-since-compaction threshold that triggers a compaction
+	// (0 = 4096).  Test seams; set before first use.
+	MaxSegmentRecords int
+	CompactMinAppends int
+
 	mu            sync.Mutex
 	seq           uint64
 	bytes         int64
@@ -148,6 +161,14 @@ type Store struct {
 	consecPutErrs int
 	degraded      bool
 	writeFault    error // injected disk failure (SetWriteFault)
+	boot          BootInfo
+
+	segDir        string
+	segActive     *os.File // active segment, open for append (nil until needed)
+	segActiveID   uint64
+	segActiveRecs int
+	segIDs        []uint64 // existing segment ids, ascending
+	segAppends    int      // records appended since the last compaction
 
 	m metrics
 }
@@ -156,7 +177,7 @@ type Store struct {
 // method is nil-safe).
 type metrics struct {
 	hits, misses, corrupt, evictions, putErrors *obs.Counter
-	bytes, entries, degraded                    *obs.Gauge
+	bytes, entries, degraded, segments          *obs.Gauge
 }
 
 // Open loads (or creates) the store at dir.  maxBytes <= 0 disables the
@@ -199,9 +220,11 @@ func (s *Store) Attach(sink *obs.Sink) {
 		bytes:     reg.NewGauge("store_bytes", obs.Opts{Help: "bytes of blobs on disk"}),
 		entries:   reg.NewGauge("store_entries", obs.Opts{Help: "blobs on disk"}),
 		degraded:  reg.NewGauge("store_degraded", obs.Opts{Help: "1 while the memory-only tier is active (disk writes kept failing)"}),
+		segments:  reg.NewGauge("store_index_segments", obs.Opts{Help: "index segment files on disk"}),
 	}
 	s.m.bytes.Set(float64(s.bytes))
 	s.m.entries.Set(float64(len(s.entries)))
+	s.m.segments.Set(float64(len(s.segIDs)))
 	if s.degraded {
 		s.m.degraded.Set(1)
 	}
@@ -310,7 +333,7 @@ func (s *Store) Put(k Key, v any) error {
 	s.entries[k] = &entry{size: int64(len(env)), lastUsed: s.seq}
 	s.bytes += int64(len(env))
 	s.evictLocked()
-	if err := s.persistIndexLocked(); err != nil {
+	if err := s.appendPutLocked(k); err != nil {
 		s.diskPutErrorLocked()
 		if s.degraded {
 			return nil // the blob itself landed; the next healthy Put repairs the index
@@ -357,15 +380,19 @@ func (s *Store) storeMemoryLocked(k Key, env []byte) {
 	s.publishSizeLocked()
 }
 
-// Close persists the index (LRU recency accumulated by Gets is only
-// durable after a Put or a Close).  A degraded store closes
-// best-effort: the index write is attempted but its failure is not an
-// error — the disk already proved itself, and reopen rebuilds from the
-// surviving blobs.
+// Close compacts the index into a single snapshot segment (LRU recency
+// accumulated by Gets is only durable after a compaction, which Close
+// guarantees).  A degraded store closes best-effort: the write is
+// attempted but its failure is not an error — the disk already proved
+// itself, and reopen rebuilds from the surviving blobs.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	err := s.persistIndexLocked()
+	err := s.compactLocked()
+	if s.segActive != nil {
+		s.segActive.Close()
+		s.segActive = nil
+	}
 	if err != nil && s.degraded {
 		if s.Logf != nil {
 			s.Logf("store: close on degraded store: %v", err)
@@ -388,12 +415,14 @@ func (s *Store) blobPath(k Key) string {
 }
 
 // dropLocked removes a missing or corrupt blob and counts the lookup as
-// a miss.  The index is not rewritten here — load() tolerates entries
-// whose file is gone, and the next Put persists the repaired table.
+// a miss.  The del record is best-effort — a stale put record only
+// costs one miss on a later boot, and load() tolerates entries whose
+// file is gone.
 func (s *Store) dropLocked(k Key, e *entry) {
 	os.Remove(s.blobPath(k))
 	delete(s.entries, k)
 	s.bytes -= e.size
+	s.appendDelLocked(k)
 	s.stats.Corrupt++
 	s.stats.Misses++
 	s.m.corrupt.Inc()
@@ -422,6 +451,7 @@ func (s *Store) evictLocked() {
 		os.Remove(s.blobPath(victim))
 		delete(s.entries, victim)
 		s.bytes -= e.size
+		s.appendDelLocked(victim)
 		s.stats.Evictions++
 		s.m.evictions.Inc()
 	}
@@ -432,13 +462,13 @@ func (s *Store) publishSizeLocked() {
 	s.m.entries.Set(float64(len(s.entries)))
 }
 
-// writeAtomic writes data to path via a temp file in the store
+// writeAtomic writes data to path via a temp file in the target's
 // directory and an atomic rename.
 func (s *Store) writeAtomic(path string, data []byte) error {
 	if s.writeFault != nil {
 		return fmt.Errorf("store: writing %s: %w", filepath.Base(path), s.writeFault)
 	}
-	f, err := os.CreateTemp(s.dir, ".tmp-*")
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -458,28 +488,14 @@ func (s *Store) writeAtomic(path string, data []byte) error {
 	return nil
 }
 
-// persistIndexLocked atomically rewrites index.json with entries sorted
-// by key, so the file is deterministic for a given table state.
-func (s *Store) persistIndexLocked() error {
-	idx := indexFile{Schema: IndexSchema, Seq: s.seq}
-	for k, e := range s.entries {
-		if e.data != nil {
-			continue // memory-only tier: no blob on disk to reopen
-		}
-		idx.Entries = append(idx.Entries, indexEntry{Key: k.String(), Size: e.size, LastUsed: e.lastUsed})
-	}
-	sort.Slice(idx.Entries, func(i, j int) bool { return idx.Entries[i].Key < idx.Entries[j].Key })
-	data, err := json.MarshalIndent(idx, "", "  ")
-	if err != nil {
-		return fmt.Errorf("store: encoding index: %w", err)
-	}
-	return s.writeAtomic(filepath.Join(s.dir, indexName), append(data, '\n'))
-}
-
-// load populates the entry table from index.json, falling back to a
-// directory scan when the index is missing or unusable, and removes
-// temp files left by interrupted writes.
+// load populates the entry table: from the index segments when they
+// are healthy (no blob file is touched), else from a legacy index.json
+// (migrated to segments on the spot), else by scanning the directory.
+// Temp files left by interrupted writes are removed first.
 func (s *Store) load() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.segDir = filepath.Join(s.dir, segDirName)
 	names, err := os.ReadDir(s.dir)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -489,13 +505,30 @@ func (s *Store) load() error {
 			os.Remove(filepath.Join(s.dir, d.Name()))
 		}
 	}
+	if segNames, err := os.ReadDir(s.segDir); err == nil {
+		for _, d := range segNames {
+			if strings.HasPrefix(d.Name(), ".tmp-") {
+				os.Remove(filepath.Join(s.segDir, d.Name()))
+			}
+		}
+	}
 
-	if s.loadIndex() {
+	if s.loadSegments() {
+		return nil
+	}
+	if statted, ok := s.loadIndex(); ok {
+		// Legacy monolithic index: migrate to segments and retire it.
+		s.boot = BootInfo{Source: "legacy", BlobsStatted: statted}
+		if err := s.compactLocked(); err != nil {
+			return err
+		}
+		os.Remove(filepath.Join(s.dir, indexName))
 		return nil
 	}
 	// Rebuild: every well-named blob file becomes an entry; recency is
 	// assigned in sorted key order (content is still checksum-verified
 	// on first Get, so a misnamed or stale file costs one miss at most).
+	s.clearSegmentsLocked()
 	s.entries = make(map[Key]*entry)
 	s.bytes, s.seq = 0, 0
 	var keys []Key
@@ -511,7 +544,9 @@ func (s *Store) load() error {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	statted := 0
 	for _, k := range keys {
+		statted++
 		fi, err := os.Stat(s.blobPath(k))
 		if err != nil {
 			continue
@@ -520,18 +555,20 @@ func (s *Store) load() error {
 		s.entries[k] = &entry{size: fi.Size(), lastUsed: s.seq}
 		s.bytes += fi.Size()
 	}
-	return s.persistIndexLocked()
+	s.boot = BootInfo{Source: "scan", BlobsStatted: statted}
+	return s.compactLocked()
 }
 
-// loadIndex reads index.json; false means rebuild from the directory.
-func (s *Store) loadIndex() bool {
+// loadIndex reads a legacy index.json; ok=false means none is usable.
+// statted counts the blob files examined.
+func (s *Store) loadIndex() (statted int, ok bool) {
 	data, err := os.ReadFile(filepath.Join(s.dir, indexName))
 	if err != nil {
-		return false
+		return 0, false
 	}
 	var idx indexFile
 	if json.Unmarshal(data, &idx) != nil || idx.Schema != IndexSchema {
-		return false
+		return 0, false
 	}
 	s.entries = make(map[Key]*entry, len(idx.Entries))
 	s.bytes = 0
@@ -539,8 +576,9 @@ func (s *Store) loadIndex() bool {
 	for _, e := range idx.Entries {
 		k, err := ParseKey(e.Key)
 		if err != nil {
-			return false
+			return 0, false
 		}
+		statted++
 		fi, err := os.Stat(s.blobPath(k))
 		if err != nil {
 			continue // blob gone: drop the entry, not the store
@@ -551,7 +589,7 @@ func (s *Store) loadIndex() bool {
 			s.seq = e.LastUsed
 		}
 	}
-	return true
+	return statted, true
 }
 
 // decodeBlob validates the envelope around one payload: schema, stored
