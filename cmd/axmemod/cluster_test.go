@@ -8,6 +8,7 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -28,17 +29,34 @@ func TestMain(m *testing.M) {
 	os.Exit(m.Run())
 }
 
-var shardPidRE = regexp.MustCompile(`shard-0 pid (\d+) up at`)
+var (
+	shardPidRE     = regexp.MustCompile(`shard-0 pid (\d+) up at`)
+	shardRestartRE = regexp.MustCompile(`shard-0 pid (\d+) restarted at`)
+)
 
-// TestClusterLifecycle boots a coordinator with two spawned shards,
-// checks membership surfaces on /healthz, simulates through the
+// waitForLog polls the daemon's captured stderr until a substring
+// appears, failing the test at the deadline.
+func waitForLog(t *testing.T, errOut *addrCapture, want string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !strings.Contains(errOut.String(), want) {
+		if time.Now().After(deadline) {
+			t.Fatalf("stderr never showed %q:\n%s", want, errOut)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestClusterLifecycle boots a coordinator with two spawned shards at
+// R=2, checks membership surfaces on /healthz, simulates through the
 // cluster (second request cached), SIGKILLs a shard and verifies the
-// coordinator degrades but keeps answering, then drains cleanly with a
-// dead child still on the books.
+// supervisor reaps it with a logged cause, restarts it at the same
+// address, anti-entropy repairs it, and re-admits it — while the
+// coordinator keeps answering throughout — then drains cleanly.
 func TestClusterLifecycle(t *testing.T) {
 	dir := t.TempDir()
 	base, done, errOut := startDaemon(t,
-		"-cluster", "2", "-store-dir", dir,
+		"-cluster", "2", "-replicas", "2", "-store-dir", dir,
 		"-probe-interval", "100ms", "-peer-fail-threshold", "1")
 
 	healthz := func() cluster.HealthStatus {
@@ -75,7 +93,9 @@ func TestClusterLifecycle(t *testing.T) {
 		t.Fatal("repeat simulate not served from cache")
 	}
 
-	// Kill shard-0 the hard way and wait for the probes to notice.
+	// Kill shard-0 the hard way.  The supervisor must reap it (no
+	// zombie), name the cause on stderr, and restart it at the same
+	// address.
 	m := shardPidRE.FindStringSubmatch(errOut.String())
 	if m == nil {
 		t.Fatalf("shard-0 pid not announced on stderr:\n%s", errOut)
@@ -87,29 +107,32 @@ func TestClusterLifecycle(t *testing.T) {
 	if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(15 * time.Second)
-	for {
-		hs = healthz()
-		if hs.Cluster.Degraded == 1 && hs.Status == "degraded" {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("coordinator never noticed the dead shard: %+v", hs.Cluster)
-		}
-		time.Sleep(50 * time.Millisecond)
+	waitForLog(t, errOut, "shard-0 died (signal: killed); restarting")
+	waitForLog(t, errOut, "restarted at")
+	rm := shardRestartRE.FindStringSubmatch(errOut.String())
+	if rm == nil {
+		t.Fatalf("shard-0 restart not announced on stderr:\n%s", errOut)
 	}
-	dead := 0
-	for _, p := range hs.Cluster.Peers {
-		if p.State == cluster.StateDead {
-			dead++
-		}
+	if rm[1] == m[1] {
+		t.Fatalf("restarted shard reuses pid %s — the old child was never replaced", m[1])
 	}
-	if dead != 1 {
-		t.Fatalf("peer states = %+v, want exactly one dead", hs.Cluster.Peers)
+	// The old pid must be reaped, not a zombie: a signal probe of a
+	// reaped pid fails with ESRCH (or hits an unrelated fresh process —
+	// never our zombie, which would still accept signal 0).
+	if err := syscall.Kill(pid, 0); err == nil {
+		var stat []byte
+		stat, _ = os.ReadFile("/proc/" + m[1] + "/stat")
+		if strings.Contains(string(stat), ") Z ") {
+			t.Fatalf("killed shard pid %d is a zombie: %s", pid, stat)
+		}
 	}
 
-	// Degraded, not down: new work still answers (owner-dead cells fall
-	// back to local recompute).
+	// The restart carried -repair-peers: the rejoined shard anti-entropy
+	// diffs the survivor before reporting healthy.
+	waitForLog(t, errOut, "rejoin repair done")
+
+	// Answering throughout: a new benchmark works even mid-recovery
+	// (with R=2 both shards hold every cell, so no recompute needed).
 	resp, err := http.Post(base+"/v1/simulate", "application/json",
 		bytes.NewReader([]byte(`{"benchmark":"jmeint"}`)))
 	if err != nil {
@@ -118,10 +141,29 @@ func TestClusterLifecycle(t *testing.T) {
 	io.Copy(io.Discard, resp.Body) //nolint:errcheck
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("simulate on degraded cluster: %d, want 200", resp.StatusCode)
+		t.Fatalf("simulate during shard recovery: %d, want 200", resp.StatusCode)
 	}
 
-	// Clean drain with one child already SIGKILLed.
+	// Membership heals: the repaired shard is re-admitted and the
+	// cluster reports fully alive again.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		hs = healthz()
+		if hs.Cluster.Degraded == 0 && hs.Status == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted shard never re-admitted: %+v", hs.Cluster)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for _, p := range hs.Cluster.Peers {
+		if p.State != cluster.StateAlive {
+			t.Fatalf("peer states = %+v, want all alive after repair", hs.Cluster.Peers)
+		}
+	}
+
+	// Clean drain with the restarted child still supervised.
 	sigterm(t, done)
 }
 

@@ -305,6 +305,201 @@ func runChaoticSweep(t *testing.T, seed int64) chaosRun {
 	}
 }
 
+// replicaRun is one replicated chaotic sweep and everything
+// deterministic about it.
+type replicaRun struct {
+	text      string
+	snapshot  []byte
+	fallbacks uint64
+	served    uint64
+	coordExec uint64
+}
+
+// runReplicatedChaoticSweep builds a 3-shard cluster (each shard with
+// its own disk store) behind a seeded chaos transport whose
+// request-count fuse kills shard-1 mid-sweep, coordinates with R=2,
+// and runs a serial sweep over two figures.  Replica writes and hint
+// redelivery ride a separate non-chaotic write client, so the seeded
+// fault plan stays pinned to the deterministic read path.
+func runReplicatedChaoticSweep(t *testing.T, seed int64) replicaRun {
+	t.Helper()
+	shards := []*storeShard{newStoreShard(t), newStoreShard(t), newStoreShard(t)}
+	hosts := hostRewriter{real: make(map[string]string)}
+	peers := make([]cluster.Peer, len(shards))
+	for i, sh := range shards {
+		stable := "shard-" + string(rune('0'+i)) + ".chaos"
+		hosts.real[stable] = sh.addr()
+		peers[i] = cluster.Peer{ID: "shard-" + string(rune('0'+i)), Addr: stable}
+	}
+
+	chaos := cluster.NewChaos(cluster.ChaosPlan{
+		Seed:        seed,
+		DropRate:    0.2,
+		CorruptRate: 0.2,
+	}, hosts)
+	chaos.KillAfter("shard-1.chaos", 1)
+
+	hints, err := cluster.NewHintQueue("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := cluster.NewCoordinator(cluster.Config{
+		Peers:         peers,
+		Replicas:      2,
+		FailThreshold: 2,
+		Client:        &cluster.Client{Transport: chaos, Sleep: noSleep, Seed: seed},
+		WriteClient:   &cluster.Client{Transport: hosts, Attempts: 2, Sleep: noSleep},
+		Hints:         hints,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	suite, sink := coordSuite(t, co, 1) // serial: request order is the cell order
+	chaos.Attach(sink)
+
+	var text string
+	figs := []string{"ABL-RATE", "ABL-ADAPT"}
+	if err := suite.Prewarm(1, figs...); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range figs {
+		fig, err := suite.Figure(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text += fig.String()
+	}
+	fallbacks := sink.Reg().NewCounterVec("cluster_fallback_total", obs.Opts{}, "reason")
+	outcomes := sink.Reg().NewCounterVec("harness_remote_cells_total", obs.Opts{}, "outcome")
+	return replicaRun{
+		text:     text,
+		snapshot: sink.Reg().SnapshotJSON(obs.Deterministic),
+		fallbacks: fallbacks.With("dead").Value() +
+			fallbacks.With("error").Value() + fallbacks.With("no_peers").Value(),
+		served:    outcomes.With("served").Value(),
+		coordExec: execCount(suite),
+	}
+}
+
+// TestClusterReplicaReadDeterministicSweep is the replication
+// acceptance test: with R=2, a chaotic transport, and one shard killed
+// mid-sweep, the sweep completes byte-identical to a single node with
+// ZERO local recomputes — the killed shard's key range is served by
+// its replica siblings, so cluster_fallback_total never fires — and
+// the whole deterministic telemetry is byte-identical between two
+// same-seed runs.
+func TestClusterReplicaReadDeterministicSweep(t *testing.T) {
+	refText, _ := reference(t, "ABL-RATE", "ABL-ADAPT")
+
+	run1 := runReplicatedChaoticSweep(t, 11)
+	run2 := runReplicatedChaoticSweep(t, 11)
+
+	if run1.text != refText {
+		t.Fatalf("replicated chaotic sweep rendered different bytes than a single node:\n--- single ---\n%s--- cluster ---\n%s",
+			refText, run1.text)
+	}
+	if run2.text != run1.text {
+		t.Fatal("two identically seeded replicated sweeps rendered different bytes")
+	}
+	if !bytes.Equal(run1.snapshot, run2.snapshot) {
+		t.Fatalf("deterministic metric snapshots differ between identically seeded runs:\n--- run1 ---\n%s\n--- run2 ---\n%s",
+			run1.snapshot, run2.snapshot)
+	}
+	// The replication payoff: a dead shard costs zero local recomputes.
+	if run1.fallbacks != 0 {
+		t.Fatalf("cluster_fallback_total = %d, want 0 (replicas must cover the killed shard)", run1.fallbacks)
+	}
+	if run1.coordExec != 0 {
+		t.Fatalf("coordinator simulated %d cells itself, want 0", run1.coordExec)
+	}
+	if run1.served == 0 {
+		t.Fatal("harness_remote_cells_total{served} never incremented")
+	}
+}
+
+// TestClusterHintedHandoff: replica writes bound for a killed peer
+// park as hints, and when the peer revives and a probe re-admits it,
+// the hints are redelivered into its store — the peer converges
+// without executing a single cell itself.
+func TestClusterHintedHandoff(t *testing.T) {
+	refText, _ := reference(t, "ABL-RATE")
+
+	shards := []*storeShard{newStoreShard(t), newStoreShard(t), newStoreShard(t)}
+	hosts := hostRewriter{real: make(map[string]string)}
+	peers := make([]cluster.Peer, len(shards))
+	for i, sh := range shards {
+		stable := "shard-" + string(rune('0'+i)) + ".chaos"
+		hosts.real[stable] = sh.addr()
+		peers[i] = cluster.Peer{ID: "shard-" + string(rune('0'+i)), Addr: stable}
+	}
+	chaos := cluster.NewChaos(cluster.ChaosPlan{}, hosts)
+	chaos.Kill("shard-1.chaos") // down from the start: every write to it must hint
+
+	hints, err := cluster.NewHintQueue(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := cluster.NewCoordinator(cluster.Config{
+		Peers:         peers,
+		Replicas:      2,
+		FailThreshold: 1,
+		Client:        &cluster.Client{Transport: chaos, Sleep: noSleep},
+		WriteClient:   &cluster.Client{Transport: chaos, Attempts: 1, Sleep: noSleep},
+		Hints:         hints,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	suite, _ := coordSuite(t, co, 1)
+
+	fig, err := suite.Generate("ABL-RATE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.String() != refText {
+		t.Fatal("sweep over a dead replica rendered different bytes")
+	}
+	// Let the asynchronous fan-out settle: in-flight replica writes to
+	// the dead peer become hints once the workers see it dead.
+	deadline := time.Now().Add(5 * time.Second)
+	for hints.Pending("shard-1") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no hints queued for the killed replica")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := execCount(shards[1].suite); got != 0 {
+		t.Fatalf("dead shard executed %d cells", got)
+	}
+
+	// Revive; the next probe re-admits the peer, which triggers the
+	// redelivery hook.  Everything queued lands in shard-1's store.
+	chaos.Revive("shard-1.chaos")
+	queued := hints.Pending("shard-1")
+	co.Members().ProbeAll(context.Background())
+	for hints.Pending("shard-1") > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("hints not redelivered: %d still pending", hints.Pending("shard-1"))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Redelivery is store traffic, not execution: the rejoined peer
+	// holds at least the hinted cells and still ran nothing.
+	deadline = time.Now().Add(5 * time.Second)
+	for shards[1].st.Stats().Entries < queued {
+		if time.Now().After(deadline) {
+			t.Fatalf("rejoined shard store has %d cells, want >= %d hinted",
+				shards[1].st.Stats().Entries, queued)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := execCount(shards[1].suite); got != 0 {
+		t.Fatalf("rejoined shard executed %d cells, want 0 (hints are writes)", got)
+	}
+}
+
 // TestClusterChaosDeterministicSweep is the acceptance test: under a
 // seeded chaos plan that drops requests, corrupts payloads, and kills a
 // peer mid-sweep, the sweep still completes byte-identical to a single

@@ -40,6 +40,12 @@ type Membership struct {
 	Probe *Client
 	// Logf, if non-nil, receives membership transitions.
 	Logf func(format string, args ...any)
+	// OnTransition, if non-nil, is invoked (in its own goroutine, so it
+	// may do I/O) after a peer changes state.  The coordinator hangs
+	// hinted-handoff redelivery here: a peer re-admitted as alive gets
+	// its queued hints; a peer parked as incompatible gets nothing —
+	// version-skewed stores must not receive our cells.
+	OnTransition func(i int, p Peer, state string)
 
 	mu    sync.Mutex
 	peers []Peer
@@ -105,6 +111,28 @@ func (m *Membership) Alive(i int) bool {
 	return i >= 0 && i < len(m.state) && m.state[i].state == StateAlive
 }
 
+// ReplicaEligible reports whether peer i may hold replicas of our
+// cells: it must be alive AND version-compatible.  A rejoining peer
+// with a mismatched ResultsVersion is parked incompatible, which
+// excludes it from replica reads, write fan-out, and hint redelivery
+// alike — its keys could never match ours, so sending it cells would
+// only waste its disk and our bandwidth.  (Today this coincides with
+// Alive, because version skew always parks a peer in its own state;
+// the separate name pins the contract the membership tests assert.)
+func (m *Membership) ReplicaEligible(i int) bool {
+	return m.Alive(i)
+}
+
+// State returns peer i's current membership state ("" out of range).
+func (m *Membership) State(i int) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if i < 0 || i >= len(m.state) {
+		return ""
+	}
+	return m.state[i].state
+}
+
 // transitionLocked moves peer i to state, publishing the transition.
 func (m *Membership) transitionLocked(i int, state, why string) {
 	if m.state[i].state == state {
@@ -121,6 +149,11 @@ func (m *Membership) transitionLocked(i int, state, why string) {
 	m.degraded.Set(float64(degraded))
 	if m.Logf != nil {
 		m.Logf("cluster: peer %s (%s) -> %s (%s)", m.peers[i].ID, m.peers[i].Addr, state, why)
+	}
+	if m.OnTransition != nil {
+		// Own goroutine: the hook does I/O (hint redelivery) and must
+		// neither hold the membership lock nor delay the caller's path.
+		go m.OnTransition(i, m.peers[i], state)
 	}
 }
 

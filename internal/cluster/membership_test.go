@@ -6,8 +6,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"axmemo/internal/obs"
 	"axmemo/internal/store"
@@ -140,6 +142,124 @@ func TestMembershipDataPathFailures(t *testing.T) {
 	m.ReportFailure(-1)
 	m.ReportFailure(99)
 	m.ReportSuccess(99)
+}
+
+// TestMembershipReplicaEligibility is the version-skew exclusion
+// contract, table-driven: only an alive, version-matched peer may hold
+// replicas of our cells.  A dead peer is excluded until it rejoins; a
+// rejoining peer with a mismatched ResultsVersion parks incompatible
+// and is excluded from replica sets AND from the rejoin hook that
+// triggers hint redelivery — the coordinator only redelivers on a
+// transition to alive, which a skewed peer never makes.
+func TestMembershipReplicaEligibility(t *testing.T) {
+	cases := []struct {
+		name string
+		// drive puts the fake peer in the state under test and probes.
+		drive        func(h *healthzServer, m *Membership)
+		wantState    string
+		wantEligible bool
+		// wantRejoinHook: does the driven transition sequence end on the
+		// alive transition the coordinator hangs hint redelivery on?
+		wantRejoinHook bool
+	}{
+		{
+			name:         "alive matched version",
+			drive:        func(h *healthzServer, m *Membership) { m.ProbeAll(context.Background()) },
+			wantState:    StateAlive,
+			wantEligible: true,
+			// No transition at all: the peer started alive and stayed alive.
+			wantRejoinHook: false,
+		},
+		{
+			name: "dead after probe failures",
+			drive: func(h *healthzServer, m *Membership) {
+				h.fail.Store(true)
+				m.ProbeAll(context.Background())
+			},
+			wantState:      StateDead,
+			wantEligible:   false,
+			wantRejoinHook: false,
+		},
+		{
+			name: "rejoin with matched version",
+			drive: func(h *healthzServer, m *Membership) {
+				h.fail.Store(true)
+				m.ProbeAll(context.Background())
+				h.fail.Store(false)
+				m.ProbeAll(context.Background())
+			},
+			wantState:      StateAlive,
+			wantEligible:   true,
+			wantRejoinHook: true, // the re-admission: hints flow now
+		},
+		{
+			name: "rejoin with mismatched results_version",
+			drive: func(h *healthzServer, m *Membership) {
+				h.fail.Store(true)
+				m.ProbeAll(context.Background())
+				h.fail.Store(false)
+				h.version.Store(99)
+				m.ProbeAll(context.Background())
+			},
+			wantState:      StateIncompatible,
+			wantEligible:   false,
+			wantRejoinHook: false, // skewed stores must not receive our cells
+		},
+		{
+			name: "skewed peer upgraded back",
+			drive: func(h *healthzServer, m *Membership) {
+				h.version.Store(99)
+				m.ProbeAll(context.Background())
+				h.version.Store(1)
+				m.ProbeAll(context.Background())
+			},
+			wantState:      StateAlive,
+			wantEligible:   true,
+			wantRejoinHook: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHealthzServer(t, 1)
+			m := NewMembership([]Peer{h.peer("p")}, 1, nil)
+			m.FailThreshold = 1
+			m.Attach(obs.NewSink())
+			var (
+				mu   sync.Mutex
+				last string
+			)
+			done := make(chan struct{}, 8)
+			m.OnTransition = func(i int, p Peer, state string) {
+				mu.Lock()
+				last = state
+				mu.Unlock()
+				done <- struct{}{}
+			}
+			tc.drive(h, m)
+			// The hook runs in its own goroutine; let the driven
+			// transitions land before asserting.
+			for drained := false; !drained; {
+				select {
+				case <-done:
+				case <-time.After(200 * time.Millisecond):
+					drained = true
+				}
+			}
+			if got := m.State(0); got != tc.wantState {
+				t.Fatalf("State = %s, want %s", got, tc.wantState)
+			}
+			if got := m.ReplicaEligible(0); got != tc.wantEligible {
+				t.Fatalf("ReplicaEligible = %v, want %v", got, tc.wantEligible)
+			}
+			mu.Lock()
+			gotRejoin := last == StateAlive
+			mu.Unlock()
+			if gotRejoin != tc.wantRejoinHook {
+				t.Fatalf("rejoin hook fired = %v (last transition %q), want %v",
+					gotRejoin, last, tc.wantRejoinHook)
+			}
+		})
+	}
 }
 
 // TestOwnerRendezvous: ownership is deterministic, reasonably balanced,

@@ -237,11 +237,16 @@ func (s *Suite) runCellDetail(w *workloads.Workload, cfg Config, baseline bool) 
 	executed := false
 	c.once.Do(func() {
 		if s.Remote != nil {
+			outcomes := s.Obs.Reg().NewCounterVec("harness_remote_cells_total",
+				obs.Opts{Help: "cells offered to the remote tier, by outcome (served = a replica answered, fallback = all replicas unavailable, local tiers took over)"},
+				"outcome")
 			if res, rexec, ok := s.Remote(SweepCell{Workload: w.Name, Config: cfg, Baseline: baseline}); ok {
+				outcomes.With("served").Inc()
 				c.res = res
 				executed = rexec
 				return
 			}
+			outcomes.With("fallback").Inc()
 		}
 		c.res, executed, c.err = s.loadOrRun(w, cfg)
 	})

@@ -48,6 +48,7 @@ import (
 	"axmemo/internal/cluster"
 	"axmemo/internal/harness"
 	"axmemo/internal/obs"
+	"axmemo/internal/store"
 	"axmemo/internal/workloads"
 )
 
@@ -87,13 +88,15 @@ type Server struct {
 	cluster *cluster.Coordinator
 	timeout time.Duration
 
-	readC    *admitClass
-	sweepC   *admitClass
-	draining atomic.Bool
-	jobs     *jobSet
-	wg       sync.WaitGroup
-	mux      *http.ServeMux
-	m        metrics
+	readC        *admitClass
+	sweepC       *admitClass
+	draining     atomic.Bool
+	repairing    atomic.Bool
+	repairPulled atomic.Int64
+	jobs         *jobSet
+	wg           sync.WaitGroup
+	mux          *http.ServeMux
+	m            metrics
 }
 
 // metrics are the server's obs families (all nil-safe; wall-clock
@@ -168,6 +171,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/figures", s.handleFigureList)
 	s.mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
+	s.mux.HandleFunc("GET /v1/store/manifest", s.handleManifest)
+	s.mux.HandleFunc("GET /v1/store/cells/{key}", s.handleStoreGet)
+	s.mux.HandleFunc("PUT /v1/store/cells/{key}", s.handleStorePut)
 }
 
 // Handler returns the server's root handler, wrapped with per-route
@@ -187,6 +193,20 @@ func (s *Server) Handler() http.Handler {
 // the listener actually closes a probe would otherwise keep seeing a
 // healthy peer.  Idempotent.
 func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// StartRepair marks the server as running its rejoin repair: /healthz
+// answers 503 with status "repairing" until FinishRepair, so cluster
+// probes keep this peer out of replica sets while its store catches up
+// on the cells it missed.  Every other endpoint keeps serving —
+// repair gates re-admission, not availability.
+func (s *Server) StartRepair() { s.repairing.Store(true) }
+
+// FinishRepair ends the repair window, recording how many cells the
+// pass pulled (reported on /healthz as repair_pulled from then on).
+func (s *Server) FinishRepair(pulled int) {
+	s.repairPulled.Add(int64(pulled))
+	s.repairing.Store(false)
+}
 
 // Draining reports whether StartDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -238,6 +258,8 @@ func routeLabel(path string) string {
 		return "jobs"
 	case strings.HasPrefix(path, "/v1/figures"):
 		return "figures"
+	case strings.HasPrefix(path, "/v1/store/"):
+		return "store"
 	default:
 		return "other"
 	}
@@ -267,8 +289,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			hs.Status = "degraded"
 		}
 	}
+	hs.RepairPulled = int(s.repairPulled.Load())
 	if s.draining.Load() {
 		hs.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, hs)
+		return
+	}
+	if s.repairing.Load() {
+		hs.Status = "repairing"
 		writeJSON(w, http.StatusServiceUnavailable, hs)
 		return
 	}
@@ -344,6 +372,95 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusGatewayTimeout,
 			errors.New("cell still running; retry to pick up the cached result"))
 	}
+}
+
+// handleManifest is the anti-entropy read side: the store's full
+// sorted-by-key index (keys and sizes, no payloads), which a rejoining
+// peer diffs against its own to find the cells it missed while dead.
+// Cheap by construction — PR 7's segmented index keeps the entry table
+// in memory — so no admission slot is taken.
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	st := s.suite.Store
+	if st == nil {
+		writeError(w, http.StatusNotFound, errors.New("no result store attached"))
+		return
+	}
+	writeJSONCompact(w, http.StatusOK, cluster.Manifest{
+		ResultsVersion: harness.ResultsVersion,
+		Entries:        st.Manifest(),
+	})
+}
+
+// handleStoreGet serves one stored cell's raw payload by key — the
+// pull side of rejoin repair.  The response embeds the payload
+// checksum so a transfer corrupted in flight is detected and retried
+// by the puller instead of poisoning its store.
+func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	st := s.suite.Store
+	if st == nil {
+		writeError(w, http.StatusNotFound, errors.New("no result store attached"))
+		return
+	}
+	key, err := store.ParseKey(r.PathValue("key"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var raw json.RawMessage
+	if !st.Get(key, &raw) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no cell %.16s", key.String()))
+		return
+	}
+	sum := sha256.Sum256(raw)
+	writeJSONCompact(w, http.StatusOK, cluster.CellResponse{
+		Key:    key.String(),
+		Cached: true,
+		SHA256: hex.EncodeToString(sum[:]),
+		Result: raw,
+	})
+}
+
+// handleStorePut is the replica-write route: a coordinator (write
+// fan-out, hint redelivery) pushes an already-computed cell straight
+// into this shard's store.  Nothing is executed; the payload is
+// checksum- and version-gated so a corrupted or skewed write is
+// rejected instead of stored.
+func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
+	st := s.suite.Store
+	if st == nil {
+		writeError(w, http.StatusConflict, errors.New("no result store attached; replica writes need one"))
+		return
+	}
+	key, err := store.ParseKey(r.PathValue("key"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req cluster.ReplicaWrite
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Version != harness.ResultsVersion {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("results version %d, want %d", req.Version, harness.ResultsVersion))
+		return
+	}
+	if req.Key != "" && req.Key != key.String() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("body key %.16s does not match path key %.16s", req.Key, key.String()))
+		return
+	}
+	sum := sha256.Sum256(req.Result)
+	if hex.EncodeToString(sum[:]) != req.SHA256 {
+		writeError(w, http.StatusBadRequest, errors.New("payload checksum mismatch"))
+		return
+	}
+	if err := st.Put(key, json.RawMessage(req.Result)); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // handleMetrics serves the live snapshot (Everything mode: volatile

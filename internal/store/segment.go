@@ -161,6 +161,10 @@ func (s *Store) appendLocked(rec segRecord) error {
 		return fmt.Errorf("store: appending index record: %w", s.writeFault)
 	}
 	if s.segActive != nil && s.segActiveRecs >= s.maxSegmentRecords() {
+		// Rollover retires the segment: flush its appended records to
+		// stable storage before letting go of the handle — without this
+		// a crash could lose every record since the segment was opened.
+		s.syncFile(s.segActive) //nolint:errcheck // advisory index; blobs are the source of truth
 		s.segActive.Close()
 		s.segActive = nil
 		if len(s.segIDs) >= maxSegments {
@@ -224,6 +228,7 @@ func (s *Store) openSegmentLocked(id uint64) error {
 		f.Close()
 		return fmt.Errorf("store: writing segment header: %w", err)
 	}
+	s.syncDir(s.segDir) //nolint:errcheck // best-effort: the name, not the data
 	s.segActive = f
 	s.segActiveID = id
 	s.segActiveRecs = 0
@@ -239,6 +244,7 @@ func (s *Store) openSegmentLocked(id uint64) error {
 // the scale test asserts.
 func (s *Store) compactLocked() error {
 	if s.segActive != nil {
+		s.syncFile(s.segActive) //nolint:errcheck // superseded by the snapshot below
 		s.segActive.Close()
 		s.segActive = nil
 	}

@@ -124,8 +124,12 @@ type Stats struct {
 	Corrupt   uint64 // blobs dropped after failing validation (subset of Misses)
 	Evictions uint64
 	PutErrors uint64
-	Entries   int
-	Bytes     int64
+	// Fsyncs counts fsync calls issued for durability: blob/segment
+	// file syncs before close and directory syncs after atomic renames.
+	// The durability tests assert writes are actually flushed.
+	Fsyncs  uint64
+	Entries int
+	Bytes   int64
 	// Degraded reports the memory-only tier is active: disk writes kept
 	// failing (disk full, permissions, dying media) and new results are
 	// held in memory instead of failing requests.
@@ -228,6 +232,39 @@ func (s *Store) Attach(sink *obs.Sink) {
 	if s.degraded {
 		s.m.degraded.Set(1)
 	}
+}
+
+// ManifestEntry is one store entry as exported by Manifest.
+type ManifestEntry struct {
+	Key  string `json:"key"`
+	Size int64  `json:"size"`
+}
+
+// Manifest exports the live entry table sorted by key — the
+// anti-entropy currency of the cluster: a rejoining peer diffs its
+// manifest against its replica peers' and pulls what it is missing.
+// The output is a pure function of the entry set (no recency, no map
+// order), so two stores holding the same cells produce identical
+// manifests.  Memory-tier entries are included: they serve Gets like
+// any other entry.
+func (s *Store) Manifest() []ManifestEntry {
+	s.mu.Lock()
+	out := make([]ManifestEntry, 0, len(s.entries))
+	for k, e := range s.entries {
+		out = append(out, ManifestEntry{Key: k.String(), Size: e.size})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Has reports whether k is present in the entry table (without reading
+// or validating the blob — a later Get may still miss on corruption).
+func (s *Store) Has(k Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[k]
+	return ok
 }
 
 // Stats returns a snapshot of activity since Open.
@@ -463,7 +500,10 @@ func (s *Store) publishSizeLocked() {
 }
 
 // writeAtomic writes data to path via a temp file in the target's
-// directory and an atomic rename.
+// directory and an atomic rename.  The temp file is fsynced before the
+// rename and the directory after it, so once writeAtomic returns the
+// entry survives a crash or power loss — without the directory sync
+// the rename itself could be lost even though the data blocks landed.
 func (s *Store) writeAtomic(path string, data []byte) error {
 	if s.writeFault != nil {
 		return fmt.Errorf("store: writing %s: %w", filepath.Base(path), s.writeFault)
@@ -474,6 +514,9 @@ func (s *Store) writeAtomic(path string, data []byte) error {
 	}
 	tmp := f.Name()
 	_, werr := f.Write(data)
+	if werr == nil {
+		werr = s.syncFile(f)
+	}
 	cerr := f.Close()
 	if werr == nil {
 		werr = cerr
@@ -481,9 +524,36 @@ func (s *Store) writeAtomic(path string, data []byte) error {
 	if werr == nil {
 		werr = os.Rename(tmp, path)
 	}
+	if werr == nil {
+		werr = s.syncDir(filepath.Dir(path))
+	}
 	if werr != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("store: writing %s: %w", filepath.Base(path), werr)
+	}
+	return nil
+}
+
+// syncFile fsyncs one open file, counting the flush.
+func (s *Store) syncFile(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	s.stats.Fsyncs++
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed (or just-created) name
+// in it is durable.  Best-effort on filesystems that refuse directory
+// opens or syncs — the data file itself was already flushed.
+func (s *Store) syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	if d.Sync() == nil {
+		s.stats.Fsyncs++
 	}
 	return nil
 }
