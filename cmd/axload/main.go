@@ -2,12 +2,13 @@
 // offers a configurable request mix at a target RPS schedule (warmup,
 // step ramp, sustained full rate), measures client-side latency per
 // route, detects the saturation knee, and writes the evidence as a
-// versioned BENCH_server.json (harness.ServerBenchReport, schema 1).
+// versioned BENCH_server.json (harness.ServerBenchReport).
 //
 // Usage:
 //
 //	axload -target http://localhost:8080 -rps 200 -duration 10s -mix hotkey
 //	axload -rps 400 -duration 30s -warmup 5s -steps 5 -mix mixed -out BENCH_server.json
+//	axload -rps 100 -duration 10s -tenants gold,bronze   # manager-routed simulate traffic
 //	axload -validate BENCH_server.json    # decode + sanity-gate an existing report
 //
 // Open-loop means arrivals follow the schedule regardless of response
@@ -51,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed        = fs.Int64("seed", 1, "request-sequence seed (one seed = one sequence)")
 		maxInFlight = fs.Int("max-inflight", 0, "outstanding-request cap; arrivals past it are counted as dropped (0 = 512)")
 		reqTimeout  = fs.Duration("request-timeout", 0, "per-request client deadline (0 = 10s)")
+		tenants     = fs.String("tenants", "", "comma-separated tenant IDs: route simulate traffic through the daemon's approximation manager")
 		out         = fs.String("out", "BENCH_server.json", "report path")
 		validate    = fs.String("validate", "", "decode and sanity-gate this existing report instead of running")
 	)
@@ -71,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Seed:        *seed,
 		MaxInFlight: *maxInFlight,
 		Timeout:     *reqTimeout,
+		Tenants:     splitTenants(*tenants),
 		Logf:        func(format string, a ...any) { fmt.Fprintf(stderr, "axload: "+format+"\n", a...) },
 	})
 	if err != nil {
@@ -93,6 +96,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	printSummary(stdout, report, *out)
 	return nil
+}
+
+// splitTenants parses the -tenants flag: comma-separated IDs, blanks
+// dropped, nil when unset.
+func splitTenants(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // isConfigError distinguishes argument mistakes (exit 2) from run
@@ -124,6 +142,11 @@ func printSummary(w io.Writer, r harness.ServerBenchReport, path string) {
 	}
 	if r.StoreHitRatio >= 0 {
 		fmt.Fprintf(w, "  store hit ratio: %.1f%%\n", 100*r.StoreHitRatio)
+	}
+	for _, ten := range r.Tenants {
+		fmt.Fprintf(w, "  tenant %-8s %6d reqs  p50 %.2fms  p99 %.2fms  budget %.2f%%  err %.2f%%  speedup %.2fx\n",
+			ten.Tenant, ten.Requests, ten.P50Ms, ten.P99Ms,
+			100*ten.ErrorBudget, 100*ten.MeanError, ten.SpeedupEst)
 	}
 	if r.DroppedArrivals > 0 {
 		fmt.Fprintf(w, "  WARNING: %d arrivals dropped at the in-flight cap; the run under-offered\n", r.DroppedArrivals)

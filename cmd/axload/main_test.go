@@ -119,6 +119,23 @@ func TestValidateRejects(t *testing.T) {
 	}
 }
 
+// TestSplitTenants: flag parsing for manager-routed runs.
+func TestSplitTenants(t *testing.T) {
+	if got := splitTenants(""); got != nil {
+		t.Fatalf("empty flag = %v, want nil", got)
+	}
+	got := splitTenants(" gold, bronze ,,silver")
+	want := []string{"gold", "bronze", "silver"}
+	if len(got) != len(want) {
+		t.Fatalf("splitTenants = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitTenants = %v, want %v", got, want)
+		}
+	}
+}
+
 // TestUsageErrors: bad flags exit as usage mistakes, not run failures.
 func TestUsageErrors(t *testing.T) {
 	if _, _, err := runCmd(t, "-mix", "nope", "-target", "http://127.0.0.1:1",

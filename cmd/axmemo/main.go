@@ -56,6 +56,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		guardBudget = fs.Float64("guard-budget", 0, "per-LUT quality-guard relative-error budget; > 0 arms the guard (and adds a guarded column to fault sweeps)")
 		maxCycles   = fs.Uint64("max-cycles", 0, "cycle-budget watchdog; the run fails past this many simulated cycles (0 = unlimited)")
 
+		manage       = fs.String("manage", "", "tenants JSON file; runs the closed-loop approximation manager on -bench for every declared tenant and prints the convergence trajectory plus a managed-vs-static A/B table")
+		manageEpochs = fs.Int("manage-epochs", 32, "control-epoch budget for -manage convergence")
+		manageLUTKB  = fs.Int("manage-lut-kb", 0, "LUT capacity the manager divides across tenants (0 = 64)")
+
 		figures    = fs.String("figures", "", "generate evaluation figures through the parallel sweep scheduler instead of a single run (comma-separated IDs or 'all')")
 		parallel   = fs.Int("parallel", 0, "sweep worker pool size for -figures (0 = one worker per CPU, 1 = serial)")
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -156,6 +160,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprint(stdout, prog.Dump())
 		return nil
+	}
+
+	if *manage != "" {
+		if err := runManage(stdout, sink, st, *manage, w.Name, *engine, *scale, *manageEpochs, *manageLUTKB); err != nil {
+			return err
+		}
+		return writeArtifacts()
 	}
 
 	cfg := harness.Config{Scale: *scale, Obs: sink, Engine: *engine}

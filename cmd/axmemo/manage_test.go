@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTenantsFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	doc := `{"tenants": [
+  {"id": "loose", "error_budget": 0.10, "share_weight": 1},
+  {"id": "tight", "error_budget": 0.01, "share_weight": 1}
+]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestManageMode(t *testing.T) {
+	path := writeTenantsFile(t)
+	code, stdout, stderr := runCmd(t,
+		"-bench", "kmeans", "-manage", path, "-manage-lut-kb", "16", "-manage-epochs", "32")
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "settled=true") {
+		t.Fatalf("manager did not report convergence:\n%s", stdout)
+	}
+	for _, want := range []string{"loose", "tight", "A/B: managed vs static default"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("output missing %q:\n%s", want, stdout)
+		}
+	}
+	// Two same-flag invocations print the identical trajectory.
+	_, stdout2, _ := runCmd(t,
+		"-bench", "kmeans", "-manage", path, "-manage-lut-kb", "16", "-manage-epochs", "32")
+	if stdout != stdout2 {
+		t.Fatalf("same-seed -manage runs diverged:\n%s\nvs\n%s", stdout, stdout2)
+	}
+}
+
+func TestManageModeBadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(path, []byte(`{"tenants": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runCmd(t, "-bench", "kmeans", "-manage", path); code == 0 {
+		t.Fatalf("empty tenants file accepted")
+	}
+}

@@ -14,8 +14,10 @@
 //
 // Endpoints: POST /v1/simulate, POST /v1/cells (shard protocol), POST
 // /v1/sweep (async; poll GET /v1/jobs/{id}), GET /v1/figures[/{name}],
-// GET /v1/store/manifest and GET/PUT /v1/store/cells/{key} (replica
-// store protocol), GET /healthz, GET /metrics.  SIGINT/SIGTERM stop
+// GET /v1/tenants and PUT /v1/tenants/{id} (approximation-manager
+// tenant registry; see -tenants), GET /v1/store/manifest and GET/PUT
+// /v1/store/cells/{key} (replica store protocol), GET /healthz,
+// GET /metrics.  SIGINT/SIGTERM stop
 // the listener, drain in-flight jobs (bounded by -drain-timeout), stop
 // any spawned shards, flush the store and exit 0.
 //
@@ -61,6 +63,7 @@ import (
 	"axmemo/internal/cluster"
 	"axmemo/internal/cpu"
 	"axmemo/internal/harness"
+	"axmemo/internal/manager"
 	"axmemo/internal/obs"
 	"axmemo/internal/server"
 	"axmemo/internal/store"
@@ -93,6 +96,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		selfID        = fs.String("self-id", "", "this daemon's cluster peer ID, used for rejoin-repair placement (set by the parent on spawned shards)")
 		repairPeers   = fs.String("repair-peers", "", "comma-separated id=host:port replica peers to anti-entropy diff against on boot; /healthz reports 503 \"repairing\" until the pull completes")
 		engine        = fs.String("engine", "", "simulator execution engine: tree or bytecode (default bytecode; results are identical, only speed differs)")
+		tenantsFile   = fs.String("tenants", "", "JSON tenant declarations for the approximation manager ({\"tenants\": [{\"id\", \"error_budget\", \"share_weight\"}, ...]}); tenants can also be registered live via PUT /v1/tenants/{id}")
+		managerLUTKB  = fs.Int("manager-lut-kb", 0, "LUT capacity the manager divides across tenants by share weight (0 = 64)")
+		managerSeed   = fs.Int64("manager-seed", 0, "seed for the manager's re-probe jitter (the control policy is deterministic for a fixed seed)")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
@@ -191,6 +197,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 			len(peers), co.Replicas(), co.Members())
 	}
 
+	// The approximation manager is always constructed — its metric
+	// families register lazily on the first tenant Upsert, so a daemon
+	// that never sees a tenant keeps its snapshots byte-identical —
+	// which makes live registration via PUT /v1/tenants/{id} work even
+	// without a -tenants file.
+	mgr := manager.New(manager.Config{
+		TotalLUTKB: *managerLUTKB,
+		StoreBytes: *storeMaxBytes,
+		Seed:       *managerSeed,
+		Obs:        sink,
+	})
+	if *tenantsFile != "" {
+		tenants, err := manager.LoadTenantsFile(*tenantsFile)
+		if err != nil {
+			return err
+		}
+		for _, t := range tenants {
+			if _, err := mgr.Upsert(t); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(stderr, "axmemod: managing %d tenants from %s\n", len(tenants), *tenantsFile)
+	}
+
 	srv := server.New(server.Config{
 		Suite:           suite,
 		Workers:         *workers,
@@ -200,6 +230,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		RequestTimeout:  *reqTimeout,
 		MaxJobs:         *maxJobs,
 		Cluster:         co,
+		Manager:         mgr,
 	})
 
 	// Rejoin repair: a restarted shard diffs its store manifest against

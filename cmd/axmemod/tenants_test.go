@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDaemonTenants boots the daemon with a -tenants file, runs a
+// managed simulation, registers a third tenant live, and checks the
+// manager's metric families surface on /metrics.
+func TestDaemonTenants(t *testing.T) {
+	dir := t.TempDir()
+	tenantsPath := filepath.Join(dir, "tenants.json")
+	doc := `{"tenants": [
+  {"id": "gold", "error_budget": 0.01, "share_weight": 2},
+  {"id": "bronze", "error_budget": 0.10, "share_weight": 1}
+]}`
+	if err := os.WriteFile(tenantsPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	base, done, errOut := startDaemon(t, "-tenants", tenantsPath, "-manager-lut-kb", "16", "-manager-seed", "1")
+	defer func() {
+		if done != nil {
+			sigterm(t, done)
+		}
+	}()
+
+	var list struct {
+		Tenants []struct {
+			ID          string  `json:"id"`
+			ErrorBudget float64 `json:"error_budget"`
+			LUTKB       int     `json:"lut_alloc_kb"`
+		} `json:"tenants"`
+	}
+	resp, err := http.Get(base + "/v1/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Tenants) != 2 || list.Tenants[0].ID != "bronze" || list.Tenants[1].ID != "gold" {
+		t.Fatalf("tenant list %+v, want [bronze gold]", list.Tenants)
+	}
+	if list.Tenants[1].LUTKB <= list.Tenants[0].LUTKB {
+		t.Fatalf("gold (weight 2) got %dKB, bronze (weight 1) %dKB", list.Tenants[1].LUTKB, list.Tenants[0].LUTKB)
+	}
+
+	// A managed simulation is one control epoch.
+	body := `{"benchmark": "sobel", "tenant": "bronze"}`
+	resp, err = http.Post(base+"/v1/simulate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sim struct {
+		Manager *struct {
+			Tenant    string `json:"tenant"`
+			Direction string `json:"direction"`
+		} `json:"manager"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sim); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || sim.Manager == nil || sim.Manager.Tenant != "bronze" {
+		t.Fatalf("managed simulate: code %d manager %+v\n%s", resp.StatusCode, sim.Manager, errOut)
+	}
+
+	// Live registration alongside the file-declared tenants.
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/tenants/silver",
+		strings.NewReader(`{"error_budget": 0.05, "share_weight": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("live tenant registration: code %d, want 201", resp.StatusCode)
+	}
+
+	// The manager's families are live on /metrics.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{"tenant_error_budget", "tenant_mean_error", "tenant_speedup_est", "manager_steps_total"} {
+		if !bytes.Contains(snap, []byte(fam)) {
+			t.Fatalf("/metrics missing family %s", fam)
+		}
+	}
+
+	sigterm(t, done)
+	done = nil
+}
+
+// TestDaemonBadTenantsFile locks the fail-loudly contract for a
+// malformed tenants file.
+func TestDaemonBadTenantsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(path, []byte(`{"tenants": [{"id": "a", "error_budget": 9}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-addr", "127.0.0.1:0", "-tenants", path}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "error budget") {
+		t.Fatalf("bad tenants file: err = %v, want error-budget validation failure", err)
+	}
+}

@@ -83,6 +83,7 @@ type Coordinator struct {
 	replWrites    *obs.CounterVec // peer (volatile: async timing)
 	replErrors    *obs.Counter    // volatile
 	replDrops     *obs.Counter    // volatile
+	readRepairs   *obs.Counter    // volatile
 	hintsQueued   *obs.CounterVec // peer (volatile)
 	hintsDeliv    *obs.CounterVec // peer (volatile)
 	hintsRequeued *obs.Counter    // volatile
@@ -181,6 +182,8 @@ func (co *Coordinator) Attach(sink *obs.Sink) {
 		obs.Opts{Help: "replica write fan-outs that failed delivery", Volatile: true})
 	co.replDrops = reg.NewCounter("cluster_replica_write_drops_total",
 		obs.Opts{Help: "replica writes dropped because the fan-out queue was full", Volatile: true})
+	co.readRepairs = reg.NewCounter("cluster_read_repair_total",
+		obs.Opts{Help: "failed replicas backfilled with a cached result a later replica served", Volatile: true})
 	co.hintsQueued = reg.NewCounterVec("cluster_hints_queued_total",
 		obs.Opts{Help: "replica writes parked as hints for a down peer", Volatile: true}, "peer")
 	co.hintsDeliv = reg.NewCounterVec("cluster_hints_delivered_total",
@@ -252,7 +255,7 @@ func (co *Coordinator) RunCell(c harness.SweepCell) (res *harness.Result, execut
 
 	req := CellRequest{Version: co.members.Version, Scale: cfg.Scale,
 		Cell: harness.SweepCell{Workload: c.Workload, Config: cfg, Baseline: c.Baseline}}
-	errored := false
+	var failed []int // replicas that errored earlier in this walk
 	for _, idx := range set {
 		if !co.members.ReplicaEligible(idx) {
 			continue
@@ -278,7 +281,7 @@ func (co *Coordinator) RunCell(c harness.SweepCell) (res *harness.Result, execut
 		cancel()
 		if err != nil {
 			co.members.ReportFailure(idx)
-			errored = true
+			failed = append(failed, idx)
 			continue
 		}
 		co.members.ReportSuccess(idx)
@@ -288,21 +291,42 @@ func (co *Coordinator) RunCell(c harness.SweepCell) (res *harness.Result, execut
 			// it against payload validation, not against liveness, and
 			// try the next replica.
 			co.badPayload.Inc()
-			errored = true
+			failed = append(failed, idx)
 			continue
 		}
 		co.forwards.With(peers[idx].ID).Inc()
 		if !resp.Cached {
 			co.replicate(key.String(), resp, set, idx)
+		} else if len(failed) > 0 {
+			co.readRepair(key.String(), resp, failed)
 		}
 		return &out, !resp.Cached, true
 	}
 	reason := "dead"
-	if errored {
+	if len(failed) > 0 {
 		reason = "error"
 	}
 	co.fallbacks.With(reason).Inc()
 	return nil, false, false
+}
+
+// readRepair backfills the replicas that failed earlier in a read walk
+// with the cached result a later replica served, so the next read of
+// the key can succeed at its first-choice replica again.  Fresh
+// results need no extra pass — replicate already fans them out to the
+// whole set — and dead peers are skipped: their recovery path is
+// hinted handoff and rejoin repair, not per-read writes.
+func (co *Coordinator) readRepair(key string, resp CellResponse, failed []int) {
+	peers := co.members.Peers()
+	w := ReplicaWrite{Version: co.members.Version, Key: key,
+		SHA256: resp.SHA256, Result: resp.Result}
+	for _, idx := range failed {
+		if co.members.State(idx) != StateAlive {
+			continue
+		}
+		co.readRepairs.Inc()
+		co.enqueueWrite(peers[idx], w)
+	}
 }
 
 // replicate fans a freshly computed cell out to the other members of

@@ -1,0 +1,133 @@
+package cluster_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"axmemo/internal/cluster"
+	"axmemo/internal/harness"
+	"axmemo/internal/obs"
+)
+
+// TestClusterReadRepair: when the first replica of a key errors and a
+// later replica serves the read from its cache, the coordinator
+// backfills the failed replica asynchronously (PUT /v1/store/cells/
+// {key}) and counts the repair — the next read of the key succeeds at
+// its first-choice replica again.
+func TestClusterReadRepair(t *testing.T) {
+	cfg := harness.Baseline()
+	cfg.Scale = 1
+	cell := harness.SweepCell{Workload: "kmeans", Config: cfg}
+	key := harness.CellStoreKey(cell.Workload, cfg)
+
+	// Rendezvous order depends only on peer IDs and the key, so the
+	// walk order is known before any server exists.
+	ids := []cluster.Peer{{ID: "shard-0"}, {ID: "shard-1"}}
+	set := cluster.Owners(ids, key, 2)
+	if len(set) != 2 {
+		t.Fatalf("replica set %v, want 2 peers", set)
+	}
+
+	// Compact: encoding/json compacts RawMessage on the way out, and the
+	// checksum must cover the bytes the wire actually carries.
+	result := json.RawMessage(`{"mean_error":0.01}`)
+	sum := sha256.Sum256(result)
+	shaHex := hex.EncodeToString(sum[:])
+
+	// First replica in the walk: cell reads fail permanently (500 is
+	// not retried), but replica writes are accepted and recorded.
+	var (
+		mu      sync.Mutex
+		repairs []string // PUT paths, with bodies checked inline
+	)
+	repaired := make(chan struct{}, 4)
+	failer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPut && strings.HasPrefix(r.URL.Path, "/v1/store/cells/"):
+			var rw cluster.ReplicaWrite
+			if err := json.NewDecoder(r.Body).Decode(&rw); err != nil {
+				t.Errorf("replica write body: %v", err)
+			}
+			if rw.Key != key.String() || rw.SHA256 != shaHex {
+				t.Errorf("replica write = key %s sha %s, want key %s sha %s",
+					rw.Key, rw.SHA256, key.String(), shaHex)
+			}
+			mu.Lock()
+			repairs = append(repairs, r.URL.Path)
+			mu.Unlock()
+			repaired <- struct{}{}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "shard store lost this key", http.StatusInternalServerError)
+		}
+	}))
+	defer failer.Close()
+
+	// Second replica: serves the read from its cache.
+	server := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp := cluster.CellResponse{Key: key.String(), Cached: true, SHA256: shaHex, Result: result}
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			t.Errorf("encoding cell response: %v", err)
+		}
+	}))
+	defer server.Close()
+
+	peers := make([]cluster.Peer, 2)
+	peers[set[0]] = cluster.Peer{ID: ids[set[0]].ID, Addr: strings.TrimPrefix(failer.URL, "http://")}
+	peers[set[1]] = cluster.Peer{ID: ids[set[1]].ID, Addr: strings.TrimPrefix(server.URL, "http://")}
+
+	co, err := cluster.NewCoordinator(cluster.Config{
+		Peers:    peers,
+		Replicas: 2,
+		Client:   &cluster.Client{Sleep: noSleep},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	sink := obs.NewSink()
+	co.Attach(sink)
+
+	res, executed, ok := co.RunCell(cell)
+	if !ok || res == nil {
+		t.Fatalf("RunCell ok=%v res=%v, want the later replica to serve", ok, res)
+	}
+	if executed {
+		t.Fatal("cached response reported as executed")
+	}
+
+	select {
+	case <-repaired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("failed replica never received the backfill write")
+	}
+	mu.Lock()
+	got := append([]string(nil), repairs...)
+	mu.Unlock()
+	if len(got) != 1 || !strings.HasSuffix(got[0], "/"+key.String()) {
+		t.Fatalf("repair writes = %v, want one PUT of the failed key", got)
+	}
+	if n := sink.Reg().NewCounter("cluster_read_repair_total", obs.Opts{}).Value(); n != 1 {
+		t.Fatalf("cluster_read_repair_total = %d, want 1", n)
+	}
+
+	// A fully served read repairs nothing further: the second walk hits
+	// the (still failing) first replica, is served by the second again,
+	// and issues exactly one more repair — dead peers would be skipped,
+	// but one 500 has not demoted this one.
+	if _, _, ok := co.RunCell(cell); !ok {
+		t.Fatal("second read failed")
+	}
+	select {
+	case <-repaired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second read issued no repair")
+	}
+}

@@ -11,7 +11,11 @@ import (
 //	1  initial report: open-loop capacity evidence (per-route latency
 //	   quantiles, offered vs. achieved RPS per ramp step, the detected
 //	   saturation knee, shed/timeout rates, store hit ratio)
-const ServerBenchSchema = 1
+//	2  adds gomaxprocs (the client's parallelism envelope),
+//	   manager_enabled and the per-tenant latency/quality breakdown
+//	   (tenants[]) for manager-driven multi-tenant runs; schema-1 files
+//	   decode with those fields zero/absent
+const ServerBenchSchema = 2
 
 // ServerRouteStats is one route's client-side view of a capacity run:
 // latency quantiles over every completed request plus the shed (429)
@@ -27,6 +31,23 @@ type ServerRouteStats struct {
 	Rate429 float64 `json:"rate_429"`
 	Rate504 float64 `json:"rate_504"`
 	Errors  uint64  `json:"errors"`
+}
+
+// ServerTenantStats is one tenant's slice of a managed capacity run:
+// the client-side latency of its requests plus the manager's quality
+// view (budget, last observed mean error and speedup estimate) scraped
+// from the daemon's /metrics after the run.
+type ServerTenantStats struct {
+	Tenant   string  `json:"tenant"`
+	Requests uint64  `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	// ErrorBudget, MeanError and SpeedupEst mirror the daemon's
+	// tenant_error_budget, tenant_mean_error and tenant_speedup_est
+	// gauges; zero when the scrape failed or the family is absent.
+	ErrorBudget float64 `json:"error_budget"`
+	MeanError   float64 `json:"mean_error"`
+	SpeedupEst  float64 `json:"speedup_est"`
 }
 
 // ServerBenchStep is one step of the RPS ramp: the arrival rate the
@@ -75,6 +96,17 @@ type ServerBenchReport struct {
 	// StoreHitRatio is hits/(hits+misses) scraped from the daemon's
 	// /metrics after the run; -1 when no store was attached.
 	StoreHitRatio float64 `json:"store_hit_ratio"`
+
+	// GoMaxProcs records the generator's GOMAXPROCS (schema 2): the
+	// client-side parallelism envelope the latencies were measured
+	// under.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// ManagerEnabled reports whether the run exercised the daemon's
+	// approximation manager (tenant-routed requests; schema 2).
+	ManagerEnabled bool `json:"manager_enabled"`
+	// Tenants is the per-tenant breakdown of a managed run (schema 2);
+	// absent on unmanaged runs.
+	Tenants []ServerTenantStats `json:"tenants,omitempty"`
 }
 
 // Encode renders the report as indented JSON with a trailing newline,

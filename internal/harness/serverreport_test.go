@@ -16,6 +16,10 @@ func TestServerBenchReportRoundTrip(t *testing.T) {
 		Routes: []ServerRouteStats{{Route: "simulate", Requests: 990,
 			P50Ms: 1.5, P99Ms: 9.75, P999Ms: 20, Rate429: 0.005, Rate504: 0}},
 		DroppedArrivals: 0, StoreHitRatio: 0.93,
+		GoMaxProcs:     8,
+		ManagerEnabled: true,
+		Tenants: []ServerTenantStats{{Tenant: "gold", Requests: 500,
+			P50Ms: 2, P99Ms: 11, ErrorBudget: 0.01, MeanError: 0.008, SpeedupEst: 1.3}},
 	}
 	data, err := in.Encode()
 	if err != nil {
@@ -39,6 +43,34 @@ func TestServerBenchReportRoundTrip(t *testing.T) {
 	if out.Mix != in.Mix || out.Seed != in.Seed || out.SaturationRPS != in.SaturationRPS ||
 		out.Saturated != in.Saturated || out.StoreHitRatio != in.StoreHitRatio {
 		t.Fatalf("round trip mangled: %+v vs %+v", out, in)
+	}
+	if out.GoMaxProcs != 8 || !out.ManagerEnabled ||
+		len(out.Tenants) != 1 || out.Tenants[0] != in.Tenants[0] {
+		t.Fatalf("schema-2 fields mangled: %+v", out)
+	}
+}
+
+// TestServerBenchReportSchema1Upgrade: a schema-1 file (no gomaxprocs,
+// manager or tenant fields) still decodes, with the schema-2 additions
+// zero-valued.
+func TestServerBenchReportSchema1Upgrade(t *testing.T) {
+	v1 := `{
+  "schema": 1,
+  "mix": "hotkey",
+  "seed": 7,
+  "steps": [{"offered_rps": 100, "achieved_rps": 99, "reject_rate": 0.01}],
+  "routes": [{"route": "simulate", "requests": 990, "p50_ms": 1.5}],
+  "store_hit_ratio": 0.93
+}`
+	r, err := DecodeServerBenchReport([]byte(v1))
+	if err != nil {
+		t.Fatalf("schema-1 report rejected: %v", err)
+	}
+	if r.Schema != 1 || r.Mix != "hotkey" || len(r.Steps) != 1 || len(r.Routes) != 1 {
+		t.Fatalf("schema-1 decode mangled: %+v", r)
+	}
+	if r.GoMaxProcs != 0 || r.ManagerEnabled || r.Tenants != nil {
+		t.Fatalf("schema-2 fields not zero on schema-1 input: %+v", r)
 	}
 }
 

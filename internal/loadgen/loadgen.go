@@ -29,6 +29,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -71,6 +72,12 @@ type Config struct {
 	MaxInFlight int
 	// Timeout bounds each request (0 = 10s).
 	Timeout time.Duration
+	// Tenants, when non-empty, routes every simulate request through the
+	// daemon's approximation manager: each simulate arrival carries a
+	// seeded-random tenant from this list (and no explicit cache knobs —
+	// the manager owns them).  The report then includes the per-tenant
+	// latency and quality breakdown.
+	Tenants []string
 	// Client overrides the HTTP client (tests); nil uses a fresh one.
 	Client *http.Client
 	// Logf, if non-nil, receives per-step progress lines.
@@ -79,22 +86,25 @@ type Config struct {
 
 // spec is one generated request.
 type spec struct {
-	route string // bounded label: simulate, figures, sweep
-	verb  string
-	path  string
-	body  []byte
+	route  string // bounded label: simulate, figures, sweep
+	verb   string
+	path   string
+	body   []byte
+	bench  string // simulate specs: the benchmark, for tenant re-bodying
+	tenant string // non-empty on manager-routed simulate requests
 }
 
 // generator produces the seeded request sequence for a mix.  All
 // randomness lives here, and Run calls it serially from the dispatch
 // loop, so the sequence depends only on the seed.
 type generator struct {
-	mix  string
-	rng  *rand.Rand
-	zipf *rand.Zipf
-	pop  []spec // hot-key population, rank-ordered
-	figs []string
-	n    int
+	mix     string
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	pop     []spec // hot-key population, rank-ordered
+	figs    []string
+	tenants []string
+	n       int
 }
 
 // hotBenchmarks is the simulate population: every workload at a few
@@ -104,13 +114,14 @@ var hotBenchmarks = []string{
 	"inversek2j", "jmeint", "hotspot", "srad", "lavamd",
 }
 
-func newGenerator(mix string, seed int64) (*generator, error) {
-	g := &generator{mix: mix, rng: rand.New(rand.NewSource(seed))}
+func newGenerator(mix string, seed int64, tenants []string) (*generator, error) {
+	g := &generator{mix: mix, rng: rand.New(rand.NewSource(seed)), tenants: tenants}
 	for _, l1 := range []int{4, 8, 16} {
 		for _, b := range hotBenchmarks {
 			g.pop = append(g.pop, spec{
 				route: "simulate", verb: http.MethodPost, path: "/v1/simulate",
-				body: []byte(fmt.Sprintf(`{"benchmark":%q,"l1_kb":%d}`, b, l1)),
+				body:  []byte(fmt.Sprintf(`{"benchmark":%q,"l1_kb":%d}`, b, l1)),
+				bench: b,
 			})
 		}
 	}
@@ -126,12 +137,26 @@ func newGenerator(mix string, seed int64) (*generator, error) {
 	}
 }
 
+// simulate yields one hot-key simulate request.  With tenants
+// configured the request is re-bodied for the manager: the benchmark
+// plus a seeded-random tenant, and no cache knobs (the manager owns
+// them, and the daemon rejects explicit knobs on managed requests).
+func (g *generator) simulate() spec {
+	sp := g.pop[g.zipf.Uint64()]
+	if len(g.tenants) == 0 {
+		return sp
+	}
+	sp.tenant = g.tenants[g.rng.Intn(len(g.tenants))]
+	sp.body = []byte(fmt.Sprintf(`{"benchmark":%q,"tenant":%q}`, sp.bench, sp.tenant))
+	return sp
+}
+
 // next yields the next request of the sequence.
 func (g *generator) next() spec {
 	g.n++
 	switch g.mix {
 	case MixHotkey:
-		return g.pop[g.zipf.Uint64()]
+		return g.simulate()
 	case MixColdsweep:
 		// Mostly synchronous figure renders; every eighth arrival posts
 		// an async sweep job instead.
@@ -144,7 +169,7 @@ func (g *generator) next() spec {
 		return spec{route: "figures", verb: http.MethodGet, path: "/v1/figures/" + fig}
 	default: // MixMixed
 		if g.rng.Float64() < 0.8 {
-			return g.pop[g.zipf.Uint64()]
+			return g.simulate()
 		}
 		fig := g.figs[g.rng.Intn(len(g.figs))]
 		return spec{route: "figures", verb: http.MethodGet, path: "/v1/figures/" + fig}
@@ -185,19 +210,26 @@ func Run(ctx context.Context, cfg Config) (harness.ServerBenchReport, error) {
 	if client == nil {
 		client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: maxInFlight}}
 	}
-	gen, err := newGenerator(cfg.Mix, cfg.Seed)
+	gen, err := newGenerator(cfg.Mix, cfg.Seed, cfg.Tenants)
 	if err != nil {
 		return harness.ServerBenchReport{}, err
 	}
 
 	// Client-side latency histograms (ms), per route, via internal/obs.
 	reg := obs.NewRegistry()
+	latBuckets := []float64{0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
 	lat := reg.NewHistogramVec("axload_latency_ms",
 		obs.Opts{Help: "client-observed request latency", Volatile: true,
-			Buckets: []float64{0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}},
+			Buckets: latBuckets},
 		"route")
 	responses := reg.NewCounterVec("axload_responses_total",
 		obs.Opts{Help: "responses by route and class"}, "route", "code")
+	tenantLat := reg.NewHistogramVec("axload_tenant_latency_ms",
+		obs.Opts{Help: "client-observed latency of manager-routed requests", Volatile: true,
+			Buckets: latBuckets},
+		"tenant")
+	tenantReqs := reg.NewCounterVec("axload_tenant_requests_total",
+		obs.Opts{Help: "completed manager-routed requests per tenant"}, "tenant")
 
 	aggs := make([]*stepAgg, steps)
 	stepDur := cfg.Duration / time.Duration(steps)
@@ -248,6 +280,10 @@ func Run(ctx context.Context, cfg Config) (harness.ServerBenchReport, error) {
 			resp.Body.Close()
 			if agg != nil {
 				lat.With(sp.route).Observe(ms)
+				if sp.tenant != "" {
+					tenantLat.With(sp.tenant).Observe(ms)
+					tenantReqs.With(sp.tenant).Inc()
+				}
 			}
 			switch {
 			case resp.StatusCode < 300:
@@ -315,6 +351,7 @@ func Run(ctx context.Context, cfg Config) (harness.ServerBenchReport, error) {
 	case <-ctx.Done():
 	}
 
+	snap := scrapeSnapshot(client, cfg.Target)
 	report := harness.ServerBenchReport{
 		Target:          cfg.Target,
 		Mix:             cfg.Mix,
@@ -322,7 +359,9 @@ func Run(ctx context.Context, cfg Config) (harness.ServerBenchReport, error) {
 		DurationSec:     cfg.Duration.Seconds(),
 		WarmupSec:       cfg.Warmup.Seconds(),
 		DroppedArrivals: dropped.Load(),
-		StoreHitRatio:   scrapeHitRatio(client, cfg.Target),
+		StoreHitRatio:   hitRatioFrom(snap),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		ManagerEnabled:  len(cfg.Tenants) > 0,
 	}
 	for _, agg := range aggs {
 		st := harness.ServerBenchStep{
@@ -358,6 +397,24 @@ func Run(ctx context.Context, cfg Config) (harness.ServerBenchReport, error) {
 		}
 		report.Routes = append(report.Routes, rs)
 	}
+	for _, tenant := range cfg.Tenants {
+		n := uint64(tenantReqs.With(tenant).Value())
+		if n == 0 {
+			continue
+		}
+		h := tenantLat.With(tenant)
+		ts := harness.ServerTenantStats{
+			Tenant:   tenant,
+			Requests: n,
+			P50Ms:    h.Quantile(0.50),
+			P99Ms:    h.Quantile(0.99),
+		}
+		want := map[string]string{"tenant": tenant}
+		ts.ErrorBudget, _ = snap.Family("tenant_error_budget").Value(want)
+		ts.MeanError, _ = snap.Family("tenant_mean_error").Value(want)
+		ts.SpeedupEst, _ = snap.Family("tenant_speedup_est").Value(want)
+		report.Tenants = append(report.Tenants, ts)
+	}
 	return report, nil
 }
 
@@ -380,22 +437,28 @@ func DetectKnee(steps []harness.ServerBenchStep) (rps float64, saturated bool) {
 	return rps, saturated
 }
 
-// scrapeHitRatio reads the daemon's /metrics for the store hit ratio;
-// -1 when the store families are absent or the scrape fails.
-func scrapeHitRatio(client *http.Client, target string) float64 {
+// scrapeSnapshot reads and parses the daemon's /metrics; nil when the
+// scrape fails (the Snapshot accessors are nil-safe).
+func scrapeSnapshot(client *http.Client, target string) *obs.Snapshot {
 	resp, err := client.Get(target + "/metrics")
 	if err != nil {
-		return -1
+		return nil
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
 	if err != nil {
-		return -1
+		return nil
 	}
 	snap, err := obs.ParseSnapshot(data)
 	if err != nil {
-		return -1
+		return nil
 	}
+	return snap
+}
+
+// hitRatioFrom extracts the store hit ratio from a scraped snapshot;
+// -1 when the store families are absent or the scrape failed.
+func hitRatioFrom(snap *obs.Snapshot) float64 {
 	hits := snap.Family("store_hits_total").SumValues(nil)
 	misses := snap.Family("store_misses_total").SumValues(nil)
 	if snap.Family("store_hits_total") == nil || hits+misses == 0 {

@@ -3,10 +3,12 @@ package loadgen
 import (
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
 	"axmemo/internal/harness"
+	"axmemo/internal/manager"
 	"axmemo/internal/obs"
 	"axmemo/internal/server"
 	"axmemo/internal/store"
@@ -16,12 +18,12 @@ import (
 // property that makes capacity runs replayable.
 func TestGeneratorDeterministic(t *testing.T) {
 	for _, mix := range Mixes() {
-		a, err := newGenerator(mix, 42)
+		a, err := newGenerator(mix, 42, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, _ := newGenerator(mix, 42)
-		c, _ := newGenerator(mix, 43)
+		b, _ := newGenerator(mix, 42, nil)
+		c, _ := newGenerator(mix, 43, nil)
 		diverged := false
 		for i := 0; i < 500; i++ {
 			sa, sb, sc := a.next(), b.next(), c.next()
@@ -36,7 +38,7 @@ func TestGeneratorDeterministic(t *testing.T) {
 			t.Fatalf("mix %s: different seeds produced identical sequences", mix)
 		}
 	}
-	if _, err := newGenerator("nope", 1); err == nil {
+	if _, err := newGenerator("nope", 1, nil); err == nil {
 		t.Fatal("unknown mix accepted")
 	}
 }
@@ -45,7 +47,7 @@ func TestGeneratorDeterministic(t *testing.T) {
 // sweep-class; mixed is mostly simulate with a figures tail; and the
 // hotkey distribution is actually skewed (zipf head dominates).
 func TestGeneratorMixShape(t *testing.T) {
-	g, _ := newGenerator(MixHotkey, 1)
+	g, _ := newGenerator(MixHotkey, 1, nil)
 	byBody := map[string]int{}
 	for i := 0; i < 2000; i++ {
 		sp := g.next()
@@ -66,7 +68,7 @@ func TestGeneratorMixShape(t *testing.T) {
 		t.Fatalf("hotkey head only %d/2000 requests; distribution not skewed", max)
 	}
 
-	g, _ = newGenerator(MixColdsweep, 1)
+	g, _ = newGenerator(MixColdsweep, 1, nil)
 	sweeps := 0
 	for i := 0; i < 400; i++ {
 		sp := g.next()
@@ -82,13 +84,109 @@ func TestGeneratorMixShape(t *testing.T) {
 		t.Fatal("coldsweep never posted a sweep job")
 	}
 
-	g, _ = newGenerator(MixMixed, 1)
+	g, _ = newGenerator(MixMixed, 1, nil)
 	counts := map[string]int{}
 	for i := 0; i < 1000; i++ {
 		counts[g.next().route]++
 	}
 	if counts["simulate"] < 600 || counts["figures"] == 0 {
 		t.Fatalf("mixed shape off: %v", counts)
+	}
+}
+
+// TestGeneratorTenantRouting: with tenants configured every simulate
+// request carries a tenant from the list and drops the explicit cache
+// knobs (the manager owns them); the sequence stays seeded.
+func TestGeneratorTenantRouting(t *testing.T) {
+	tenants := []string{"gold", "bronze"}
+	a, err := newGenerator(MixHotkey, 7, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := newGenerator(MixHotkey, 7, tenants)
+	seen := map[string]int{}
+	for i := 0; i < 500; i++ {
+		sa, sb := a.next(), b.next()
+		if string(sa.body) != string(sb.body) || sa.tenant != sb.tenant {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+		if sa.tenant != "gold" && sa.tenant != "bronze" {
+			t.Fatalf("request %d routed to unknown tenant %q", i, sa.tenant)
+		}
+		body := string(sa.body)
+		if !strings.Contains(body, `"tenant":"`+sa.tenant+`"`) {
+			t.Fatalf("body missing tenant: %s", body)
+		}
+		if strings.Contains(body, "l1_kb") {
+			t.Fatalf("managed request still carries explicit knobs: %s", body)
+		}
+		seen[sa.tenant]++
+	}
+	if seen["gold"] == 0 || seen["bronze"] == 0 {
+		t.Fatalf("tenant choice degenerate: %v", seen)
+	}
+}
+
+// TestRunManagedEndToEnd drives a tenant-routed burst through a daemon
+// with the approximation manager attached and checks the schema-2
+// report fields: manager_enabled, gomaxprocs, and a per-tenant
+// breakdown whose budgets were scraped from the daemon.
+func TestRunManagedEndToEnd(t *testing.T) {
+	suite := harness.NewSuite(1)
+	suite.Parallel = 2
+	suite.Obs = obs.NewSink()
+	mgr := manager.New(manager.Config{TotalLUTKB: 16, Seed: 1, Obs: suite.Obs})
+	for _, ten := range []manager.Tenant{
+		{ID: "gold", ErrorBudget: 0.01, ShareWeight: 2},
+		{ID: "bronze", ErrorBudget: 0.10, ShareWeight: 1},
+	} {
+		if _, err := mgr.Upsert(ten); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(server.New(server.Config{
+		Suite: suite, Manager: mgr, RequestTimeout: 30 * time.Second,
+	}).Handler())
+	t.Cleanup(ts.Close)
+
+	report, err := Run(t.Context(), Config{
+		Target:   ts.URL,
+		Mix:      MixHotkey,
+		RPS:      40,
+		Duration: 1 * time.Second,
+		Steps:    1,
+		Seed:     3,
+		Tenants:  []string{"gold", "bronze"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.ManagerEnabled {
+		t.Fatal("tenant-routed run not flagged manager_enabled")
+	}
+	if report.GoMaxProcs <= 0 {
+		t.Fatalf("gomaxprocs = %d", report.GoMaxProcs)
+	}
+	if len(report.Tenants) == 0 {
+		t.Fatal("managed run produced no tenant breakdown")
+	}
+	budgets := map[string]float64{"gold": 0.01, "bronze": 0.10}
+	for _, ten := range report.Tenants {
+		want, ok := budgets[ten.Tenant]
+		if !ok {
+			t.Fatalf("unknown tenant in report: %+v", ten)
+		}
+		if ten.Requests == 0 || ten.P50Ms <= 0 || ten.P50Ms > ten.P99Ms {
+			t.Fatalf("tenant stats malformed: %+v", ten)
+		}
+		if ten.ErrorBudget != want {
+			t.Fatalf("tenant %s budget = %v (not scraped?), want %v", ten.Tenant, ten.ErrorBudget, want)
+		}
+		// MeanError may legitimately read 0 early on; the speedup gauge is
+		// always written once the tenant has been observed.
+		if ten.SpeedupEst <= 0 {
+			t.Fatalf("tenant %s quality gauges not scraped: %+v", ten.Tenant, ten)
+		}
 	}
 }
 

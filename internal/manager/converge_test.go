@@ -1,0 +1,79 @@
+package manager
+
+import (
+	"bytes"
+	"testing"
+
+	"axmemo/internal/harness"
+	"axmemo/internal/obs"
+)
+
+// runTwoTenant converges a loose (10%) and a tight (1%) tenant on
+// kmeans and returns the report plus the manager's deterministic
+// metric snapshot.
+func runTwoTenant(t *testing.T) (*ConvergeReport, []byte) {
+	t.Helper()
+	sink := obs.NewSink()
+	m := New(Config{TotalLUTKB: 16, Seed: 1, Obs: sink})
+	mustUpsert(t, m, Tenant{ID: "loose", ErrorBudget: 0.10, ShareWeight: 1})
+	mustUpsert(t, m, Tenant{ID: "tight", ErrorBudget: 0.01, ShareWeight: 1})
+	ev := &SuiteEvaluator{Suite: harness.NewSuite(1)}
+	rep, err := m.Converge(ev, "kmeans", 32)
+	if err != nil {
+		t.Fatalf("Converge: %v", err)
+	}
+	return rep, sink.Reg().SnapshotJSON(obs.Deterministic)
+}
+
+// TestTwoTenantConvergence is the acceptance test from the issue: two
+// tenants with budgets 10% and 1% on the same workload must both
+// settle under budget, with the loose tenant at a strictly higher
+// truncation level and a strictly higher estimated speedup, and the
+// whole run — metrics included — must be byte-reproducible for a
+// fixed seed.
+func TestTwoTenantConvergence(t *testing.T) {
+	rep, snap := runTwoTenant(t)
+	if !rep.AllSettled {
+		t.Fatalf("manager did not settle within %d epochs:\n%+v", rep.Epochs, rep.Final)
+	}
+	loose, tight := rep.Final["loose"], rep.Final["tight"]
+	if !loose.Settled || !tight.Settled {
+		t.Fatalf("settled: loose=%v tight=%v", loose.Settled, tight.Settled)
+	}
+	if loose.Level <= tight.Level {
+		t.Fatalf("loose tenant level %d not above tight tenant level %d", loose.Level, tight.Level)
+	}
+	if loose.SpeedupEst <= tight.SpeedupEst {
+		t.Fatalf("loose speedup %.3f not above tight speedup %.3f", loose.SpeedupEst, tight.SpeedupEst)
+	}
+	if loose.MeanError > 0.10 {
+		t.Fatalf("loose settled over budget: mean error %.4f > 0.10", loose.MeanError)
+	}
+	if tight.MeanError > 0.01 {
+		t.Fatalf("tight settled over budget: mean error %.4f > 0.01", tight.MeanError)
+	}
+	if loose.SpeedupEst <= 1 || tight.SpeedupEst <= 1 {
+		t.Fatalf("settled operating points must beat baseline: loose %.3fx tight %.3fx",
+			loose.SpeedupEst, tight.SpeedupEst)
+	}
+	t.Logf("loose: L%d err %.4f speedup %.2fx; tight: L%d err %.4f speedup %.2fx (%d epochs)",
+		loose.Level, loose.MeanError, loose.SpeedupEst,
+		tight.Level, tight.MeanError, tight.SpeedupEst, rep.Epochs)
+
+	// Same seed, fresh suite: byte-identical trajectory and metrics.
+	rep2, snap2 := runTwoTenant(t)
+	if rep2.Epochs != rep.Epochs || rep2.Final["loose"] != rep.Final["loose"] || rep2.Final["tight"] != rep.Final["tight"] {
+		t.Fatalf("same-seed reruns diverged:\n%+v\nvs\n%+v", rep.Final, rep2.Final)
+	}
+	if !bytes.Equal(snap, snap2) {
+		t.Fatalf("same-seed metric snapshots differ:\n%s\nvs\n%s", snap, snap2)
+	}
+}
+
+// TestConvergeRequiresTenants locks the empty-registry error path.
+func TestConvergeRequiresTenants(t *testing.T) {
+	m := New(Config{})
+	if _, err := m.Converge(&SuiteEvaluator{Suite: harness.NewSuite(1)}, "kmeans", 4); err == nil {
+		t.Fatalf("Converge with no tenants succeeded")
+	}
+}

@@ -1,0 +1,404 @@
+// Package manager is the online approximation manager: a closed-loop,
+// multi-tenant supervisory controller layered over the data plane
+// (memo unit, harness, server).  Where PR 1's per-LUT quality guard
+// only *reacts* — disabling a LUT whose windowed error estimate blows
+// its budget — the manager *optimizes*: it watches each tenant's
+// measured quality and speedup and walks the approximation knobs
+// (truncation level, LUT capacity, guard budget) toward the most
+// aggressive configuration that still honors the tenant's error SLO,
+// in the spirit of AXES's approximation manager.
+//
+// The control policy is deterministic hill climbing with AIMD-style
+// back-off (see policy.go): additive increase of the truncation level
+// while measured error sits under budget, multiplicative decrease plus
+// a ceiling on SLO pressure — where "pressure" is either the measured
+// mean error exceeding the budget or the PR 1 guard tripping at all,
+// so the two control layers never fight: a level the guard has to
+// police is treated as infeasible and fenced off, which is the
+// hysteresis that keeps the manager from flapping against the guard.
+// Once no knob has moved for SettleEpochs consecutive epochs the
+// tenant is settled and holds its operating point.
+//
+// Multi-tenancy: each tenant declares an error budget (its quality
+// SLO) and a share weight; the manager divides the configured LUT
+// capacity across tenants by weight (power-of-two floor, since LUT
+// set counts must be powers of two) and tracks one independent
+// controller per {tenant, workload}.  Knob configurations are named
+// by their knob values alone — never by tenant — so two tenants that
+// converge to the same operating point share cells in every cache
+// tier.  The reserved tenant "default" is the unmanaged path: it
+// cannot be registered, and servers route it around the manager
+// entirely, byte-for-byte identical to a manager-less deployment.
+package manager
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"axmemo/internal/obs"
+)
+
+// DefaultTenant is the reserved unmanaged tenant: requests under it
+// bypass the manager and behave exactly as if no manager existed.
+const DefaultTenant = "default"
+
+// Tenant is one registered tenant's declaration.
+type Tenant struct {
+	// ID names the tenant ("default" is reserved for the unmanaged
+	// path and cannot be registered).
+	ID string `json:"id"`
+	// ErrorBudget is the tenant's quality SLO: the mean relative
+	// output error its workloads must stay under (e.g. 0.01 = 1%).
+	ErrorBudget float64 `json:"error_budget"`
+	// ShareWeight sets the tenant's slice of the managed LUT and
+	// store capacity relative to the other tenants (0 = 1).
+	ShareWeight float64 `json:"share_weight"`
+}
+
+// Validate reports whether the declaration is usable.
+func (t Tenant) Validate() error {
+	if t.ID == "" {
+		return fmt.Errorf("manager: tenant needs an id")
+	}
+	if t.ID == DefaultTenant {
+		return fmt.Errorf("manager: tenant id %q is reserved for the unmanaged path", DefaultTenant)
+	}
+	if t.ErrorBudget <= 0 || t.ErrorBudget >= 1 {
+		return fmt.Errorf("manager: tenant %s: error budget %v outside (0, 1)", t.ID, t.ErrorBudget)
+	}
+	if t.ShareWeight < 0 {
+		return fmt.Errorf("manager: tenant %s: negative share weight %v", t.ID, t.ShareWeight)
+	}
+	return nil
+}
+
+// Config assembles a Manager.  The zero value is usable; every field
+// has a default.
+type Config struct {
+	// TotalLUTKB is the LUT capacity the manager divides across
+	// tenants by share weight (0 = 64).  Per-tenant slices are floored
+	// to a power of two and never below MinTenantLUTKB.
+	TotalLUTKB int
+	// StoreBytes, when > 0, is an advisory result-store capacity split
+	// across tenants the same way and exported per tenant.
+	StoreBytes int64
+	// MaxLevel caps the truncation level (0 = DefaultMaxLevel).
+	MaxLevel int
+	// HoldEpochs is how many epochs a controller holds still after a
+	// back-off before climbing again (0 = 2).
+	HoldEpochs int
+	// SettleEpochs is how many consecutive no-change epochs settle a
+	// controller (0 = 3).
+	SettleEpochs int
+	// Seed seeds the per-controller jitter used by ProbeEvery; the
+	// policy is deterministic for a fixed seed either way.
+	Seed int64
+	// ProbeEvery, when > 0, re-probes a settled controller's fenced
+	// ceiling every ProbeEvery..2*ProbeEvery epochs (seeded jitter), in
+	// case the workload drifted.  0 disables re-probing.
+	ProbeEvery int
+	// Obs receives the per-tenant metric families; nil disables them.
+	Obs *obs.Sink
+}
+
+// Capacity-allocation floors.
+const (
+	// MinTenantLUTKB is the smallest LUT slice a tenant can be
+	// allocated (LUT set counts must be powers of two and nonzero).
+	MinTenantLUTKB = 4
+	// DefaultTotalLUTKB is the managed LUT capacity when unset.
+	DefaultTotalLUTKB = 64
+)
+
+// tenantState is one registered tenant plus its controllers.
+type tenantState struct {
+	t          Tenant
+	lutKB      int
+	storeBytes int64
+	ctls       map[string]*controller // by workload
+}
+
+// Manager is the closed-loop approximation manager.  All methods are
+// safe for concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+
+	metricsOnce sync.Once
+	m           managerMetrics
+}
+
+// managerMetrics are the manager's obs families, registered lazily on
+// the first Upsert so a constructed-but-unused manager leaves the
+// registry (and every existing golden snapshot) untouched.
+type managerMetrics struct {
+	budget  *obs.GaugeVec   // tenant
+	meanErr *obs.GaugeVec   // tenant
+	speedup *obs.GaugeVec   // tenant
+	lutKB   *obs.GaugeVec   // tenant
+	storeB  *obs.GaugeVec   // tenant
+	settled *obs.GaugeVec   // tenant
+	steps   *obs.CounterVec // tenant, direction
+}
+
+// New builds a manager; register tenants with Upsert.
+func New(cfg Config) *Manager {
+	if cfg.TotalLUTKB <= 0 {
+		cfg.TotalLUTKB = DefaultTotalLUTKB
+	}
+	if cfg.MaxLevel <= 0 {
+		cfg.MaxLevel = DefaultMaxLevel
+	}
+	if cfg.HoldEpochs <= 0 {
+		cfg.HoldEpochs = 2
+	}
+	if cfg.SettleEpochs <= 0 {
+		cfg.SettleEpochs = 3
+	}
+	return &Manager{cfg: cfg, tenants: make(map[string]*tenantState)}
+}
+
+func (m *Manager) attachMetrics() {
+	reg := m.cfg.Obs.Reg()
+	if reg == nil {
+		return
+	}
+	m.metricsOnce.Do(func() {
+		m.m = managerMetrics{
+			budget: reg.NewGaugeVec("tenant_error_budget",
+				obs.Opts{Help: "declared per-tenant mean-relative-error budget (the quality SLO)"}, "tenant"),
+			meanErr: reg.NewGaugeVec("tenant_mean_error",
+				obs.Opts{Help: "last observed mean relative error per tenant"}, "tenant"),
+			speedup: reg.NewGaugeVec("tenant_speedup_est",
+				obs.Opts{Help: "last observed speedup estimate vs the unmemoized baseline, per tenant"}, "tenant"),
+			lutKB: reg.NewGaugeVec("tenant_lut_alloc_kb",
+				obs.Opts{Help: "LUT (and HVR context) capacity allocated to the tenant by share weight"}, "tenant"),
+			storeB: reg.NewGaugeVec("tenant_store_alloc_bytes",
+				obs.Opts{Help: "advisory result-store capacity share allocated to the tenant"}, "tenant"),
+			settled: reg.NewGaugeVec("tenant_settled",
+				obs.Opts{Help: "1 when every controller of the tenant has settled (no knob changes for SettleEpochs)"}, "tenant"),
+			steps: reg.NewCounterVec("manager_steps_total",
+				obs.Opts{Help: "control-epoch knob decisions per tenant (up, down, hold, probe)"}, "tenant", "direction"),
+		}
+	})
+}
+
+// Upsert registers or updates a tenant and reallocates capacity across
+// all tenants.  created reports whether the tenant was new.
+func (m *Manager) Upsert(t Tenant) (created bool, err error) {
+	if err := t.Validate(); err != nil {
+		return false, err
+	}
+	m.attachMetrics()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, ok := m.tenants[t.ID]
+	if !ok {
+		ts = &tenantState{ctls: make(map[string]*controller)}
+		m.tenants[t.ID] = ts
+	}
+	ts.t = t
+	m.reallocate()
+	return !ok, nil
+}
+
+// Lookup returns a registered tenant's declaration.
+func (m *Manager) Lookup(id string) (Tenant, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, ok := m.tenants[id]
+	if !ok {
+		return Tenant{}, false
+	}
+	return ts.t, true
+}
+
+// TenantIDs returns the registered tenant IDs, sorted.
+func (m *Manager) TenantIDs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.idsLocked()
+}
+
+func (m *Manager) idsLocked() []string {
+	ids := make([]string, 0, len(m.tenants))
+	for id := range m.tenants {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// reallocate divides the managed capacity across tenants by share
+// weight.  LUT slices are floored to a power of two (set counts must
+// be) and never below MinTenantLUTKB — the floor can oversubscribe
+// TotalLUTKB when many tiny-weight tenants exist, which is accepted:
+// a tenant always gets a workable LUT.  Callers hold m.mu.
+func (m *Manager) reallocate() {
+	total := 0.0
+	for _, ts := range m.tenants {
+		total += ts.t.weight()
+	}
+	for _, ts := range m.tenants {
+		share := ts.t.weight() / total
+		ts.lutKB = potFloor(int(float64(m.cfg.TotalLUTKB) * share))
+		ts.storeBytes = int64(float64(m.cfg.StoreBytes) * share)
+		m.m.lutKB.With(ts.t.ID).Set(float64(ts.lutKB))
+		m.m.budget.With(ts.t.ID).Set(ts.t.ErrorBudget)
+		if m.cfg.StoreBytes > 0 {
+			m.m.storeB.With(ts.t.ID).Set(float64(ts.storeBytes))
+		}
+	}
+}
+
+func (t Tenant) weight() float64 {
+	if t.ShareWeight <= 0 {
+		return 1
+	}
+	return t.ShareWeight
+}
+
+// potFloor floors kb to a power of two, never below MinTenantLUTKB.
+func potFloor(kb int) int {
+	p := MinTenantLUTKB
+	for p*2 <= kb {
+		p *= 2
+	}
+	return p
+}
+
+// ctlLocked finds (or seeds) the {tenant, workload} controller.
+func (m *Manager) ctlLocked(ts *tenantState, workload string) *controller {
+	c, ok := ts.ctls[workload]
+	if !ok {
+		h := fnv.New64a()
+		h.Write([]byte(ts.t.ID + "\x00" + workload)) //nolint:errcheck // fnv never errs
+		c = newController(m.cfg, rand.New(rand.NewSource(m.cfg.Seed^int64(h.Sum64()))))
+		ts.ctls[workload] = c
+	}
+	return c
+}
+
+// Knobs returns the knob configuration the tenant's workload should
+// run under right now.
+func (m *Manager) Knobs(tenant, workload string) (Knobs, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, ok := m.tenants[tenant]
+	if !ok {
+		return Knobs{}, fmt.Errorf("manager: unknown tenant %q", tenant)
+	}
+	c := m.ctlLocked(ts, workload)
+	return Knobs{Level: c.level, L1KB: ts.lutKB, GuardBudget: ts.t.ErrorBudget}, nil
+}
+
+// Observation is one measured evaluation of a tenant workload under
+// the manager's current knobs.
+type Observation struct {
+	// MeanError is the measured mean relative output error.
+	MeanError float64
+	// Speedup is the measured speedup vs the unmemoized baseline.
+	Speedup float64
+	// GuardTrips is how often the per-LUT quality guard disabled a LUT
+	// during the run; any trip marks the operating point infeasible.
+	GuardTrips uint64
+}
+
+// Observe feeds one measurement into the {tenant, workload} controller
+// and steps it one control epoch, returning the knob decision ("up",
+// "down", "hold" or "probe").
+func (m *Manager) Observe(tenant, workload string, o Observation) (direction string, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, ok := m.tenants[tenant]
+	if !ok {
+		return "", fmt.Errorf("manager: unknown tenant %q", tenant)
+	}
+	c := m.ctlLocked(ts, workload)
+	dir := c.step(o, ts.t.ErrorBudget)
+	m.m.steps.With(tenant, dir).Inc()
+	m.m.meanErr.With(tenant).Set(o.MeanError)
+	m.m.speedup.With(tenant).Set(o.Speedup)
+	m.m.settled.With(tenant).Set(boolGauge(m.settledLocked(ts)))
+	return dir, nil
+}
+
+func (m *Manager) settledLocked(ts *tenantState) bool {
+	for _, c := range ts.ctls {
+		if !c.settled {
+			return false
+		}
+	}
+	return len(ts.ctls) > 0
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// WorkloadStatus is one {tenant, workload} controller's public state.
+type WorkloadStatus struct {
+	Workload   string  `json:"workload"`
+	Level      int     `json:"level"`
+	Ceiling    int     `json:"ceiling"`
+	Epochs     int     `json:"epochs"`
+	Settled    bool    `json:"settled"`
+	Direction  string  `json:"direction,omitempty"`
+	MeanError  float64 `json:"mean_error"`
+	SpeedupEst float64 `json:"speedup_est"`
+}
+
+// TenantStatus is one tenant's declaration plus allocation and
+// controller state.
+type TenantStatus struct {
+	Tenant
+	LUTKB      int              `json:"lut_alloc_kb"`
+	StoreBytes int64            `json:"store_alloc_bytes,omitempty"`
+	Workloads  []WorkloadStatus `json:"workloads,omitempty"`
+}
+
+// Status reports one {tenant, workload} controller's state; ok is
+// false when the tenant is unknown or the workload never observed.
+func (m *Manager) Status(tenant, workload string) (WorkloadStatus, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, ok := m.tenants[tenant]
+	if !ok {
+		return WorkloadStatus{}, false
+	}
+	c, ok := ts.ctls[workload]
+	if !ok {
+		return WorkloadStatus{}, false
+	}
+	return c.status(workload), true
+}
+
+// Tenants reports every registered tenant's status, sorted by ID (and
+// workloads sorted by name) so the rendering is deterministic.
+func (m *Manager) Tenants() []TenantStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]TenantStatus, 0, len(m.tenants))
+	for _, id := range m.idsLocked() {
+		ts := m.tenants[id]
+		st := TenantStatus{Tenant: ts.t, LUTKB: ts.lutKB, StoreBytes: ts.storeBytes}
+		wls := make([]string, 0, len(ts.ctls))
+		for wl := range ts.ctls {
+			wls = append(wls, wl)
+		}
+		sort.Strings(wls)
+		for _, wl := range wls {
+			st.Workloads = append(st.Workloads, ts.ctls[wl].status(wl))
+		}
+		out = append(out, st)
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package manager
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func testCfg() Config {
+	return Config{TotalLUTKB: 16, MaxLevel: DefaultMaxLevel, HoldEpochs: 2, SettleEpochs: 3}
+}
+
+func TestControllerClimbsWhileUnderBudget(t *testing.T) {
+	c := newController(testCfg(), rand.New(rand.NewSource(1)))
+	for i := 0; i < 4; i++ {
+		if dir := c.step(Observation{MeanError: 0.001}, 0.01); dir != StepUp {
+			t.Fatalf("epoch %d: dir = %q, want up", i+1, dir)
+		}
+	}
+	if c.level != 4 {
+		t.Fatalf("level = %d after 4 clean epochs, want 4", c.level)
+	}
+}
+
+func TestControllerBacksOffAndFencesViolatedLevel(t *testing.T) {
+	c := newController(testCfg(), rand.New(rand.NewSource(1)))
+	c.level = 6
+	if dir := c.step(Observation{MeanError: 0.05}, 0.01); dir != StepDown {
+		t.Fatalf("violation dir = %q, want down", dir)
+	}
+	if c.level != 3 || c.ceiling != 6 {
+		t.Fatalf("after violation: level %d ceiling %d, want 3 and 6", c.level, c.ceiling)
+	}
+	// Hold window: two epochs of no movement even though under budget.
+	for i := 0; i < 2; i++ {
+		if dir := c.step(Observation{MeanError: 0.001}, 0.01); dir != StepHold {
+			t.Fatalf("hold epoch %d: dir = %q", i+1, dir)
+		}
+	}
+	// Climb resumes but never re-enters the fenced level.
+	for i := 0; i < 6; i++ {
+		c.step(Observation{MeanError: 0.001}, 0.01)
+	}
+	if c.level != 5 {
+		t.Fatalf("level = %d, want 5 (ceiling 6 is fenced)", c.level)
+	}
+	if !c.settled {
+		t.Fatalf("controller should settle one below its ceiling")
+	}
+}
+
+func TestControllerGuardTripIsAViolation(t *testing.T) {
+	c := newController(testCfg(), rand.New(rand.NewSource(1)))
+	c.level = 4
+	// Error under budget, but the quality guard fired: the level is
+	// infeasible anyway — that is the no-flap contract with PR 1.
+	if dir := c.step(Observation{MeanError: 0.001, GuardTrips: 2}, 0.01); dir != StepDown {
+		t.Fatalf("guard trip dir = %q, want down", dir)
+	}
+	if c.ceiling != 4 {
+		t.Fatalf("ceiling = %d, want 4", c.ceiling)
+	}
+}
+
+func TestControllerSettlesAtFloorWhenSLOUnmeetable(t *testing.T) {
+	c := newController(testCfg(), rand.New(rand.NewSource(1)))
+	for i := 0; i < 10; i++ {
+		c.step(Observation{MeanError: 0.5}, 0.01) // violated even at level 0
+	}
+	if c.level != 0 || !c.settled {
+		t.Fatalf("level %d settled %v, want floor 0 settled (best effort)", c.level, c.settled)
+	}
+}
+
+func TestControllerProbeReopensCeiling(t *testing.T) {
+	cfg := testCfg()
+	cfg.ProbeEvery = 3
+	c := newController(cfg, rand.New(rand.NewSource(7)))
+	c.level = 5
+	c.step(Observation{MeanError: 0.5}, 0.01) // fence level 5
+	var probed bool
+	for i := 0; i < 20; i++ {
+		if dir := c.step(Observation{MeanError: 0.001}, 0.01); dir == StepProbe {
+			probed = true
+			break
+		}
+	}
+	if !probed {
+		t.Fatalf("settled controller never probed with ProbeEvery=3")
+	}
+	if c.ceiling != cfg.MaxLevel+1 || c.settled {
+		t.Fatalf("probe left ceiling %d settled %v, want ceiling lifted and unsettled", c.ceiling, c.settled)
+	}
+}
+
+func TestTruncAtLevel(t *testing.T) {
+	defaults := []uint8{16, 2}
+	cases := []struct {
+		level int
+		want  []uint8
+	}{
+		{0, []uint8{8, 0}},             // conservative end; clamped at 0
+		{DefaultLevel, []uint8{16, 2}}, // the Table 2 anchor
+		{7, []uint8{22, 8}},
+		{20, []uint8{30, 30}}, // clamped at maxTruncBits
+	}
+	for _, tc := range cases {
+		got := TruncAtLevel(defaults, tc.level)
+		if len(got) != len(tc.want) {
+			t.Fatalf("level %d: length %d, want %d", tc.level, len(got), len(tc.want))
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("level %d: trunc %v, want %v", tc.level, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestKnobConfigNameEncodesKnobsNotTenant(t *testing.T) {
+	a := Knobs{Level: 3, L1KB: 8, GuardBudget: 0.01}
+	b := Knobs{Level: 4, L1KB: 8, GuardBudget: 0.01}
+	if a.ConfigName() == b.ConfigName() {
+		t.Fatalf("different levels share config name %q", a.ConfigName())
+	}
+	if strings.Contains(a.ConfigName(), "tenant") {
+		t.Fatalf("config name %q must not mention tenants", a.ConfigName())
+	}
+}
+
+func TestAllocationSplitsByWeightPowerOfTwo(t *testing.T) {
+	m := New(Config{TotalLUTKB: 64})
+	mustUpsert(t, m, Tenant{ID: "gold", ErrorBudget: 0.01, ShareWeight: 3})
+	mustUpsert(t, m, Tenant{ID: "bronze", ErrorBudget: 0.10, ShareWeight: 1})
+	kg, _ := m.Knobs("gold", "sobel")
+	kb, _ := m.Knobs("bronze", "sobel")
+	if kg.L1KB != 32 || kb.L1KB != 16 {
+		t.Fatalf("alloc gold %dKB bronze %dKB, want 32 and 16 (power-of-two floors of 48/16)", kg.L1KB, kb.L1KB)
+	}
+	// A tiny weight still gets the floor.
+	mustUpsert(t, m, Tenant{ID: "dust", ErrorBudget: 0.05, ShareWeight: 0.001})
+	kd, _ := m.Knobs("dust", "sobel")
+	if kd.L1KB != MinTenantLUTKB {
+		t.Fatalf("dust alloc %dKB, want the %dKB floor", kd.L1KB, MinTenantLUTKB)
+	}
+}
+
+func TestManagerRejectsBadTenants(t *testing.T) {
+	m := New(Config{})
+	for _, tn := range []Tenant{
+		{ID: "", ErrorBudget: 0.01},
+		{ID: DefaultTenant, ErrorBudget: 0.01},
+		{ID: "x", ErrorBudget: 0},
+		{ID: "x", ErrorBudget: 1.5},
+		{ID: "x", ErrorBudget: 0.01, ShareWeight: -1},
+	} {
+		if _, err := m.Upsert(tn); err == nil {
+			t.Fatalf("Upsert(%+v) accepted, want error", tn)
+		}
+	}
+	if _, err := m.Knobs("ghost", "sobel"); err == nil {
+		t.Fatalf("Knobs for an unregistered tenant succeeded")
+	}
+	if _, err := m.Observe("ghost", "sobel", Observation{}); err == nil {
+		t.Fatalf("Observe for an unregistered tenant succeeded")
+	}
+}
+
+func TestParseTenants(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		ok   bool
+	}{
+		{"valid", `{"tenants":[{"id":"a","error_budget":0.1},{"id":"b","error_budget":0.01,"share_weight":2}]}`, true},
+		{"empty", `{"tenants":[]}`, false},
+		{"duplicate", `{"tenants":[{"id":"a","error_budget":0.1},{"id":"a","error_budget":0.2}]}`, false},
+		{"reserved", `{"tenants":[{"id":"default","error_budget":0.1}]}`, false},
+		{"unknown field", `{"tenants":[{"id":"a","error_budget":0.1,"budget":0.2}]}`, false},
+		{"malformed", `{"tenants":`, false},
+	}
+	for _, tc := range cases {
+		ts, err := ParseTenants([]byte(tc.in))
+		if (err == nil) != tc.ok {
+			t.Fatalf("%s: err = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+		if tc.ok && len(ts) != 2 {
+			t.Fatalf("%s: parsed %d tenants, want 2", tc.name, len(ts))
+		}
+	}
+}
+
+func mustUpsert(t *testing.T, m *Manager, tn Tenant) {
+	t.Helper()
+	if _, err := m.Upsert(tn); err != nil {
+		t.Fatalf("Upsert(%s): %v", tn.ID, err)
+	}
+}

@@ -1,0 +1,137 @@
+package manager
+
+import "math/rand"
+
+// DefaultMaxLevel caps the truncation-level knob.  Level DefaultLevel
+// reproduces the paper's Table 2 truncation; each level above it
+// truncates levelStride more input bits per region (see knobs.go), so
+// the top of the range already truncates well past where every
+// workload's guard trips — there is nothing to explore beyond it.
+const DefaultMaxLevel = 9
+
+// controller is one {tenant, workload} hill climber.  The policy is
+// AIMD with a feasibility ceiling:
+//
+//   - violation (measured error over budget, or the quality guard
+//     tripped at all): the violated level becomes the ceiling,
+//     the level halves (multiplicative decrease), and the controller
+//     holds still for HoldEpochs before climbing again;
+//   - otherwise, climb one level (additive increase) unless the next
+//     level is fenced by the ceiling or the cap — then hold.
+//
+// The ceiling is the anti-flap hysteresis: a level that violated once
+// is never re-entered by climbing (only by an explicit ProbeEvery
+// re-probe), so the controller cannot oscillate across the SLO
+// boundary or against the guard.  After SettleEpochs consecutive
+// holds the controller is settled.
+type controller struct {
+	cfg Config
+	rng *rand.Rand
+
+	level     int
+	ceiling   int // lowest level ever observed to violate; MaxLevel+1 = none
+	hold      int // epochs left to hold after a back-off
+	unchanged int // consecutive epochs with no knob movement
+	epochs    int
+	settled   bool
+
+	sinceProbe int
+	nextProbe  int
+
+	lastDir   string
+	lastErr   float64
+	lastSpeed float64
+}
+
+func newController(cfg Config, rng *rand.Rand) *controller {
+	return &controller{cfg: cfg, rng: rng, ceiling: cfg.MaxLevel + 1}
+}
+
+// Policy step directions.
+const (
+	StepUp    = "up"
+	StepDown  = "down"
+	StepHold  = "hold"
+	StepProbe = "probe"
+)
+
+// step folds one observation into the controller and decides the next
+// knob position.
+func (c *controller) step(o Observation, budget float64) string {
+	c.epochs++
+	c.lastErr = o.MeanError
+	c.lastSpeed = o.Speedup
+
+	dir := StepHold
+	violated := o.MeanError > budget || o.GuardTrips > 0
+	switch {
+	case violated:
+		if c.level < c.ceiling {
+			c.ceiling = c.level
+		}
+		next := c.level / 2
+		if next >= c.ceiling {
+			next = c.ceiling - 1
+		}
+		if next < 0 {
+			next = 0
+		}
+		if next != c.level {
+			c.level = next
+			dir = StepDown
+			c.hold = c.cfg.HoldEpochs
+		} else if c.hold > 0 {
+			// An immovable floor violation does not restart the hold:
+			// the SLO is unmeetable even at level 0, so the controller
+			// settles there as the best effort (tenant_mean_error
+			// exposes the gap).
+			c.hold--
+		}
+	case c.hold > 0:
+		c.hold--
+	case c.level+1 < c.ceiling && c.level+1 <= c.cfg.MaxLevel:
+		c.level++
+		dir = StepUp
+	}
+
+	if dir == StepHold {
+		c.unchanged++
+	} else {
+		c.unchanged = 0
+	}
+	c.settled = c.hold == 0 && c.unchanged >= c.cfg.SettleEpochs
+
+	// Optional drift re-probe: a settled controller occasionally lifts
+	// its ceiling to re-test whether the fenced level became feasible
+	// (seeded jitter keeps a fleet of controllers from probing in
+	// lockstep; off by default, and the step stays deterministic for a
+	// fixed seed).
+	if c.cfg.ProbeEvery > 0 && c.settled {
+		if c.sinceProbe++; c.nextProbe == 0 {
+			c.nextProbe = c.cfg.ProbeEvery + c.rng.Intn(c.cfg.ProbeEvery)
+		}
+		if c.sinceProbe >= c.nextProbe {
+			c.sinceProbe, c.nextProbe = 0, 0
+			c.ceiling = c.cfg.MaxLevel + 1
+			c.settled = false
+			c.unchanged = 0
+			dir = StepProbe
+		}
+	}
+
+	c.lastDir = dir
+	return dir
+}
+
+func (c *controller) status(workload string) WorkloadStatus {
+	return WorkloadStatus{
+		Workload:   workload,
+		Level:      c.level,
+		Ceiling:    c.ceiling,
+		Epochs:     c.epochs,
+		Settled:    c.settled,
+		Direction:  c.lastDir,
+		MeanError:  c.lastErr,
+		SpeedupEst: c.lastSpeed,
+	}
+}

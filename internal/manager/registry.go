@@ -1,0 +1,58 @@
+package manager
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// tenantsFile is the -tenants JSON document:
+//
+//	{"tenants": [
+//	  {"id": "gold",   "error_budget": 0.01, "share_weight": 2},
+//	  {"id": "bronze", "error_budget": 0.10, "share_weight": 1}
+//	]}
+type tenantsFile struct {
+	Tenants []Tenant `json:"tenants"`
+}
+
+// ParseTenants decodes and validates a tenants JSON document,
+// rejecting unknown fields and duplicate IDs so a typo in an
+// operator-maintained file fails loudly instead of silently dropping
+// a tenant's SLO.
+func ParseTenants(data []byte) ([]Tenant, error) {
+	var f tenantsFile
+	if err := jsonStrict(data, &f); err != nil {
+		return nil, fmt.Errorf("manager: parsing tenants: %w", err)
+	}
+	if len(f.Tenants) == 0 {
+		return nil, fmt.Errorf("manager: tenants file declares no tenants")
+	}
+	seen := make(map[string]bool, len(f.Tenants))
+	for _, t := range f.Tenants {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[t.ID] {
+			return nil, fmt.Errorf("manager: duplicate tenant %q", t.ID)
+		}
+		seen[t.ID] = true
+	}
+	return f.Tenants, nil
+}
+
+// LoadTenantsFile reads and parses a -tenants file.
+func LoadTenantsFile(path string) ([]Tenant, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseTenants(data)
+}
+
+func jsonStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

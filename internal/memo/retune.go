@@ -1,0 +1,95 @@
+package memo
+
+// Runtime LUT reconfiguration: the approximation manager resizes a
+// tenant's LUT slice while the unit is live.  Real hardware cannot
+// swap table geometry mid-transaction — a pending allocation holds a
+// set index computed under the old geometry — so a retune is staged
+// and applied at an *epoch fence*: the first moment no {LUT, TID}
+// context has an allocation in flight.  The swap discards the table
+// contents (entries are keyed by set index, which the new geometry
+// reshuffles anyway) and bumps the unit's geometry epoch so observers
+// can correlate occupancy resets with retunes.
+
+import "fmt"
+
+// retuneSpec is one staged geometry change awaiting its fence.
+type retuneSpec struct {
+	l1 LUTConfig
+	l2 *LUTConfig
+}
+
+// Retune stages a LUT geometry change and applies it immediately if no
+// allocation is in flight, otherwise at the next fence (the first
+// lookup or update at which every pending allocation has retired).
+// The data
+// width cannot change — it is baked into the program's UPDATE operands
+// — and a level cannot be added or removed at runtime.  Staging a new
+// retune before the previous one applied replaces it.
+func (u *Unit) Retune(l1 LUTConfig, l2 *LUTConfig, now uint64) error {
+	if err := l1.Validate(); err != nil {
+		return fmt.Errorf("memo: retune L1: %w", err)
+	}
+	if l1.DataBytes != u.cfg.L1.DataBytes {
+		return fmt.Errorf("memo: retune cannot change L1 data width %d to %d",
+			u.cfg.L1.DataBytes, l1.DataBytes)
+	}
+	if (l2 == nil) != (u.l2 == nil) {
+		return fmt.Errorf("memo: retune cannot add or remove the L2 LUT level")
+	}
+	if l2 != nil {
+		if err := l2.Validate(); err != nil {
+			return fmt.Errorf("memo: retune L2: %w", err)
+		}
+		if l2.DataBytes != u.cfg.L2.DataBytes {
+			return fmt.Errorf("memo: retune cannot change L2 data width %d to %d",
+				u.cfg.L2.DataBytes, l2.DataBytes)
+		}
+	}
+	u.retune = &retuneSpec{l1: l1, l2: l2}
+	if !u.tryRetune(now) {
+		u.stats.RetunesDeferred++
+	}
+	return nil
+}
+
+// GeometryEpoch counts applied retunes; it starts at 0 and increments
+// at each fence where a staged geometry change lands.
+func (u *Unit) GeometryEpoch() uint64 { return u.geomEpoch }
+
+// tryRetune applies the staged retune if the fence condition holds (no
+// pending allocation anywhere).  Returns whether a retune applied.
+func (u *Unit) tryRetune(now uint64) bool {
+	if u.retune == nil {
+		return false
+	}
+	for i := range u.pend {
+		if u.pend[i].valid {
+			return false
+		}
+	}
+	spec := u.retune
+	u.retune = nil
+	u.cfg.L1 = spec.l1
+	u.l1 = newLUT(spec.l1)
+	if spec.l2 != nil {
+		c := *spec.l2
+		u.cfg.L2 = &c
+		u.l2 = newLUT(c)
+	}
+	if u.inj != nil && u.cfg.Faults.StuckEntryRate > 0 {
+		u.l1.stick = u.inj.StickEntry
+		if u.l2 != nil {
+			u.l2.stick = u.inj.StickEntry
+		}
+	}
+	if u.cfg.TrackCollisions {
+		// The tables are empty again; stale shadow keys would count
+		// phantom collisions against entries that no longer exist.
+		u.shadow = make(map[shadowKey]string)
+	}
+	u.geomEpoch++
+	u.stats.Retunes++
+	u.tr.Instant("memo.retune", "memo", u.obsPID, 0, now,
+		"l1_bytes", fmt.Sprint(spec.l1.SizeBytes), "epoch", fmt.Sprint(u.geomEpoch))
+	return true
+}

@@ -1,0 +1,132 @@
+package memo
+
+import "testing"
+
+func TestRetuneAppliesImmediatelyWhenIdle(t *testing.T) {
+	u := mustNewT(noMonitorCfg())
+	// Populate an entry under the original 8 KB geometry.
+	feed32(u, 0, 42)
+	u.lookupT(0, 0, 0)
+	u.updateT(0, 0, 7, 0)
+
+	if err := u.Retune(LUTConfig{SizeBytes: 4 << 10, DataBytes: 4, HitLatency: 2}, nil, 10); err != nil {
+		t.Fatalf("Retune: %v", err)
+	}
+	if u.GeometryEpoch() != 1 {
+		t.Fatalf("geometry epoch %d, want 1 (no allocation in flight)", u.GeometryEpoch())
+	}
+	if u.Config().L1.SizeBytes != 4<<10 {
+		t.Fatalf("L1 size %d after retune, want %d", u.Config().L1.SizeBytes, 4<<10)
+	}
+	if u.L1Occupancy() != 0 {
+		t.Fatalf("retuned LUT not empty: occupancy %v", u.L1Occupancy())
+	}
+	// The old entry is gone: same input misses under the new geometry.
+	feed32(u, 0, 42)
+	if res := u.lookupT(0, 0, 20); res.Hit {
+		t.Fatalf("hit on an entry that should not have survived the retune")
+	}
+	u.updateT(0, 0, 7, 20)
+	s := u.Stats()
+	if s.Retunes != 1 || s.RetunesDeferred != 0 {
+		t.Fatalf("stats: %d applied %d deferred, want 1 and 0", s.Retunes, s.RetunesDeferred)
+	}
+}
+
+func TestRetuneDefersUntilPendingRetires(t *testing.T) {
+	u := mustNewT(noMonitorCfg())
+	feed32(u, 0, 42)
+	u.lookupT(0, 0, 0) // miss: allocation now in flight
+
+	if err := u.Retune(LUTConfig{SizeBytes: 16 << 10, DataBytes: 4, HitLatency: 2}, nil, 5); err != nil {
+		t.Fatalf("Retune: %v", err)
+	}
+	if u.GeometryEpoch() != 0 {
+		t.Fatalf("retune applied across an in-flight allocation")
+	}
+	if s := u.Stats(); s.RetunesDeferred != 1 {
+		t.Fatalf("deferred count %d, want 1", s.RetunesDeferred)
+	}
+	// The update retires the allocation — that is the fence.
+	u.updateT(0, 0, 7, 6)
+	if u.GeometryEpoch() != 1 {
+		t.Fatalf("geometry epoch %d after fence, want 1", u.GeometryEpoch())
+	}
+	if u.Config().L1.SizeBytes != 16<<10 {
+		t.Fatalf("L1 size %d after fence, want %d", u.Config().L1.SizeBytes, 16<<10)
+	}
+	// The update that fenced the retune must not leak into the fresh
+	// table (its set index was computed under the old geometry).
+	if u.L1Occupancy() != 0 {
+		t.Fatalf("fencing update leaked into the retuned LUT: occupancy %v", u.L1Occupancy())
+	}
+}
+
+func TestRetuneRestagingReplacesPrevious(t *testing.T) {
+	u := mustNewT(noMonitorCfg())
+	feed32(u, 0, 1)
+	u.lookupT(0, 0, 0) // hold the fence open
+	if err := u.Retune(LUTConfig{SizeBytes: 4 << 10, DataBytes: 4, HitLatency: 2}, nil, 1); err != nil {
+		t.Fatalf("Retune 1: %v", err)
+	}
+	if err := u.Retune(LUTConfig{SizeBytes: 16 << 10, DataBytes: 4, HitLatency: 2}, nil, 2); err != nil {
+		t.Fatalf("Retune 2: %v", err)
+	}
+	u.updateT(0, 0, 9, 3)
+	if got := u.Config().L1.SizeBytes; got != 16<<10 {
+		t.Fatalf("L1 size %d, want the re-staged %d", got, 16<<10)
+	}
+	if u.GeometryEpoch() != 1 {
+		t.Fatalf("geometry epoch %d, want 1 (one applied change)", u.GeometryEpoch())
+	}
+}
+
+func TestRetuneRejectsIllegalChanges(t *testing.T) {
+	l2 := LUTConfig{SizeBytes: 256 << 10, DataBytes: 4, HitLatency: 13}
+	cfg := noMonitorCfg()
+	cfg.L2 = &l2
+	u := mustNewT(cfg)
+
+	if err := u.Retune(LUTConfig{SizeBytes: 8 << 10, DataBytes: 8, HitLatency: 2}, &l2, 0); err == nil {
+		t.Fatalf("data-width change accepted")
+	}
+	if err := u.Retune(LUTConfig{SizeBytes: 8 << 10, DataBytes: 4, HitLatency: 2}, nil, 0); err == nil {
+		t.Fatalf("dropping the L2 level accepted")
+	}
+	if err := u.Retune(LUTConfig{SizeBytes: 100, DataBytes: 4, HitLatency: 2}, &l2, 0); err == nil {
+		t.Fatalf("invalid L1 geometry accepted")
+	}
+	if u.GeometryEpoch() != 0 {
+		t.Fatalf("rejected retunes changed the geometry epoch")
+	}
+
+	// A legal two-level retune lands in both levels.
+	smallL2 := LUTConfig{SizeBytes: 128 << 10, DataBytes: 4, HitLatency: 13}
+	if err := u.Retune(LUTConfig{SizeBytes: 4 << 10, DataBytes: 4, HitLatency: 2}, &smallL2, 0); err != nil {
+		t.Fatalf("legal two-level retune rejected: %v", err)
+	}
+	if u.Config().L1.SizeBytes != 4<<10 || u.Config().L2.SizeBytes != 128<<10 {
+		t.Fatalf("geometry after two-level retune: L1 %d L2 %d", u.Config().L1.SizeBytes, u.Config().L2.SizeBytes)
+	}
+}
+
+func TestRetuneLookupFence(t *testing.T) {
+	u := mustNewT(noMonitorCfg())
+	feed32(u, 0, 1)
+	u.lookupT(0, 0, 0)
+	if err := u.Retune(LUTConfig{SizeBytes: 4 << 10, DataBytes: 4, HitLatency: 2}, nil, 1); err != nil {
+		t.Fatalf("Retune: %v", err)
+	}
+	// Invalidate retires the pending allocation but is not itself a
+	// fence; the next lookup is.
+	u.invalidateT(0)
+	if u.GeometryEpoch() != 0 {
+		t.Fatalf("invalidate applied the retune directly")
+	}
+	feed32(u, 1, 2)
+	u.lookupT(1, 0, 10)
+	if u.GeometryEpoch() != 1 {
+		t.Fatalf("lookup fence did not apply the staged retune")
+	}
+	u.updateT(1, 0, 3, 11)
+}

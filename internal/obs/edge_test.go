@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramQuantileEdges is the table-driven companion to
+// TestHistogramQuantile: the degenerate shapes — empty, single-bucket,
+// everything past the geometry, out-of-range q — each have one pinned
+// answer, because axload's latency reporting leans on them.
+func TestHistogramQuantileEdges(t *testing.T) {
+	fill := func(bounds []float64, obs ...float64) *Histogram {
+		h := newHistogram(bounds)
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		return h
+	}
+	cases := []struct {
+		name string
+		h    *Histogram
+		q    float64
+		want float64
+	}{
+		{"nil histogram", nil, 0.5, 0},
+		{"empty histogram", fill([]float64{1, 2}), 0.5, 0},
+		{"q zero", fill([]float64{1, 2}, 0.5), 0, 0},
+		{"q negative", fill([]float64{1, 2}, 0.5), -1, 0},
+		{"q one", fill([]float64{1, 2}, 0.5), 1, 0},
+		{"q past one", fill([]float64{1, 2}, 0.5), 1.5, 0},
+		// One bucket, one observation: the median interpolates to the
+		// middle of (0, bound].
+		{"single bucket midpoint", fill([]float64{10}, 3), 0.5, 5},
+		// Every observation beyond the last finite bound: any quantile
+		// clamps there — the histogram cannot see past its geometry.
+		{"all mass in +Inf", fill([]float64{1, 2}, 5, 6, 7), 0.5, 2},
+		{"all mass in +Inf p99", fill([]float64{1, 2}, 5, 6, 7), 0.99, 2},
+		// Mass split across a skipped empty bucket still interpolates in
+		// the right one: 2 obs <=1, 2 obs in (4, 8].
+		{"empty middle bucket", fill([]float64{1, 4, 8}, 0.5, 0.5, 6, 6), 0.75, 6},
+	}
+	for _, tc := range cases {
+		if got := tc.h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestParseSnapshotEdges drives the parser through its rejection and
+// odd-number table: malformed documents fail loudly, and the quoted
+// float forms SnapshotJSON emits for non-finite values decode exactly.
+func TestParseSnapshotEdges(t *testing.T) {
+	bad := []struct {
+		name string
+		doc  string
+	}{
+		{"garbage", `nope`},
+		{"truncated", `{"schema": 1, "metrics": [`},
+		{"schema zero", `{"schema": 0, "metrics": []}`},
+		{"schema negative", `{"schema": -3, "metrics": []}`},
+		{"future schema", `{"schema": 99, "metrics": []}`},
+		{"bad value", `{"schema": 1, "metrics": [{"name": "x", "series": [{"value": "wat"}]}]}`},
+		{"bad quoted number", `{"schema": 1, "metrics": [{"name": "x", "series": [{"value": "1.2.3"}]}]}`},
+	}
+	for _, tc := range bad {
+		if _, err := ParseSnapshot([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+
+	doc := `{"schema": 1, "metrics": [{"name": "w", "type": "histogram", "series": [
+  {"labels": {"route": "simulate"}, "value": "+Inf", "count": 2, "sum": "-Inf",
+   "buckets": [{"le": "0.25", "n": 1}, {"le": "+Inf", "n": 1}]},
+  {"value": "NaN"}
+]}]}`
+	snap, err := ParseSnapshot([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := snap.Family("w")
+	if fam == nil || len(fam.Series) != 2 {
+		t.Fatalf("family = %+v", fam)
+	}
+	se := fam.Series[0]
+	if !math.IsInf(float64(se.Value), 1) || !math.IsInf(float64(se.Sum), -1) {
+		t.Fatalf("quoted infinities mis-decoded: value=%v sum=%v", se.Value, se.Sum)
+	}
+	if len(se.Buckets) != 2 || float64(se.Buckets[0].LE) != 0.25 ||
+		!math.IsInf(float64(se.Buckets[1].LE), 1) {
+		t.Fatalf("buckets = %+v", se.Buckets)
+	}
+	if !math.IsNaN(float64(fam.Series[1].Value)) {
+		t.Fatalf("quoted NaN = %v", fam.Series[1].Value)
+	}
+}

@@ -24,10 +24,10 @@ type Event struct {
 	Name string
 	Cat  string
 	Ph   string
-	TS   uint64 // logical time (cycles / deterministic index)
-	Dur  uint64 // span length (PhaseComplete only)
-	PID  int    // process lane: one simulation / sweep cell
-	TID  int    // thread lane within the process
+	TS   uint64   // logical time (cycles / deterministic index)
+	Dur  uint64   // span length (PhaseComplete only)
+	PID  int      // process lane: one simulation / sweep cell
+	TID  int      // thread lane within the process
 	Args []string // alternating key, value; sorted pairwise on export
 }
 

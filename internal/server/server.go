@@ -47,6 +47,7 @@ import (
 
 	"axmemo/internal/cluster"
 	"axmemo/internal/harness"
+	"axmemo/internal/manager"
 	"axmemo/internal/obs"
 	"axmemo/internal/store"
 	"axmemo/internal/workloads"
@@ -79,6 +80,11 @@ type Config struct {
 	// Cluster, if non-nil, is the coordinator whose membership view
 	// /healthz reports (coordinator daemons only; shards leave it nil).
 	Cluster *cluster.Coordinator
+	// Manager, if non-nil, enables the multi-tenant approximation
+	// manager: the /v1/tenants API and the managed /v1/simulate path
+	// (requests naming a registered tenant).  Nil turns both off;
+	// requests under the reserved "default" tenant never touch it.
+	Manager *manager.Manager
 }
 
 // Server is the HTTP serving layer.  Construct with New, expose with
@@ -86,6 +92,7 @@ type Config struct {
 type Server struct {
 	suite   *harness.Suite
 	cluster *cluster.Coordinator
+	mgr     *manager.Manager
 	timeout time.Duration
 
 	readC        *admitClass
@@ -137,6 +144,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		suite:   cfg.Suite,
 		cluster: cfg.Cluster,
+		mgr:     cfg.Manager,
 		timeout: timeout,
 		readC:   newAdmitClass("read", workers, queue),
 		sweepC:  newAdmitClass("sweep", sweepWorkers, sweepQueue),
@@ -171,6 +179,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/figures", s.handleFigureList)
 	s.mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
+	s.mux.HandleFunc("GET /v1/tenants", s.handleTenantList)
+	s.mux.HandleFunc("PUT /v1/tenants/{id}", s.handleTenantPut)
 	s.mux.HandleFunc("GET /v1/store/manifest", s.handleManifest)
 	s.mux.HandleFunc("GET /v1/store/cells/{key}", s.handleStoreGet)
 	s.mux.HandleFunc("PUT /v1/store/cells/{key}", s.handleStorePut)
@@ -256,6 +266,8 @@ func routeLabel(path string) string {
 		return "sweep"
 	case strings.HasPrefix(path, "/v1/jobs/"):
 		return "jobs"
+	case strings.HasPrefix(path, "/v1/tenants"):
+		return "tenants"
 	case strings.HasPrefix(path, "/v1/figures"):
 		return "figures"
 	case strings.HasPrefix(path, "/v1/store/"):
@@ -479,6 +491,11 @@ type simulateRequest struct {
 	TruncOff    bool    `json:"trunc_off"`
 	GuardBudget float64 `json:"guard_budget"`
 	MaxCycles   uint64  `json:"max_cycles"`
+	// Tenant routes the request through the approximation manager,
+	// which owns the knobs (mode, geometry, truncation, guard budget)
+	// for its tenants.  Empty or "default" is the unmanaged path,
+	// byte-for-byte identical to a manager-less server.
+	Tenant string `json:"tenant"`
 }
 
 // cell translates the request into a sweep cell, defaulting the
@@ -524,12 +541,19 @@ type simulateResponse struct {
 	Key      string          `json:"key"`
 	Cached   bool            `json:"cached"`
 	Result   *harness.Result `json:"result"`
+	// Manager reports the manager's view of a managed (tenant-routed)
+	// run; absent on the unmanaged path.
+	Manager *tenantRunInfo `json:"manager,omitempty"`
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req simulateRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Tenant != "" && req.Tenant != manager.DefaultTenant {
+		s.handleManagedSimulate(w, r, req)
 		return
 	}
 	cell, err := req.cell()

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"axmemo/internal/manager"
+	"axmemo/internal/obs"
+)
+
+// newTenantServer boots a test server with a manager sharing the
+// suite's sink, pre-registered with one loose tenant.
+func newTenantServer(t *testing.T) (*httptest.Server, *manager.Manager) {
+	t.Helper()
+	suite := testSuite(t, "")
+	mgr := manager.New(manager.Config{TotalLUTKB: 16, Seed: 1, Obs: suite.Obs})
+	if _, err := mgr.Upsert(manager.Tenant{ID: "bronze", ErrorBudget: 0.10, ShareWeight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Suite: suite, Manager: mgr})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, mgr
+}
+
+func putJSON(t *testing.T, url string, v any, out any) int {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestTenantAPI(t *testing.T) {
+	ts, _ := newTenantServer(t)
+
+	var created manager.TenantStatus
+	if code := putJSON(t, ts.URL+"/v1/tenants/gold",
+		map[string]any{"error_budget": 0.01, "share_weight": 2.0}, &created); code != http.StatusCreated {
+		t.Fatalf("create tenant: code %d, want 201", code)
+	}
+	if created.ID != "gold" || created.ErrorBudget != 0.01 || created.LUTKB <= 0 {
+		t.Fatalf("created tenant status %+v", created)
+	}
+	// Updating the same tenant is 200, not 201.
+	if code := putJSON(t, ts.URL+"/v1/tenants/gold",
+		map[string]any{"error_budget": 0.02, "share_weight": 2.0}, nil); code != http.StatusOK {
+		t.Fatalf("update tenant: code %d, want 200", code)
+	}
+	// Validation failures surface as 400.
+	if code := putJSON(t, ts.URL+"/v1/tenants/bad",
+		map[string]any{"error_budget": 7.0}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad budget: code %d, want 400", code)
+	}
+	if code := putJSON(t, ts.URL+"/v1/tenants/default",
+		map[string]any{"error_budget": 0.1}, nil); code != http.StatusBadRequest {
+		t.Fatalf("reserved id: code %d, want 400", code)
+	}
+
+	var list struct {
+		Tenants []manager.TenantStatus `json:"tenants"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/tenants", &list); code != http.StatusOK {
+		t.Fatalf("list tenants: code %d", code)
+	}
+	if len(list.Tenants) != 2 || list.Tenants[0].ID != "bronze" || list.Tenants[1].ID != "gold" {
+		t.Fatalf("tenant list %+v, want sorted [bronze gold]", list.Tenants)
+	}
+	if list.Tenants[1].ErrorBudget != 0.02 {
+		t.Fatalf("gold budget %v after update, want 0.02", list.Tenants[1].ErrorBudget)
+	}
+}
+
+func TestTenantAPIWithoutManager(t *testing.T) {
+	srv := New(Config{Suite: testSuite(t, "")})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if code := getJSON(t, ts.URL+"/v1/tenants", nil); code != http.StatusNotFound {
+		t.Fatalf("list without manager: code %d, want 404", code)
+	}
+	var out map[string]string
+	if code := postJSON(t, ts.URL+"/v1/simulate",
+		map[string]any{"benchmark": "sobel", "tenant": "gold"}, &out); code != http.StatusBadRequest {
+		t.Fatalf("managed simulate without manager: code %d, want 400", code)
+	}
+}
+
+func TestManagedSimulate(t *testing.T) {
+	ts, mgr := newTenantServer(t)
+
+	var resp simulateResponse
+	if code := postJSON(t, ts.URL+"/v1/simulate",
+		map[string]any{"benchmark": "sobel", "tenant": "bronze"}, &resp); code != http.StatusOK {
+		t.Fatalf("managed simulate: code %d", code)
+	}
+	if resp.Manager == nil {
+		t.Fatalf("managed response missing manager block")
+	}
+	if resp.Manager.Tenant != "bronze" || resp.Manager.ErrorBudget != 0.10 {
+		t.Fatalf("manager block %+v", resp.Manager)
+	}
+	if resp.Manager.SpeedupEst <= 0 {
+		t.Fatalf("speedup estimate %v", resp.Manager.SpeedupEst)
+	}
+	// The request was a control epoch: the controller stepped once.
+	st, ok := mgr.Status("bronze", "sobel")
+	if !ok || st.Epochs != 1 {
+		t.Fatalf("controller status %+v ok=%v, want 1 epoch", st, ok)
+	}
+	if resp.Manager.Direction != st.Direction {
+		t.Fatalf("response direction %q != controller %q", resp.Manager.Direction, st.Direction)
+	}
+
+	// Unknown tenant: 404.
+	if code := postJSON(t, ts.URL+"/v1/simulate",
+		map[string]any{"benchmark": "sobel", "tenant": "ghost"}, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown tenant: code %d, want 404", code)
+	}
+	// Managed requests cannot set knobs the manager owns.
+	for _, body := range []map[string]any{
+		{"benchmark": "sobel", "tenant": "bronze", "l1_kb": 8},
+		{"benchmark": "sobel", "tenant": "bronze", "guard_budget": 0.5},
+		{"benchmark": "sobel", "tenant": "bronze", "trunc_off": true},
+		{"benchmark": "sobel", "tenant": "bronze", "mode": "soft"},
+	} {
+		if code := postJSON(t, ts.URL+"/v1/simulate", body, nil); code != http.StatusBadRequest {
+			t.Fatalf("knob-setting managed request %v: code %d, want 400", body, code)
+		}
+	}
+}
+
+// TestDefaultTenantBypassesManager locks the compatibility contract:
+// a request under the reserved "default" tenant (or none) takes the
+// unmanaged path and produces byte-identical results and metrics to a
+// manager-less server.
+func TestDefaultTenantBypassesManager(t *testing.T) {
+	run := func(withManager bool, tenant string) ([]byte, []byte) {
+		suite := testSuite(t, "")
+		cfg := Config{Suite: suite}
+		if withManager {
+			cfg.Manager = manager.New(manager.Config{Seed: 1, Obs: suite.Obs})
+		}
+		ts := httptest.NewServer(New(cfg).Handler())
+		defer ts.Close()
+		body := map[string]any{"benchmark": "sobel"}
+		if tenant != "" {
+			body["tenant"] = tenant
+		}
+		var resp json.RawMessage
+		if code := postJSON(t, ts.URL+"/v1/simulate", body, &resp); code != http.StatusOK {
+			t.Fatalf("simulate: code %d", code)
+		}
+		return resp, suite.Obs.Reg().SnapshotJSON(obs.Deterministic)
+	}
+
+	bare, bareSnap := run(false, "")
+	managed, managedSnap := run(true, "default")
+	if !bytes.Equal(bare, managed) {
+		t.Fatalf("default-tenant response differs from manager-less response:\n%s\nvs\n%s", bare, managed)
+	}
+	if !bytes.Equal(bareSnap, managedSnap) {
+		t.Fatalf("default-tenant metrics differ from manager-less metrics:\n%s\nvs\n%s", bareSnap, managedSnap)
+	}
+}
